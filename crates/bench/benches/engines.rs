@@ -1,0 +1,119 @@
+//! X5 — engine comparison: single-thread vs static-parallel (Theorem 1)
+//! vs dynamic-parallel (Theorem 2 / §4.3) on the synthetic workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dps_bench::workloads;
+use dps_core::{
+    EngineConfig, ParallelConfig, ParallelEngine, SingleThreadEngine, StaticConfig,
+    StaticParallelEngine,
+};
+
+fn single_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_single");
+    for &(jobs, stages) in &[(8usize, 4usize), (32, 8)] {
+        g.bench_with_input(
+            BenchmarkId::new("manufacturing", format!("{jobs}x{stages}")),
+            &(jobs, stages),
+            |b, &(jobs, stages)| {
+                b.iter(|| {
+                    let (rules, wm) = workloads::manufacturing(jobs, stages);
+                    let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+                    let r = e.run();
+                    assert_eq!(r.commits, jobs * stages);
+                    r.commits
+                })
+            },
+        );
+    }
+    g.bench_function("hot_accumulator_64", |b| {
+        b.iter(|| {
+            let (rules, wm) = workloads::hot_accumulator(64);
+            let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+            e.run().commits
+        })
+    });
+    g.finish();
+}
+
+fn static_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_static");
+    g.bench_function("manufacturing_16x6", |b| {
+        b.iter(|| {
+            let (rules, wm) = workloads::manufacturing(16, 6);
+            let mut e = StaticParallelEngine::new(&rules, wm, StaticConfig::default());
+            let r = e.run();
+            assert_eq!(r.commits, 96);
+            r.cycles
+        })
+    });
+    g.finish();
+}
+
+fn dynamic_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_dynamic");
+    g.sample_size(10);
+    for &workers in &[1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("counters_16x4", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let (rules, wm) = workloads::counters(16, 4);
+                    let mut e = ParallelEngine::new(
+                        &rules,
+                        wm,
+                        ParallelConfig {
+                            workers,
+                            ..Default::default()
+                        },
+                    );
+                    let r = e.run();
+                    assert_eq!(r.commits, 64);
+                    r.commits
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_order_fulfillment");
+    g.sample_size(20);
+    g.bench_function("single_16_8", |b| {
+        b.iter(|| {
+            let (rules, wm) = workloads::order_fulfillment(16, 8);
+            let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+            let r = e.run();
+            assert_eq!(r.commits, 16 * 4 + 8 * 2);
+            r.commits
+        })
+    });
+    g.bench_function("dynamic_16_8_4workers", |b| {
+        b.iter(|| {
+            let (rules, wm) = workloads::order_fulfillment(16, 8);
+            let mut e = ParallelEngine::new(
+                &rules,
+                wm,
+                ParallelConfig {
+                    workers: 4,
+                    ..Default::default()
+                },
+            );
+            let r = e.run();
+            assert_eq!(r.commits, 16 * 4 + 8 * 2);
+            r.commits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    single_thread,
+    static_parallel,
+    dynamic_parallel,
+    full_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E3.2 / X6 machinery costs: execution-graph construction, `ES_single`
+//! enumeration, membership checking, and concrete trace validation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dps_bench::workloads;
+use dps_core::abstract_model::paper33_example;
+use dps_core::semantics::{validate_trace, ExecutionGraph};
+use dps_core::{EngineConfig, SingleThreadEngine};
+use dps_sim::generator::{generate, GeneratorConfig};
+
+fn graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("semantics_graph");
+    g.bench_function("paper33_build", |b| {
+        let sys = paper33_example();
+        b.iter(|| ExecutionGraph::build(black_box(&sys), 10_000))
+    });
+    g.bench_function("paper33_enumerate", |b| {
+        let sys = paper33_example();
+        let graph = ExecutionGraph::build(&sys, 10_000);
+        b.iter(|| {
+            let seqs = graph.maximal_sequences(1000, 100);
+            assert_eq!(seqs.len(), 9);
+            seqs
+        })
+    });
+    for &n in &[8usize, 12] {
+        g.bench_with_input(BenchmarkId::new("random_build", n), &n, |b, &n| {
+            let sys = generate(&GeneratorConfig {
+                productions: n,
+                conflict_density: 0.2,
+                ..Default::default()
+            });
+            b.iter(|| ExecutionGraph::build(black_box(&sys), 200_000))
+        });
+    }
+    g.finish();
+}
+
+fn trace_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("semantics_validate");
+    for &(jobs, stages) in &[(8usize, 4usize), (16, 8)] {
+        let (rules, wm) = workloads::manufacturing(jobs, stages);
+        let initial = wm.clone();
+        let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+        let report = e.run();
+        g.bench_with_input(
+            BenchmarkId::new("replay", format!("{jobs}x{stages}")),
+            &report.trace,
+            |b, trace| b.iter(|| validate_trace(&rules, &initial, black_box(trace)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, graph, trace_validation);
+criterion_main!(benches);

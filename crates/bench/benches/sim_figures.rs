@@ -1,0 +1,62 @@
+//! Benchmarks regenerating the §5 figures (E5.1–E5.4) and the X1 sweeps.
+//!
+//! The assertions inside each iteration double as regression checks: a
+//! simulator change that breaks a paper number fails the bench.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use dps_core::abstract_model::{paper51_base, paper52_conflict};
+use dps_sim::{compare, sweep};
+
+fn figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_figures");
+    g.bench_function("figure_5_1_base", |b| {
+        let sys = paper51_base();
+        b.iter(|| {
+            let cmp = compare(black_box(&sys), 4);
+            assert_eq!((cmp.t_single, cmp.t_multi), (9, 4));
+            cmp
+        })
+    });
+    g.bench_function("figure_5_2_conflict", |b| {
+        let sys = paper52_conflict();
+        b.iter(|| {
+            let cmp = compare(black_box(&sys), 4);
+            assert_eq!((cmp.t_single, cmp.t_multi), (5, 3));
+            cmp
+        })
+    });
+    g.bench_function("figure_5_3_exec_time", |b| {
+        let sys = paper51_base().with_time(1, 4);
+        b.iter(|| {
+            let cmp = compare(black_box(&sys), 4);
+            assert_eq!((cmp.t_single, cmp.t_multi), (10, 4));
+            cmp
+        })
+    });
+    g.bench_function("figure_5_4_three_procs", |b| {
+        let sys = paper51_base();
+        b.iter(|| {
+            let cmp = compare(black_box(&sys), 3);
+            assert_eq!((cmp.t_single, cmp.t_multi), (9, 6));
+            cmp
+        })
+    });
+    g.finish();
+}
+
+fn sweeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_sweeps");
+    g.sample_size(10);
+    g.bench_function("x1_conflict_sweep", |b| {
+        b.iter(|| sweep::conflict_sweep(black_box(&[0.0, 0.1, 0.4]), 8, 10))
+    });
+    g.bench_function("x1_processor_sweep", |b| {
+        b.iter(|| sweep::processor_sweep(black_box(&[1, 4, 16]), 0.05, 10))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, figures, sweeps);
+criterion_main!(benches);

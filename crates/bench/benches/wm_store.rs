@@ -1,0 +1,93 @@
+//! Working-memory substrate benches: tuple throughput, index selection,
+//! atomic delta application, snapshot/redo-log persistence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dps_wm::{Atom, DeltaSet, RedoLog, Value, WmeData, WorkingMemory};
+
+fn populated(n: i64) -> WorkingMemory {
+    let mut wm = WorkingMemory::new();
+    for i in 0..n {
+        wm.insert(
+            WmeData::new(if i % 2 == 0 { "even" } else { "odd" })
+                .with("k", i % 10)
+                .with("name", format!("tuple-{i}")),
+        );
+    }
+    wm
+}
+
+fn store_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wm_store");
+    g.bench_function("insert_remove_1k", |b| {
+        b.iter(|| {
+            let mut wm = WorkingMemory::new();
+            let ids: Vec<_> = (0..1000i64)
+                .map(|i| wm.insert(WmeData::new("t").with("k", i)))
+                .collect();
+            for id in ids {
+                wm.remove(id).unwrap();
+            }
+            wm.len()
+        })
+    });
+    for &n in &[100i64, 10_000] {
+        g.bench_with_input(BenchmarkId::new("select_eq", n), &n, |b, &n| {
+            let wm = populated(n);
+            let rel = wm.relation("even").unwrap();
+            b.iter(|| rel.select_eq("k", black_box(&Value::Int(4))).count())
+        });
+    }
+    g.bench_function("apply_modify_batch", |b| {
+        let mut wm = populated(1000);
+        let ids: Vec<_> = wm.iter().map(|w| w.id).take(64).collect();
+        b.iter(|| {
+            let mut d = DeltaSet::new();
+            for &id in &ids {
+                d.modify(id, [(Atom::from("k"), Value::Int(7))]);
+            }
+            let changes = wm.apply(&d).unwrap();
+            changes.len()
+        })
+    });
+    g.finish();
+}
+
+fn persistence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wm_persistence");
+    for &n in &[100i64, 10_000] {
+        let wm = populated(n);
+        let snap = wm.encode_snapshot();
+        g.bench_with_input(BenchmarkId::new("encode_snapshot", n), &n, |b, _| {
+            b.iter(|| wm.encode_snapshot().len())
+        });
+        g.bench_with_input(BenchmarkId::new("decode_snapshot", n), &n, |b, _| {
+            b.iter(|| {
+                WorkingMemory::decode_snapshot(black_box(&snap))
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    g.bench_function("redo_log_append_replay_100", |b| {
+        let base = populated(100);
+        let snap = base.encode_snapshot();
+        b.iter(|| {
+            let mut wm = WorkingMemory::decode_snapshot(&snap).unwrap();
+            let mut log = RedoLog::new();
+            for i in 0..100i64 {
+                let mut d = DeltaSet::new();
+                d.create(WmeData::new("log").with("i", i));
+                log.append(&wm.apply(&d).unwrap());
+            }
+            let mut recovered = WorkingMemory::decode_snapshot(&snap).unwrap();
+            log.replay(&mut recovered).unwrap();
+            recovered.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, store_ops, persistence);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! # `dps-bench` — workloads, benches and the paper-reproduction binary
+//!
+//! Shared synthetic workloads used by the Criterion benches and by the
+//! `repro` binary (`cargo run -p dps-bench --bin repro --release`), which
+//! prints every table and figure of the paper next to the measured
+//! values. See `EXPERIMENTS.md` at the workspace root for the index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads;

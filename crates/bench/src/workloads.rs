@@ -1,0 +1,293 @@
+//! Synthetic concrete rule workloads with controllable interference —
+//! the knobs §5 identifies (degree of conflict, execution time, number
+//! of processors) realised as real rule systems.
+
+use dps_rules::RuleSet;
+use dps_wm::{WmeData, WorkingMemory};
+
+/// `n` independent counters, each counting down from `start`: zero
+/// interference, embarrassingly parallel. Total commits = `n * start`.
+pub fn counters(n: usize, start: i64) -> (RuleSet, WorkingMemory) {
+    let rules = RuleSet::parse("(p bump (cell ^n { > 0 <n> }) --> (modify 1 ^n (- <n> 1)))")
+        .expect("static workload parses");
+    let mut wm = WorkingMemory::new();
+    for _ in 0..n {
+        wm.insert(WmeData::new("cell").with("n", start));
+    }
+    (rules, wm)
+}
+
+/// `n` pending deltas all folded into one shared accumulator: maximal
+/// interference (every RHS writes the same tuple). Total commits = `n`;
+/// the final total equals `1 + 2 + … + n`.
+pub fn hot_accumulator(n: i64) -> (RuleSet, WorkingMemory) {
+    let rules = RuleSet::parse(
+        "(p apply (delta ^v <d>) (acc ^total <t>)
+           --> (remove 1) (modify 2 ^total (+ <t> <d>)))",
+    )
+    .expect("static workload parses");
+    let mut wm = WorkingMemory::new();
+    for i in 1..=n {
+        wm.insert(WmeData::new("delta").with("v", i));
+    }
+    wm.insert(WmeData::new("acc").with("total", 0i64));
+    (rules, wm)
+}
+
+/// Tunable contention: `tasks` tasks, each charging one of `resources`
+/// shared tally tuples. `resources = tasks` → no interference;
+/// `resources = 1` → a single hot spot. Total commits = `tasks`.
+pub fn shared_resources(tasks: usize, resources: usize) -> (RuleSet, WorkingMemory) {
+    assert!(resources > 0);
+    let rules = RuleSet::parse(
+        "(p charge (task ^res <r> ^state todo) (tally ^id <r> ^count <c>)
+           --> (modify 1 ^state done) (modify 2 ^count (+ <c> 1)))",
+    )
+    .expect("static workload parses");
+    let mut wm = WorkingMemory::new();
+    for r in 0..resources {
+        wm.insert(
+            WmeData::new("tally")
+                .with("id", r as i64)
+                .with("count", 0i64),
+        );
+    }
+    for t in 0..tasks {
+        wm.insert(
+            WmeData::new("task")
+                .with("res", (t % resources) as i64)
+                .with("state", "todo"),
+        );
+    }
+    (rules, wm)
+}
+
+/// The manufacturing / process-control pipeline the paper's introduction
+/// motivates: `jobs` jobs advance through `stages` routing steps. Jobs
+/// are mutually independent (they share only read-only routing tuples),
+/// so run-time analysis parallelises them while rule-level static
+/// analysis must serialise (the rule self-interferes on `job.stage`).
+/// Total commits = `jobs * stages`.
+pub fn manufacturing(jobs: usize, stages: usize) -> (RuleSet, WorkingMemory) {
+    let rules = RuleSet::parse(
+        "(p advance (job ^stage <s>) (route ^from <s> ^to <n>)
+           --> (modify 1 ^stage <n>))",
+    )
+    .expect("static workload parses");
+    let mut wm = WorkingMemory::new();
+    for s in 0..stages {
+        wm.insert(
+            WmeData::new("route")
+                .with("from", s as i64)
+                .with("to", (s + 1) as i64),
+        );
+    }
+    for _ in 0..jobs {
+        wm.insert(WmeData::new("job").with("stage", 0i64));
+    }
+    (rules, wm)
+}
+
+/// A workload with *relation-level false conflicts*: guards watch for the
+/// absence of `alarm` tuples in their own zone (a negated CE, so their
+/// `Rc` lock escalates to the whole `alarm` relation), while producers
+/// insert alarms into a zone (999) that **no guard watches**. The
+/// producers' `Wa` on the escalated relation overlaps every guard's `Rc`
+/// even though no guard's condition is actually invalidated. Under
+/// `AbortReaders` every such overlap kills the guards (who then retry);
+/// under `Revalidate` the engine re-checks their instantiations, finds
+/// them intact, and lets them commit. Exercises X3.
+pub fn false_conflicts(guards: usize, events: usize) -> (RuleSet, WorkingMemory) {
+    let rules = RuleSet::parse(
+        "(p guard (watch ^id <w> ^armed true) -(alarm ^zone <w>) --> (modify 1 ^armed false))
+         (p produce (pending ^id <e>) --> (remove 1) (make alarm ^zone 999 ^id <e>))",
+    )
+    .expect("static workload parses");
+    let mut wm = WorkingMemory::new();
+    for w in 0..guards {
+        wm.insert(
+            WmeData::new("watch")
+                .with("id", w as i64)
+                .with("armed", true),
+        );
+    }
+    for e in 0..events {
+        wm.insert(WmeData::new("pending").with("id", e as i64));
+    }
+    (rules, wm)
+}
+
+/// A full order-fulfillment pipeline — the richest workload in the
+/// suite, exercising multi-way joins, arithmetic, salience, negation and
+/// value disjunctions together. `fulfillable` orders flow
+/// `received → reserved → picked → packed → shipped` (4 commits each);
+/// `backordered` orders ask for an item with no stock and flow
+/// `received → backordered` plus one audit (2 commits each).
+///
+/// Total commits = `4 * fulfillable + 2 * backordered`, and the final
+/// state is deterministic (stock covers all fulfillable demand).
+pub fn order_fulfillment(fulfillable: usize, backordered: usize) -> (RuleSet, WorkingMemory) {
+    let rules = RuleSet::parse(
+        r#"
+        ; Rush orders reserve first (salience), but every order reserves.
+        (p reserve-rush (salience 10)
+           (order ^state received ^priority << rush urgent >> ^item <i> ^qty <q>)
+           (stock ^item <i> ^on-hand >= <q> ^on-hand <s>)
+           -->
+           (modify 1 ^state reserved)
+           (modify 2 ^on-hand (- <s> <q>)))
+
+        (p reserve
+           (order ^state received ^item <i> ^qty <q>)
+           (stock ^item <i> ^on-hand >= <q> ^on-hand <s>)
+           -->
+           (modify 1 ^state reserved)
+           (modify 2 ^on-hand (- <s> <q>)))
+
+        (p backorder
+           (order ^state received ^id <id> ^item <i> ^qty <q>)
+           (stock ^item <i> ^on-hand < <q>)
+           -->
+           (modify 1 ^state backordered))
+
+        (p audit-backorder
+           (order ^state backordered ^id <id>)
+           -(audit ^order <id>)
+           -->
+           (make audit ^order <id>))
+
+        (p pick
+           (order ^state reserved)
+           -->
+           (modify 1 ^state picked))
+
+        (p pack
+           (order ^state picked ^id <id> ^qty <q>)
+           -->
+           (modify 1 ^state packed)
+           (make package ^order <id> ^weight (* <q> 2)))
+
+        (p ship
+           (order ^state packed ^id <id>)
+           (package ^order <id>)
+           -->
+           (modify 1 ^state shipped))
+        "#,
+    )
+    .expect("static workload parses");
+    let mut wm = WorkingMemory::new();
+    let total_demand: i64 = (1..=fulfillable as i64).sum();
+    wm.insert(
+        WmeData::new("stock")
+            .with("item", "widget")
+            .with("on-hand", total_demand),
+    );
+    wm.insert(
+        WmeData::new("stock")
+            .with("item", "unobtainium")
+            .with("on-hand", 0i64),
+    );
+    for i in 0..fulfillable {
+        wm.insert(
+            WmeData::new("order")
+                .with("id", i as i64)
+                .with("item", "widget")
+                .with("qty", (i + 1) as i64)
+                .with("state", "received")
+                .with("priority", if i % 3 == 0 { "rush" } else { "normal" }),
+        );
+    }
+    for i in 0..backordered {
+        wm.insert(
+            WmeData::new("order")
+                .with("id", (1000 + i) as i64)
+                .with("item", "unobtainium")
+                .with("qty", 1i64)
+                .with("state", "received")
+                .with("priority", "normal"),
+        );
+    }
+    (rules, wm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_core::{EngineConfig, SingleThreadEngine};
+
+    #[test]
+    fn counters_commit_count() {
+        let (rules, wm) = counters(3, 4);
+        let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+        assert_eq!(e.run().commits, 12);
+    }
+
+    #[test]
+    fn hot_accumulator_total() {
+        let (rules, wm) = hot_accumulator(5);
+        let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+        assert_eq!(e.run().commits, 5);
+        let acc = e.wm().class_iter("acc").next().unwrap();
+        assert_eq!(acc.get("total"), Some(&dps_wm::Value::Int(15)));
+    }
+
+    #[test]
+    fn shared_resources_commit_count() {
+        let (rules, wm) = shared_resources(6, 2);
+        let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+        assert_eq!(e.run().commits, 6);
+        for tally in e.wm().class_iter("tally") {
+            assert_eq!(tally.get("count"), Some(&dps_wm::Value::Int(3)));
+        }
+    }
+
+    #[test]
+    fn manufacturing_jobs_reach_final_stage() {
+        let (rules, wm) = manufacturing(3, 4);
+        let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+        assert_eq!(e.run().commits, 12);
+        for job in e.wm().class_iter("job") {
+            assert_eq!(job.get("stage"), Some(&dps_wm::Value::Int(4)));
+        }
+    }
+
+    #[test]
+    fn order_fulfillment_lifecycle() {
+        let (rules, wm) = order_fulfillment(4, 2);
+        let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+        let r = e.run();
+        assert_eq!(r.commits, 4 * 4 + 2 * 2);
+        let shipped = e
+            .wm()
+            .class_iter("order")
+            .filter(|w| w.get("state").and_then(|v| v.as_text()) == Some("shipped"))
+            .count();
+        assert_eq!(shipped, 4);
+        let backordered = e
+            .wm()
+            .class_iter("order")
+            .filter(|w| w.get("state").and_then(|v| v.as_text()) == Some("backordered"))
+            .count();
+        assert_eq!(backordered, 2);
+        assert_eq!(e.wm().class_iter("audit").count(), 2);
+        assert_eq!(e.wm().class_iter("package").count(), 4);
+        // All widget stock consumed.
+        let stock = e
+            .wm()
+            .class_iter("stock")
+            .find(|w| w.get("item").and_then(|v| v.as_text()) == Some("widget"))
+            .unwrap();
+        assert_eq!(stock.get("on-hand"), Some(&dps_wm::Value::Int(0)));
+    }
+
+    #[test]
+    fn false_conflicts_guards_and_events() {
+        let (rules, wm) = false_conflicts(2, 3);
+        let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+        let r = e.run();
+        // 2 guards (each disarms itself) + 3 produces; zone-999 alarms
+        // match no guard's negated CE.
+        assert_eq!(r.commits, 5);
+        assert_eq!(e.wm().class_iter("alarm").count(), 3);
+    }
+}

@@ -1,0 +1,286 @@
+//! The abstract add/delete-set production model of §3.3.
+//!
+//! "The execution of a production `P_x` causes some productions to be
+//! added to / deleted from the conflict set. These are the *add set*
+//! (`A_x^a`) and *delete set* (`A_x^d`) of `P_x`. In general these will
+//! depend on `P_x` and the current database state. However, for
+//! illustration we assume the dependence is only on `P_x`."
+//!
+//! This model drives the execution-graph machinery of [`crate::semantics`]
+//! exactly (conflict sets are the whole state), and is the workload model
+//! of the §5 simulator in `dps-sim`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of an abstract production.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PId(pub usize);
+
+impl fmt::Display for PId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1) // paper numbers productions from 1
+    }
+}
+
+/// An abstract production: add/delete sets plus an execution time used by
+/// the §5 schedule analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbstractProduction {
+    /// Productions its commit adds to the conflict set (`A^a`).
+    pub adds: BTreeSet<PId>,
+    /// Productions its commit deletes from the conflict set (`A^d`).
+    pub dels: BTreeSet<PId>,
+    /// Execution time `T(P)` in abstract time units (§5).
+    pub exec_time: u64,
+}
+
+impl AbstractProduction {
+    /// Convenience constructor.
+    pub fn new(
+        adds: impl IntoIterator<Item = usize>,
+        dels: impl IntoIterator<Item = usize>,
+        exec_time: u64,
+    ) -> Self {
+        AbstractProduction {
+            adds: adds.into_iter().map(PId).collect(),
+            dels: dels.into_iter().map(PId).collect(),
+            exec_time,
+        }
+    }
+}
+
+/// The conflict set of the abstract model — its entire system state.
+pub type ConflictState = BTreeSet<PId>;
+
+/// An abstract production system: productions plus the initial conflict
+/// set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbstractSystem {
+    /// The productions, indexed by [`PId`].
+    pub productions: Vec<AbstractProduction>,
+    /// The initial conflict set.
+    pub initial: ConflictState,
+}
+
+impl AbstractSystem {
+    /// Builds a system; panics if any referenced id is out of range.
+    pub fn new(
+        productions: Vec<AbstractProduction>,
+        initial: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        let sys = AbstractSystem {
+            initial: initial.into_iter().map(PId).collect(),
+            productions,
+        };
+        let n = sys.productions.len();
+        let ok = sys.initial.iter().all(|p| p.0 < n)
+            && sys
+                .productions
+                .iter()
+                .all(|pr| pr.adds.iter().all(|p| p.0 < n) && pr.dels.iter().all(|p| p.0 < n));
+        assert!(ok, "production id out of range");
+        sys
+    }
+
+    /// Number of productions.
+    pub fn len(&self) -> usize {
+        self.productions.len()
+    }
+
+    /// `true` when the system has no productions.
+    pub fn is_empty(&self) -> bool {
+        self.productions.is_empty()
+    }
+
+    /// The state transition: firing `p` from `state`.
+    ///
+    /// The fired production leaves the conflict set (its instantiation is
+    /// consumed), its delete set is removed and its add set inserted —
+    /// the paper's "the commit of `P_i` ... adds (subtracts) the set
+    /// `A_i^a` (`A_i^d`) to (from) the conflict set `P^A`".
+    pub fn fire(&self, state: &ConflictState, p: PId) -> Option<ConflictState> {
+        if !state.contains(&p) {
+            return None;
+        }
+        let prod = &self.productions[p.0];
+        let mut next = state.clone();
+        next.remove(&p);
+        for d in &prod.dels {
+            next.remove(d);
+        }
+        for a in &prod.adds {
+            next.insert(*a);
+        }
+        Some(next)
+    }
+
+    /// Execution time `T(p)`.
+    pub fn exec_time(&self, p: PId) -> u64 {
+        self.productions[p.0].exec_time
+    }
+
+    /// Whether committing `a` invalidates an in-flight `b` (i.e. `b` is
+    /// in `a`'s delete set) — the §5 abort condition.
+    pub fn kills(&self, a: PId, b: PId) -> bool {
+        self.productions[a.0].dels.contains(&b)
+    }
+}
+
+/// The §3.3 example, reconstructed.
+///
+/// The scanned proceedings garble the example's add/delete sets beyond
+/// recovery, but preserve the structure: six productions, initial
+/// conflict set `{P1, P2, P3, P5}`, and an execution semantics of exactly
+/// **nine** maximal sequences, the first being `p1 p4 p5`. This
+/// reconstruction reproduces those invariants (see `DESIGN.md`):
+///
+/// | P | add set | delete set |
+/// |---|---------|------------|
+/// | P1 | {P4} | {P2, P3} |
+/// | P2 | ∅ | {P1} |
+/// | P3 | ∅ | {P2} |
+/// | P4 | ∅ | ∅ |
+/// | P5 | ∅ | {P3, P4} |
+/// | P6 | ∅ | ∅ (never active) |
+pub fn paper33_example() -> AbstractSystem {
+    AbstractSystem::new(
+        vec![
+            AbstractProduction::new([3], [1, 2], 1), // P1: adds P4, dels {P2,P3}
+            AbstractProduction::new([], [0], 1),     // P2: dels {P1}
+            AbstractProduction::new([], [1], 1),     // P3: dels {P2}
+            AbstractProduction::new([], [], 1),      // P4
+            AbstractProduction::new([], [2, 3], 1),  // P5: dels {P3,P4}
+            AbstractProduction::new([], [], 1),      // P6: inert
+        ],
+        [0, 1, 2, 4], // {P1, P2, P3, P5}
+    )
+}
+
+/// The §5 base scenario (Figure 5.1 / Table 5.1), reconstructed from the
+/// reported numbers: `P^A = {P1..P4}`, `T = (5, 3, 2, 4)`, and committing
+/// `P3` deletes `P1` (so the single-thread sequence `σ1 = p3 p2 p4` costs
+/// `2+3+4 = 9` while four processors finish at `T(P4) = 4` — speed-up
+/// 2.25, with `P1` aborted by `P3`'s commit).
+pub fn paper51_base() -> AbstractSystem {
+    AbstractSystem::new(
+        vec![
+            AbstractProduction::new([], [], 5), // P1
+            AbstractProduction::new([], [], 3), // P2
+            AbstractProduction::new([], [], 2), // P3: dels set below
+            AbstractProduction::new([], [], 4), // P4
+        ],
+        [0, 1, 2, 3],
+    )
+    .with_dels(2, [0])
+}
+
+/// The §5 higher-conflict scenario (Figure 5.2 / Table 5.2): committing
+/// `P3` deletes `P1` *and* `P4` (σ2 = `p3 p2`, `T_single = 5`,
+/// `T_multi = 3`, speed-up 1.67).
+pub fn paper52_conflict() -> AbstractSystem {
+    paper51_base().with_dels(2, [0, 3])
+}
+
+impl AbstractSystem {
+    /// Builder helper: replaces the delete set of production `p`.
+    #[must_use]
+    pub fn with_dels(mut self, p: usize, dels: impl IntoIterator<Item = usize>) -> Self {
+        self.productions[p].dels = dels.into_iter().map(PId).collect();
+        self
+    }
+
+    /// Builder helper: replaces the execution time of production `p`.
+    #[must_use]
+    pub fn with_time(mut self, p: usize, t: u64) -> Self {
+        self.productions[p].exec_time = t;
+        self
+    }
+}
+
+/// Formats a conflict state as `{p1, p3}`.
+pub fn fmt_state(state: &ConflictState) -> String {
+    let inner: Vec<String> = state.iter().map(PId::to_string).collect();
+    format!("{{{}}}", inner.join(", "))
+}
+
+/// Formats a sequence of firings as `p1 p4 p5`.
+pub fn fmt_seq(seq: &[PId]) -> String {
+    seq.iter().map(PId::to_string).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fire_consumes_and_applies_sets() {
+        let sys = paper33_example();
+        let s1 = sys.fire(&sys.initial, PId(0)).unwrap();
+        assert_eq!(fmt_state(&s1), "{p4, p5}");
+    }
+
+    #[test]
+    fn fire_of_inactive_production_is_none() {
+        let sys = paper33_example();
+        assert!(
+            sys.fire(&sys.initial, PId(3)).is_none(),
+            "P4 not initially active"
+        );
+        assert!(sys.fire(&sys.initial, PId(5)).is_none(), "P6 never active");
+    }
+
+    #[test]
+    fn adds_can_reintroduce() {
+        let sys = AbstractSystem::new(
+            vec![
+                AbstractProduction::new([1], [], 1),
+                AbstractProduction::new([0], [], 1),
+            ],
+            [0],
+        );
+        let s1 = sys.fire(&sys.initial, PId(0)).unwrap();
+        assert!(s1.contains(&PId(1)));
+        let s2 = sys.fire(&s1, PId(1)).unwrap();
+        assert!(
+            s2.contains(&PId(0)),
+            "P2 re-adds P1: a livelock-capable system"
+        );
+    }
+
+    #[test]
+    fn kills_reads_delete_sets() {
+        let sys = paper51_base();
+        assert!(sys.kills(PId(2), PId(0)), "P3 kills P1");
+        assert!(!sys.kills(PId(0), PId(2)));
+    }
+
+    #[test]
+    fn paper51_shape() {
+        let sys = paper51_base();
+        assert_eq!(sys.len(), 4);
+        let times: Vec<u64> = (0..4).map(|i| sys.exec_time(PId(i))).collect();
+        assert_eq!(times, [5, 3, 2, 4]);
+        assert_eq!(sys.initial.len(), 4);
+    }
+
+    #[test]
+    fn paper52_increases_conflict() {
+        let sys = paper52_conflict();
+        assert!(sys.kills(PId(2), PId(0)));
+        assert!(sys.kills(PId(2), PId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        AbstractSystem::new(vec![AbstractProduction::new([5], [], 1)], [0]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_seq(&[PId(0), PId(3), PId(4)]), "p1 p4 p5");
+        let s: ConflictState = [PId(1)].into_iter().collect();
+        assert_eq!(fmt_state(&s), "{p2}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Firing records, traces and dynamic conflict footprints.
+
+use std::collections::BTreeSet;
+
+use dps_match::{InstKey, Instantiation};
+use dps_rules::{Rule, RuleId};
+use dps_wm::{Atom, DeltaSet, WmeId};
+
+/// One committed production execution: what fired and what it did.
+/// Engines append these to a [`Trace`], which
+/// [`crate::semantics::validate_trace`] replays to check semantic
+/// consistency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Firing {
+    /// The rule.
+    pub rule: RuleId,
+    /// Its name (for readable traces).
+    pub rule_name: Atom,
+    /// Identity of the fired instantiation.
+    pub key: InstKey,
+    /// The buffered RHS effects applied at commit.
+    pub delta: DeltaSet,
+    /// Whether the RHS contained `halt`.
+    pub halt: bool,
+}
+
+/// The commit sequence of one engine run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Commits in order.
+    pub firings: Vec<Firing>,
+}
+
+impl Trace {
+    /// Number of commits.
+    pub fn len(&self) -> usize {
+        self.firings.len()
+    }
+
+    /// `true` when nothing committed.
+    pub fn is_empty(&self) -> bool {
+        self.firings.is_empty()
+    }
+
+    /// The rule-name sequence, e.g. `["bump", "bump", "done"]`.
+    pub fn names(&self) -> Vec<&str> {
+        self.firings.iter().map(|f| f.rule_name.as_str()).collect()
+    }
+}
+
+/// The dynamic (run-time) read/write footprint of one instantiation —
+/// the information the paper says static analysis lacks ("interference
+/// usually depends on run-time values of variables").
+///
+/// * `read_tuples` — the WMEs matched by positive CEs.
+/// * `write_tuples` — WMEs the RHS modifies or removes.
+/// * `read_classes` — classes watched by negated CEs (whole-class reads:
+///   any insertion there can invalidate the match).
+/// * `write_classes` — classes the RHS inserts into.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    /// Tuple-level reads.
+    pub read_tuples: BTreeSet<WmeId>,
+    /// Tuple-level writes.
+    pub write_tuples: BTreeSet<WmeId>,
+    /// Whole-class reads (negated CEs).
+    pub read_classes: BTreeSet<Atom>,
+    /// Class-level writes (inserts).
+    pub write_classes: BTreeSet<Atom>,
+}
+
+impl Footprint {
+    /// Computes the footprint of an instantiation with its computed
+    /// delta.
+    pub fn of(rule: &Rule, inst: &Instantiation, delta: &DeltaSet) -> Footprint {
+        let mut fp = Footprint {
+            read_tuples: inst.wmes.iter().map(|w| w.id).collect(),
+            write_tuples: delta.written_ids().collect(),
+            read_classes: rule
+                .conditions
+                .iter()
+                .filter(|c| c.is_negated())
+                .map(|c| c.ce().class.clone())
+                .collect(),
+            write_classes: delta.created_classes().cloned().collect(),
+        };
+        // A modify/remove of a tuple is also a class-level write as far
+        // as negated readers of that class are concerned (a removal can
+        // *enable* their negation; a modify re-inserts).
+        for w in &inst.wmes {
+            if fp.write_tuples.contains(&w.id) {
+                fp.write_classes.insert(w.data.class.clone());
+            }
+        }
+        fp
+    }
+
+    /// The paper's §4.1 interference test at run-time granularity:
+    /// read-write or write-write overlap.
+    pub fn conflicts(&self, other: &Footprint) -> bool {
+        fn hit<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> bool {
+            // Iterate the smaller set.
+            let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+            small.iter().any(|x| large.contains(x))
+        }
+        hit(&self.write_tuples, &other.write_tuples)
+            || hit(&self.write_tuples, &other.read_tuples)
+            || hit(&other.write_tuples, &self.read_tuples)
+            || hit(&self.write_classes, &other.read_classes)
+            || hit(&other.write_classes, &self.read_classes)
+    }
+
+    /// Enumerates the condition-level class reads of a rule without an
+    /// instantiation (helper for lock escalation in the dynamic engine).
+    pub fn negated_classes(rule: &Rule) -> impl Iterator<Item = &Atom> {
+        rule.conditions
+            .iter()
+            .filter(|c| c.is_negated())
+            .map(|c| &c.ce().class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_rules::{parser::parse_rule, Bindings};
+    use dps_wm::{Wme, WmeData};
+
+    fn wme(id: u64, class: &str) -> Wme {
+        Wme {
+            id: WmeId(id),
+            data: WmeData::new(class),
+            timestamp: id,
+        }
+    }
+
+    fn inst_of(rule: &Rule, wmes: Vec<Wme>) -> Instantiation {
+        Instantiation {
+            rule: RuleId(0),
+            wmes,
+            bindings: Bindings::new(),
+            salience: rule.salience,
+        }
+    }
+
+    #[test]
+    fn footprint_of_modify_rule() {
+        let rule = parse_rule("(p r (job ^n <n>) --> (modify 1 ^n (+ <n> 1)))").unwrap();
+        let w = wme(3, "job");
+        let inst = inst_of(&rule, vec![w.clone()]);
+        let mut delta = DeltaSet::new();
+        delta.modify(w.id, []);
+        let fp = Footprint::of(&rule, &inst, &delta);
+        assert!(fp.read_tuples.contains(&WmeId(3)));
+        assert!(fp.write_tuples.contains(&WmeId(3)));
+        assert!(fp.write_classes.contains("job"));
+        assert!(fp.read_classes.is_empty());
+    }
+
+    #[test]
+    fn footprint_of_negated_reader() {
+        let rule = parse_rule("(p r (go) -(hold) --> (make log))").unwrap();
+        let inst = inst_of(&rule, vec![wme(1, "go")]);
+        let mut delta = DeltaSet::new();
+        delta.create(WmeData::new("log"));
+        let fp = Footprint::of(&rule, &inst, &delta);
+        assert!(fp.read_classes.contains("hold"));
+        assert!(fp.write_classes.contains("log"));
+        assert!(fp.write_tuples.is_empty());
+    }
+
+    #[test]
+    fn disjoint_footprints_do_not_conflict() {
+        let a = Footprint {
+            read_tuples: [WmeId(1)].into(),
+            write_tuples: [WmeId(1)].into(),
+            ..Default::default()
+        };
+        let b = Footprint {
+            read_tuples: [WmeId(2)].into(),
+            write_tuples: [WmeId(2)].into(),
+            ..Default::default()
+        };
+        assert!(!a.conflicts(&b));
+        assert!(!b.conflicts(&a));
+    }
+
+    #[test]
+    fn read_write_overlap_conflicts() {
+        let reader = Footprint {
+            read_tuples: [WmeId(1)].into(),
+            ..Default::default()
+        };
+        let writer = Footprint {
+            write_tuples: [WmeId(1)].into(),
+            ..Default::default()
+        };
+        assert!(reader.conflicts(&writer));
+        assert!(writer.conflicts(&reader));
+        // Read-read is fine.
+        assert!(!reader.conflicts(&reader.clone()));
+    }
+
+    #[test]
+    fn insert_conflicts_with_negated_reader() {
+        let maker = Footprint {
+            write_classes: [Atom::from("hold")].into(),
+            ..Default::default()
+        };
+        let negreader = Footprint {
+            read_classes: [Atom::from("hold")].into(),
+            ..Default::default()
+        };
+        assert!(maker.conflicts(&negreader));
+        assert!(negreader.conflicts(&maker));
+    }
+
+    #[test]
+    fn inserts_into_same_class_commute() {
+        let a = Footprint {
+            write_classes: [Atom::from("log")].into(),
+            ..Default::default()
+        };
+        let b = a.clone();
+        assert!(!a.conflicts(&b), "insert-insert commutes");
+    }
+
+    #[test]
+    fn trace_names() {
+        let mut t = Trace::default();
+        t.firings.push(Firing {
+            rule: RuleId(0),
+            rule_name: Atom::from("a"),
+            key: InstKey {
+                rule: RuleId(0),
+                wmes: vec![],
+            },
+            delta: DeltaSet::new(),
+            halt: false,
+        });
+        assert_eq!(t.names(), ["a"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,829 @@
+//! The centralised lock manager.
+//!
+//! One global lock table guarded by a mutex, a condition variable for
+//! blocking waits, FIFO-fair queues per resource, waits-for-graph
+//! deadlock detection (youngest victim), and the paper's commit-time
+//! `Rc`–`Wa` conflict resolution.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::{compatible, LockError, LockMode, ResourceId};
+
+/// Transaction identifier. Monotonically increasing: a larger id means a
+/// *younger* transaction (deadlock victims are the youngest in the cycle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// What to do with live `Rc` holders when an overlapping `Wa` holder
+/// commits first (paper §4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConflictPolicy {
+    /// Rule (ii): "if `P_i` reaches the commit point first, `P_j` must be
+    /// forced to abort." The manager dooms the readers; their next
+    /// operation fails with [`LockError::DoomedByWriter`].
+    AbortReaders,
+    /// The paper's alternative: "reevaluate `P_j`'s condition to see if
+    /// abort is necessary, at the expense of increased overhead." The
+    /// manager does not doom anybody; [`CommitOutcome::needs_revalidation`]
+    /// lists the affected readers and the *engine* re-evaluates their
+    /// conditions, aborting only those whose LHS no longer holds.
+    Revalidate,
+}
+
+/// Result of a successful commit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// Readers force-aborted by this commit (policy `AbortReaders`).
+    pub doomed_readers: Vec<TxnId>,
+    /// Readers the engine must re-validate (policy `Revalidate`).
+    pub needs_revalidation: Vec<TxnId>,
+}
+
+/// Aggregate lock-manager statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted (all causes).
+    pub aborts: u64,
+    /// Lock grants (including re-grants of held modes are excluded).
+    pub grants: u64,
+    /// Requests that had to wait at least once.
+    pub blocks: u64,
+    /// Readers doomed by committing writers.
+    pub dooms: u64,
+    /// Deadlock victims.
+    pub deadlocks: u64,
+}
+
+/// An entry in the manager's event log (recording is off by default).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockEvent {
+    /// Transaction began.
+    Begin(TxnId),
+    /// Lock granted.
+    Grant(TxnId, ResourceId, LockMode),
+    /// Request blocked, waiting.
+    Block(TxnId, ResourceId, LockMode),
+    /// Transaction doomed (`by` is the committing writer, `None` for a
+    /// deadlock victim).
+    Doom(TxnId, Option<TxnId>),
+    /// Transaction committed.
+    Commit(TxnId),
+    /// Transaction aborted.
+    Abort(TxnId),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    Active,
+    Doomed { by: Option<TxnId> },
+    Committed,
+    Aborted,
+}
+
+#[derive(Debug, Default)]
+struct TxnInfo {
+    status: Option<Status>,
+    held: BTreeMap<ResourceId, BTreeSet<LockMode>>,
+}
+
+impl TxnInfo {
+    fn status(&self) -> &Status {
+        self.status.as_ref().expect("initialised at begin")
+    }
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    holders: BTreeMap<TxnId, BTreeSet<LockMode>>,
+    waiters: VecDeque<(TxnId, LockMode)>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    next: u64,
+    txns: HashMap<TxnId, TxnInfo>,
+    table: HashMap<ResourceId, Entry>,
+    /// txn → resource it is currently blocked on (at most one).
+    waiting_on: HashMap<TxnId, (ResourceId, LockMode)>,
+    events: Vec<LockEvent>,
+    record: bool,
+    aborts: u64,
+    commits: u64,
+    stats: LockStats,
+}
+
+impl State {
+    fn log(&mut self, e: LockEvent) {
+        if self.record {
+            self.events.push(e);
+        }
+    }
+
+    fn entry(&mut self, res: ResourceId) -> &mut Entry {
+        self.table.entry(res).or_default()
+    }
+
+    /// Is `mode` grantable to `txn` on `res` right now?
+    fn grantable(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> bool {
+        let Some(entry) = self.table.get(&res) else {
+            return true;
+        };
+        for (&holder, modes) in &entry.holders {
+            if holder == txn {
+                continue;
+            }
+            if modes.iter().any(|&held| !compatible(held, mode)) {
+                return false;
+            }
+        }
+        // FIFO fairness: do not jump over an earlier waiter we conflict
+        // with (prevents writer starvation).
+        for &(waiter, wmode) in &entry.waiters {
+            if waiter == txn {
+                break;
+            }
+            if !compatible(wmode, mode) || !compatible(mode, wmode) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn grant(&mut self, txn: TxnId, res: ResourceId, mode: LockMode) {
+        self.entry(res).holders.entry(txn).or_default().insert(mode);
+        self.txns
+            .get_mut(&txn)
+            .expect("active")
+            .held
+            .entry(res)
+            .or_default()
+            .insert(mode);
+        self.stats.grants += 1;
+        self.log(LockEvent::Grant(txn, res, mode));
+    }
+
+    fn dequeue_waiter(&mut self, txn: TxnId) {
+        if let Some((res, _)) = self.waiting_on.remove(&txn) {
+            if let Some(entry) = self.table.get_mut(&res) {
+                entry.waiters.retain(|&(t, _)| t != txn);
+            }
+        }
+    }
+
+    fn release_all(&mut self, txn: TxnId) {
+        let held = std::mem::take(&mut self.txns.get_mut(&txn).expect("known txn").held);
+        for res in held.keys() {
+            if let Some(entry) = self.table.get_mut(res) {
+                entry.holders.remove(&txn);
+                if entry.holders.is_empty() && entry.waiters.is_empty() {
+                    self.table.remove(res);
+                }
+            }
+        }
+        self.dequeue_waiter(txn);
+    }
+
+    /// Transactions currently blocking `txn`'s pending request.
+    fn blockers(&self, txn: TxnId) -> Vec<TxnId> {
+        let Some(&(res, mode)) = self.waiting_on.get(&txn) else {
+            return Vec::new();
+        };
+        let Some(entry) = self.table.get(&res) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (&holder, modes) in &entry.holders {
+            if holder != txn && modes.iter().any(|&held| !compatible(held, mode)) {
+                out.push(holder);
+            }
+        }
+        for &(waiter, wmode) in &entry.waiters {
+            if waiter == txn {
+                break;
+            }
+            if !compatible(wmode, mode) || !compatible(mode, wmode) {
+                out.push(waiter);
+            }
+        }
+        out
+    }
+
+    /// Looks for a waits-for cycle through `start`; returns the members.
+    fn find_cycle(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        fn dfs(
+            state: &State,
+            node: TxnId,
+            start: TxnId,
+            path: &mut Vec<TxnId>,
+            depth: usize,
+        ) -> bool {
+            if depth > 0 && node == start {
+                return true;
+            }
+            if depth > 64 || path.contains(&node) {
+                return false;
+            }
+            path.push(node);
+            for b in state.blockers(node) {
+                if dfs(state, b, start, path, depth + 1) {
+                    return true;
+                }
+            }
+            path.pop();
+            false
+        }
+        let mut path: Vec<TxnId> = Vec::new();
+        if dfs(self, start, start, &mut path, 0) {
+            Some(path)
+        } else {
+            None
+        }
+    }
+}
+
+/// The lock manager. Cheap to share behind an `Arc`; all methods take
+/// `&self`.
+pub struct LockManager {
+    state: Mutex<State>,
+    cv: Condvar,
+    policy: ConflictPolicy,
+    timeout: Option<Duration>,
+}
+
+impl LockManager {
+    /// Creates a manager with the given `Rc`–`Wa` conflict policy and no
+    /// wait timeout (deadlocks are handled by detection).
+    pub fn new(policy: ConflictPolicy) -> Self {
+        LockManager {
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            policy,
+            timeout: None,
+        }
+    }
+
+    /// Creates a manager whose blocked requests additionally time out.
+    pub fn with_timeout(policy: ConflictPolicy, timeout: Duration) -> Self {
+        LockManager {
+            timeout: Some(timeout),
+            ..LockManager::new(policy)
+        }
+    }
+
+    /// The configured conflict policy.
+    pub fn policy(&self) -> ConflictPolicy {
+        self.policy
+    }
+
+    /// Turns event recording on or off (off by default).
+    pub fn set_recording(&self, on: bool) {
+        self.state.lock().record = on;
+    }
+
+    /// Drains the recorded event log.
+    pub fn take_events(&self) -> Vec<LockEvent> {
+        std::mem::take(&mut self.state.lock().events)
+    }
+
+    /// `(commits, aborts)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        let s = self.state.lock();
+        (s.commits, s.aborts)
+    }
+
+    /// Full aggregate statistics.
+    pub fn stats(&self) -> LockStats {
+        let s = self.state.lock();
+        LockStats {
+            commits: s.commits,
+            aborts: s.aborts,
+            ..s.stats
+        }
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&self) -> TxnId {
+        let mut s = self.state.lock();
+        let id = TxnId(s.next);
+        s.next += 1;
+        s.txns.insert(
+            id,
+            TxnInfo {
+                status: Some(Status::Active),
+                held: BTreeMap::new(),
+            },
+        );
+        s.log(LockEvent::Begin(id));
+        id
+    }
+
+    /// `true` while the transaction is live (neither doomed, committed
+    /// nor aborted).
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        matches!(
+            self.state
+                .lock()
+                .txns
+                .get(&txn)
+                .and_then(|t| t.status.as_ref()),
+            Some(Status::Active)
+        )
+    }
+
+    /// Checks for a pending doom without acquiring anything — engines
+    /// poll this between RHS steps so a doomed production stops early.
+    /// On doom the transaction is auto-aborted and the error returned.
+    pub fn check(&self, txn: TxnId) -> Result<(), LockError> {
+        let mut s = self.state.lock();
+        self.check_doomed(&mut s, txn)
+    }
+
+    /// Acquires `mode` on `res` for `txn`, blocking until granted.
+    pub fn lock(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> Result<(), LockError> {
+        let mut s = self.state.lock();
+        loop {
+            self.check_doomed(&mut s, txn)?;
+            match s.txns.get(&txn).map(TxnInfo::status) {
+                Some(Status::Active) => {}
+                _ => return Err(LockError::NotActive(txn)),
+            }
+            // Re-grant of an already held mode is a no-op.
+            if s.txns[&txn]
+                .held
+                .get(&res)
+                .is_some_and(|m| m.contains(&mode))
+            {
+                s.dequeue_waiter(txn);
+                return Ok(());
+            }
+            if s.grantable(txn, res, mode) {
+                s.dequeue_waiter(txn);
+                s.grant(txn, res, mode);
+                self.cv.notify_all();
+                return Ok(());
+            }
+            // Enqueue and look for a deadlock.
+            if s.waiting_on.get(&txn) != Some(&(res, mode)) {
+                s.dequeue_waiter(txn);
+                s.waiting_on.insert(txn, (res, mode));
+                s.entry(res).waiters.push_back((txn, mode));
+                s.stats.blocks += 1;
+                s.log(LockEvent::Block(txn, res, mode));
+            }
+            if let Some(cycle) = s.find_cycle(txn) {
+                let victim = cycle.iter().copied().max().expect("cycle is non-empty");
+                if let Some(t) = s.txns.get_mut(&victim) {
+                    if matches!(t.status(), Status::Active) {
+                        t.status = Some(Status::Doomed { by: None });
+                        s.stats.deadlocks += 1;
+                        s.log(LockEvent::Doom(victim, None));
+                    }
+                }
+                self.cv.notify_all();
+                if victim == txn {
+                    self.check_doomed(&mut s, txn)?;
+                }
+            }
+            match self.timeout {
+                Some(dur) => {
+                    if self.cv.wait_for(&mut s, dur).timed_out() {
+                        s.dequeue_waiter(txn);
+                        return Err(LockError::Timeout(txn));
+                    }
+                }
+                None => self.cv.wait(&mut s),
+            }
+        }
+    }
+
+    /// Non-blocking acquire: `Ok(true)` granted, `Ok(false)` would block.
+    pub fn try_lock(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> Result<bool, LockError> {
+        let mut s = self.state.lock();
+        self.check_doomed(&mut s, txn)?;
+        match s.txns.get(&txn).map(TxnInfo::status) {
+            Some(Status::Active) => {}
+            _ => return Err(LockError::NotActive(txn)),
+        }
+        if s.txns[&txn]
+            .held
+            .get(&res)
+            .is_some_and(|m| m.contains(&mode))
+        {
+            return Ok(true);
+        }
+        if s.grantable(txn, res, mode) {
+            s.grant(txn, res, mode);
+            self.cv.notify_all();
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Commits the transaction: applies the `Rc`–`Wa` commit rule, then
+    /// releases every lock.
+    pub fn commit(&self, txn: TxnId) -> Result<CommitOutcome, LockError> {
+        let mut s = self.state.lock();
+        self.check_doomed(&mut s, txn)?;
+        match s.txns.get(&txn).map(TxnInfo::status) {
+            Some(Status::Active) => {}
+            _ => return Err(LockError::NotActive(txn)),
+        }
+        // Find live Rc holders overlapped by our Wa locks (they could
+        // only have acquired Rc *before* our Wa was granted — Table 4.1
+        // forbids the reverse order).
+        let mut affected: Vec<TxnId> = Vec::new();
+        let held: Vec<(ResourceId, bool)> = s.txns[&txn]
+            .held
+            .iter()
+            .map(|(r, modes)| (*r, modes.contains(&LockMode::Wa)))
+            .collect();
+        for (res, has_wa) in held {
+            if !has_wa {
+                continue;
+            }
+            if let Some(entry) = s.table.get(&res) {
+                for (&holder, modes) in &entry.holders {
+                    if holder != txn
+                        && modes.contains(&LockMode::Rc)
+                        && matches!(s.txns[&holder].status(), Status::Active)
+                        && !affected.contains(&holder)
+                    {
+                        affected.push(holder);
+                    }
+                }
+            }
+        }
+        let mut outcome = CommitOutcome::default();
+        match self.policy {
+            ConflictPolicy::AbortReaders => {
+                for reader in affected {
+                    s.txns.get_mut(&reader).expect("known").status =
+                        Some(Status::Doomed { by: Some(txn) });
+                    s.stats.dooms += 1;
+                    s.log(LockEvent::Doom(reader, Some(txn)));
+                    outcome.doomed_readers.push(reader);
+                }
+            }
+            ConflictPolicy::Revalidate => {
+                outcome.needs_revalidation = affected;
+            }
+        }
+        s.release_all(txn);
+        s.txns.get_mut(&txn).expect("known").status = Some(Status::Committed);
+        s.commits += 1;
+        s.log(LockEvent::Commit(txn));
+        self.cv.notify_all();
+        Ok(outcome)
+    }
+
+    /// Aborts the transaction, releasing everything it holds.
+    pub fn abort(&self, txn: TxnId) -> Result<(), LockError> {
+        let mut s = self.state.lock();
+        match s.txns.get(&txn).map(TxnInfo::status) {
+            Some(Status::Active | Status::Doomed { .. }) => {}
+            _ => return Err(LockError::NotActive(txn)),
+        }
+        s.release_all(txn);
+        s.txns.get_mut(&txn).expect("known").status = Some(Status::Aborted);
+        s.aborts += 1;
+        s.log(LockEvent::Abort(txn));
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// If `txn` is doomed: auto-abort it and surface the reason.
+    fn check_doomed(&self, s: &mut State, txn: TxnId) -> Result<(), LockError> {
+        let doom = match s.txns.get(&txn).and_then(|t| t.status.as_ref()) {
+            Some(Status::Doomed { by }) => Some(*by),
+            _ => None,
+        };
+        if let Some(by) = doom {
+            s.release_all(txn);
+            s.txns.get_mut(&txn).expect("known").status = Some(Status::Aborted);
+            s.aborts += 1;
+            s.log(LockEvent::Abort(txn));
+            self.cv.notify_all();
+            return Err(match by {
+                Some(writer) => LockError::DoomedByWriter { txn, by: writer },
+                None => LockError::Deadlock(txn),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for LockManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockManager")
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use crate::LockMode::*;
+
+    fn t(n: u64) -> ResourceId {
+        ResourceId::Tuple(n)
+    }
+
+    #[test]
+    fn shared_reads_coexist() {
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        let (a, b) = (m.begin(), m.begin());
+        m.lock(a, t(1), Rc).unwrap();
+        m.lock(b, t(1), Rc).unwrap();
+        m.lock(b, t(1), Ra).unwrap();
+        assert!(m.commit(a).unwrap().doomed_readers.is_empty());
+        assert!(m.commit(b).is_ok());
+    }
+
+    #[test]
+    fn wa_granted_over_rc_but_not_vice_versa() {
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        let (r, w, late) = (m.begin(), m.begin(), m.begin());
+        m.lock(r, t(1), Rc).unwrap();
+        assert_eq!(m.try_lock(w, t(1), Wa), Ok(true), "Rc ∥ Wa (Table 4.1)");
+        assert_eq!(
+            m.try_lock(late, t(1), Rc),
+            Ok(false),
+            "no Rc under a live Wa"
+        );
+    }
+
+    #[test]
+    fn reader_commits_first_both_commit() {
+        // Figure 4.3(a): serial order Pj Pi.
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        let (pj, pi) = (m.begin(), m.begin());
+        m.lock(pj, t(1), Rc).unwrap();
+        m.lock(pi, t(1), Wa).unwrap();
+        let o = m.commit(pj).unwrap();
+        assert!(o.doomed_readers.is_empty());
+        let o = m.commit(pi).unwrap();
+        assert!(o.doomed_readers.is_empty(), "reader already gone");
+    }
+
+    #[test]
+    fn writer_commits_first_reader_aborts() {
+        // Figure 4.3(b): Pi commits → Pj forced to abort.
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        let (pj, pi) = (m.begin(), m.begin());
+        m.lock(pj, t(1), Rc).unwrap();
+        m.lock(pi, t(1), Wa).unwrap();
+        let o = m.commit(pi).unwrap();
+        assert_eq!(o.doomed_readers, vec![pj]);
+        let e = m.commit(pj).unwrap_err();
+        assert_eq!(e, LockError::DoomedByWriter { txn: pj, by: pi });
+        assert!(!m.is_active(pj));
+    }
+
+    #[test]
+    fn revalidate_policy_does_not_doom() {
+        let m = LockManager::new(ConflictPolicy::Revalidate);
+        let (pj, pi) = (m.begin(), m.begin());
+        m.lock(pj, t(1), Rc).unwrap();
+        m.lock(pi, t(1), Wa).unwrap();
+        let o = m.commit(pi).unwrap();
+        assert!(o.doomed_readers.is_empty());
+        assert_eq!(o.needs_revalidation, vec![pj]);
+        // Engine decides: here revalidation passes, reader commits.
+        assert!(m.commit(pj).is_ok());
+    }
+
+    #[test]
+    fn circular_conflict_exactly_one_commits() {
+        // Figure 4.4: Pi holds Rc(q), Wa(r); Pj holds Rc(r), Wa(q).
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        let (pi, pj) = (m.begin(), m.begin());
+        let (q, r) = (t(1), t(2));
+        m.lock(pi, q, Rc).unwrap();
+        m.lock(pj, r, Rc).unwrap();
+        m.lock(pi, r, Wa).unwrap();
+        m.lock(pj, q, Wa).unwrap();
+        // Whichever commits first dooms the other.
+        let o = m.commit(pi).unwrap();
+        assert_eq!(o.doomed_readers, vec![pj]);
+        assert!(m.commit(pj).unwrap_err().is_abort());
+    }
+
+    #[test]
+    fn two_phase_baseline_blocks_writer() {
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        let (r, w) = (m.begin(), m.begin());
+        m.lock(r, t(1), S).unwrap();
+        assert_eq!(m.try_lock(w, t(1), X), Ok(false), "2PL: X waits for S");
+    }
+
+    #[test]
+    fn blocking_wait_is_woken_by_release() {
+        let m = Arc::new(LockManager::new(ConflictPolicy::AbortReaders));
+        let (a, b) = (m.begin(), m.begin());
+        m.lock(a, t(1), X).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.lock(b, t(1), X));
+        std::thread::sleep(Duration::from_millis(30));
+        m.commit(a).unwrap();
+        h.join().unwrap().unwrap();
+        m.commit(b).unwrap();
+    }
+
+    #[test]
+    fn deadlock_detected_and_youngest_aborted() {
+        let m = Arc::new(LockManager::new(ConflictPolicy::AbortReaders));
+        let older = m.begin();
+        let younger = m.begin();
+        m.lock(older, t(1), X).unwrap();
+        m.lock(younger, t(2), X).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || {
+            // younger waits for t1 (held by older)...
+            m2.lock(younger, t(1), X)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        // ...and older now waits for t2 (held by younger) → cycle.
+        let res_older = m.lock(older, t(2), X);
+        let res_younger = h.join().unwrap();
+        // The younger transaction is the victim; the older proceeds.
+        assert!(res_older.is_ok(), "older survives: {res_older:?}");
+        assert_eq!(res_younger.unwrap_err(), LockError::Deadlock(younger));
+        m.commit(older).unwrap();
+    }
+
+    #[test]
+    fn timeout_fires_when_configured() {
+        let m = LockManager::with_timeout(ConflictPolicy::AbortReaders, Duration::from_millis(20));
+        let (a, b) = (m.begin(), m.begin());
+        m.lock(a, t(1), X).unwrap();
+        assert_eq!(m.lock(b, t(1), X), Err(LockError::Timeout(b)));
+    }
+
+    #[test]
+    fn fifo_fairness_prevents_reader_overtaking_writer() {
+        let m = Arc::new(LockManager::new(ConflictPolicy::AbortReaders));
+        let (r1, w, r2) = (m.begin(), m.begin(), m.begin());
+        m.lock(r1, t(1), S).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.lock(w, t(1), X));
+        std::thread::sleep(Duration::from_millis(30));
+        // r2 must queue behind the waiting writer.
+        assert_eq!(m.try_lock(r2, t(1), S), Ok(false));
+        m.commit(r1).unwrap();
+        h.join().unwrap().unwrap();
+        m.commit(w).unwrap();
+    }
+
+    #[test]
+    fn relock_held_mode_is_noop() {
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        let a = m.begin();
+        m.lock(a, t(1), Rc).unwrap();
+        m.lock(a, t(1), Rc).unwrap();
+        m.lock(a, t(1), Wa).unwrap(); // self-upgrade Rc→Wa
+        m.commit(a).unwrap();
+    }
+
+    #[test]
+    fn operations_on_finished_txn_fail() {
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        let a = m.begin();
+        m.commit(a).unwrap();
+        assert_eq!(m.lock(a, t(1), S), Err(LockError::NotActive(a)));
+        assert_eq!(m.commit(a), Err(LockError::NotActive(a)));
+        assert_eq!(m.abort(a), Err(LockError::NotActive(a)));
+    }
+
+    #[test]
+    fn abort_releases_locks() {
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        let (a, b) = (m.begin(), m.begin());
+        m.lock(a, t(1), X).unwrap();
+        m.abort(a).unwrap();
+        assert_eq!(m.try_lock(b, t(1), X), Ok(true));
+        let (commits, aborts) = m.counters();
+        assert_eq!((commits, aborts), (0, 1));
+    }
+
+    #[test]
+    fn doomed_reader_discovers_on_next_lock() {
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        let (pj, pi) = (m.begin(), m.begin());
+        m.lock(pj, t(1), Rc).unwrap();
+        m.lock(pi, t(1), Wa).unwrap();
+        m.commit(pi).unwrap();
+        // The reader's next lock call surfaces the doom.
+        let e = m.lock(pj, t(2), Rc).unwrap_err();
+        assert_eq!(e, LockError::DoomedByWriter { txn: pj, by: pi });
+    }
+
+    #[test]
+    fn event_log_records_protocol() {
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        m.set_recording(true);
+        let a = m.begin();
+        m.lock(a, t(1), Rc).unwrap();
+        m.commit(a).unwrap();
+        let ev = m.take_events();
+        assert_eq!(
+            ev,
+            vec![
+                LockEvent::Begin(a),
+                LockEvent::Grant(a, t(1), Rc),
+                LockEvent::Commit(a)
+            ]
+        );
+        assert!(m.take_events().is_empty(), "drained");
+    }
+
+    #[test]
+    fn wa_then_commit_with_no_readers_dooms_nobody() {
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        let a = m.begin();
+        m.lock(a, t(1), Wa).unwrap();
+        let o = m.commit(a).unwrap();
+        assert!(o.doomed_readers.is_empty());
+        assert!(o.needs_revalidation.is_empty());
+    }
+
+    #[test]
+    fn escalated_relation_lock_conflicts_like_any_resource() {
+        let m = LockManager::new(ConflictPolicy::AbortReaders);
+        let (a, b) = (m.begin(), m.begin());
+        let rel = ResourceId::Relation(7);
+        m.lock(a, rel, Rc).unwrap();
+        assert_eq!(
+            m.try_lock(b, rel, Wa),
+            Ok(true),
+            "Rc ∥ Wa at relation level too"
+        );
+        m.commit(b).unwrap();
+        assert!(m.commit(a).unwrap_err().is_abort());
+    }
+
+    #[test]
+    fn concurrent_stress_no_lost_state() {
+        // Many threads lock/commit disjoint and overlapping resources;
+        // at the end the table must be empty and counters consistent.
+        let m = Arc::new(LockManager::new(ConflictPolicy::AbortReaders));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let mut outcomes = (0u32, 0u32);
+                    for k in 0..50u64 {
+                        let txn = m.begin();
+                        let res = t(k % 5);
+                        let ok = (|| -> Result<(), LockError> {
+                            m.lock(txn, res, Rc)?;
+                            if (i + k) % 2 == 0 {
+                                m.lock(txn, t(10 + (k % 3)), Wa)?;
+                            }
+                            m.commit(txn)?;
+                            Ok(())
+                        })();
+                        match ok {
+                            Ok(()) => outcomes.0 += 1,
+                            Err(e) => {
+                                if m.is_active(txn) || e.is_abort() {
+                                    let _ = m.abort(txn);
+                                }
+                                outcomes.1 += 1;
+                            }
+                        }
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        let mut commits = 0;
+        for h in threads {
+            let (c, _a) = h.join().unwrap();
+            commits += u64::from(c);
+        }
+        let (mc, _ma) = m.counters();
+        assert_eq!(mc, commits);
+        // Lock table fully drained.
+        let fresh = m.begin();
+        for k in 0..15 {
+            assert_eq!(m.try_lock(fresh, t(k), X), Ok(true));
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! The alpha network: constant tests and alpha memories, shared across
+//! rules and across matchers (Rete and TREAT use the same structure).
+
+use std::collections::HashMap;
+
+use dps_rules::{ConditionElement, Predicate, RuleSet, TestAtom};
+use dps_wm::{Atom, Value, Wme, WmeId, WorkingMemory};
+
+/// Index of an alpha memory within an [`AlphaNetwork`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AlphaMemId(pub usize);
+
+/// A canonical, order-insensitive signature of a condition element's
+/// class + constant tests — the sharing key of the alpha network. The
+/// value list is a singleton for ordinary constant tests and the sorted
+/// alternatives for a `<< ... >>` disjunction.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct AlphaKey {
+    class: Atom,
+    tests: Vec<(Atom, Predicate, Vec<Value>)>,
+}
+
+impl AlphaKey {
+    fn of(ce: &ConditionElement) -> Self {
+        let mut tests: Vec<(Atom, Predicate, Vec<Value>)> = ce
+            .constant_tests()
+            .map(|t| match &t.operand {
+                TestAtom::Const(v) => (t.attr.clone(), t.predicate, vec![v.clone()]),
+                TestAtom::OneOf(vs) => {
+                    let mut vs = vs.clone();
+                    vs.sort();
+                    vs.dedup();
+                    (t.attr.clone(), t.predicate, vs)
+                }
+                TestAtom::Var(_) => unreachable!("constant_tests yields constants"),
+            })
+            .collect();
+        tests.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
+        AlphaKey {
+            class: ce.class.clone(),
+            tests,
+        }
+    }
+
+    fn matches(&self, wme: &Wme) -> bool {
+        wme.class() == &self.class
+            && self.tests.iter().all(|(attr, p, vs)| {
+                let actual = wme.get_or_nil(attr.as_str());
+                vs.iter().any(|v| p.apply(&actual, v))
+            })
+    }
+}
+
+/// Normalises a value for use as a strict hash key standing in for the
+/// matcher's *loose* (numerically coercing) equality: integral floats
+/// collapse onto their integer form (and `-0.0` onto `0`), so
+/// `Int(2)` and `Float(2.0)` share a key exactly when they are
+/// loose-equal. (Floats with magnitude ≥ 2^63 keep their float key; the
+/// only values this mis-buckets are astronomically large int/float pairs
+/// at the edge of `i64`, which scans would also treat inconsistently
+/// under IEEE rounding.)
+pub(crate) fn index_key(v: &Value) -> Value {
+    if let Value::Float(f) = v {
+        if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f < i64::MAX as f64 {
+            return Value::Int(*f as i64);
+        }
+    }
+    v.clone()
+}
+
+/// One alpha memory: the WMEs passing one class + constant-test signature.
+#[derive(Clone, Debug, Default)]
+pub struct AlphaMemory {
+    /// Live members in insertion order (ids kept sorted for determinism).
+    wmes: Vec<Wme>,
+    /// Optional per-attribute value indexes (normalised keys), registered
+    /// by join nodes that test equality on the attribute.
+    indexes: HashMap<Atom, HashMap<Value, Vec<WmeId>>>,
+}
+
+impl AlphaMemory {
+    /// Live members.
+    pub fn wmes(&self) -> &[Wme] {
+        &self.wmes
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.wmes.len()
+    }
+
+    /// `true` when the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.wmes.is_empty()
+    }
+
+    /// Looks up a member by id.
+    pub fn get(&self, id: WmeId) -> Option<&Wme> {
+        self.wmes
+            .binary_search_by_key(&id, |w| w.id)
+            .ok()
+            .map(|i| &self.wmes[i])
+    }
+
+    /// Registers (and builds) a value index on `attr` (idempotent).
+    pub fn ensure_index(&mut self, attr: &Atom) {
+        if self.indexes.contains_key(attr) {
+            return;
+        }
+        let mut by_val: HashMap<Value, Vec<WmeId>> = HashMap::new();
+        for w in &self.wmes {
+            by_val
+                .entry(index_key(&w.get_or_nil(attr.as_str())))
+                .or_default()
+                .push(w.id);
+        }
+        self.indexes.insert(attr.clone(), by_val);
+    }
+
+    /// Ids of members whose (normalised) `attr` value equals `key`.
+    /// Panics in debug builds if the index was never registered.
+    pub fn lookup(&self, attr: &str, key: &Value) -> &[WmeId] {
+        debug_assert!(
+            self.indexes.contains_key(attr),
+            "index on {attr} not registered"
+        );
+        self.indexes
+            .get(attr)
+            .and_then(|by_val| by_val.get(key))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    fn insert(&mut self, wme: Wme) {
+        for (attr, by_val) in &mut self.indexes {
+            let key = index_key(&wme.get_or_nil(attr.as_str()));
+            let bucket = by_val.entry(key).or_default();
+            if !bucket.contains(&wme.id) {
+                bucket.push(wme.id);
+            }
+        }
+        match self.wmes.binary_search_by_key(&wme.id, |w| w.id) {
+            Ok(i) => self.wmes[i] = wme,
+            Err(i) => self.wmes.insert(i, wme),
+        }
+    }
+
+    fn remove(&mut self, id: WmeId) -> bool {
+        match self.wmes.binary_search_by_key(&id, |w| w.id) {
+            Ok(i) => {
+                let wme = self.wmes.remove(i);
+                for (attr, by_val) in &mut self.indexes {
+                    let key = index_key(&wme.get_or_nil(attr.as_str()));
+                    if let Some(bucket) = by_val.get_mut(&key) {
+                        bucket.retain(|&x| x != id);
+                        if bucket.is_empty() {
+                            by_val.remove(&key);
+                        }
+                    }
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// The shared alpha network: class-indexed constant-test nodes feeding
+/// alpha memories.
+///
+/// Built once from a [`RuleSet`]; identical class+constant-test patterns
+/// across condition elements (within or across rules) share one memory —
+/// Rete's "sharing of common subexpressions".
+#[derive(Clone, Debug, Default)]
+pub struct AlphaNetwork {
+    keys: Vec<AlphaKey>,
+    mems: Vec<AlphaMemory>,
+    share: HashMap<AlphaKey, AlphaMemId>,
+    /// Class → alpha memories that could accept members of it.
+    by_class: HashMap<Atom, Vec<AlphaMemId>>,
+}
+
+impl AlphaNetwork {
+    /// Builds the network for every condition element of every rule and
+    /// loads the initial working memory.
+    pub fn new(rules: &RuleSet, wm: &WorkingMemory) -> Self {
+        let mut net = AlphaNetwork::default();
+        for (_, rule) in rules.iter() {
+            for cond in &rule.conditions {
+                net.register(cond.ce());
+            }
+        }
+        for wme in wm.iter() {
+            net.add_wme(wme.clone());
+        }
+        net
+    }
+
+    /// Registers a condition element, returning its (possibly shared)
+    /// alpha memory id. Memories registered after WMEs were loaded start
+    /// empty, so register everything before loading.
+    pub fn register(&mut self, ce: &ConditionElement) -> AlphaMemId {
+        let key = AlphaKey::of(ce);
+        if let Some(&id) = self.share.get(&key) {
+            return id;
+        }
+        let id = AlphaMemId(self.mems.len());
+        self.by_class.entry(key.class.clone()).or_default().push(id);
+        self.share.insert(key.clone(), id);
+        self.keys.push(key);
+        self.mems.push(AlphaMemory::default());
+        id
+    }
+
+    /// Number of distinct alpha memories (a sharing metric).
+    pub fn memory_count(&self) -> usize {
+        self.mems.len()
+    }
+
+    /// The memory for an id.
+    pub fn memory(&self, id: AlphaMemId) -> &AlphaMemory {
+        &self.mems[id.0]
+    }
+
+    /// Adds a WME, returning the ids of the memories it entered.
+    pub fn add_wme(&mut self, wme: Wme) -> Vec<AlphaMemId> {
+        let mut hits = Vec::new();
+        if let Some(candidates) = self.by_class.get(wme.class()) {
+            for &id in candidates {
+                if self.keys[id.0].matches(&wme) {
+                    self.mems[id.0].insert(wme.clone());
+                    hits.push(id);
+                }
+            }
+        }
+        hits
+    }
+
+    /// Registers a per-attribute value index on a memory (idempotent).
+    pub fn ensure_index(&mut self, id: AlphaMemId, attr: &Atom) {
+        self.mems[id.0].ensure_index(attr);
+    }
+
+    /// Removes a WME, returning the ids of the memories it left.
+    pub fn remove_wme(&mut self, class: &Atom, id: WmeId) -> Vec<AlphaMemId> {
+        let mut hits = Vec::new();
+        if let Some(candidates) = self.by_class.get(class) {
+            for &mem in candidates {
+                if self.mems[mem.0].remove(id) {
+                    hits.push(mem);
+                }
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_rules::parser::parse_condition_element;
+    use dps_wm::WmeData;
+
+    fn net_with(ces: &[&str]) -> (AlphaNetwork, Vec<AlphaMemId>) {
+        let mut net = AlphaNetwork::default();
+        let ids = ces
+            .iter()
+            .map(|s| net.register(&parse_condition_element(s).unwrap()))
+            .collect();
+        (net, ids)
+    }
+
+    fn wme(id: u64, class: &str, pairs: &[(&str, Value)]) -> Wme {
+        let mut data = WmeData::new(class);
+        for (a, v) in pairs {
+            data.set(*a, v.clone());
+        }
+        Wme {
+            id: WmeId(id),
+            data,
+            timestamp: id,
+        }
+    }
+
+    #[test]
+    fn identical_patterns_share_one_memory() {
+        let (net, ids) = net_with(&["(job ^state open)", "(job ^state open)"]);
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(net.memory_count(), 1);
+    }
+
+    #[test]
+    fn test_order_does_not_defeat_sharing() {
+        let (net, ids) = net_with(&["(job ^a 1 ^b 2)", "(job ^b 2 ^a 1)"]);
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(net.memory_count(), 1);
+    }
+
+    #[test]
+    fn variable_tests_do_not_affect_the_key() {
+        // Constant parts equal; variable parts differ → still shared.
+        let (net, ids) = net_with(&["(job ^state open ^v <x>)", "(job ^state open ^w <y>)"]);
+        assert_eq!(ids[0], ids[1]);
+        let _ = net;
+    }
+
+    #[test]
+    fn different_constants_get_different_memories() {
+        let (net, ids) = net_with(&[
+            "(job ^state open)",
+            "(job ^state closed)",
+            "(task ^state open)",
+        ]);
+        assert_eq!(net.memory_count(), 3);
+        assert_ne!(ids[0], ids[1]);
+        assert_ne!(ids[0], ids[2]);
+    }
+
+    #[test]
+    fn add_routes_to_matching_memories() {
+        let (mut net, ids) = net_with(&["(job ^state open)", "(job)"]);
+        let hits = net.add_wme(wme(1, "job", &[("state", Value::from("open"))]));
+        assert_eq!(hits.len(), 2);
+        let hits = net.add_wme(wme(2, "job", &[("state", Value::from("closed"))]));
+        assert_eq!(hits, vec![ids[1]]);
+        let hits = net.add_wme(wme(3, "task", &[]));
+        assert!(hits.is_empty());
+        assert_eq!(net.memory(ids[0]).len(), 1);
+        assert_eq!(net.memory(ids[1]).len(), 2);
+    }
+
+    #[test]
+    fn remove_reports_memories_left() {
+        let (mut net, ids) = net_with(&["(job ^state open)"]);
+        net.add_wme(wme(1, "job", &[("state", Value::from("open"))]));
+        let left = net.remove_wme(&Atom::from("job"), WmeId(1));
+        assert_eq!(left, vec![ids[0]]);
+        assert!(net.memory(ids[0]).is_empty());
+        // Second removal is a no-op.
+        assert!(net.remove_wme(&Atom::from("job"), WmeId(1)).is_empty());
+    }
+
+    #[test]
+    fn numeric_constant_tests() {
+        let (mut net, ids) = net_with(&["(m ^v > 4)"]);
+        assert_eq!(
+            net.add_wme(wme(1, "m", &[("v", Value::Int(5))])),
+            vec![ids[0]]
+        );
+        assert!(net.add_wme(wme(2, "m", &[("v", Value::Int(3))])).is_empty());
+        assert!(
+            net.add_wme(wme(3, "m", &[])).is_empty(),
+            "missing attr = Nil fails '>'"
+        );
+    }
+
+    #[test]
+    fn value_index_tracks_membership() {
+        let (mut net, ids) = net_with(&["(m)"]);
+        net.ensure_index(ids[0], &Atom::from("k"));
+        net.add_wme(wme(1, "m", &[("k", Value::Int(3))]));
+        net.add_wme(wme(2, "m", &[("k", Value::Int(3))]));
+        net.add_wme(wme(3, "m", &[("k", Value::Int(5))]));
+        let mem = net.memory(ids[0]);
+        assert_eq!(mem.lookup("k", &Value::Int(3)), [WmeId(1), WmeId(2)]);
+        assert_eq!(mem.lookup("k", &Value::Int(5)), [WmeId(3)]);
+        assert!(mem.lookup("k", &Value::Int(9)).is_empty());
+        net.remove_wme(&Atom::from("m"), WmeId(1));
+        assert_eq!(net.memory(ids[0]).lookup("k", &Value::Int(3)), [WmeId(2)]);
+        assert_eq!(net.memory(ids[0]).get(WmeId(2)).unwrap().id, WmeId(2));
+        assert!(net.memory(ids[0]).get(WmeId(1)).is_none());
+    }
+
+    #[test]
+    fn index_key_normalises_numerics() {
+        assert_eq!(index_key(&Value::Float(2.0)), Value::Int(2));
+        assert_eq!(index_key(&Value::Float(-0.0)), Value::Int(0));
+        assert_eq!(index_key(&Value::Float(2.5)), Value::Float(2.5));
+        assert_eq!(index_key(&Value::Int(7)), Value::Int(7));
+        assert_eq!(index_key(&Value::from("x")), Value::from("x"));
+        assert_eq!(index_key(&Value::Float(f64::NAN)).to_string(), "NaN");
+    }
+
+    #[test]
+    fn index_built_late_covers_existing_members() {
+        let (mut net, ids) = net_with(&["(m)"]);
+        net.add_wme(wme(1, "m", &[("k", Value::Float(4.0))]));
+        net.ensure_index(ids[0], &Atom::from("k"));
+        // Normalised key: Int(4) finds the Float(4.0) member.
+        assert_eq!(net.memory(ids[0]).lookup("k", &Value::Int(4)), [WmeId(1)]);
+    }
+
+    #[test]
+    fn initial_load_from_working_memory() {
+        let rules = dps_rules::RuleSet::parse("(p r (job ^state open) --> (remove 1))").unwrap();
+        let mut wm = WorkingMemory::new();
+        wm.insert(WmeData::new("job").with("state", "open"));
+        wm.insert(WmeData::new("job").with("state", "closed"));
+        let net = AlphaNetwork::new(&rules, &wm);
+        assert_eq!(net.memory(AlphaMemId(0)).len(), 1);
+    }
+}

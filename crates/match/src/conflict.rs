@@ -1,0 +1,212 @@
+//! The conflict set: all currently satisfied instantiations.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use dps_rules::RuleId;
+use dps_wm::WmeId;
+
+use crate::{InstKey, Instantiation};
+
+/// The set of active instantiations (the paper's `P^A`), with indexes for
+/// the operations matchers and engines perform constantly:
+///
+/// * insert / remove by identity key;
+/// * drop everything mentioning a WME (on its removal);
+/// * enumerate deterministically (keys are ordered) for reproducible
+///   selection and testing.
+#[derive(Clone, Debug, Default)]
+pub struct ConflictSet {
+    insts: BTreeMap<InstKey, Instantiation>,
+    by_wme: HashMap<WmeId, HashSet<InstKey>>,
+    by_rule: HashMap<RuleId, HashSet<InstKey>>,
+}
+
+impl ConflictSet {
+    /// Creates an empty conflict set.
+    pub fn new() -> Self {
+        ConflictSet::default()
+    }
+
+    /// Number of active instantiations.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` when no rule is satisfied — the paper's termination
+    /// condition ("If the conflict set is empty ... the system halts").
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Inserts an instantiation; returns `false` if it was already
+    /// present (idempotent).
+    pub fn insert(&mut self, inst: Instantiation) -> bool {
+        let key = inst.key();
+        if self.insts.contains_key(&key) {
+            return false;
+        }
+        for w in &inst.wmes {
+            self.by_wme.entry(w.id).or_default().insert(key.clone());
+        }
+        self.by_rule
+            .entry(inst.rule)
+            .or_default()
+            .insert(key.clone());
+        self.insts.insert(key, inst);
+        true
+    }
+
+    /// Removes by key; returns the instantiation when present.
+    pub fn remove(&mut self, key: &InstKey) -> Option<Instantiation> {
+        let inst = self.insts.remove(key)?;
+        for w in &inst.wmes {
+            if let Some(set) = self.by_wme.get_mut(&w.id) {
+                set.remove(key);
+                if set.is_empty() {
+                    self.by_wme.remove(&w.id);
+                }
+            }
+        }
+        if let Some(set) = self.by_rule.get_mut(&inst.rule) {
+            set.remove(key);
+            if set.is_empty() {
+                self.by_rule.remove(&inst.rule);
+            }
+        }
+        Some(inst)
+    }
+
+    /// Removes every instantiation mentioning `id`; returns how many left.
+    pub fn remove_mentioning(&mut self, id: WmeId) -> usize {
+        let keys: Vec<InstKey> = self
+            .by_wme
+            .get(&id)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        let n = keys.len();
+        for k in &keys {
+            self.remove(k);
+        }
+        n
+    }
+
+    /// Removes every instantiation of a rule; returns them.
+    pub fn remove_of_rule(&mut self, rule: RuleId) -> Vec<Instantiation> {
+        let keys: Vec<InstKey> = self
+            .by_rule
+            .get(&rule)
+            .map(|s| s.iter().cloned().collect())
+            .unwrap_or_default();
+        keys.iter().filter_map(|k| self.remove(k)).collect()
+    }
+
+    /// `true` when the key is present.
+    pub fn contains(&self, key: &InstKey) -> bool {
+        self.insts.contains_key(key)
+    }
+
+    /// Looks up by key.
+    pub fn get(&self, key: &InstKey) -> Option<&Instantiation> {
+        self.insts.get(key)
+    }
+
+    /// Iterates instantiations in key order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &Instantiation> {
+        self.insts.values()
+    }
+
+    /// Instantiations of one rule, in key order.
+    pub fn of_rule(&self, rule: RuleId) -> impl Iterator<Item = &Instantiation> + '_ {
+        self.insts.values().filter(move |i| i.rule == rule)
+    }
+
+    /// The distinct rules currently active.
+    pub fn active_rules(&self) -> impl Iterator<Item = RuleId> + '_ {
+        self.by_rule.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_rules::Bindings;
+    use dps_wm::{Wme, WmeData};
+
+    fn wme(id: u64, ts: u64) -> Wme {
+        Wme {
+            id: WmeId(id),
+            data: WmeData::new("c"),
+            timestamp: ts,
+        }
+    }
+
+    fn inst(rule: u32, ids: &[(u64, u64)]) -> Instantiation {
+        Instantiation {
+            rule: RuleId(rule),
+            wmes: ids.iter().map(|&(i, t)| wme(i, t)).collect(),
+            bindings: Bindings::new(),
+            salience: 0,
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut cs = ConflictSet::new();
+        assert!(cs.insert(inst(0, &[(1, 1)])));
+        assert!(!cs.insert(inst(0, &[(1, 1)])));
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn remove_mentioning_drops_all_users() {
+        let mut cs = ConflictSet::new();
+        cs.insert(inst(0, &[(1, 1), (2, 2)]));
+        cs.insert(inst(1, &[(2, 2)]));
+        cs.insert(inst(2, &[(3, 3)]));
+        assert_eq!(cs.remove_mentioning(WmeId(2)), 2);
+        assert_eq!(cs.len(), 1);
+        assert!(cs.iter().next().unwrap().mentions(WmeId(3)));
+    }
+
+    #[test]
+    fn remove_of_rule() {
+        let mut cs = ConflictSet::new();
+        cs.insert(inst(0, &[(1, 1)]));
+        cs.insert(inst(0, &[(2, 2)]));
+        cs.insert(inst(1, &[(3, 3)]));
+        let removed = cs.remove_of_rule(RuleId(0));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn indexes_stay_consistent_after_removals() {
+        let mut cs = ConflictSet::new();
+        let i = inst(0, &[(1, 1)]);
+        let k = i.key();
+        cs.insert(i);
+        cs.remove(&k);
+        assert!(cs.is_empty());
+        assert_eq!(cs.remove_mentioning(WmeId(1)), 0);
+        assert!(cs.remove(&k).is_none());
+        assert_eq!(cs.active_rules().count(), 0);
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let mut cs = ConflictSet::new();
+        cs.insert(inst(1, &[(5, 5)]));
+        cs.insert(inst(0, &[(9, 9)]));
+        cs.insert(inst(0, &[(2, 2)]));
+        let order: Vec<(u32, u64)> = cs.iter().map(|i| (i.rule.0, i.wmes[0].id.0)).collect();
+        assert_eq!(order, [(0, 2), (0, 9), (1, 5)]);
+    }
+
+    #[test]
+    fn of_rule_filters() {
+        let mut cs = ConflictSet::new();
+        cs.insert(inst(0, &[(1, 1)]));
+        cs.insert(inst(1, &[(2, 2)]));
+        assert_eq!(cs.of_rule(RuleId(1)).count(), 1);
+    }
+}

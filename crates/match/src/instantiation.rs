@@ -1,0 +1,126 @@
+//! Rule instantiations — the members of the conflict set.
+
+use std::fmt;
+
+use dps_rules::{Bindings, RuleId};
+use dps_wm::{Timestamp, Wme, WmeId};
+
+/// Identity of an instantiation: the rule plus the exact WMEs (with their
+/// recency stamps) matched by its positive condition elements.
+///
+/// Timestamps participate in identity because an OPS5 `modify` re-inserts
+/// a WME under the same id with a fresh stamp — the old instantiation is
+/// gone and a new one (same ids, newer stamp) may appear, and
+/// *refraction* must treat them as distinct.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstKey {
+    /// The matched rule.
+    pub rule: RuleId,
+    /// `(id, timestamp)` of each positive-CE match, in CE order.
+    pub wmes: Vec<(WmeId, Timestamp)>,
+}
+
+/// A satisfied rule instantiation: one concrete way a rule's LHS matches
+/// working memory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instantiation {
+    /// The matched rule.
+    pub rule: RuleId,
+    /// The WMEs matched by the positive CEs, in CE order.
+    pub wmes: Vec<Wme>,
+    /// Variable bindings established by the match.
+    pub bindings: Bindings,
+    /// Rule salience (copied from the rule for cheap strategy access).
+    pub salience: i32,
+}
+
+impl Instantiation {
+    /// The identity key.
+    pub fn key(&self) -> InstKey {
+        InstKey {
+            rule: self.rule,
+            wmes: self.wmes.iter().map(|w| (w.id, w.timestamp)).collect(),
+        }
+    }
+
+    /// Recency vector: matched-WME timestamps sorted descending — the
+    /// comparison key of OPS5's LEX strategy.
+    pub fn recency(&self) -> Vec<Timestamp> {
+        let mut ts: Vec<Timestamp> = self.wmes.iter().map(|w| w.timestamp).collect();
+        ts.sort_unstable_by(|a, b| b.cmp(a));
+        ts
+    }
+
+    /// Timestamp of the first CE's match — MEA's dominant criterion.
+    pub fn first_ce_recency(&self) -> Timestamp {
+        self.wmes.first().map_or(0, |w| w.timestamp)
+    }
+
+    /// `true` when this instantiation matched the given element.
+    pub fn mentions(&self, id: WmeId) -> bool {
+        self.wmes.iter().any(|w| w.id == id)
+    }
+}
+
+impl fmt::Display for Instantiation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.rule)?;
+        for (i, w) in self.wmes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", w.id)?;
+        }
+        write!(f, "]{}", self.bindings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_wm::WmeData;
+
+    fn wme(id: u64, ts: u64) -> Wme {
+        Wme {
+            id: WmeId(id),
+            data: WmeData::new("c"),
+            timestamp: ts,
+        }
+    }
+
+    fn inst(rule: u32, wmes: Vec<Wme>) -> Instantiation {
+        Instantiation {
+            rule: RuleId(rule),
+            wmes,
+            bindings: Bindings::new(),
+            salience: 0,
+        }
+    }
+
+    #[test]
+    fn key_includes_timestamps() {
+        let a = inst(1, vec![wme(1, 5)]);
+        let b = inst(1, vec![wme(1, 9)]); // same wme id, fresher stamp
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn recency_sorts_descending() {
+        let i = inst(0, vec![wme(1, 3), wme(2, 9), wme(3, 5)]);
+        assert_eq!(i.recency(), vec![9, 5, 3]);
+        assert_eq!(i.first_ce_recency(), 3);
+    }
+
+    #[test]
+    fn mentions_checks_ids() {
+        let i = inst(0, vec![wme(4, 1)]);
+        assert!(i.mentions(WmeId(4)));
+        assert!(!i.mentions(WmeId(5)));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let i = inst(2, vec![wme(1, 1), wme(2, 2)]);
+        assert_eq!(i.to_string(), "r2[w1,w2]{}");
+    }
+}

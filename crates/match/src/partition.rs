@@ -1,0 +1,340 @@
+//! Intra-phase match parallelism (§2's "user transparent" category):
+//! the rule set is partitioned into **class-connected components** —
+//! rules that share no working-memory class can never share matches —
+//! and each component gets its own Rete network. A change batch fans out
+//! only to the components whose classes it touches, optionally on
+//! parallel threads.
+//!
+//! This simultaneously realises the paper's *user-visible* partitioning
+//! idea ("partitioning the database into classes of objects accessed by
+//! different tasks"): the component structure **is** that partition,
+//! computed automatically.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use dps_rules::{RuleId, RuleSet};
+use dps_wm::{Atom, Change, WorkingMemory};
+
+use crate::{ConflictSet, Matcher, Rete};
+
+/// One class-connected component of the rule set.
+struct Component {
+    /// Global rule ids, in local order (local `RuleId(i)` ↔ `global[i]`).
+    global: Vec<RuleId>,
+    matcher: Rete,
+}
+
+/// Size/shape statistics of the partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Number of components.
+    pub components: usize,
+    /// Rules per component.
+    pub rules_per_component: Vec<usize>,
+}
+
+/// A matcher composed of independent per-component Rete networks.
+///
+/// Semantically identical to one monolithic [`Rete`] over the whole rule
+/// set (enforced by differential tests); operationally, a change batch
+/// is routed only to affected components, and with
+/// [`PartitionedRete::set_parallel`] the components match on separate
+/// threads — the paper's intra-phase parallelism.
+pub struct PartitionedRete {
+    components: Vec<Component>,
+    /// class → components reading it.
+    routes: HashMap<Atom, Vec<usize>>,
+    merged: ConflictSet,
+    parallel: bool,
+}
+
+/// Classes a rule mentions anywhere (conditions and `make` targets).
+fn rule_classes(rule: &dps_rules::Rule) -> BTreeSet<Atom> {
+    let mut out: BTreeSet<Atom> = rule
+        .conditions
+        .iter()
+        .map(|c| c.ce().class.clone())
+        .collect();
+    for action in &rule.actions {
+        if let dps_rules::Action::Make { class, .. } = action {
+            out.insert(class.clone());
+        }
+    }
+    out
+}
+
+impl PartitionedRete {
+    /// Partitions `rules` into class-connected components and builds one
+    /// Rete per component over the initial working memory.
+    pub fn new(rules: &RuleSet, wm: &WorkingMemory) -> Self {
+        // Union-find over rule indices, joined through shared classes.
+        let n = rules.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        let mut class_owner: HashMap<Atom, usize> = HashMap::new();
+        for (i, rule) in rules.rules().iter().enumerate() {
+            for class in rule_classes(rule) {
+                match class_owner.get(&class) {
+                    Some(&j) => {
+                        let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                        if a != b {
+                            parent[a] = b;
+                        }
+                    }
+                    None => {
+                        class_owner.insert(class, i);
+                    }
+                }
+            }
+        }
+        // Group rules by root.
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(i);
+        }
+        let mut group_list: Vec<Vec<usize>> = groups.into_values().collect();
+        group_list.sort_by_key(|g| g[0]); // deterministic component order
+
+        let mut components = Vec::with_capacity(group_list.len());
+        let mut routes: HashMap<Atom, Vec<usize>> = HashMap::new();
+        let mut merged = ConflictSet::new();
+        for (ci, members) in group_list.into_iter().enumerate() {
+            let mut sub = RuleSet::new();
+            let mut global = Vec::with_capacity(members.len());
+            let mut classes = HashSet::new();
+            for &m in &members {
+                let rule = &rules.rules()[m];
+                classes.extend(rule_classes(rule));
+                sub.add(rule.clone())
+                    .expect("names unique in the source set");
+                global.push(RuleId(m as u32));
+            }
+            for class in &classes {
+                routes.entry(class.clone()).or_default().push(ci);
+            }
+            let matcher = Rete::new(&sub, wm);
+            for inst in matcher.conflict_set().iter() {
+                let mut inst = inst.clone();
+                inst.rule = global[inst.rule.0 as usize];
+                merged.insert(inst);
+            }
+            components.push(Component { global, matcher });
+        }
+        PartitionedRete {
+            components,
+            routes,
+            merged,
+            parallel: false,
+        }
+    }
+
+    /// Enables (or disables) threaded fan-out of change batches.
+    pub fn set_parallel(&mut self, on: bool) {
+        self.parallel = on;
+    }
+
+    /// Partition shape.
+    pub fn stats(&self) -> PartitionStats {
+        PartitionStats {
+            components: self.components.len(),
+            rules_per_component: self.components.iter().map(|c| c.global.len()).collect(),
+        }
+    }
+
+    /// Indices of components affected by a change batch.
+    fn affected(&self, changes: &[Change]) -> Vec<usize> {
+        let mut out: Vec<usize> = changes
+            .iter()
+            .filter_map(|c| self.routes.get(&c.wme().data.class))
+            .flatten()
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Refreshes `merged` for one component: drop its rules' entries and
+    /// re-insert (translating local rule ids to global).
+    fn refresh_component(&mut self, ci: usize) {
+        let comp = &self.components[ci];
+        for &gid in &comp.global {
+            self.merged.remove_of_rule(gid);
+        }
+        let fresh: Vec<crate::Instantiation> = comp
+            .matcher
+            .conflict_set()
+            .iter()
+            .map(|inst| {
+                let mut inst = inst.clone();
+                inst.rule = comp.global[inst.rule.0 as usize];
+                inst
+            })
+            .collect();
+        for inst in fresh {
+            self.merged.insert(inst);
+        }
+    }
+}
+
+impl Matcher for PartitionedRete {
+    fn apply(&mut self, changes: &[Change]) {
+        let affected = self.affected(changes);
+        if affected.len() > 1 && self.parallel {
+            // Split the affected components out and run them on threads.
+            let mut slots: Vec<(usize, &mut Component)> = Vec::new();
+            let mut rest: &mut [Component] = &mut self.components;
+            let mut offset = 0;
+            for &ci in &affected {
+                let (left, right) = rest.split_at_mut(ci - offset + 1);
+                slots.push((ci, &mut left[ci - offset]));
+                rest = right;
+                offset = ci + 1;
+            }
+            crossbeam::thread::scope(|scope| {
+                for (_, comp) in &mut slots {
+                    let matcher = &mut comp.matcher;
+                    scope.spawn(move |_| matcher.apply(changes));
+                }
+            })
+            .expect("matcher thread panicked");
+        } else {
+            for &ci in &affected {
+                self.components[ci].matcher.apply(changes);
+            }
+        }
+        for ci in affected {
+            self.refresh_component(ci);
+        }
+    }
+
+    fn conflict_set(&self) -> &ConflictSet {
+        &self.merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_wm::WmeData;
+    use std::collections::BTreeSet as Set;
+
+    const CORPUS: &str = r#"
+        (p fam1-a (a ^k <x>) (b ^k <x>) --> (remove 1))
+        (p fam1-b (b ^k <x>) --> (remove 1))
+        (p fam2-a (c ^k <x>) -(d ^k <x>) --> (remove 1))
+        (p fam3-a (e ^k <x>) --> (make f ^k <x>))
+        (p fam3-b (f ^k <x>) --> (remove 1))
+    "#;
+
+    fn keys(cs: &ConflictSet) -> Set<crate::InstKey> {
+        cs.iter().map(|i| i.key()).collect()
+    }
+
+    #[test]
+    fn components_follow_class_connectivity() {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let wm = WorkingMemory::new();
+        let pm = PartitionedRete::new(&rules, &wm);
+        let stats = pm.stats();
+        // {a,b}, {c,d}, {e,f (via make)} → 3 components.
+        assert_eq!(stats.components, 3);
+        let mut sizes = stats.rules_per_component.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn agrees_with_monolithic_rete_on_streams() {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let mut wm = WorkingMemory::new();
+        let mut mono = Rete::new(&rules, &wm);
+        let mut part = PartitionedRete::new(&rules, &wm);
+        part.set_parallel(true);
+        let classes = ["a", "b", "c", "d", "e", "f"];
+        let mut live = Vec::new();
+        for step in 0..120u64 {
+            let changes = if step % 5 == 4 && !live.is_empty() {
+                let id = live.remove((step as usize * 7) % live.len());
+                match wm.remove(id) {
+                    Ok(w) => vec![Change::Removed(w)],
+                    Err(_) => continue,
+                }
+            } else {
+                let class = classes[(step as usize) % classes.len()];
+                let w = wm.insert_full(WmeData::new(class).with("k", (step % 3) as i64));
+                live.push(w.id);
+                vec![Change::Added(w)]
+            };
+            mono.apply(&changes);
+            part.apply(&changes);
+            assert_eq!(
+                keys(mono.conflict_set()),
+                keys(part.conflict_set()),
+                "diverged at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn initial_working_memory_is_matched() {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let mut wm = WorkingMemory::new();
+        wm.insert(WmeData::new("b").with("k", 1i64));
+        wm.insert(WmeData::new("c").with("k", 1i64));
+        let pm = PartitionedRete::new(&rules, &wm);
+        let mono = Rete::new(&rules, &wm);
+        assert_eq!(keys(pm.conflict_set()), keys(mono.conflict_set()));
+        assert_eq!(pm.conflict_set().len(), 2);
+    }
+
+    #[test]
+    fn global_rule_ids_are_preserved() {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let mut wm = WorkingMemory::new();
+        wm.insert(WmeData::new("e").with("k", 7i64));
+        let pm = PartitionedRete::new(&rules, &wm);
+        let inst = pm.conflict_set().iter().next().unwrap();
+        assert_eq!(inst.rule, rules.id_of("fam3-a").unwrap());
+    }
+
+    #[test]
+    fn unrelated_changes_do_not_touch_other_components() {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let mut wm = WorkingMemory::new();
+        let mut pm = PartitionedRete::new(&rules, &wm);
+        let w = wm.insert_full(WmeData::new("zzz-unknown"));
+        pm.apply(&[Change::Added(w)]);
+        assert!(pm.conflict_set().is_empty());
+        let w = wm.insert_full(WmeData::new("b").with("k", 0i64));
+        pm.apply(&[Change::Added(w)]);
+        assert_eq!(pm.conflict_set().len(), 1, "only fam1-b fires");
+    }
+
+    #[test]
+    fn parallel_and_serial_fanout_agree() {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let mut wm = WorkingMemory::new();
+        let mut serial = PartitionedRete::new(&rules, &wm);
+        let mut parallel = PartitionedRete::new(&rules, &wm);
+        parallel.set_parallel(true);
+        // One batch touching several components at once.
+        let mut batch = Vec::new();
+        for class in ["a", "b", "c", "e", "f"] {
+            batch.push(Change::Added(
+                wm.insert_full(WmeData::new(class).with("k", 1i64)),
+            ));
+        }
+        serial.apply(&batch);
+        parallel.apply(&batch);
+        assert_eq!(keys(serial.conflict_set()), keys(parallel.conflict_set()));
+        assert!(!serial.conflict_set().is_empty());
+    }
+}

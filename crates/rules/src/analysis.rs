@@ -1,0 +1,297 @@
+//! Static read/write-set analysis and the interference test.
+//!
+//! The paper's static approach (§4.1) partitions productions into
+//! *non-interfering* groups: "Two productions are non-interfering if there
+//! is no read-write or write-write conflict between them." Run-time values
+//! are unknown to a static analyser, so the conservative granularity here
+//! is the (class, attribute) pair: a rule *reads* every class+attribute its
+//! LHS tests and *writes* every class+attribute its RHS creates, modifies
+//! or removes. A `remove`/`make` touches the whole tuple, so it writes the
+//! wildcard attribute of its class.
+//!
+//! The paper also notes (§4.1) that class-granularity analysis detects
+//! *false* interference when two rules touch disjoint subclasses; exposing
+//! both granularities lets the benchmarks quantify exactly that effect.
+
+use std::collections::BTreeSet;
+
+use dps_wm::Atom;
+
+use crate::{Action, Rule};
+
+/// Wildcard attribute marker: the whole tuple / any attribute of a class.
+const STAR: &str = "*";
+
+/// A set of (class, attribute) access descriptors. The attribute `*`
+/// denotes "any attribute of the class" (whole-tuple access).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessSet {
+    entries: BTreeSet<(Atom, Atom)>,
+}
+
+impl AccessSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        AccessSet::default()
+    }
+
+    /// Adds a class+attribute access.
+    pub fn add(&mut self, class: Atom, attr: Atom) {
+        self.entries.insert((class, attr));
+    }
+
+    /// Adds a whole-class (wildcard) access.
+    pub fn add_class(&mut self, class: Atom) {
+        self.entries.insert((class, Atom::from(STAR)));
+    }
+
+    /// Iterates entries in order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Atom, Atom)> {
+        self.entries.iter()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no accesses are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The classes mentioned.
+    pub fn classes(&self) -> BTreeSet<&Atom> {
+        self.entries.iter().map(|(c, _)| c).collect()
+    }
+
+    /// `true` when the two sets overlap at class+attribute granularity
+    /// (wildcards overlap everything in their class).
+    pub fn overlaps(&self, other: &AccessSet) -> bool {
+        for (c1, a1) in &self.entries {
+            for (c2, a2) in &other.entries {
+                if c1 == c2 && (a1 == a2 || a1 == STAR || a2 == STAR) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// `true` when the two sets share any class (the coarser test).
+    pub fn overlaps_class(&self, other: &AccessSet) -> bool {
+        let mine = self.classes();
+        other.classes().iter().any(|c| mine.contains(*c))
+    }
+}
+
+/// The static read and write sets of one rule.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleAccess {
+    /// Class+attribute pairs the LHS reads.
+    pub reads: AccessSet,
+    /// Class+attribute pairs the RHS writes.
+    pub writes: AccessSet,
+}
+
+/// Computes the read and write sets of a rule.
+///
+/// * Every attribute tested by a (positive or negated) CE is a read of
+///   `(class, attr)`; a test-free CE reads `(class, *)`.
+/// * `make` writes `(class, *)` — a new tuple affects any reader of the
+///   class (e.g. negated CEs).
+/// * `modify` writes `(class, attr)` for each assigned attribute and reads
+///   nothing extra (the tuple was already read by its CE).
+/// * `remove` writes `(class, *)` of the removed CE's class.
+pub fn rule_access(rule: &Rule) -> RuleAccess {
+    let mut access = RuleAccess::default();
+    let positive: Vec<&crate::ConditionElement> = rule.positive_ces().collect();
+    for cond in &rule.conditions {
+        let ce = cond.ce();
+        if ce.tests.is_empty() {
+            access.reads.add_class(ce.class.clone());
+        } else {
+            for t in &ce.tests {
+                access.reads.add(ce.class.clone(), t.attr.clone());
+            }
+        }
+        // A negated CE is sensitive to *any* tuple of the class appearing,
+        // so it also reads the wildcard (this is the paper's negative-
+        // dependence case that motivates relation-level R_c escalation).
+        if cond.is_negated() {
+            access.reads.add_class(ce.class.clone());
+        }
+    }
+    for action in &rule.actions {
+        match action {
+            Action::Make { class, .. } => access.writes.add_class(class.clone()),
+            Action::Modify { ce, attrs } => {
+                if let Some(target) = positive.get(*ce - 1) {
+                    for (attr, _) in attrs {
+                        access.writes.add(target.class.clone(), attr.clone());
+                    }
+                }
+            }
+            Action::Remove { ce } => {
+                if let Some(target) = positive.get(*ce - 1) {
+                    access.writes.add_class(target.class.clone());
+                }
+            }
+            Action::Halt => {}
+        }
+    }
+    access
+}
+
+/// Granularity at which interference is judged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Granularity {
+    /// Class only — cheap and very conservative.
+    Class,
+    /// Class + attribute — finer, still static.
+    ClassAttribute,
+}
+
+/// Static interference test between two rules: read-write or write-write
+/// overlap of their access sets (the paper's §4.1 definition; also the
+/// *conflicting operations* notion of \[PAPA86\] per footnote 4).
+pub fn interferes(a: &RuleAccess, b: &RuleAccess, gran: Granularity) -> bool {
+    let overlap = |x: &AccessSet, y: &AccessSet| match gran {
+        Granularity::Class => x.overlaps_class(y),
+        Granularity::ClassAttribute => x.overlaps(y),
+    };
+    overlap(&a.writes, &b.writes) || overlap(&a.writes, &b.reads) || overlap(&a.reads, &b.writes)
+}
+
+/// Partitions rules into non-interfering groups greedily: each rule joins
+/// the first group it does not interfere with; otherwise it founds a new
+/// group. Returns per-rule group indices.
+///
+/// Greedy colouring is the practical choice the paper alludes to when it
+/// notes optimal partitioning is infeasible ("very difficult, if not
+/// impossible, to optimally partition the rules ... because of the state
+/// explosion problem").
+pub fn partition(rules: &[Rule], gran: Granularity) -> Vec<usize> {
+    let accesses: Vec<RuleAccess> = rules.iter().map(rule_access).collect();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut assignment = vec![0usize; rules.len()];
+    for (i, acc) in accesses.iter().enumerate() {
+        let slot = groups.iter().position(|members| {
+            members
+                .iter()
+                .all(|&j| !interferes(acc, &accesses[j], gran))
+        });
+        match slot {
+            Some(g) => {
+                groups[g].push(i);
+                assignment[i] = g;
+            }
+            None => {
+                groups.push(vec![i]);
+                assignment[i] = groups.len() - 1;
+            }
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    fn acc(src: &str) -> RuleAccess {
+        rule_access(&parse_rule(src).unwrap())
+    }
+
+    #[test]
+    fn reads_cover_tested_attributes() {
+        let a = acc("(p r (job ^stage <s> ^cost > 1) --> )");
+        assert_eq!(a.reads.len(), 2);
+        assert!(a.writes.is_empty());
+    }
+
+    #[test]
+    fn test_free_ce_reads_wildcard() {
+        let a = acc("(p r (job) --> )");
+        assert_eq!(a.reads.iter().next().unwrap().1.as_str(), "*");
+    }
+
+    #[test]
+    fn negated_ce_reads_class_wildcard() {
+        let a = acc("(p r (go) -(hold ^k v) --> )");
+        assert!(a
+            .reads
+            .iter()
+            .any(|(c, at)| c == &Atom::from("hold") && at == &Atom::from("*")));
+    }
+
+    #[test]
+    fn make_and_remove_write_wildcard_modify_writes_attr() {
+        let a = acc("(p r (job ^cost <c>) --> (modify 1 ^cost (+ <c> 1)) (make log) (remove 1))");
+        assert!(a
+            .writes
+            .iter()
+            .any(|(c, at)| c.as_str() == "job" && at.as_str() == "cost"));
+        assert!(a
+            .writes
+            .iter()
+            .any(|(c, at)| c.as_str() == "log" && at.as_str() == "*"));
+        assert!(a
+            .writes
+            .iter()
+            .any(|(c, at)| c.as_str() == "job" && at.as_str() == "*"));
+    }
+
+    #[test]
+    fn disjoint_rules_do_not_interfere() {
+        let a = acc("(p a (x ^v <v>) --> (modify 1 ^v 0))");
+        let b = acc("(p b (y ^v <v>) --> (modify 1 ^v 0))");
+        assert!(!interferes(&a, &b, Granularity::ClassAttribute));
+        assert!(!interferes(&a, &b, Granularity::Class));
+    }
+
+    #[test]
+    fn read_write_overlap_interferes() {
+        let reader = acc("(p a (x ^v <v>) --> )");
+        let writer = acc("(p b (x ^v <v>) --> (modify 1 ^v 0))");
+        assert!(interferes(&reader, &writer, Granularity::ClassAttribute));
+        // Read-read does not interfere.
+        assert!(!interferes(&reader, &reader, Granularity::ClassAttribute));
+    }
+
+    #[test]
+    fn class_granularity_reports_false_interference() {
+        // Same class, different attributes: attribute granularity clears
+        // them; class granularity (conservatively) does not — the paper's
+        // 'false interference' phenomenon.
+        let a = acc("(p a (x ^left <v>) --> (modify 1 ^left 0))");
+        let b = acc("(p b (x ^right <v>) --> (modify 1 ^right 0))");
+        assert!(!interferes(&a, &b, Granularity::ClassAttribute));
+        assert!(interferes(&a, &b, Granularity::Class));
+    }
+
+    #[test]
+    fn make_interferes_with_negated_reader() {
+        let maker = acc("(p a (go) --> (make hold ^k v))");
+        let negreader = acc("(p b (go) -(hold ^k v) --> )");
+        assert!(interferes(&maker, &negreader, Granularity::ClassAttribute));
+    }
+
+    #[test]
+    fn partition_groups_noninterfering_rules() {
+        let rules = vec![
+            parse_rule("(p a (x ^v <v>) --> (modify 1 ^v 0))").unwrap(),
+            parse_rule("(p b (y ^v <v>) --> (modify 1 ^v 0))").unwrap(),
+            parse_rule("(p c (x ^v <v>) --> (remove 1))").unwrap(),
+        ];
+        let groups = partition(&rules, Granularity::ClassAttribute);
+        assert_eq!(groups[0], groups[1], "a and b are disjoint → same group");
+        assert_ne!(groups[0], groups[2], "a and c clash on x.v → split");
+    }
+
+    #[test]
+    fn partition_of_empty_ruleset() {
+        assert!(partition(&[], Granularity::Class).is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! Fluent builder API for constructing rules in Rust code.
+//!
+//! The builder mirrors the DSL one-to-one and validates on
+//! [`RuleBuilder::build`]:
+//!
+//! ```
+//! use dps_rules::builder::{rule, ce, var, val};
+//!
+//! let r = rule("bump")
+//!     .when(ce("counter").bind("n", "n"))
+//!     .then_modify(1, [("n", var("n") + val(1))])
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(r.to_string(), "(p bump\n   (counter ^n <n>)\n   -->\n   (modify 1 ^n (+ <n> 1)))");
+//! ```
+
+use dps_wm::{Atom, Value};
+
+use crate::{
+    Action, AttrTest, Condition, ConditionElement, Expr, Op, Predicate, Rule, RuleError, TestAtom,
+};
+
+/// Starts building a rule.
+pub fn rule(name: impl Into<Atom>) -> RuleBuilder {
+    RuleBuilder {
+        rule: Rule {
+            name: name.into(),
+            salience: 0,
+            conditions: Vec::new(),
+            actions: Vec::new(),
+        },
+    }
+}
+
+/// Starts building a condition element for `class`.
+pub fn ce(class: impl Into<Atom>) -> CeBuilder {
+    CeBuilder {
+        ce: ConditionElement::any(class),
+    }
+}
+
+/// An expression referencing a bound variable.
+pub fn var(name: impl Into<Atom>) -> ExprBuilder {
+    ExprBuilder(Expr::Var(name.into()))
+}
+
+/// A constant expression.
+pub fn val(v: impl Into<Value>) -> ExprBuilder {
+    ExprBuilder(Expr::Const(v.into()))
+}
+
+/// Builder for a [`ConditionElement`].
+#[derive(Clone, Debug)]
+pub struct CeBuilder {
+    ce: ConditionElement,
+}
+
+impl CeBuilder {
+    fn push(mut self, attr: impl Into<Atom>, predicate: Predicate, operand: TestAtom) -> Self {
+        self.ce.tests.push(AttrTest {
+            attr: attr.into(),
+            predicate,
+            operand,
+        });
+        self
+    }
+
+    /// `^attr value` — equality against a constant.
+    #[must_use]
+    pub fn eq(self, attr: impl Into<Atom>, v: impl Into<Value>) -> Self {
+        self.push(attr, Predicate::Eq, TestAtom::Const(v.into()))
+    }
+
+    /// `^attr <var>` — bind (or test) a variable.
+    #[must_use]
+    pub fn bind(self, attr: impl Into<Atom>, var: impl Into<Atom>) -> Self {
+        self.push(attr, Predicate::Eq, TestAtom::Var(var.into()))
+    }
+
+    /// `^attr <> value`.
+    #[must_use]
+    pub fn ne(self, attr: impl Into<Atom>, v: impl Into<Value>) -> Self {
+        self.push(attr, Predicate::Ne, TestAtom::Const(v.into()))
+    }
+
+    /// `^attr < value`.
+    #[must_use]
+    pub fn lt(self, attr: impl Into<Atom>, v: impl Into<Value>) -> Self {
+        self.push(attr, Predicate::Lt, TestAtom::Const(v.into()))
+    }
+
+    /// `^attr <= value`.
+    #[must_use]
+    pub fn le(self, attr: impl Into<Atom>, v: impl Into<Value>) -> Self {
+        self.push(attr, Predicate::Le, TestAtom::Const(v.into()))
+    }
+
+    /// `^attr > value`.
+    #[must_use]
+    pub fn gt(self, attr: impl Into<Atom>, v: impl Into<Value>) -> Self {
+        self.push(attr, Predicate::Gt, TestAtom::Const(v.into()))
+    }
+
+    /// `^attr >= value`.
+    #[must_use]
+    pub fn ge(self, attr: impl Into<Atom>, v: impl Into<Value>) -> Self {
+        self.push(attr, Predicate::Ge, TestAtom::Const(v.into()))
+    }
+
+    /// A predicate test against a bound variable, e.g. `^attr > <x>`.
+    #[must_use]
+    pub fn cmp_var(self, attr: impl Into<Atom>, p: Predicate, var: impl Into<Atom>) -> Self {
+        self.push(attr, p, TestAtom::Var(var.into()))
+    }
+
+    /// `^attr << v1 v2 ... >>` — equal to any listed constant.
+    #[must_use]
+    pub fn one_of<V: Into<Value>>(
+        self,
+        attr: impl Into<Atom>,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
+        self.push(
+            attr,
+            Predicate::Eq,
+            TestAtom::OneOf(values.into_iter().map(Into::into).collect()),
+        )
+    }
+
+    /// Finishes the condition element.
+    pub fn into_ce(self) -> ConditionElement {
+        self.ce
+    }
+}
+
+/// Expression builder with operator overloading.
+#[derive(Clone, Debug)]
+pub struct ExprBuilder(pub Expr);
+
+macro_rules! impl_expr_op {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl std::ops::$trait for ExprBuilder {
+            type Output = ExprBuilder;
+            fn $method(self, rhs: ExprBuilder) -> ExprBuilder {
+                ExprBuilder(Expr::bin($op, self.0, rhs.0))
+            }
+        }
+    };
+}
+
+impl_expr_op!(Add, add, Op::Add);
+impl_expr_op!(Sub, sub, Op::Sub);
+impl_expr_op!(Mul, mul, Op::Mul);
+impl_expr_op!(Div, div, Op::Div);
+impl_expr_op!(Rem, rem, Op::Mod);
+
+impl From<ExprBuilder> for Expr {
+    fn from(b: ExprBuilder) -> Expr {
+        b.0
+    }
+}
+
+/// Builder for a [`Rule`].
+#[derive(Clone, Debug)]
+pub struct RuleBuilder {
+    rule: Rule,
+}
+
+impl RuleBuilder {
+    /// Sets the salience (priority) of the rule.
+    #[must_use]
+    pub fn salience(mut self, s: i32) -> Self {
+        self.rule.salience = s;
+        self
+    }
+
+    /// Adds a positive condition element.
+    #[must_use]
+    pub fn when(mut self, ce: CeBuilder) -> Self {
+        self.rule.conditions.push(Condition::Pos(ce.into_ce()));
+        self
+    }
+
+    /// Adds a negated condition element.
+    #[must_use]
+    pub fn when_not(mut self, ce: CeBuilder) -> Self {
+        self.rule.conditions.push(Condition::Neg(ce.into_ce()));
+        self
+    }
+
+    /// Adds a `make` action.
+    #[must_use]
+    pub fn then_make<A, E>(
+        mut self,
+        class: impl Into<Atom>,
+        attrs: impl IntoIterator<Item = (A, E)>,
+    ) -> Self
+    where
+        A: Into<Atom>,
+        E: Into<Expr>,
+    {
+        self.rule.actions.push(Action::Make {
+            class: class.into(),
+            attrs: attrs
+                .into_iter()
+                .map(|(a, e)| (a.into(), e.into()))
+                .collect(),
+        });
+        self
+    }
+
+    /// Adds a `modify` action on the `ce`-th positive CE (1-based).
+    #[must_use]
+    pub fn then_modify<A, E>(mut self, ce: usize, attrs: impl IntoIterator<Item = (A, E)>) -> Self
+    where
+        A: Into<Atom>,
+        E: Into<Expr>,
+    {
+        self.rule.actions.push(Action::Modify {
+            ce,
+            attrs: attrs
+                .into_iter()
+                .map(|(a, e)| (a.into(), e.into()))
+                .collect(),
+        });
+        self
+    }
+
+    /// Adds a `remove` action on the `ce`-th positive CE (1-based).
+    #[must_use]
+    pub fn then_remove(mut self, ce: usize) -> Self {
+        self.rule.actions.push(Action::Remove { ce });
+        self
+    }
+
+    /// Adds a `halt` action.
+    #[must_use]
+    pub fn then_halt(mut self) -> Self {
+        self.rule.actions.push(Action::Halt);
+        self
+    }
+
+    /// Validates and returns the rule.
+    pub fn build(self) -> Result<Rule, RuleError> {
+        self.rule.validate()?;
+        Ok(self.rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    #[test]
+    fn builder_output_equals_parsed_dsl() {
+        let built = rule("advance")
+            .salience(5)
+            .when(ce("job").bind("stage", "s").gt("cost", 0).bind("cost", "c"))
+            .when_not(ce("hold").bind("job-stage", "s"))
+            .then_modify(1, [("cost", var("c") - val(1))])
+            .then_make("event", [("kind", val("advanced"))])
+            .build()
+            .unwrap();
+        let parsed = parse_rule(
+            "(p advance (salience 5)
+               (job ^stage <s> ^cost { > 0 <c> })
+               -(hold ^job-stage <s>)
+               -->
+               (modify 1 ^cost (- <c> 1))
+               (make event ^kind advanced))",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn builder_validation_fails_on_unbound_var() {
+        let e = rule("bad")
+            .when(ce("c"))
+            .then_make("o", [("v", var("ghost"))])
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, RuleError::UnboundVariable(_, _)));
+    }
+
+    #[test]
+    fn expression_operators_compose() {
+        let e: Expr = ((var("a") + val(2)) * var("b") / val(4) % val(3)).into();
+        assert_eq!(e.to_string(), "(% (/ (* (+ <a> 2) <b>) 4) 3)");
+    }
+
+    #[test]
+    fn comparison_builders() {
+        let c = ce("m")
+            .ne("a", 1i64)
+            .lt("b", 2i64)
+            .le("c", 3i64)
+            .ge("d", 4i64)
+            .cmp_var("e", Predicate::Gt, "x")
+            .into_ce();
+        assert_eq!(c.tests.len(), 5);
+        assert_eq!(c.tests[4].predicate, Predicate::Gt);
+    }
+
+    #[test]
+    fn one_of_builds_disjunction() {
+        let built = rule("classify")
+            .when(ce("job").one_of("state", ["open", "pending"]))
+            .then_remove(1)
+            .build()
+            .unwrap();
+        let parsed = crate::parser::parse_rule(
+            "(p classify (job ^state << open pending >>) --> (remove 1))",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn empty_disjunction_rejected_at_build() {
+        let e = rule("bad")
+            .when(ce("job").one_of("state", Vec::<Value>::new()))
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, RuleError::Invalid(_, _)));
+    }
+
+    #[test]
+    fn halt_and_remove() {
+        let r = rule("stop")
+            .when(ce("go"))
+            .then_remove(1)
+            .then_halt()
+            .build()
+            .unwrap();
+        assert_eq!(r.actions.len(), 2);
+    }
+}

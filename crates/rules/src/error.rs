@@ -1,0 +1,75 @@
+//! Rule-language errors.
+
+use std::fmt;
+
+use dps_wm::Atom;
+
+/// Errors raised by rule validation, parsing and RHS instantiation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuleError {
+    /// Structural problem with a rule.
+    Invalid(Atom, String),
+    /// A variable was used before any equality occurrence bound it.
+    UnboundVariable(Atom, Atom),
+    /// A `modify`/`remove` referenced a positive-CE index out of range
+    /// (fields: rule, index, arity).
+    BadCeIndex(Atom, usize, usize),
+    /// Parse error with a line/column position.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Runtime evaluation error (division by zero, type mismatch in
+    /// arithmetic, variable missing from bindings).
+    Eval(String),
+    /// Two rules with the same name were added to a rule set.
+    DuplicateRule(Atom),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::Invalid(rule, msg) => write!(f, "invalid rule {rule}: {msg}"),
+            RuleError::UnboundVariable(rule, var) => {
+                write!(f, "rule {rule}: variable <{var}> used before binding")
+            }
+            RuleError::BadCeIndex(rule, idx, arity) => write!(
+                f,
+                "rule {rule}: action references condition element {idx}, \
+                 but the rule has {arity} positive condition element(s)"
+            ),
+            RuleError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            RuleError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            RuleError::DuplicateRule(name) => write!(f, "duplicate rule name {name}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = RuleError::BadCeIndex(Atom::from("r1"), 3, 2);
+        assert!(e.to_string().contains("r1"));
+        assert!(e.to_string().contains('3'));
+        let p = RuleError::Parse {
+            line: 2,
+            col: 5,
+            message: "unexpected ')'".into(),
+        };
+        assert_eq!(p.to_string(), "parse error at 2:5: unexpected ')'");
+        assert!(RuleError::Eval("division by zero".into())
+            .to_string()
+            .contains("zero"));
+    }
+}

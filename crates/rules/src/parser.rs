@@ -1,0 +1,863 @@
+//! Parser for the OPS5-flavoured rule DSL.
+//!
+//! Grammar (s-expression based; `;` starts a line comment):
+//!
+//! ```text
+//! ruleset  := rule*
+//! rule     := '(' 'p' name salience? condition+ '-->' action* ')'
+//! salience := '(' 'salience' int ')'
+//! condition:= '-'? '(' class item* ')'
+//! item     := '^' attr valspec
+//! valspec  := operand | pred operand | '{' test* '}'
+//! test     := operand | pred operand
+//! operand  := constant | '<' var '>'
+//! action   := '(' 'make' class (attr-expr)* ')'
+//!           | '(' 'modify' int (attr-expr)* ')'
+//!           | '(' 'remove' int ')'
+//!           | '(' 'halt' ')'
+//! attr-expr:= '^' attr expr
+//! expr     := constant | '<' var '>' | '(' op expr expr ')'
+//! ```
+
+use dps_wm::{Atom, Value};
+
+use crate::{
+    Action, AttrTest, Condition, ConditionElement, Expr, Op, Predicate, Rule, RuleError, TestAtom,
+};
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    /// `<<` opening a value disjunction.
+    LDisj,
+    /// `>>` closing a value disjunction.
+    RDisj,
+    Arrow,
+    Minus,
+    Caret(String),
+    Var(String),
+    Sym(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Pred(Predicate),
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+fn is_sym_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric()
+        || matches!(
+            c,
+            b'-' | b'_' | b'.' | b'?' | b'*' | b'+' | b'/' | b'%' | b'!'
+        )
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RuleError {
+        RuleError::Parse {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b';' => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn read_sym(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if is_sym_char(c) {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn number_from(&mut self, text: String) -> Result<Tok, RuleError> {
+        if text.contains('.') || text.contains('e') || text.contains('E') {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|_| self.err(format!("bad number {text:?}")))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| self.err(format!("bad number {text:?}")))
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Option<Spanned>, RuleError> {
+        self.skip_ws();
+        let (line, col) = (self.line, self.col);
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
+        let tok = match c {
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'{' => {
+                self.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            b'^' => {
+                self.bump();
+                let name = self.read_sym();
+                if name.is_empty() {
+                    return Err(self.err("expected attribute name after '^'"));
+                }
+                Tok::Caret(name)
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(c2 @ (b'"' | b'\\')) => s.push(c2 as char),
+                            _ => return Err(self.err("bad escape in string")),
+                        },
+                        Some(c2) => s.push(c2 as char),
+                        None => return Err(self.err("unterminated string")),
+                    }
+                }
+                Tok::Str(s)
+            }
+            b'<' => {
+                // '<<' disjunction, '<x>' variable, or '<', '<=', '<>'.
+                match self.peek_at(1) {
+                    Some(b'<') => {
+                        self.bump();
+                        self.bump();
+                        Tok::LDisj
+                    }
+                    Some(b'=') => {
+                        self.bump();
+                        self.bump();
+                        Tok::Pred(Predicate::Le)
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        self.bump();
+                        Tok::Pred(Predicate::Ne)
+                    }
+                    Some(c2) if is_sym_char(c2) => {
+                        // Look ahead for the closing '>'.
+                        let mut off = 1;
+                        while self.peek_at(off).is_some_and(is_sym_char) {
+                            off += 1;
+                        }
+                        if self.peek_at(off) == Some(b'>') {
+                            self.bump(); // '<'
+                            let name = self.read_sym();
+                            self.bump(); // '>'
+                            Tok::Var(name)
+                        } else {
+                            self.bump();
+                            Tok::Pred(Predicate::Lt)
+                        }
+                    }
+                    _ => {
+                        self.bump();
+                        Tok::Pred(Predicate::Lt)
+                    }
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Pred(Predicate::Ge)
+                } else if self.peek() == Some(b'>') {
+                    self.bump();
+                    Tok::RDisj
+                } else {
+                    Tok::Pred(Predicate::Gt)
+                }
+            }
+            b'=' => {
+                self.bump();
+                Tok::Pred(Predicate::Eq)
+            }
+            b'-' => {
+                // '-->' arrow | negative number | bare minus.
+                if self.peek_at(1) == Some(b'-') && self.peek_at(2) == Some(b'>') {
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    Tok::Arrow
+                } else if self.peek_at(1).is_some_and(|c2| c2.is_ascii_digit()) {
+                    self.bump();
+                    let text = format!("-{}", self.read_sym());
+                    self.number_from(text)?
+                } else {
+                    self.bump();
+                    Tok::Minus
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let text = self.read_sym();
+                self.number_from(text)?
+            }
+            c if is_sym_char(c) => {
+                let s = self.read_sym();
+                Tok::Sym(s)
+            }
+            other => return Err(self.err(format!("unexpected character {:?}", other as char))),
+        };
+        Ok(Some(Spanned { tok, line, col }))
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Spanned>, RuleError> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_tok()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, RuleError> {
+        Ok(Parser {
+            toks: Lexer::new(src).tokenize()?,
+            pos: 0,
+        })
+    }
+
+    fn err_at(&self, message: impl Into<String>) -> RuleError {
+        let (line, col) = self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or((0, 0), |s| (s.line, s.col));
+        RuleError::Parse {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), RuleError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err_at(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect_sym(&mut self, what: &str) -> Result<String, RuleError> {
+        match self.bump() {
+            Some(Tok::Sym(s)) => Ok(s),
+            other => Err(self.err_at(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Parses a constant or variable operand.
+    fn operand(&mut self) -> Result<TestAtom, RuleError> {
+        match self.bump() {
+            Some(Tok::Int(i)) => Ok(TestAtom::Const(Value::Int(i))),
+            Some(Tok::Float(f)) => Ok(TestAtom::Const(Value::Float(f))),
+            Some(Tok::Str(s)) => Ok(TestAtom::Const(Value::Str(Atom::from(s)))),
+            Some(Tok::Sym(s)) if s == "nil" => Ok(TestAtom::Const(Value::Nil)),
+            Some(Tok::Sym(s)) if s == "true" => Ok(TestAtom::Const(Value::Bool(true))),
+            Some(Tok::Sym(s)) if s == "false" => Ok(TestAtom::Const(Value::Bool(false))),
+            Some(Tok::Sym(s)) => Ok(TestAtom::Const(Value::Sym(Atom::from(s)))),
+            Some(Tok::Var(v)) => Ok(TestAtom::Var(Atom::from(v))),
+            other => Err(self.err_at(format!("expected constant or variable, found {other:?}"))),
+        }
+    }
+
+    /// Parses `<< v1 v2 ... >>` (the `<<` already peeked, not consumed).
+    fn disjunction(&mut self) -> Result<TestAtom, RuleError> {
+        self.bump(); // '<<'
+        let mut values = Vec::new();
+        while self.peek() != Some(&Tok::RDisj) {
+            if self.at_end() {
+                return Err(self.err_at("unterminated '<<' disjunction"));
+            }
+            match self.operand()? {
+                TestAtom::Const(v) => values.push(v),
+                other => {
+                    return Err(
+                        self.err_at(format!("disjunction allows only constants, found {other}"))
+                    )
+                }
+            }
+        }
+        self.bump(); // '>>'
+        if values.is_empty() {
+            return Err(self.err_at("empty '<<' disjunction"));
+        }
+        Ok(TestAtom::OneOf(values))
+    }
+
+    /// Parses the value spec after `^attr`.
+    fn valspec(&mut self, attr: &Atom, tests: &mut Vec<AttrTest>) -> Result<(), RuleError> {
+        match self.peek() {
+            Some(Tok::LBrace) => {
+                self.bump();
+                while self.peek() != Some(&Tok::RBrace) {
+                    if self.at_end() {
+                        return Err(self.err_at("unterminated '{' test group"));
+                    }
+                    if self.peek() == Some(&Tok::LDisj) {
+                        let operand = self.disjunction()?;
+                        tests.push(AttrTest {
+                            attr: attr.clone(),
+                            predicate: Predicate::Eq,
+                            operand,
+                        });
+                        continue;
+                    }
+                    let predicate = match self.peek() {
+                        Some(Tok::Pred(p)) => {
+                            let p = *p;
+                            self.bump();
+                            p
+                        }
+                        _ => Predicate::Eq,
+                    };
+                    let operand = self.operand()?;
+                    tests.push(AttrTest {
+                        attr: attr.clone(),
+                        predicate,
+                        operand,
+                    });
+                }
+                self.bump(); // '}'
+                Ok(())
+            }
+            Some(Tok::LDisj) => {
+                let operand = self.disjunction()?;
+                tests.push(AttrTest {
+                    attr: attr.clone(),
+                    predicate: Predicate::Eq,
+                    operand,
+                });
+                Ok(())
+            }
+            Some(Tok::Pred(p)) => {
+                let predicate = *p;
+                self.bump();
+                let operand = self.operand()?;
+                tests.push(AttrTest {
+                    attr: attr.clone(),
+                    predicate,
+                    operand,
+                });
+                Ok(())
+            }
+            _ => {
+                let operand = self.operand()?;
+                tests.push(AttrTest {
+                    attr: attr.clone(),
+                    predicate: Predicate::Eq,
+                    operand,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// Parses `'(' class item* ')'` (the parenthesis already *not* consumed).
+    fn condition_element(&mut self) -> Result<ConditionElement, RuleError> {
+        self.expect(&Tok::LParen, "'('")?;
+        let class = Atom::from(self.expect_sym("class name")?);
+        let mut tests = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RParen) => {
+                    self.bump();
+                    break;
+                }
+                Some(Tok::Caret(_)) => {
+                    let Some(Tok::Caret(attr)) = self.bump() else {
+                        unreachable!()
+                    };
+                    let attr = Atom::from(attr);
+                    self.valspec(&attr, &mut tests)?;
+                }
+                other => {
+                    return Err(self.err_at(format!("expected '^attr' or ')', found {other:?}")))
+                }
+            }
+        }
+        Ok(ConditionElement { class, tests })
+    }
+
+    fn condition(&mut self) -> Result<Condition, RuleError> {
+        if self.peek() == Some(&Tok::Minus) {
+            self.bump();
+            Ok(Condition::Neg(self.condition_element()?))
+        } else {
+            Ok(Condition::Pos(self.condition_element()?))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, RuleError> {
+        match self.peek() {
+            Some(Tok::LParen) => {
+                self.bump();
+                let op = match self.bump() {
+                    Some(Tok::Sym(s)) => match s.as_str() {
+                        "+" => Op::Add,
+                        "*" => Op::Mul,
+                        "/" => Op::Div,
+                        "%" => Op::Mod,
+                        other => return Err(self.err_at(format!("unknown operator {other:?}"))),
+                    },
+                    Some(Tok::Minus) => Op::Sub,
+                    other => return Err(self.err_at(format!("expected operator, found {other:?}"))),
+                };
+                let l = self.expr()?;
+                let r = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(Expr::bin(op, l, r))
+            }
+            _ => match self.operand()? {
+                TestAtom::Const(v) => Ok(Expr::Const(v)),
+                TestAtom::Var(v) => Ok(Expr::Var(v)),
+                TestAtom::OneOf(_) => {
+                    Err(self.err_at("disjunctions are not allowed in expressions"))
+                }
+            },
+        }
+    }
+
+    fn attr_exprs(&mut self) -> Result<Vec<(Atom, Expr)>, RuleError> {
+        let mut out = Vec::new();
+        while let Some(Tok::Caret(_)) = self.peek() {
+            let Some(Tok::Caret(attr)) = self.bump() else {
+                unreachable!()
+            };
+            out.push((Atom::from(attr), self.expr()?));
+        }
+        Ok(out)
+    }
+
+    fn action(&mut self) -> Result<Action, RuleError> {
+        self.expect(&Tok::LParen, "'('")?;
+        let head = self.expect_sym("action name")?;
+        let action = match head.as_str() {
+            "make" => {
+                let class = Atom::from(self.expect_sym("class name")?);
+                Action::Make {
+                    class,
+                    attrs: self.attr_exprs()?,
+                }
+            }
+            "modify" => {
+                let ce = match self.bump() {
+                    Some(Tok::Int(i)) if i > 0 => i as usize,
+                    other => return Err(self.err_at(format!("expected CE index, found {other:?}"))),
+                };
+                Action::Modify {
+                    ce,
+                    attrs: self.attr_exprs()?,
+                }
+            }
+            "remove" => {
+                let ce = match self.bump() {
+                    Some(Tok::Int(i)) if i > 0 => i as usize,
+                    other => return Err(self.err_at(format!("expected CE index, found {other:?}"))),
+                };
+                Action::Remove { ce }
+            }
+            "halt" => Action::Halt,
+            other => return Err(self.err_at(format!("unknown action {other:?}"))),
+        };
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(action)
+    }
+
+    fn rule(&mut self) -> Result<Rule, RuleError> {
+        self.expect(&Tok::LParen, "'('")?;
+        let p = self.expect_sym("'p'")?;
+        if p != "p" {
+            return Err(self.err_at(format!("expected 'p', found {p:?}")));
+        }
+        let name = Atom::from(self.expect_sym("rule name")?);
+        // Optional (salience N).
+        let mut salience = 0;
+        if self.peek() == Some(&Tok::LParen) {
+            if let Some(Spanned {
+                tok: Tok::Sym(s), ..
+            }) = self.toks.get(self.pos + 1)
+            {
+                if s == "salience" {
+                    self.bump();
+                    self.bump();
+                    salience = match self.bump() {
+                        Some(Tok::Int(i)) => {
+                            i32::try_from(i).map_err(|_| self.err_at("salience out of range"))?
+                        }
+                        other => {
+                            return Err(self.err_at(format!("expected integer, found {other:?}")))
+                        }
+                    };
+                    self.expect(&Tok::RParen, "')'")?;
+                }
+            }
+        }
+        let mut conditions = Vec::new();
+        while self.peek() != Some(&Tok::Arrow) {
+            if self.at_end() {
+                return Err(self.err_at("missing '-->'"));
+            }
+            conditions.push(self.condition()?);
+        }
+        self.bump(); // '-->'
+        let mut actions = Vec::new();
+        while self.peek() != Some(&Tok::RParen) {
+            if self.at_end() {
+                return Err(self.err_at("missing ')' at end of rule"));
+            }
+            actions.push(self.action()?);
+        }
+        self.bump(); // ')'
+        let rule = Rule {
+            name,
+            salience,
+            conditions,
+            actions,
+        };
+        rule.validate()?;
+        Ok(rule)
+    }
+}
+
+/// Parses a sequence of rules.
+///
+/// ```
+/// let rules = dps_rules::parser::parse_rules(
+///     "(p bump (counter ^n <n>) --> (modify 1 ^n (+ <n> 1)))",
+/// ).unwrap();
+/// assert_eq!(rules.len(), 1);
+/// assert_eq!(rules[0].name.as_str(), "bump");
+/// ```
+pub fn parse_rules(src: &str) -> Result<Vec<Rule>, RuleError> {
+    let mut p = Parser::new(src)?;
+    let mut rules = Vec::new();
+    while !p.at_end() {
+        rules.push(p.rule()?);
+    }
+    Ok(rules)
+}
+
+/// Parses exactly one rule.
+pub fn parse_rule(src: &str) -> Result<Rule, RuleError> {
+    let mut p = Parser::new(src)?;
+    let rule = p.rule()?;
+    if !p.at_end() {
+        return Err(p.err_at("trailing input after rule"));
+    }
+    Ok(rule)
+}
+
+/// Parses a single condition element, e.g. `(job ^stage <s>)`.
+pub fn parse_condition_element(src: &str) -> Result<ConditionElement, RuleError> {
+    let mut p = Parser::new(src)?;
+    let ce = p.condition_element()?;
+    if !p.at_end() {
+        return Err(p.err_at("trailing input after condition element"));
+    }
+    Ok(ce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_rule() {
+        let r = parse_rule("(p r (c) --> )").unwrap();
+        assert_eq!(r.name.as_str(), "r");
+        assert_eq!(r.conditions.len(), 1);
+        assert!(r.actions.is_empty());
+    }
+
+    #[test]
+    fn parses_full_rule() {
+        let src = r#"
+            ; advance a job to its next stage
+            (p advance-stage (salience 10)
+               (job ^stage <s> ^cost { > 0 <c> })
+               (stage ^name <s> ^next <n>)
+               -(hold ^job-stage <s>)
+               -->
+               (modify 1 ^stage <n> ^cost (- <c> 1))
+               (make event ^kind advanced ^to <n>)
+               (remove 2)
+               (halt))
+        "#;
+        let r = parse_rule(src).unwrap();
+        assert_eq!(r.salience, 10);
+        assert_eq!(r.conditions.len(), 3);
+        assert!(r.conditions[2].is_negated());
+        assert_eq!(r.actions.len(), 4);
+        let ce0 = r.conditions[0].ce();
+        assert_eq!(ce0.tests.len(), 3); // <s>, > 0, <c>
+        assert_eq!(ce0.tests[1].predicate, Predicate::Gt);
+    }
+
+    #[test]
+    fn parses_predicate_without_braces() {
+        let ce = parse_condition_element("(m ^v > 4 ^w <> stop)").unwrap();
+        assert_eq!(ce.tests.len(), 2);
+        assert_eq!(ce.tests[0].predicate, Predicate::Gt);
+        assert_eq!(ce.tests[1].predicate, Predicate::Ne);
+        assert_eq!(ce.tests[1].operand, TestAtom::Const(Value::from("stop")));
+    }
+
+    #[test]
+    fn parses_literals() {
+        let ce =
+            parse_condition_element(r#"(m ^i -3 ^f 2.5 ^s "hi there" ^b true ^n nil ^sym go-now)"#)
+                .unwrap();
+        let vals: Vec<&TestAtom> = ce.tests.iter().map(|t| &t.operand).collect();
+        assert_eq!(vals[0], &TestAtom::Const(Value::Int(-3)));
+        assert_eq!(vals[1], &TestAtom::Const(Value::Float(2.5)));
+        assert_eq!(
+            vals[2],
+            &TestAtom::Const(Value::Str(Atom::from("hi there")))
+        );
+        assert_eq!(vals[3], &TestAtom::Const(Value::Bool(true)));
+        assert_eq!(vals[4], &TestAtom::Const(Value::Nil));
+        assert_eq!(vals[5], &TestAtom::Const(Value::Sym(Atom::from("go-now"))));
+    }
+
+    #[test]
+    fn variable_vs_comparator_disambiguation() {
+        // `<x>` is a variable; `< 5` is a comparator; `<> x` is not-equal.
+        let ce = parse_condition_element("(m ^a <x> ^b < 5 ^c <> <x>)").unwrap();
+        assert_eq!(ce.tests[0].operand, TestAtom::Var(Atom::from("x")));
+        assert_eq!(ce.tests[1].predicate, Predicate::Lt);
+        assert_eq!(ce.tests[2].predicate, Predicate::Ne);
+        assert_eq!(ce.tests[2].operand, TestAtom::Var(Atom::from("x")));
+    }
+
+    #[test]
+    fn nested_expressions() {
+        let r = parse_rule("(p r (c ^n <n>) --> (make o ^v (* (+ <n> 1) 2)))").unwrap();
+        let Action::Make { attrs, .. } = &r.actions[0] else {
+            panic!()
+        };
+        assert_eq!(attrs[0].1.to_string(), "(* (+ <n> 1) 2)");
+    }
+
+    #[test]
+    fn subtraction_vs_negation_vs_negative_literal() {
+        let r = parse_rule("(p r (c ^n <n>) -(d ^n -2) --> (make o ^v (- <n> -1)))").unwrap();
+        assert!(r.conditions[1].is_negated());
+        assert_eq!(
+            r.conditions[1].ce().tests[0].operand,
+            TestAtom::Const(Value::Int(-2))
+        );
+        let Action::Make { attrs, .. } = &r.actions[0] else {
+            panic!()
+        };
+        assert_eq!(attrs[0].1.to_string(), "(- <n> -1)");
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let e = parse_rule("(p r (c) --> (boom))").unwrap_err();
+        assert!(matches!(e, RuleError::Parse { .. }));
+        let e = parse_rule("(q r (c) --> )").unwrap_err();
+        assert!(e.to_string().contains("expected 'p'"));
+        let e = parse_rule("(p r (c)").unwrap_err();
+        assert!(e.to_string().contains("-->"));
+        let e = parse_rule("(p r (c) --> (remove 0))").unwrap_err();
+        assert!(e.to_string().contains("CE index"));
+    }
+
+    #[test]
+    fn validation_runs_at_parse_time() {
+        // <x> never bound → parse_rule should surface the validation error.
+        let e = parse_rule("(p r (c) --> (make o ^v <x>))").unwrap_err();
+        assert!(matches!(e, RuleError::UnboundVariable(_, _)));
+        let e = parse_rule("(p r (c) --> (remove 2))").unwrap_err();
+        assert!(matches!(e, RuleError::BadCeIndex(_, 2, 1)));
+    }
+
+    #[test]
+    fn multiple_rules_parse() {
+        let rules = parse_rules(
+            "(p a (c) --> (halt)) ; first
+             (p b (d ^k v) --> (remove 1))",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[1].name.as_str(), "b");
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let src = r#"
+            (p round-trip (salience -2)
+               (job ^stage <s> ^cost { > 0 <c> } ^prio >= 3)
+               -(hold ^job-stage <s>)
+               -->
+               (modify 1 ^cost (- <c> 1))
+               (make event ^kind advanced)
+               (halt))
+        "#;
+        let r1 = parse_rule(src).unwrap();
+        let r2 = parse_rule(&r1.to_string()).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let r = parse_rule("(p r ; comment ( with parens\n (c) --> )").unwrap();
+        assert_eq!(r.name.as_str(), "r");
+    }
+
+    #[test]
+    fn parses_disjunctions() {
+        let ce = parse_condition_element("(job ^state << open pending 3 >>)").unwrap();
+        assert_eq!(ce.tests.len(), 1);
+        let TestAtom::OneOf(vs) = &ce.tests[0].operand else {
+            panic!()
+        };
+        assert_eq!(vs.len(), 3);
+        assert_eq!(ce.tests[0].predicate, Predicate::Eq);
+        // Inside a brace group, alongside other tests.
+        let ce = parse_condition_element("(job ^n { > 0 << 2 4 >> })").unwrap();
+        assert_eq!(ce.tests.len(), 2);
+        assert!(matches!(ce.tests[1].operand, TestAtom::OneOf(_)));
+    }
+
+    #[test]
+    fn disjunction_roundtrips_through_display() {
+        let r1 = parse_rule("(p r (job ^state << open closed >>) --> (remove 1))").unwrap();
+        let r2 = parse_rule(&r1.to_string()).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn disjunction_errors() {
+        assert!(parse_condition_element("(job ^s << >>)").is_err(), "empty");
+        assert!(
+            parse_condition_element("(job ^s << open").is_err(),
+            "unterminated"
+        );
+        assert!(
+            parse_condition_element("(job ^s << <x> >>)").is_err(),
+            "variables not allowed inside"
+        );
+        assert!(parse_rule("(p r (c ^n <n>) --> (make o ^v << 1 2 >>))").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(parse_condition_element(r#"(c ^s "oops)"#).is_err());
+    }
+}

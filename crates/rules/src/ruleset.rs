@@ -1,0 +1,136 @@
+//! Named collections of rules.
+
+use std::collections::HashMap;
+
+use dps_wm::Atom;
+
+use crate::{Rule, RuleError};
+
+/// Dense index of a rule within a [`RuleSet`] — the stable identifier the
+/// matcher, engines and execution-semantics machinery use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId(pub u32);
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An ordered, name-indexed collection of validated rules.
+#[derive(Clone, Debug, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+    by_name: HashMap<Atom, RuleId>,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new() -> Self {
+        RuleSet::default()
+    }
+
+    /// Parses DSL source and adds every rule in it.
+    pub fn parse(src: &str) -> Result<Self, RuleError> {
+        let mut set = RuleSet::new();
+        for rule in crate::parser::parse_rules(src)? {
+            set.add(rule)?;
+        }
+        Ok(set)
+    }
+
+    /// Adds a validated rule; rejects duplicates by name.
+    pub fn add(&mut self, rule: Rule) -> Result<RuleId, RuleError> {
+        rule.validate()?;
+        if self.by_name.contains_key(&rule.name) {
+            return Err(RuleError::DuplicateRule(rule.name.clone()));
+        }
+        let id = RuleId(self.rules.len() as u32);
+        self.by_name.insert(rule.name.clone(), id);
+        self.rules.push(rule);
+        Ok(id)
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when the set holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Looks up a rule by id.
+    pub fn get(&self, id: RuleId) -> Option<&Rule> {
+        self.rules.get(id.0 as usize)
+    }
+
+    /// Looks up a rule id by name.
+    pub fn id_of(&self, name: &str) -> Option<RuleId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates `(id, rule)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
+        self.rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RuleId(i as u32), r))
+    }
+
+    /// The rules as a slice (id order).
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ce, rule};
+
+    #[test]
+    fn add_and_lookup() {
+        let mut set = RuleSet::new();
+        let a = set.add(rule("a").when(ce("x")).build().unwrap()).unwrap();
+        let b = set.add(rule("b").when(ce("y")).build().unwrap()).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.id_of("a"), Some(a));
+        assert_eq!(set.id_of("b"), Some(b));
+        assert_eq!(set.get(a).unwrap().name.as_str(), "a");
+        assert_eq!(set.id_of("zzz"), None);
+        assert!(set.get(RuleId(9)).is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut set = RuleSet::new();
+        set.add(rule("a").when(ce("x")).build().unwrap()).unwrap();
+        let e = set
+            .add(rule("a").when(ce("y")).build().unwrap())
+            .unwrap_err();
+        assert!(matches!(e, RuleError::DuplicateRule(_)));
+    }
+
+    #[test]
+    fn parse_builds_set() {
+        let set = RuleSet::parse("(p a (x) --> ) (p b (y) --> (halt))").unwrap();
+        assert_eq!(set.len(), 2);
+        let ids: Vec<RuleId> = set.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, [RuleId(0), RuleId(1)]);
+    }
+
+    #[test]
+    fn invalid_rule_rejected_on_add() {
+        let mut set = RuleSet::new();
+        let bad = crate::Rule {
+            name: dps_wm::Atom::from("bad"),
+            salience: 0,
+            conditions: vec![],
+            actions: vec![],
+        };
+        assert!(set.add(bad).is_err());
+        assert!(set.is_empty());
+    }
+}

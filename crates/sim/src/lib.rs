@@ -1,0 +1,43 @@
+//! # `dps-sim` — the §5 discrete-event simulator
+//!
+//! *Parallelism in Database Production Systems* (ICDE 1990) evaluates its
+//! multiple-execution-thread mechanism analytically, through worked
+//! examples over abstract productions with execution times, add/delete
+//! sets and `N_p` processors (Figures 5.1–5.4). This crate is a
+//! deterministic discrete-event simulator of exactly that model:
+//!
+//! * [`simulate_multi`] — the multiple-thread schedule: every active
+//!   production runs on a free processor; a commit updates the conflict
+//!   set and **aborts** running productions in its delete set (their
+//!   partial work is wasted — the paper's `f` factor);
+//! * [`single_thread_time`] — `T_single(σ) = Σ T(P_j)` over the commit
+//!   sequence;
+//! * [`compare`] — both, plus the speed-up ratio the paper reports;
+//! * [`scenario`] — the four paper figures with their expected values;
+//! * [`generator`] / [`sweep`] — randomized abstract systems and the
+//!   parameter sweeps (degree of conflict, processor count, execution-
+//!   time skew) that §5 varies one at a time.
+//!
+//! ```
+//! use dps_sim::{compare, scenario};
+//!
+//! // Figure 5.1: base case, 4 processors → speed-up 9/4 = 2.25.
+//! let sys = dps_core::abstract_model::paper51_base();
+//! let c = compare(&sys, 4);
+//! assert_eq!((c.t_single, c.t_multi), (9, 4));
+//! assert!((c.speedup() - 2.25).abs() < 1e-9);
+//! assert_eq!(scenario::figure_5_1().paper_speedup, 2.25);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod scenario;
+mod schedule;
+pub mod sweep;
+
+pub use schedule::{
+    compare, simulate_multi, simulate_multi_capped, simulate_multi_uniprocessor, simulate_single,
+    single_thread_time, Comparison, MultiReport, Outcome, Segment, UniReport,
+};

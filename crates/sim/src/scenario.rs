@@ -1,0 +1,143 @@
+//! The paper's worked examples (Figures 5.1–5.4) as ready-made
+//! reproductions with their published expected values.
+
+use dps_core::abstract_model::{fmt_seq, paper51_base, paper52_conflict, AbstractSystem};
+
+use crate::{compare, Comparison};
+
+/// A reproduced figure: the simulated numbers next to the paper's.
+#[derive(Clone, Debug)]
+pub struct FigureRepro {
+    /// Paper artefact id, e.g. `"Figure 5.1"`.
+    pub id: &'static str,
+    /// What the figure varies.
+    pub what: &'static str,
+    /// Processors used.
+    pub processors: usize,
+    /// The full comparison (σ, `T_single`, `T_multi`, wasted work).
+    pub comparison: Comparison,
+    /// The speed-up printed in the paper.
+    pub paper_speedup: f64,
+    /// The `T_single` printed in the paper.
+    pub paper_t_single: u64,
+    /// The `T_multi` printed in the paper.
+    pub paper_t_multi: u64,
+}
+
+impl FigureRepro {
+    /// `true` when the simulated values equal the paper's exactly.
+    pub fn matches_paper(&self) -> bool {
+        self.comparison.t_single == self.paper_t_single
+            && self.comparison.t_multi == self.paper_t_multi
+            && (self.comparison.speedup() - self.paper_speedup).abs() < 0.01
+    }
+
+    /// One table row: id, σ, T_single, T_multi, speed-ups (measured and
+    /// paper).
+    pub fn row(&self) -> String {
+        format!(
+            "{:<11} | {:<28} | Np={} | σ = {:<11} | T_single = {:>2} ({:>2}) | T_multi = {:>2} ({:>2}) | speedup = {:.2} ({:.2})",
+            self.id,
+            self.what,
+            self.processors,
+            fmt_seq(&self.comparison.commit_seq),
+            self.comparison.t_single,
+            self.paper_t_single,
+            self.comparison.t_multi,
+            self.paper_t_multi,
+            self.comparison.speedup(),
+            self.paper_speedup,
+        )
+    }
+}
+
+fn repro(
+    id: &'static str,
+    what: &'static str,
+    sys: &AbstractSystem,
+    processors: usize,
+    paper: (u64, u64, f64),
+) -> FigureRepro {
+    FigureRepro {
+        id,
+        what,
+        processors,
+        comparison: compare(sys, processors),
+        paper_t_single: paper.0,
+        paper_t_multi: paper.1,
+        paper_speedup: paper.2,
+    }
+}
+
+/// Figure 5.1 — the base case: `P^A = {P1..P4}`, `T = (5,3,2,4)`,
+/// `N_p = 4`; `P3`'s commit aborts `P1`. Paper: `9 / 4 = 2.25`.
+pub fn figure_5_1() -> FigureRepro {
+    repro("Figure 5.1", "base case", &paper51_base(), 4, (9, 4, 2.25))
+}
+
+/// Figure 5.2 — degree-of-conflict variation (Table 5.2 sets): `P3` also
+/// kills `P4`. Paper: `5 / 3 = 1.67`.
+pub fn figure_5_2() -> FigureRepro {
+    repro(
+        "Figure 5.2",
+        "higher degree of conflict",
+        &paper52_conflict(),
+        4,
+        (5, 3, 5.0 / 3.0),
+    )
+}
+
+/// Figure 5.3 — execution-time variation: `T(P2)` raised from 3 to 4.
+/// Paper: `10 / 4 = 2.5`.
+pub fn figure_5_3() -> FigureRepro {
+    repro(
+        "Figure 5.3",
+        "longer T(P2)",
+        &paper51_base().with_time(1, 4),
+        4,
+        (10, 4, 2.5),
+    )
+}
+
+/// Figure 5.4 — processor-count variation: `N_p = 3`. Paper: `9 / 6 =
+/// 1.5`.
+pub fn figure_5_4() -> FigureRepro {
+    repro(
+        "Figure 5.4",
+        "only 3 processors",
+        &paper51_base(),
+        3,
+        (9, 6, 1.5),
+    )
+}
+
+/// All four figures.
+pub fn all_figures() -> Vec<FigureRepro> {
+    vec![figure_5_1(), figure_5_2(), figure_5_3(), figure_5_4()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_matches_the_paper() {
+        for fig in all_figures() {
+            assert!(fig.matches_paper(), "{} diverged: {}", fig.id, fig.row());
+        }
+    }
+
+    #[test]
+    fn rows_render_both_measured_and_paper_values() {
+        let r = figure_5_1().row();
+        assert!(r.contains("2.25"));
+        assert!(r.contains("p3 p2 p4"));
+        assert!(r.contains("T_single =  9 ( 9)"));
+    }
+
+    #[test]
+    fn figure_5_4_uses_fewer_processors() {
+        assert_eq!(figure_5_4().processors, 3);
+        assert_eq!(figure_5_1().processors, 4);
+    }
+}

@@ -1,0 +1,549 @@
+//! The discrete-event schedules of §5.
+
+use dps_core::abstract_model::{AbstractSystem, ConflictState, PId};
+
+/// How a production's stint on a processor ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to completion and committed.
+    Committed,
+    /// Aborted by a committing production whose delete set contained it
+    /// (partial work wasted).
+    Aborted,
+}
+
+/// One contiguous occupancy of a processor — a Gantt-chart bar, as drawn
+/// in Figures 5.1–5.4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Processor index (0-based).
+    pub processor: usize,
+    /// The production.
+    pub p: PId,
+    /// Start time.
+    pub start: u64,
+    /// End time (commit or abort instant).
+    pub end: u64,
+    /// How the stint ended.
+    pub outcome: Outcome,
+}
+
+/// Result of a multiple-thread simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiReport {
+    /// Commit sequence (the σ the run realises).
+    pub commit_seq: Vec<PId>,
+    /// Completion time of the last commit (`T_multi`).
+    pub makespan: u64,
+    /// Full schedule.
+    pub segments: Vec<Segment>,
+    /// Partial work thrown away by aborts (time units).
+    pub wasted: u64,
+    /// `true` if the commit cap stopped a (livelock-capable) system.
+    pub truncated: bool,
+}
+
+/// Deterministic multiple-thread schedule with `processors` processors.
+///
+/// Rules of the model (matching the paper's examples):
+///
+/// * every *active* production starts immediately on a free processor;
+///   assignment is by production index, lowest free processor first;
+/// * a production that runs to completion commits; simultaneous
+///   completions commit in production-index order;
+/// * a commit applies the add/delete sets; deleted productions that are
+///   currently running are **aborted** on the spot (wasted work), and
+///   deleted pending productions leave the conflict set;
+/// * added productions become active (pending) and are scheduled as
+///   processors free up.
+pub fn simulate_multi(sys: &AbstractSystem, processors: usize) -> MultiReport {
+    simulate_multi_capped(sys, processors, 100_000)
+}
+
+/// [`simulate_multi`] with an explicit commit cap.
+pub fn simulate_multi_capped(
+    sys: &AbstractSystem,
+    processors: usize,
+    max_commits: usize,
+) -> MultiReport {
+    assert!(processors > 0, "need at least one processor");
+    let mut pending: ConflictState = sys.initial.clone();
+    let mut running: Vec<Option<(PId, u64)>> = vec![None; processors];
+    let mut report = MultiReport {
+        commit_seq: Vec::new(),
+        makespan: 0,
+        segments: Vec::new(),
+        wasted: 0,
+        truncated: false,
+    };
+    let mut now = 0u64;
+
+    loop {
+        // Fill free processors in (production, processor) index order.
+        let mut free: Vec<usize> = running
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        let starters: Vec<PId> = pending.iter().copied().take(free.len()).collect();
+        for p in starters {
+            pending.remove(&p);
+            let proc = free.remove(0);
+            running[proc] = Some((p, now));
+        }
+
+        // Next completion.
+        let next = running
+            .iter()
+            .flatten()
+            .map(|&(p, start)| start + sys.exec_time(p))
+            .min();
+        let Some(t) = next else {
+            // Nothing running; either done or (pending non-empty with no
+            // processors free) impossible since some are free here.
+            break;
+        };
+        now = t;
+
+        // All completions at time t, in production-index order.
+        let mut completing: Vec<(usize, PId, u64)> = running
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|(p, start)| (i, p, start)))
+            .filter(|&(_, p, start)| start + sys.exec_time(p) == t)
+            .collect();
+        completing.sort_by_key(|&(_, p, _)| p);
+
+        for (proc, p, start) in completing {
+            // May have been aborted by an earlier commit at this instant.
+            if running[proc] != Some((p, start)) {
+                continue;
+            }
+            running[proc] = None;
+            report.segments.push(Segment {
+                processor: proc,
+                p,
+                start,
+                end: t,
+                outcome: Outcome::Committed,
+            });
+            report.commit_seq.push(p);
+            report.makespan = t;
+            if report.commit_seq.len() >= max_commits {
+                report.truncated = true;
+                return report;
+            }
+            let prod = &sys.productions[p.0];
+            for d in &prod.dels {
+                pending.remove(d);
+                for (slot_proc, slot) in running.iter_mut().enumerate() {
+                    if let Some((q, qstart)) = *slot {
+                        if q == *d {
+                            *slot = None;
+                            report.wasted += t - qstart;
+                            report.segments.push(Segment {
+                                processor: slot_proc,
+                                p: q,
+                                start: qstart,
+                                end: t,
+                                outcome: Outcome::Aborted,
+                            });
+                        }
+                    }
+                }
+            }
+            for a in &prod.adds {
+                // Re-activate unless already running.
+                let is_running = running.iter().flatten().any(|&(q, _)| q == *a);
+                if !is_running {
+                    pending.insert(*a);
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Result of a **uniprocessor** multiple-thread simulation (Example
+/// 5.1): all active productions time-share one processor round-robin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UniReport {
+    /// Commit sequence realised.
+    pub commit_seq: Vec<PId>,
+    /// Total elapsed time (all useful + wasted work, serialised).
+    pub makespan: u64,
+    /// Work lost to aborted productions.
+    pub wasted: u64,
+}
+
+/// Simulates the multiple-thread mechanism on a **uniprocessor** with
+/// round-robin time slicing (quantum `q` time units) — the paper's
+/// Example 5.1 scenario. Every active production accumulates progress a
+/// quantum at a time; on completion it commits and applies its
+/// add/delete sets; productions deleted mid-flight lose their partial
+/// work (the `f · Σ T(P_k)` term).
+///
+/// The paper's inequality `T_single(σ) ≤ T_multi,uni(σ)` follows
+/// directly: the makespan equals the committed work plus the wasted
+/// partial work.
+pub fn simulate_multi_uniprocessor(sys: &AbstractSystem, quantum: u64) -> UniReport {
+    assert!(quantum > 0, "quantum must be positive");
+    let mut active: Vec<(PId, u64)> = sys.initial.iter().map(|&p| (p, 0)).collect();
+    let mut report = UniReport {
+        commit_seq: Vec::new(),
+        makespan: 0,
+        wasted: 0,
+    };
+    let mut idx = 0;
+    let mut steps = 0u64;
+    while !active.is_empty() {
+        steps += 1;
+        if steps > 1_000_000 {
+            break; // livelock guard
+        }
+        if idx >= active.len() {
+            idx = 0;
+        }
+        let (p, progress) = active[idx];
+        let need = sys.exec_time(p) - progress;
+        let slice = quantum.min(need);
+        report.makespan += slice;
+        if slice == need {
+            // Commit.
+            active.remove(idx);
+            report.commit_seq.push(p);
+            let prod = &sys.productions[p.0];
+            // Deletions: pending-progress productions lose their work.
+            active.retain(|&(q, done)| {
+                if prod.dels.contains(&q) {
+                    report.wasted += done;
+                    false
+                } else {
+                    true
+                }
+            });
+            for &a in &prod.adds {
+                if !active.iter().any(|&(q, _)| q == a) {
+                    active.push((a, 0));
+                }
+            }
+            if idx >= active.len() {
+                idx = 0;
+            }
+        } else {
+            active[idx].1 += slice;
+            idx += 1;
+        }
+    }
+    report
+}
+
+/// `T_single(σ)`: the single-thread execution time of a sequence — the
+/// sum of the executed productions' times (§5, Example 5.1).
+pub fn single_thread_time(sys: &AbstractSystem, seq: &[PId]) -> u64 {
+    seq.iter().map(|&p| sys.exec_time(p)).sum()
+}
+
+/// A deterministic single-thread run: repeatedly fires the production
+/// chosen by `select` until the conflict set empties (or `max_steps`).
+/// Returns the sequence executed.
+pub fn simulate_single(
+    sys: &AbstractSystem,
+    mut select: impl FnMut(&ConflictState) -> Option<PId>,
+    max_steps: usize,
+) -> Vec<PId> {
+    let mut state = sys.initial.clone();
+    let mut seq = Vec::new();
+    while seq.len() < max_steps {
+        let Some(p) = select(&state) else { break };
+        let Some(next) = sys.fire(&state, p) else {
+            break;
+        };
+        seq.push(p);
+        state = next;
+        if state.is_empty() {
+            break;
+        }
+    }
+    seq
+}
+
+/// The paper's headline comparison: run the multiple-thread schedule,
+/// take its realised commit sequence σ, and compare against the
+/// single-thread execution of the *same* σ.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comparison {
+    /// Processors used.
+    pub processors: usize,
+    /// The realised commit sequence.
+    pub commit_seq: Vec<PId>,
+    /// `T_single(σ)`.
+    pub t_single: u64,
+    /// `T_multi(σ)` — the makespan.
+    pub t_multi: u64,
+    /// Wasted (aborted) work.
+    pub wasted: u64,
+    /// Schedule detail.
+    pub segments: Vec<Segment>,
+}
+
+impl Comparison {
+    /// Speed-up = `T_single / T_multi` (§5: "Speedup is the ratio of the
+    /// execution times of the single thread mechanism to that of the
+    /// multiple thread mechanism").
+    pub fn speedup(&self) -> f64 {
+        if self.t_multi == 0 {
+            1.0
+        } else {
+            self.t_single as f64 / self.t_multi as f64
+        }
+    }
+
+    /// Multiple-thread time on a **uniprocessor** (Example 5.1):
+    /// committed work plus wasted partial executions. Always ≥
+    /// `t_single`, demonstrating the paper's claim that a uniprocessor
+    /// gains nothing from multiple threads.
+    pub fn t_multi_uniprocessor(&self) -> u64 {
+        self.t_single + self.wasted
+    }
+}
+
+/// Runs [`simulate_multi`] and derives the [`Comparison`].
+pub fn compare(sys: &AbstractSystem, processors: usize) -> Comparison {
+    let multi = simulate_multi(sys, processors);
+    let t_single = single_thread_time(sys, &multi.commit_seq);
+    Comparison {
+        processors,
+        t_single,
+        t_multi: multi.makespan,
+        wasted: multi.wasted,
+        commit_seq: multi.commit_seq,
+        segments: multi.segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_core::abstract_model::{
+        fmt_seq, paper51_base, paper52_conflict, AbstractProduction, AbstractSystem,
+    };
+    use dps_core::semantics::validate_abstract_sequence;
+
+    #[test]
+    fn figure_5_1_base_case() {
+        let sys = paper51_base();
+        let c = compare(&sys, 4);
+        assert_eq!(fmt_seq(&c.commit_seq), "p3 p2 p4");
+        assert_eq!(c.t_single, 9);
+        assert_eq!(c.t_multi, 4);
+        assert!((c.speedup() - 2.25).abs() < 1e-9);
+        assert_eq!(c.wasted, 2, "P1 aborted at t=2");
+        assert_eq!(c.t_multi_uniprocessor(), 11);
+        validate_abstract_sequence(&sys, &c.commit_seq).unwrap();
+    }
+
+    #[test]
+    fn figure_5_2_higher_conflict() {
+        let sys = paper52_conflict();
+        let c = compare(&sys, 4);
+        assert_eq!(fmt_seq(&c.commit_seq), "p3 p2");
+        assert_eq!(c.t_single, 5);
+        assert_eq!(c.t_multi, 3);
+        assert!((c.speedup() - 5.0 / 3.0).abs() < 1e-9);
+        assert_eq!(c.wasted, 2 + 2, "P1 and P4 each lose 2 units at t=2");
+    }
+
+    #[test]
+    fn figure_5_3_longer_execution_time() {
+        let sys = paper51_base().with_time(1, 4); // T(P2): 3 → 4
+        let c = compare(&sys, 4);
+        assert_eq!(c.t_single, 10);
+        assert_eq!(c.t_multi, 4);
+        assert!((c.speedup() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure_5_4_three_processors() {
+        let sys = paper51_base();
+        let c = compare(&sys, 3);
+        assert_eq!(fmt_seq(&c.commit_seq), "p3 p2 p4");
+        assert_eq!(c.t_single, 9);
+        assert_eq!(
+            c.t_multi, 6,
+            "P4 starts only when P3's commit frees a processor"
+        );
+        assert!((c.speedup() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gantt_segments_match_figure_5_1() {
+        let sys = paper51_base();
+        let m = simulate_multi(&sys, 4);
+        // P1 on proc 0 aborted at 2; P2 on 1 commits at 3; P3 on 2 at 2;
+        // P4 on 3 at 4.
+        let find = |p: usize| {
+            m.segments
+                .iter()
+                .find(|s| s.p == PId(p))
+                .copied()
+                .unwrap_or_else(|| panic!("segment for p{}", p + 1))
+        };
+        assert_eq!(find(0).outcome, Outcome::Aborted);
+        assert_eq!((find(0).start, find(0).end), (0, 2));
+        assert_eq!(find(1).outcome, Outcome::Committed);
+        assert_eq!(find(1).end, 3);
+        assert_eq!(find(2).end, 2);
+        assert_eq!(find(3).end, 4);
+    }
+
+    #[test]
+    fn single_processor_multi_equals_serial_order() {
+        let sys = paper51_base();
+        let c = compare(&sys, 1);
+        // One processor: P1 runs first (index order) and commits —
+        // nothing can abort it while nothing else runs concurrently...
+        // except commits of earlier-finished productions; with one
+        // processor runs are strictly serial.
+        assert_eq!(
+            c.t_multi, c.t_single,
+            "serial schedule: makespan equals sum"
+        );
+        assert_eq!(c.wasted, 0);
+        assert!((c.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniprocessor_multithread_never_beats_single() {
+        // The paper's Example 5.1 inequality, checked across processor
+        // counts: T_single(σ) ≤ T_single(σ) + wasted.
+        let sys = paper52_conflict();
+        for np in 1..=6 {
+            let c = compare(&sys, np);
+            assert!(c.t_multi_uniprocessor() >= c.t_single);
+        }
+    }
+
+    #[test]
+    fn adds_schedule_new_work() {
+        // P1 (t=2) adds P3; P2 (t=5) runs alongside. P3 starts at 2.
+        let sys = AbstractSystem::new(
+            vec![
+                AbstractProduction::new([2], [], 2),
+                AbstractProduction::new([], [], 5),
+                AbstractProduction::new([], [], 4),
+            ],
+            [0, 1],
+        );
+        let c = compare(&sys, 2);
+        assert_eq!(fmt_seq(&c.commit_seq), "p1 p2 p3");
+        assert_eq!(c.t_multi, 6, "P3 runs 2→6 on the processor P1 freed");
+        assert_eq!(c.t_single, 11);
+    }
+
+    #[test]
+    fn commit_cap_stops_livelock() {
+        let sys = AbstractSystem::new(
+            vec![AbstractProduction::new([0], [], 1)], // self-regenerating
+            [0],
+        );
+        let m = simulate_multi_capped(&sys, 2, 10);
+        assert!(m.truncated);
+        assert_eq!(m.commit_seq.len(), 10);
+    }
+
+    #[test]
+    fn simultaneous_commits_are_ordered_by_index() {
+        // P1 and P2 both take 3; P1's delete set contains P2 — at t=3
+        // P1 commits first (index order) and aborts P2 at zero cost? No:
+        // P2 completed but had not committed; it is aborted with 3 units
+        // wasted.
+        let sys = AbstractSystem::new(
+            vec![
+                AbstractProduction::new([], [1], 3),
+                AbstractProduction::new([], [], 3),
+            ],
+            [0, 1],
+        );
+        let c = compare(&sys, 2);
+        assert_eq!(fmt_seq(&c.commit_seq), "p1");
+        assert_eq!(c.wasted, 3);
+    }
+
+    #[test]
+    fn deleted_pending_production_never_runs() {
+        // Np=1: P1 runs first and deletes P2 before it ever starts.
+        let sys = AbstractSystem::new(
+            vec![
+                AbstractProduction::new([], [1], 1),
+                AbstractProduction::new([], [], 9),
+            ],
+            [0, 1],
+        );
+        let c = compare(&sys, 1);
+        assert_eq!(fmt_seq(&c.commit_seq), "p1");
+        assert_eq!(c.wasted, 0, "P2 never started, so nothing is wasted");
+        assert_eq!(c.t_multi, 1);
+    }
+
+    #[test]
+    fn simulate_single_with_selector() {
+        let sys = paper51_base();
+        // Always pick the lowest-index active production.
+        let seq = simulate_single(&sys, |s| s.iter().next().copied(), 100);
+        assert_eq!(fmt_seq(&seq), "p1 p2 p3 p4");
+        assert_eq!(single_thread_time(&sys, &seq), 14);
+        validate_abstract_sequence(&sys, &seq).unwrap();
+    }
+
+    #[test]
+    fn uniprocessor_multithread_is_never_faster_than_single() {
+        // Example 5.1's inequality, across systems and quanta.
+        for sys in [paper51_base(), paper52_conflict()] {
+            for quantum in [1u64, 2, 5, 100] {
+                let uni = simulate_multi_uniprocessor(&sys, quantum);
+                let t_single = single_thread_time(&sys, &uni.commit_seq);
+                assert_eq!(
+                    uni.makespan,
+                    t_single + uni.wasted,
+                    "makespan decomposes into useful + wasted work"
+                );
+                assert!(uni.makespan >= t_single);
+                validate_abstract_sequence(&sys, &uni.commit_seq).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn uniprocessor_large_quantum_is_serial() {
+        // With a quantum larger than any T, the first production runs to
+        // completion before others start: no interleaving, no waste from
+        // half-done work beyond what delete sets cause at zero progress.
+        let sys = paper51_base();
+        let uni = simulate_multi_uniprocessor(&sys, 100);
+        assert_eq!(uni.wasted, 0, "victims had not started yet");
+        assert_eq!(uni.makespan, single_thread_time(&sys, &uni.commit_seq));
+    }
+
+    #[test]
+    fn uniprocessor_fine_slicing_wastes_partial_work() {
+        // quantum 1: all four run in lockstep; P3 finishes at t≈8 and
+        // kills P1, which by then has ~2 units of progress → waste.
+        let sys = paper51_base();
+        let uni = simulate_multi_uniprocessor(&sys, 1);
+        assert!(uni.wasted > 0, "interleaving creates abortable progress");
+        assert_eq!(
+            uni.makespan,
+            single_thread_time(&sys, &uni.commit_seq) + uni.wasted
+        );
+    }
+
+    #[test]
+    fn empty_initial_state() {
+        let sys = AbstractSystem::new(vec![AbstractProduction::new([], [], 1)], []);
+        let m = simulate_multi(&sys, 2);
+        assert!(m.commit_seq.is_empty());
+        assert_eq!(m.makespan, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Parameter sweeps extending §5: the paper varies one factor at a time
+//! through single examples; these sweeps trace the same three factors —
+//! degree of conflict, number of processors, execution-time skew — over
+//! randomized systems, averaged across seeds.
+
+use serde::Serialize;
+
+use crate::generator::{generate, GeneratorConfig};
+use crate::{compare, single_thread_time};
+
+/// One point of a sweep.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SweepPoint {
+    /// The varied parameter's value.
+    pub x: f64,
+    /// Mean speed-up over the seeds.
+    pub speedup: f64,
+    /// Mean fraction of multi-thread work wasted by aborts (the §5 `f`
+    /// factor).
+    pub wasted_fraction: f64,
+}
+
+fn mean_point(x: f64, base: &GeneratorConfig, processors: usize, seeds: u64) -> SweepPoint {
+    let mut speedups = 0.0;
+    let mut wasted = 0.0;
+    for seed in 0..seeds {
+        let sys = generate(&GeneratorConfig { seed, ..*base });
+        let c = compare(&sys, processors);
+        speedups += c.speedup();
+        let committed = single_thread_time(&sys, &c.commit_seq) as f64;
+        let total = committed + c.wasted as f64;
+        wasted += if total > 0.0 {
+            c.wasted as f64 / total
+        } else {
+            0.0
+        };
+    }
+    SweepPoint {
+        x,
+        speedup: speedups / seeds as f64,
+        wasted_fraction: wasted / seeds as f64,
+    }
+}
+
+/// §5.1 — speed-up vs. degree of conflict (delete-set density), at fixed
+/// `N_p` and times.
+pub fn conflict_sweep(densities: &[f64], processors: usize, seeds: u64) -> Vec<SweepPoint> {
+    densities
+        .iter()
+        .map(|&d| {
+            let base = GeneratorConfig {
+                conflict_density: d,
+                ..Default::default()
+            };
+            mean_point(d, &base, processors, seeds)
+        })
+        .collect()
+}
+
+/// §5.3 — speed-up vs. number of processors, at fixed conflict density.
+pub fn processor_sweep(processor_counts: &[usize], density: f64, seeds: u64) -> Vec<SweepPoint> {
+    processor_counts
+        .iter()
+        .map(|&np| {
+            let base = GeneratorConfig {
+                conflict_density: density,
+                ..Default::default()
+            };
+            mean_point(np as f64, &base, np, seeds)
+        })
+        .collect()
+}
+
+/// §5.2 — speed-up vs. execution-time spread: times drawn from
+/// `(1, max_t)`; wider spread = more variance between productions.
+pub fn time_skew_sweep(max_times: &[u64], processors: usize, seeds: u64) -> Vec<SweepPoint> {
+    max_times
+        .iter()
+        .map(|&mt| {
+            let base = GeneratorConfig {
+                conflict_density: 0.05,
+                time_range: (1, mt),
+                ..Default::default()
+            };
+            mean_point(mt as f64, &base, processors, seeds)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_conflict_means_less_speedup() {
+        let pts = conflict_sweep(&[0.0, 0.6], 8, 12);
+        assert!(
+            pts[0].speedup > pts[1].speedup,
+            "speed-up should fall with conflict: {} vs {}",
+            pts[0].speedup,
+            pts[1].speedup
+        );
+        assert!(pts[0].wasted_fraction <= pts[1].wasted_fraction + 1e-9);
+    }
+
+    #[test]
+    fn more_processors_mean_more_speedup_without_conflict() {
+        let pts = processor_sweep(&[1, 4, 16], 0.0, 8);
+        assert!(pts[0].speedup <= pts[1].speedup + 1e-9);
+        assert!(pts[1].speedup < pts[2].speedup);
+        assert!((pts[0].speedup - 1.0).abs() < 1e-9, "Np=1 is serial");
+    }
+
+    #[test]
+    fn zero_conflict_wastes_nothing() {
+        let pts = conflict_sweep(&[0.0], 8, 5);
+        assert_eq!(pts[0].wasted_fraction, 0.0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = conflict_sweep(&[0.2], 4, 6);
+        let b = conflict_sweep(&[0.2], 4, 6);
+        assert_eq!(a[0].speedup, b[0].speedup);
+    }
+
+    #[test]
+    fn time_skew_sweep_runs() {
+        let pts = time_skew_sweep(&[1, 20], 8, 6);
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.speedup >= 1.0));
+    }
+}

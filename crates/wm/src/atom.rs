@@ -1,0 +1,153 @@
+//! Cheaply cloneable interned-style strings for class names, attribute
+//! names and symbolic values.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A cheaply cloneable immutable string.
+///
+/// Class names, attribute names and symbols occur in huge numbers of WMEs,
+/// tokens and rule instantiations; `Atom` makes copying them a reference
+/// count bump rather than a heap allocation. Equality and hashing are by
+/// string content, so atoms behave like ordinary strings in maps.
+///
+/// ```
+/// use dps_wm::Atom;
+/// let a = Atom::from("goal");
+/// let b = a.clone();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "goal");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Atom(Arc<str>);
+
+impl Atom {
+    /// Creates an atom from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Atom(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the string content.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns the length of the string in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(s: &str) -> Self {
+        Atom::new(s)
+    }
+}
+
+impl From<String> for Atom {
+    fn from(s: String) -> Self {
+        Atom(Arc::from(s))
+    }
+}
+
+impl From<&String> for Atom {
+    fn from(s: &String) -> Self {
+        Atom::new(s)
+    }
+}
+
+impl Borrow<str> for Atom {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Atom {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Atom {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Atom {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Atom::from("alpha");
+        let b = Atom::new(String::from("alpha"));
+        assert_eq!(a, b);
+        assert_ne!(a, Atom::from("beta"));
+    }
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Atom::from("shared");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn usable_as_str_key() {
+        let mut m: HashMap<Atom, i32> = HashMap::new();
+        m.insert(Atom::from("k"), 7);
+        // Borrow<str> lets us look up by &str without allocating.
+        assert_eq!(m.get("k"), Some(&7));
+        assert_eq!(m.get("missing"), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = [Atom::from("b"), Atom::from("a"), Atom::from("c")];
+        v.sort();
+        let s: Vec<&str> = v.iter().map(|a| a.as_str()).collect();
+        assert_eq!(s, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let a = Atom::from("x");
+        assert_eq!(format!("{a}"), "x");
+        assert_eq!(format!("{a:?}"), "\"x\"");
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Atom::from("").is_empty());
+        assert_eq!(Atom::from("ab").len(), 2);
+    }
+}

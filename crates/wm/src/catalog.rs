@@ -1,0 +1,155 @@
+//! The system catalogue: class registry and statistics.
+//!
+//! Section 4.3 of the paper grounds relation-level lock escalation in the
+//! catalogue: "Such a lock is equivalent to locking the appropriate tuple
+//! in the 'SYSTEM-CATALOG' relation." The [`Catalog`] is that relation's
+//! logical equivalent — it assigns each class a stable id usable as a lock
+//! resource and tracks per-class statistics that escalation policies and
+//! the static-partitioning analyser consult.
+
+use std::collections::HashMap;
+
+use crate::Atom;
+
+/// Per-class statistics maintained by the store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Live tuple count.
+    pub cardinality: usize,
+    /// Total inserts over the store's lifetime.
+    pub inserts: u64,
+    /// Total removes over the store's lifetime.
+    pub removes: u64,
+}
+
+/// Registry of classes known to a working memory.
+///
+/// Classes are registered implicitly on first insert (loose mode) or
+/// explicitly via [`Catalog::declare`]; each receives a stable dense id.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    ids: HashMap<Atom, u32>,
+    names: Vec<Atom>,
+    stats: Vec<ClassStats>,
+}
+
+impl Catalog {
+    /// Creates an empty catalogue.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Declares a class, returning its id (idempotent).
+    pub fn declare(&mut self, class: impl Into<Atom>) -> u32 {
+        let class = class.into();
+        if let Some(&id) = self.ids.get(&class) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.ids.insert(class.clone(), id);
+        self.names.push(class);
+        self.stats.push(ClassStats::default());
+        id
+    }
+
+    /// Looks up a class id.
+    pub fn id_of(&self, class: &str) -> Option<u32> {
+        self.ids.get(class).copied()
+    }
+
+    /// Looks up a class name by id.
+    pub fn name_of(&self, id: u32) -> Option<&Atom> {
+        self.names.get(id as usize)
+    }
+
+    /// Statistics for a class.
+    pub fn stats(&self, class: &str) -> Option<&ClassStats> {
+        let id = self.id_of(class)?;
+        self.stats.get(id as usize)
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no classes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All registered class names, in declaration order.
+    pub fn classes(&self) -> impl Iterator<Item = &Atom> {
+        self.names.iter()
+    }
+
+    pub(crate) fn record_insert(&mut self, class: &Atom) -> u32 {
+        let id = self.declare(class.clone());
+        let s = &mut self.stats[id as usize];
+        s.cardinality += 1;
+        s.inserts += 1;
+        id
+    }
+
+    pub(crate) fn set_lifetime_counters(&mut self, class: &Atom, inserts: u64, removes: u64) {
+        let id = self.declare(class.clone());
+        let s = &mut self.stats[id as usize];
+        s.inserts = inserts;
+        s.removes = removes;
+    }
+
+    pub(crate) fn record_remove(&mut self, class: &Atom) {
+        if let Some(&id) = self.ids.get(class) {
+            let s = &mut self.stats[id as usize];
+            s.cardinality = s.cardinality.saturating_sub(1);
+            s.removes += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_is_idempotent_and_dense() {
+        let mut c = Catalog::new();
+        let a = c.declare("alpha");
+        let b = c.declare("beta");
+        assert_eq!(c.declare("alpha"), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.name_of(1).unwrap().as_str(), "beta");
+        assert_eq!(c.id_of("beta"), Some(1));
+        assert_eq!(c.id_of("gamma"), None);
+    }
+
+    #[test]
+    fn stats_track_inserts_and_removes() {
+        let mut c = Catalog::new();
+        let class = Atom::from("t");
+        c.record_insert(&class);
+        c.record_insert(&class);
+        c.record_remove(&class);
+        let s = c.stats("t").unwrap();
+        assert_eq!(s.cardinality, 1);
+        assert_eq!(s.inserts, 2);
+        assert_eq!(s.removes, 1);
+    }
+
+    #[test]
+    fn remove_of_unknown_class_is_noop() {
+        let mut c = Catalog::new();
+        c.record_remove(&Atom::from("ghost"));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn classes_iterates_in_declaration_order() {
+        let mut c = Catalog::new();
+        c.declare("z");
+        c.declare("a");
+        let names: Vec<&str> = c.classes().map(|a| a.as_str()).collect();
+        assert_eq!(names, ["z", "a"]);
+    }
+}

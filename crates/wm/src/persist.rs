@@ -1,0 +1,518 @@
+//! Persistence: snapshots and a redo log.
+//!
+//! The paper's opening motivation for *database* production systems is
+//! that "expert system users are asking for knowledge sharing and
+//! knowledge persistence, features found currently in databases". This
+//! module provides the storage-engine half of that story:
+//!
+//! * [`WorkingMemory::encode_snapshot`] / [`WorkingMemory::decode_snapshot`]
+//!   — a versioned, self-contained binary image of working memory
+//!   (tuples, identity counters, recency clock, catalogue statistics);
+//! * [`RedoLog`] — an append-only log of committed [`Change`] batches
+//!   (exactly what [`WorkingMemory::apply`] returns at each production
+//!   commit), replayable on top of a snapshot to recover the
+//!   post-crash state.
+//!
+//! The format is hand-rolled (little-endian, length-prefixed) rather
+//! than a serde format so the crate stays self-contained; a format
+//! version byte guards evolution.
+
+use std::fmt;
+
+use crate::{Atom, Change, Value, Wme, WmeData, WmeId, WorkingMemory};
+
+/// Magic bytes opening every snapshot.
+const SNAPSHOT_MAGIC: &[u8; 4] = b"DPSW";
+/// Magic bytes opening every redo log.
+const LOG_MAGIC: &[u8; 4] = b"DPSL";
+/// Current format version.
+const VERSION: u8 = 1;
+
+/// Errors raised while decoding persisted state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended prematurely.
+    Truncated,
+    /// Bad magic or unsupported version.
+    BadHeader,
+    /// An unknown tag byte.
+    BadTag(u8),
+    /// Embedded string is not UTF-8.
+    BadString,
+    /// A replayed removal referenced a dead element.
+    ReplayConflict(WmeId),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "persisted data is truncated"),
+            CodecError::BadHeader => write!(f, "bad magic bytes or unsupported version"),
+            CodecError::BadTag(t) => write!(f, "unknown tag byte {t:#x}"),
+            CodecError::BadString => write!(f, "embedded string is not valid UTF-8"),
+            CodecError::ReplayConflict(id) => {
+                write!(
+                    f,
+                    "redo log removal of {id} does not match the base snapshot"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------
+// Primitive readers/writers
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        let slice = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadString)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Nil => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Sym(a) => {
+            out.push(4);
+            put_str(out, a.as_str());
+        }
+        Value::Str(a) => {
+            out.push(5);
+            put_str(out, a.as_str());
+        }
+    }
+}
+
+fn read_value(r: &mut Reader<'_>) -> Result<Value, CodecError> {
+    Ok(match r.u8()? {
+        0 => Value::Nil,
+        1 => Value::Bool(r.u8()? != 0),
+        2 => Value::Int(r.i64()?),
+        3 => Value::Float(f64::from_bits(r.u64()?)),
+        4 => Value::Sym(Atom::from(r.string()?)),
+        5 => Value::Str(Atom::from(r.string()?)),
+        t => return Err(CodecError::BadTag(t)),
+    })
+}
+
+fn put_wme(out: &mut Vec<u8>, w: &Wme) {
+    put_u64(out, w.id.0);
+    put_u64(out, w.timestamp);
+    put_str(out, w.data.class.as_str());
+    put_u32(out, w.data.attrs.len() as u32);
+    for (attr, value) in &w.data.attrs {
+        put_str(out, attr.as_str());
+        put_value(out, value);
+    }
+}
+
+fn read_wme(r: &mut Reader<'_>) -> Result<Wme, CodecError> {
+    let id = WmeId(r.u64()?);
+    let timestamp = r.u64()?;
+    let class = r.string()?;
+    let n = r.u32()? as usize;
+    let mut data = WmeData::new(class);
+    for _ in 0..n {
+        let attr = r.string()?;
+        let value = read_value(r)?;
+        data.set(attr, value);
+    }
+    Ok(Wme {
+        id,
+        data,
+        timestamp,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------
+
+impl WorkingMemory {
+    /// Serialises the complete working memory into a self-contained
+    /// binary snapshot.
+    pub fn encode_snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.len() * 32);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.push(VERSION);
+        put_u64(&mut out, self.next_id_raw());
+        put_u64(&mut out, self.clock());
+        put_u64(&mut out, self.len() as u64);
+        for wme in self.iter() {
+            put_wme(&mut out, wme);
+        }
+        // Catalogue lifetime statistics (cardinality is recomputed).
+        let classes: Vec<&Atom> = self.catalog().classes().collect();
+        put_u32(&mut out, classes.len() as u32);
+        for class in classes {
+            let stats = self
+                .catalog()
+                .stats(class.as_str())
+                .expect("registered class");
+            put_str(&mut out, class.as_str());
+            put_u64(&mut out, stats.inserts);
+            put_u64(&mut out, stats.removes);
+        }
+        out
+    }
+
+    /// Reconstructs a working memory from a snapshot. The result is
+    /// bit-identical in behaviour: same tuples, ids, timestamps, id
+    /// allocator position and catalogue statistics.
+    pub fn decode_snapshot(buf: &[u8]) -> Result<WorkingMemory, CodecError> {
+        let mut r = Reader::new(buf);
+        if r.take(4)? != SNAPSHOT_MAGIC || r.u8()? != VERSION {
+            return Err(CodecError::BadHeader);
+        }
+        let next_id = r.u64()?;
+        let clock = r.u64()?;
+        let count = r.u64()? as usize;
+        let mut wm = WorkingMemory::new();
+        for _ in 0..count {
+            let wme = read_wme(&mut r)?;
+            wm.restore_raw(wme);
+        }
+        let nclasses = r.u32()? as usize;
+        for _ in 0..nclasses {
+            let class = r.string()?;
+            let inserts = r.u64()?;
+            let removes = r.u64()?;
+            wm.set_class_counters(&Atom::from(class), inserts, removes);
+        }
+        wm.set_counters_raw(next_id, clock);
+        if !r.at_end() {
+            return Err(CodecError::BadHeader);
+        }
+        Ok(wm)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Redo log
+// ---------------------------------------------------------------------
+
+/// An append-only redo log of committed change batches.
+///
+/// Append the change list returned by every [`WorkingMemory::apply`]
+/// (one batch per production commit — the atomic unit of §4.2);
+/// [`RedoLog::replay`] re-applies them to a working memory restored from
+/// the snapshot taken when the log was started.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RedoLog {
+    buf: Vec<u8>,
+    batches: u64,
+}
+
+impl Default for RedoLog {
+    fn default() -> Self {
+        RedoLog::new()
+    }
+}
+
+impl RedoLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(LOG_MAGIC);
+        buf.push(VERSION);
+        RedoLog { buf, batches: 0 }
+    }
+
+    /// Appends one committed batch.
+    pub fn append(&mut self, changes: &[Change]) {
+        put_u32(&mut self.buf, changes.len() as u32);
+        for change in changes {
+            match change {
+                Change::Added(w) => {
+                    self.buf.push(0);
+                    put_wme(&mut self.buf, w);
+                }
+                Change::Removed(w) => {
+                    self.buf.push(1);
+                    put_wme(&mut self.buf, w);
+                }
+            }
+        }
+        self.batches += 1;
+    }
+
+    /// Number of appended batches (committed productions).
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// The serialised log.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Parses a serialised log (validates framing).
+    pub fn from_bytes(buf: &[u8]) -> Result<RedoLog, CodecError> {
+        let mut r = Reader::new(buf);
+        if r.take(4)? != LOG_MAGIC || r.u8()? != VERSION {
+            return Err(CodecError::BadHeader);
+        }
+        let mut batches = 0;
+        while !r.at_end() {
+            let n = r.u32()? as usize;
+            for _ in 0..n {
+                match r.u8()? {
+                    0 | 1 => {
+                        read_wme(&mut r)?;
+                    }
+                    t => return Err(CodecError::BadTag(t)),
+                }
+            }
+            batches += 1;
+        }
+        Ok(RedoLog {
+            buf: buf.to_vec(),
+            batches,
+        })
+    }
+
+    /// Replays the log onto `wm` (a working memory restored from the
+    /// matching base snapshot). Returns the number of batches applied.
+    pub fn replay(&self, wm: &mut WorkingMemory) -> Result<u64, CodecError> {
+        let mut r = Reader::new(&self.buf);
+        r.take(4)?;
+        r.u8()?;
+        let mut applied = 0;
+        while !r.at_end() {
+            let n = r.u32()? as usize;
+            for _ in 0..n {
+                let tag = r.u8()?;
+                let wme = read_wme(&mut r)?;
+                match tag {
+                    0 => wm.restore_raw(wme),
+                    1 => {
+                        wm.remove(wme.id)
+                            .map_err(|_| CodecError::ReplayConflict(wme.id))?;
+                    }
+                    t => return Err(CodecError::BadTag(t)),
+                }
+            }
+            applied += 1;
+        }
+        Ok(applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeltaSet;
+
+    fn populated() -> WorkingMemory {
+        let mut wm = WorkingMemory::new();
+        wm.insert(
+            WmeData::new("job")
+                .with("id", 1i64)
+                .with("cost", 2.5f64)
+                .with("name", String::from("mill"))
+                .with("urgent", true),
+        );
+        let doomed = wm.insert(WmeData::new("tmp"));
+        wm.insert(
+            WmeData::new("job")
+                .with("id", 2i64)
+                .with("note", Value::Nil),
+        );
+        wm.remove(doomed).unwrap();
+        wm
+    }
+
+    fn assert_same(a: &WorkingMemory, b: &WorkingMemory) {
+        let av: Vec<&Wme> = a.iter().collect();
+        let bv: Vec<Wme> = b.iter().cloned().collect();
+        assert_eq!(av.len(), bv.len());
+        for (x, y) in av.iter().zip(bv.iter()) {
+            assert_eq!(**x, *y);
+        }
+        assert_eq!(a.clock(), b.clock());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let wm = populated();
+        let snap = wm.encode_snapshot();
+        let back = WorkingMemory::decode_snapshot(&snap).unwrap();
+        assert_same(&wm, &back);
+        // Catalogue statistics survive too.
+        assert_eq!(
+            wm.catalog().stats("tmp").map(|s| (s.inserts, s.removes)),
+            back.catalog().stats("tmp").map(|s| (s.inserts, s.removes)),
+        );
+    }
+
+    #[test]
+    fn restored_memory_allocates_fresh_ids() {
+        let wm = populated();
+        let mut back = WorkingMemory::decode_snapshot(&wm.encode_snapshot()).unwrap();
+        let existing: Vec<WmeId> = back.iter().map(|w| w.id).collect();
+        let fresh = back.insert(WmeData::new("job"));
+        assert!(
+            !existing.contains(&fresh),
+            "id allocator position persisted"
+        );
+        let old_clock = wm.clock();
+        assert!(back.get(fresh).unwrap().timestamp > old_clock);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let wm = populated();
+        let mut snap = wm.encode_snapshot();
+        assert!(matches!(
+            WorkingMemory::decode_snapshot(&snap[..10]),
+            Err(CodecError::Truncated)
+        ));
+        snap[0] = b'X';
+        assert!(matches!(
+            WorkingMemory::decode_snapshot(&snap),
+            Err(CodecError::BadHeader)
+        ));
+        let empty: Vec<u8> = Vec::new();
+        assert!(WorkingMemory::decode_snapshot(&empty).is_err());
+    }
+
+    #[test]
+    fn redo_log_recovers_post_snapshot_commits() {
+        let mut wm = populated();
+        let snap = wm.encode_snapshot();
+        let mut log = RedoLog::new();
+
+        // Three "commits" after the checkpoint.
+        let id = wm.iter().next().unwrap().id;
+        let mut d1 = DeltaSet::new();
+        d1.modify(id, [(Atom::from("cost"), Value::Float(9.75))]);
+        log.append(&wm.apply(&d1).unwrap());
+
+        let mut d2 = DeltaSet::new();
+        d2.create(WmeData::new("audit").with("of", 1i64));
+        log.append(&wm.apply(&d2).unwrap());
+
+        let victim = wm.class_iter("job").nth(1).unwrap().id;
+        let mut d3 = DeltaSet::new();
+        d3.remove(victim);
+        log.append(&wm.apply(&d3).unwrap());
+
+        assert_eq!(log.batches(), 3);
+
+        // "Crash" and recover: snapshot + log replay.
+        let mut recovered = WorkingMemory::decode_snapshot(&snap).unwrap();
+        let parsed = RedoLog::from_bytes(log.as_bytes()).unwrap();
+        assert_eq!(parsed.replay(&mut recovered).unwrap(), 3);
+        assert_same(&wm, &recovered);
+
+        // Recovery leaves the allocator usable.
+        let fresh = recovered.insert(WmeData::new("job"));
+        assert!(wm.get(fresh).is_none());
+    }
+
+    #[test]
+    fn redo_log_framing_is_validated() {
+        let mut log = RedoLog::new();
+        let mut wm = WorkingMemory::new();
+        let mut d = DeltaSet::new();
+        d.create(WmeData::new("x"));
+        log.append(&wm.apply(&d).unwrap());
+        let mut bytes = log.as_bytes().to_vec();
+        bytes.truncate(bytes.len() - 2);
+        assert_eq!(RedoLog::from_bytes(&bytes), Err(CodecError::Truncated));
+        assert!(RedoLog::from_bytes(b"nope").is_err());
+    }
+
+    #[test]
+    fn replay_conflict_is_reported() {
+        let mut wm = WorkingMemory::new();
+        let id = wm.insert(WmeData::new("x"));
+        let mut log = RedoLog::new();
+        let removed = wm.remove(id).unwrap();
+        log.append(&[Change::Removed(removed)]);
+        // Replaying onto an EMPTY memory (wrong base) fails cleanly.
+        let mut empty = WorkingMemory::new();
+        assert_eq!(log.replay(&mut empty), Err(CodecError::ReplayConflict(id)));
+    }
+
+    #[test]
+    fn empty_structures_roundtrip() {
+        let wm = WorkingMemory::new();
+        let back = WorkingMemory::decode_snapshot(&wm.encode_snapshot()).unwrap();
+        assert!(back.is_empty());
+        let log = RedoLog::new();
+        assert_eq!(RedoLog::from_bytes(log.as_bytes()).unwrap().batches(), 0);
+    }
+}

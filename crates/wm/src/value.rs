@@ -1,0 +1,306 @@
+//! Attribute values stored in working-memory elements.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Atom;
+
+/// A typed attribute value.
+///
+/// The value domain follows OPS5 (numbers and symbols) extended with the
+/// types a database working memory needs: strings, booleans and a `Nil`
+/// marker for absent attributes. `Value` implements total ordering and
+/// hashing (floats are ordered by their IEEE-754 total order and hashed by
+/// bit pattern) so values can serve as index keys.
+///
+/// Cross-type comparison is defined but type-segregated: all integers sort
+/// before all floats, etc. Numeric *tests* in rules (`<`, `>`, …) instead
+/// use [`Value::num_cmp`], which compares integers and floats numerically,
+/// matching what a user expects of `(cost < 3.5)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / null.
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Symbolic constant (OPS5 symbol), e.g. `pending`.
+    Sym(Atom),
+    /// Free-form string (distinct from symbols, as in a real database).
+    Str(Atom),
+}
+
+impl Value {
+    /// A discriminant rank used to segregate types in the total order.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Nil => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Sym(_) => 4,
+            Value::Str(_) => 5,
+        }
+    }
+
+    /// Returns `true` if the value is numeric (integer or float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// Returns the value as an `f64` if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the symbol or string content if the value is textual.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Sym(a) | Value::Str(a) => Some(a.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Numeric comparison across `Int` and `Float`; `None` when either side
+    /// is non-numeric or the comparison is with a NaN.
+    ///
+    /// ```
+    /// use dps_wm::Value;
+    /// use std::cmp::Ordering;
+    /// assert_eq!(Value::Int(2).num_cmp(&Value::Float(2.5)), Some(Ordering::Less));
+    /// assert_eq!(Value::from("x").num_cmp(&Value::Int(1)), None);
+    /// ```
+    pub fn num_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Equality with numeric coercion: `Int(2)` equals `Float(2.0)`.
+    ///
+    /// This is the equality used by rule condition tests; the `Eq`
+    /// implementation (used for index keys) is strict.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        if self.is_numeric() && other.is_numeric() {
+            self.num_cmp(other) == Some(Ordering::Equal)
+        } else {
+            self == other
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Nil => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Sym(a) | Value::Str(a) => a.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Sym(a), Value::Sym(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Sym(a) => write!(f, "{a}"),
+            Value::Str(a) => write!(f, "{a:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+/// `&str` converts to a *symbol*, the common case in rule code.
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Sym(Atom::from(s))
+    }
+}
+
+impl From<Atom> for Value {
+    fn from(a: Atom) -> Self {
+        Value::Sym(a)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Atom::from(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn strict_eq_separates_types() {
+        assert_ne!(Value::Int(2), Value::Float(2.0));
+        assert_ne!(Value::Sym(Atom::from("a")), Value::Str(Atom::from("a")));
+        assert_eq!(Value::Int(2), Value::Int(2));
+    }
+
+    #[test]
+    fn loose_eq_coerces_numbers() {
+        assert!(Value::Int(2).loose_eq(&Value::Float(2.0)));
+        assert!(!Value::Int(2).loose_eq(&Value::Float(2.5)));
+        assert!(!Value::Int(2).loose_eq(&Value::from("2")));
+    }
+
+    #[test]
+    fn num_cmp_mixed() {
+        use Ordering::*;
+        assert_eq!(Value::Int(3).num_cmp(&Value::Int(5)), Some(Less));
+        assert_eq!(Value::Float(3.5).num_cmp(&Value::Int(3)), Some(Greater));
+        assert_eq!(Value::Float(2.0).num_cmp(&Value::Int(2)), Some(Equal));
+        assert_eq!(Value::Bool(true).num_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Float(f64::NAN).num_cmp(&Value::Float(1.0)), None);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_for_floats() {
+        let mut s = HashSet::new();
+        s.insert(Value::Float(1.5));
+        assert!(s.contains(&Value::Float(1.5)));
+        assert!(!s.contains(&Value::Float(-1.5)));
+        // NaN is hashable and equal to the same-bit NaN.
+        s.insert(Value::Float(f64::NAN));
+        assert!(s.contains(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn total_order_is_transitive_across_types() {
+        let mut v = [
+            Value::from("sym"),
+            Value::Int(1),
+            Value::Nil,
+            Value::Float(0.5),
+            Value::Bool(true),
+            Value::from(String::from("str")),
+        ];
+        v.sort();
+        let ranks: Vec<u8> = v.iter().map(|x| x.rank()).collect();
+        assert_eq!(ranks, [0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn negative_zero_and_positive_zero_are_distinct_keys() {
+        // Strict equality is by bit pattern: -0.0 and 0.0 differ as index
+        // keys, while loose (numeric) equality treats them as equal.
+        assert_ne!(Value::Float(-0.0), Value::Float(0.0));
+        assert!(Value::Float(-0.0).loose_eq(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(4.5).as_f64(), Some(4.5));
+        assert_eq!(Value::from("a").as_f64(), None);
+        assert_eq!(Value::Int(4).as_i64(), Some(4));
+        assert_eq!(Value::Float(4.0).as_i64(), None);
+        assert_eq!(Value::from("a").as_text(), Some("a"));
+        assert_eq!(Value::from(String::from("b")).as_text(), Some("b"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Nil.to_string(), "nil");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::from("go").to_string(), "go");
+        assert_eq!(Value::from(String::from("s")).to_string(), "\"s\"");
+    }
+}

@@ -1,0 +1,165 @@
+//! Working-memory elements: identity, payload and recency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Atom, Value};
+
+/// Stable identifier of a WME within one [`crate::WorkingMemory`].
+///
+/// Ids are never reused, so a `WmeId` seen by a matcher or held as a lock
+/// resource always denotes the same logical tuple, even after it has been
+/// removed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WmeId(pub u64);
+
+impl fmt::Debug for WmeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for WmeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Monotonic recency stamp assigned at insertion (and refreshed by
+/// `modify`). Used by LEX/MEA conflict resolution.
+pub type Timestamp = u64;
+
+/// The payload of a WME before it enters working memory: a class name and
+/// attribute/value pairs. Identity and recency are assigned by the store.
+///
+/// ```
+/// use dps_wm::{WmeData, Value};
+/// let d = WmeData::new("order").with("item", "bolt").with("qty", 40i64);
+/// assert_eq!(d.class.as_str(), "order");
+/// assert_eq!(d.attrs.get("qty"), Some(&Value::Int(40)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WmeData {
+    /// The class (relation name) this element belongs to.
+    pub class: Atom,
+    /// Attribute → value map. A `BTreeMap` keeps iteration deterministic,
+    /// which keeps matcher behaviour and test output reproducible.
+    pub attrs: BTreeMap<Atom, Value>,
+}
+
+impl WmeData {
+    /// Creates an empty element of the given class.
+    pub fn new(class: impl Into<Atom>) -> Self {
+        WmeData {
+            class: class.into(),
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style attribute setter.
+    #[must_use]
+    pub fn with(mut self, attr: impl Into<Atom>, value: impl Into<Value>) -> Self {
+        self.attrs.insert(attr.into(), value.into());
+        self
+    }
+
+    /// Sets an attribute in place.
+    pub fn set(&mut self, attr: impl Into<Atom>, value: impl Into<Value>) {
+        self.attrs.insert(attr.into(), value.into());
+    }
+
+    /// Gets an attribute value; absent attributes read as `None`.
+    pub fn get(&self, attr: &str) -> Option<&Value> {
+        self.attrs.get(attr)
+    }
+}
+
+/// A working-memory element as stored: payload plus identity and recency.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Wme {
+    /// Stable identity.
+    pub id: WmeId,
+    /// Payload.
+    pub data: WmeData,
+    /// Recency stamp (monotonic per working memory).
+    pub timestamp: Timestamp,
+}
+
+impl Wme {
+    /// The element's class.
+    pub fn class(&self) -> &Atom {
+        &self.data.class
+    }
+
+    /// Reads an attribute; returns `None` when absent.
+    pub fn get(&self, attr: &str) -> Option<&Value> {
+        self.data.get(attr)
+    }
+
+    /// Reads an attribute, treating absence as [`Value::Nil`].
+    pub fn get_or_nil(&self, attr: &str) -> Value {
+        self.data.get(attr).cloned().unwrap_or(Value::Nil)
+    }
+}
+
+impl fmt::Display for Wme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} {} [t{}]", self.id, self.data.class, self.timestamp)?;
+        for (k, v) in &self.data.attrs {
+            write!(f, " ^{k} {v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_attributes() {
+        let d = WmeData::new("c").with("a", 1i64).with("b", "x");
+        assert_eq!(d.get("a"), Some(&Value::Int(1)));
+        assert_eq!(d.get("b"), Some(&Value::from("x")));
+        assert_eq!(d.get("missing"), None);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut d = WmeData::new("c").with("a", 1i64);
+        d.set("a", 2i64);
+        assert_eq!(d.get("a"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn get_or_nil_on_absent() {
+        let w = Wme {
+            id: WmeId(1),
+            data: WmeData::new("c"),
+            timestamp: 3,
+        };
+        assert_eq!(w.get_or_nil("zzz"), Value::Nil);
+    }
+
+    #[test]
+    fn display_is_ops5_like() {
+        let w = Wme {
+            id: WmeId(2),
+            data: WmeData::new("goal").with("kind", "plan"),
+            timestamp: 7,
+        };
+        assert_eq!(w.to_string(), "(w2 goal [t7] ^kind plan)");
+    }
+
+    #[test]
+    fn attribute_iteration_is_sorted() {
+        let d = WmeData::new("c")
+            .with("z", 1i64)
+            .with("a", 2i64)
+            .with("m", 3i64);
+        let keys: Vec<&str> = d.attrs.keys().map(|k| k.as_str()).collect();
+        assert_eq!(keys, ["a", "m", "z"]);
+    }
+}

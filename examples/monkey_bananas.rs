@@ -1,0 +1,94 @@
+//! The classic OPS5 planning toy: the monkey and the bananas.
+//!
+//! A monkey, a ladder and hanging bananas, in different places. The rule
+//! set walks the monkey to the ladder, pushes the ladder under the
+//! bananas, climbs, and grabs — then `halt`s.
+//!
+//! ```text
+//! cargo run --example monkey_bananas
+//! ```
+
+use dbps::engine::{EngineConfig, SingleThreadEngine, StepOutcome};
+use dbps::rete::Strategy;
+use dbps::rules::RuleSet;
+use dbps::wm::{WmeData, WorkingMemory};
+
+const RULES: &str = r#"
+; Walk to wherever the ladder stands.
+(p go-to-ladder
+   (monkey ^on floor ^at <m>)
+   (ladder ^at { <> <m> <l> })
+   -->
+   (modify 1 ^at <l>))
+
+; Push the ladder (and walk with it) under the bananas.
+(p push-ladder
+   (monkey ^on floor ^at <l>)
+   (ladder ^at <l>)
+   (bananas ^at { <> <l> <b> })
+   -->
+   (modify 2 ^at <b>)
+   (modify 1 ^at <b>))
+
+; Climb once everything lines up.
+(p climb
+   (monkey ^on floor ^holding nothing ^at <a>)
+   (ladder ^at <a>)
+   (bananas ^at <a>)
+   -->
+   (modify 1 ^on ladder))
+
+; Grab the bananas and stop.
+(p grab
+   (monkey ^on ladder ^holding nothing ^at <a>)
+   (bananas ^at <a>)
+   -->
+   (modify 1 ^holding bananas)
+   (make goal ^achieved true)
+   (halt))
+"#;
+
+fn main() {
+    let rules = RuleSet::parse(RULES).expect("rule set parses");
+    let mut wm = WorkingMemory::new();
+    wm.insert(
+        WmeData::new("monkey")
+            .with("at", "door")
+            .with("on", "floor")
+            .with("holding", "nothing"),
+    );
+    wm.insert(WmeData::new("ladder").with("at", "window"));
+    wm.insert(WmeData::new("bananas").with("at", "center"));
+
+    let mut engine = SingleThreadEngine::new(
+        &rules,
+        wm,
+        EngineConfig {
+            strategy: Strategy::Mea,
+            max_cycles: 50,
+        },
+    );
+    let report = engine.run();
+
+    println!("plan: {:?}", report.trace.names());
+    for wme in engine.wm().iter() {
+        println!("  {wme}");
+    }
+
+    assert_eq!(report.outcome, StepOutcome::Halted);
+    assert_eq!(
+        report.trace.names(),
+        ["go-to-ladder", "push-ladder", "climb", "grab"],
+        "the canonical four-step plan"
+    );
+    let monkey = engine
+        .wm()
+        .class_iter("monkey")
+        .next()
+        .expect("monkey exists");
+    assert_eq!(
+        monkey.get("holding").and_then(|v| v.as_text()),
+        Some("bananas")
+    );
+    println!("\nthe monkey has the bananas — OK");
+}

@@ -1,0 +1,86 @@
+//! Quickstart: define rules (builder API *and* DSL), load working
+//! memory, run the single-thread engine, inspect the trace.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dbps::engine::{EngineConfig, SingleThreadEngine};
+use dbps::rete::Strategy;
+use dbps::rules::builder::{ce, rule, val, var};
+use dbps::rules::RuleSet;
+use dbps::wm::{WmeData, WorkingMemory};
+
+fn main() {
+    // --- rules: one via the fluent builder, one via the OPS5-ish DSL ---
+    let mut rules = RuleSet::new();
+    rules
+        .add(
+            rule("restock")
+                .when(
+                    ce("item")
+                        .bind("name", "n")
+                        .lt("stock", 3i64)
+                        .bind("stock", "s"),
+                )
+                .then_modify(1, [("stock", var("s") + val(10))])
+                .then_make("order", [("item", var("n"))])
+                .build()
+                .expect("valid rule"),
+        )
+        .expect("unique name");
+    for parsed in dbps::rules::parser::parse_rules(
+        "(p audit (order ^item <i>) -(audited ^item <i>)
+            --> (make audited ^item <i>))",
+    )
+    .expect("parses")
+    {
+        rules.add(parsed).expect("unique name");
+    }
+
+    // --- working memory: a tiny inventory ---
+    let mut wm = WorkingMemory::new();
+    wm.insert(
+        WmeData::new("item")
+            .with("name", "bolt")
+            .with("stock", 1i64),
+    );
+    wm.insert(WmeData::new("item").with("name", "nut").with("stock", 7i64));
+    wm.insert(
+        WmeData::new("item")
+            .with("name", "washer")
+            .with("stock", 0i64),
+    );
+
+    // --- run ---
+    let mut engine = SingleThreadEngine::new(
+        &rules,
+        wm,
+        EngineConfig {
+            strategy: Strategy::Lex,
+            max_cycles: 100,
+        },
+    );
+    let report = engine.run();
+
+    println!(
+        "fired {} productions: {:?}",
+        report.commits,
+        report.trace.names()
+    );
+    println!("\nfinal working memory:");
+    for wme in engine.wm().iter() {
+        println!("  {wme}");
+    }
+
+    // bolt and washer were below the threshold; nut was fine.
+    assert_eq!(engine.wm().class_iter("order").count(), 2);
+    assert_eq!(engine.wm().class_iter("audited").count(), 2);
+    let nut = engine
+        .wm()
+        .class_iter("item")
+        .find(|w| w.get("name").and_then(|v| v.as_text()) == Some("nut"))
+        .expect("nut survives");
+    assert_eq!(nut.get("stock").and_then(|v| v.as_i64()), Some(7));
+    println!("\nquickstart OK");
+}

@@ -1,0 +1,124 @@
+//! Differential testing of the two match substrates: Rete and TREAT are
+//! independent implementations of the same specification, so on any
+//! change stream their conflict sets must be identical. This is the
+//! strongest correctness oracle we have for the matchers.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbps::rete::{InstKey, Matcher, Rete, Treat};
+use dbps::rules::RuleSet;
+use dbps::wm::{Change, WmeData, WmeId, WorkingMemory};
+
+/// A rule corpus exercising joins, intra-CE tests, ordering predicates,
+/// negation (constant and bound-variable), and multi-way joins.
+const CORPUS: &str = r#"
+(p single (a ^k <x>) --> (remove 1))
+(p join2 (a ^k <x>) (b ^k <x>) --> (remove 1))
+(p join3 (a ^k <x>) (b ^k <x>) (c ^k <x>) --> (remove 1))
+(p order (a ^k <x>) (b ^k > <x>) --> (remove 1))
+(p intra (pair ^l <v> ^r <v>) --> (remove 1))
+(p neg-const (a ^k <x>) -(hold) --> (remove 1))
+(p neg-bound (a ^k <x>) -(hold ^k <x>) --> (remove 1))
+(p neg-mid (a ^k <x>) -(veto ^k <x>) (b ^k <x>) --> (remove 1))
+(p const-gate (a ^k <x> ^flag on) --> (remove 1))
+(p disj (a ^k << 0 2 >>) --> (remove 1))
+(p negneg (a ^k <x>) -(hold ^k <x>) -(veto ^k <x>) --> (remove 1))
+(p join4 (a ^k <x>) (b ^k <x>) (c ^k <x>) (pair ^l <x>) --> (remove 1))
+"#;
+
+fn conflict_keys(m: &dyn Matcher) -> BTreeSet<InstKey> {
+    m.conflict_set().iter().map(|i| i.key()).collect()
+}
+
+/// Applies a deterministic random stream of inserts/removes/modifies to
+/// both matchers, checking equality after every step.
+fn run_stream(seed: u64, steps: usize) {
+    let rules = RuleSet::parse(CORPUS).unwrap();
+    let mut wm = WorkingMemory::new();
+    let mut rete = Rete::new(&rules, &wm);
+    let mut treat = Treat::new(&rules, &wm);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = ["a", "b", "c", "pair", "hold", "veto"];
+    let mut live: Vec<WmeId> = Vec::new();
+
+    for step in 0..steps {
+        let changes: Vec<Change> = if !live.is_empty() && rng.random_bool(0.35) {
+            // Remove or modify an existing element.
+            let idx = rng.random_range(0..live.len());
+            let id = live[idx];
+            if rng.random_bool(0.5) {
+                live.swap_remove(idx);
+                let w = wm.remove(id).unwrap();
+                vec![Change::Removed(w)]
+            } else {
+                let mut delta = dbps::wm::DeltaSet::new();
+                delta.modify(
+                    id,
+                    [(
+                        dbps::wm::Atom::from("k"),
+                        dbps::wm::Value::Int(rng.random_range(0..4)),
+                    )],
+                );
+                wm.apply(&delta).unwrap()
+            }
+        } else {
+            let class = classes[rng.random_range(0..classes.len())];
+            let mut data = WmeData::new(class).with("k", rng.random_range(0..4i64));
+            if class == "pair" {
+                data.set("l", rng.random_range(0..3i64));
+                data.set("r", rng.random_range(0..3i64));
+            }
+            if rng.random_bool(0.3) {
+                data.set("flag", "on");
+            }
+            let w = wm.insert_full(data);
+            live.push(w.id);
+            vec![Change::Added(w)]
+        };
+        rete.apply(&changes);
+        treat.apply(&changes);
+        let (rk, tk) = (conflict_keys(&rete), conflict_keys(&treat));
+        assert_eq!(
+            rk, tk,
+            "seed {seed}, step {step}: Rete and TREAT conflict sets diverged\nchanges: {changes:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rete_and_treat_agree_on_random_streams(seed in 0u64..1_000_000) {
+        run_stream(seed, 60);
+    }
+}
+
+#[test]
+fn rete_and_treat_agree_on_long_stream() {
+    run_stream(0xDEADBEEF, 500);
+}
+
+#[test]
+fn bindings_and_wmes_also_agree() {
+    // Beyond keys: the full instantiation payloads must match.
+    let rules = RuleSet::parse(CORPUS).unwrap();
+    let mut wm = WorkingMemory::new();
+    for k in 0..3i64 {
+        wm.insert(WmeData::new("a").with("k", k).with("flag", "on"));
+        wm.insert(WmeData::new("b").with("k", k));
+        wm.insert(WmeData::new("c").with("k", k));
+    }
+    let rete = Rete::new(&rules, &wm);
+    let treat = Treat::new(&rules, &wm);
+    let mut rete_insts: Vec<String> = rete.conflict_set().iter().map(|i| i.to_string()).collect();
+    let mut treat_insts: Vec<String> = treat.conflict_set().iter().map(|i| i.to_string()).collect();
+    rete_insts.sort();
+    treat_insts.sort();
+    assert_eq!(rete_insts, treat_insts);
+    assert!(!rete_insts.is_empty());
+}

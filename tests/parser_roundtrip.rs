@@ -1,0 +1,225 @@
+//! Property tests for the rule DSL: `parse(display(rule)) == rule` for
+//! randomly generated valid rules, plus idempotence of the canonical
+//! rendering.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dbps::rules::parser::{parse_rule, parse_rules};
+use dbps::rules::{
+    Action, AttrTest, Condition, ConditionElement, Expr, Op, Predicate, Rule, TestAtom,
+};
+use dbps::wm::{Atom, Value};
+
+fn sym(rng: &mut StdRng, prefix: &str) -> Atom {
+    Atom::from(format!("{prefix}{}", rng.random_range(0..8)))
+}
+
+fn constant(rng: &mut StdRng) -> Value {
+    match rng.random_range(0..6) {
+        0 => Value::Int(rng.random_range(-100..100)),
+        // Fractional part keeps Display from printing an integer form
+        // (which would re-parse as Int).
+        1 => Value::Float(f64::from(rng.random_range(-50..50i32)) + 0.25),
+        2 => Value::Sym(sym(rng, "s")),
+        3 => Value::Str(Atom::from(format!("txt {}", rng.random_range(0..9)))),
+        4 => Value::Bool(rng.random_bool(0.5)),
+        _ => Value::Nil,
+    }
+}
+
+fn predicate(rng: &mut StdRng) -> Predicate {
+    [
+        Predicate::Eq,
+        Predicate::Ne,
+        Predicate::Lt,
+        Predicate::Le,
+        Predicate::Gt,
+        Predicate::Ge,
+    ][rng.random_range(0..6)]
+}
+
+fn expr(rng: &mut StdRng, bound: &[Atom], depth: usize) -> Expr {
+    if depth > 0 && rng.random_bool(0.5) {
+        let op = [Op::Add, Op::Sub, Op::Mul, Op::Div, Op::Mod][rng.random_range(0..5)];
+        Expr::bin(op, expr(rng, bound, depth - 1), expr(rng, bound, depth - 1))
+    } else if !bound.is_empty() && rng.random_bool(0.5) {
+        Expr::Var(bound[rng.random_range(0..bound.len())].clone())
+    } else {
+        // Numeric constants only (symbols in arithmetic would still
+        // parse; keep it tidy).
+        Expr::Const(Value::Int(rng.random_range(-20..20)))
+    }
+}
+
+/// Generates a structurally valid random rule.
+fn random_rule(seed: u64) -> Rule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bound: Vec<Atom> = Vec::new();
+    let n_pos = rng.random_range(1..4usize);
+    let mut conditions = Vec::new();
+    for ci in 0..n_pos {
+        let mut tests = Vec::new();
+        for _ in 0..rng.random_range(0..4usize) {
+            let attr = sym(&mut rng, "a");
+            match rng.random_range(0..3) {
+                0 => tests.push(AttrTest {
+                    attr,
+                    predicate: predicate(&mut rng),
+                    operand: TestAtom::Const(constant(&mut rng)),
+                }),
+                1 => {
+                    let var = sym(&mut rng, "v");
+                    if !bound.contains(&var) {
+                        bound.push(var.clone());
+                    }
+                    tests.push(AttrTest {
+                        attr,
+                        predicate: Predicate::Eq,
+                        operand: TestAtom::Var(var),
+                    });
+                }
+                _ => {
+                    if let Some(var) = bound.first().cloned() {
+                        tests.push(AttrTest {
+                            attr,
+                            predicate: predicate(&mut rng),
+                            operand: TestAtom::Var(var),
+                        });
+                    }
+                }
+            }
+        }
+        conditions.push(Condition::Pos(ConditionElement {
+            class: sym(&mut rng, "c"),
+            tests,
+        }));
+        // Optionally a negated CE referencing only bound/local vars.
+        if ci + 1 < n_pos && rng.random_bool(0.3) {
+            let mut tests = vec![AttrTest {
+                attr: sym(&mut rng, "a"),
+                predicate: Predicate::Eq,
+                operand: TestAtom::Const(constant(&mut rng)),
+            }];
+            if let Some(var) = bound.first().cloned() {
+                tests.push(AttrTest {
+                    attr: sym(&mut rng, "a"),
+                    predicate: Predicate::Eq,
+                    operand: TestAtom::Var(var),
+                });
+            }
+            conditions.push(Condition::Neg(ConditionElement {
+                class: sym(&mut rng, "n"),
+                tests,
+            }));
+        }
+    }
+    let mut actions = Vec::new();
+    for _ in 0..rng.random_range(0..4usize) {
+        match rng.random_range(0..3) {
+            0 => actions.push(Action::Make {
+                class: sym(&mut rng, "m"),
+                attrs: (0..rng.random_range(0..3usize))
+                    .map(|_| (sym(&mut rng, "a"), expr(&mut rng, &bound, 2)))
+                    .collect(),
+            }),
+            1 => actions.push(Action::Modify {
+                ce: rng.random_range(1..=n_pos),
+                attrs: (0..rng.random_range(1..3usize))
+                    .map(|_| (sym(&mut rng, "a"), expr(&mut rng, &bound, 2)))
+                    .collect(),
+            }),
+            _ => actions.push(Action::Remove {
+                ce: rng.random_range(1..=n_pos),
+            }),
+        }
+    }
+    if rng.random_bool(0.2) {
+        actions.push(Action::Halt);
+    }
+    let rule = Rule {
+        name: sym(&mut rng, "rule-"),
+        salience: rng.random_range(-5..6),
+        conditions,
+        actions,
+    };
+    rule.validate().expect("generator emits valid rules");
+    rule
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_roundtrip(seed in 0u64..100_000) {
+        let rule = random_rule(seed);
+        let rendered = rule.to_string();
+        let reparsed = parse_rule(&rendered)
+            .unwrap_or_else(|e| panic!("render of seed {seed} failed to reparse: {e}\n{rendered}"));
+        prop_assert_eq!(&rule, &reparsed, "seed {} roundtrip:\n{}", seed, rendered);
+        // Canonical rendering is a fixed point.
+        prop_assert_eq!(rendered.clone(), reparsed.to_string());
+    }
+
+    #[test]
+    fn rulesets_roundtrip_in_bulk(seed in 0u64..10_000) {
+        let rules: Vec<Rule> = (0..4).map(|i| {
+            let mut r = random_rule(seed * 4 + i);
+            r.name = Atom::from(format!("r{i}"));
+            r
+        }).collect();
+        let src: String = rules.iter().map(|r| format!("{r}\n")).collect();
+        let parsed = parse_rules(&src).unwrap();
+        prop_assert_eq!(rules, parsed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The parser must never panic, whatever bytes arrive: it returns
+    /// `Ok` or a positioned `Err`.
+    #[test]
+    fn parser_never_panics_on_garbage(src in "\\PC{0,60}") {
+        let _ = parse_rules(&src);
+        let _ = parse_rule(&src);
+        let _ = dbps::rules::parser::parse_condition_element(&src);
+    }
+
+    /// Structured-looking garbage (balanced-ish s-expressions) also
+    /// never panics.
+    #[test]
+    fn parser_never_panics_on_sexpr_soup(
+        parts in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "(", ")", "{", "}", "p", "-->", "-", "^a", "<x>", "<", ">",
+                "<<", ">>", "<>", "<=", ">=", "=", "1", "-2", "2.5", "sym",
+                "\"s\"", "make", "modify", "remove", "halt", "salience", ";c",
+            ]),
+            0..40,
+        )
+    ) {
+        let src = parts.join(" ");
+        let _ = parse_rules(&src);
+    }
+}
+
+#[test]
+fn specific_tricky_renders() {
+    // Negative literals, nested arithmetic, conjunctive brace groups,
+    // every predicate, every constant type.
+    let src = r#"
+        (p tricky (salience -3)
+           (c0 ^a0 { > -7 <v0> } ^a1 <> s1 ^a2 2.25 ^a3 "x y" ^a4 nil ^a5 false)
+           -(n0 ^a0 <v0>)
+           (c1 ^a6 >= <v0>)
+           -->
+           (modify 2 ^a7 (% (* <v0> -2) 7))
+           (remove 1)
+           (halt))
+    "#;
+    let r1 = parse_rule(src).unwrap();
+    let r2 = parse_rule(&r1.to_string()).unwrap();
+    assert_eq!(r1, r2);
+}
