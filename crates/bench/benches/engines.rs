@@ -1,7 +1,8 @@
 //! X5 — engine comparison: single-thread vs static-parallel (Theorem 1)
 //! vs dynamic-parallel (Theorem 2 / §4.3) on the synthetic workloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_bench::harness::{BenchmarkId, Criterion};
+use dps_bench::{criterion_group, criterion_main};
 
 use dps_bench::workloads;
 use dps_core::{

@@ -2,7 +2,8 @@
 //! conventional 2PL, at the lock-manager level (grant latency, conflict
 //! scenarios) and at the engine level (whole-run wall clock).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_bench::harness::{BenchmarkId, Criterion};
+use dps_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use dps_bench::workloads;
@@ -68,6 +69,7 @@ fn engine_protocols(c: &mut Criterion) {
                                 work: WorkModel::FixedMicros(200),
                                 max_commits: 1_000,
                                 rc_escalation: None,
+                                lock_shards: dps_lock::DEFAULT_SHARDS,
                             },
                         );
                         let r = e.run();

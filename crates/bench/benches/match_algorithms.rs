@@ -1,7 +1,8 @@
 //! X4 — match-substrate ablation: Rete vs TREAT (the two algorithms the
 //! paper's §2 survey contrasts), on build cost and incremental updates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_bench::harness::{BenchmarkId, Criterion};
+use dps_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use dps_bench::workloads;

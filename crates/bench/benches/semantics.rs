@@ -1,7 +1,8 @@
 //! E3.2 / X6 machinery costs: execution-graph construction, `ES_single`
 //! enumeration, membership checking, and concrete trace validation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_bench::harness::{BenchmarkId, Criterion};
+use dps_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use dps_bench::workloads;

@@ -3,7 +3,8 @@
 //! The assertions inside each iteration double as regression checks: a
 //! simulator change that breaks a paper number fails the bench.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dps_bench::harness::Criterion;
+use dps_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use dps_core::abstract_model::{paper51_base, paper52_conflict};

@@ -1,7 +1,8 @@
 //! Working-memory substrate benches: tuple throughput, index selection,
 //! atomic delta application, snapshot/redo-log persistence.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dps_bench::harness::{BenchmarkId, Criterion};
+use dps_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 use dps_wm::{Atom, DeltaSet, RedoLog, Value, WmeData, WorkingMemory};

@@ -292,6 +292,7 @@ fn x2() {
                     work: WorkModel::FixedMicros(2000),
                     max_commits: 10_000,
                     rc_escalation: None,
+                    lock_shards: dps_lock::DEFAULT_SHARDS,
                 },
             );
             let report = engine.run();
@@ -330,6 +331,7 @@ fn x3() {
                 work: WorkModel::FixedMicros(500),
                 max_commits: 10_000,
                 rc_escalation: None,
+                lock_shards: dps_lock::DEFAULT_SHARDS,
             },
         );
         let report = engine.run();
@@ -408,6 +410,7 @@ fn x7() {
                     work: WorkModel::FixedMicros(500),
                     max_commits: 10_000,
                     rc_escalation: esc,
+                    lock_shards: dps_lock::DEFAULT_SHARDS,
                 },
             );
             let report = engine.run();

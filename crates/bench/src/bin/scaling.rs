@@ -1,0 +1,162 @@
+//! Worker-count scalability sweep for the dynamic parallel engine.
+//!
+//! Measures wall-clock throughput (commits/second) at 1, 2, 4 and 8
+//! workers on two workloads:
+//!
+//! * **partitioned** — `shared_resources(tasks, tasks)`: every task
+//!   charges its own tally, so transactions never conflict. This is the
+//!   workload where the sharded lock table and the split engine state
+//!   must show monotonic speed-up: with a global `Mutex<State>` in the
+//!   lock manager and a global `Mutex<Shared>` in the engine, adding
+//!   workers buys nothing because every lock/commit serialises on the
+//!   same two mutexes.
+//! * **contended** — `shared_resources(tasks, 1)`: a single hot tally.
+//!   Parallelism is capped by the application's own data conflict
+//!   (aborts/retries dominate), so flat-to-falling scaling is expected
+//!   and correct.
+//!
+//! Every run's trace is checked with `semantics::validate_trace` — the
+//! Theorem 2 oracle — so the numbers below are for *semantically
+//! consistent* executions only.
+//!
+//! RHS cost is simulated (`WorkModel::FixedMicros`) so that the measured
+//! quantity is the paper's regime — RHS execution dominated by real work,
+//! with locking overhead at the margin — rather than pure lock-manager
+//! round-trips. Run with `--quick` for a faster, noisier sweep.
+
+use std::time::Instant;
+
+use dps_bench::workloads;
+use dps_core::semantics::validate_trace;
+use dps_core::{ParallelConfig, ParallelEngine, WorkModel};
+use dps_lock::{ConflictPolicy, Protocol};
+
+struct Sample {
+    workers: usize,
+    commits: usize,
+    secs: f64,
+    aborts: u64,
+}
+
+fn run_sweep(
+    label: &str,
+    tasks: usize,
+    resources: usize,
+    work_us: u64,
+    reps: usize,
+    lock_shards: usize,
+) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        let mut best: Option<Sample> = None;
+        for _ in 0..reps {
+            let (rules, wm) = workloads::shared_resources(tasks, resources);
+            let initial = wm.clone();
+            let mut engine = ParallelEngine::new(
+                &rules,
+                wm,
+                ParallelConfig {
+                    protocol: Protocol::RcRaWa,
+                    policy: ConflictPolicy::AbortReaders,
+                    workers,
+                    work: WorkModel::FixedMicros(work_us),
+                    lock_shards,
+                    ..Default::default()
+                },
+            );
+            let t0 = Instant::now();
+            let report = engine.run();
+            let secs = t0.elapsed().as_secs_f64();
+            assert_eq!(report.commits, tasks, "{label}: lost commits");
+            validate_trace(&rules, &initial, &report.trace)
+                .expect("trace must replay single-threadedly (Theorem 2)");
+            let aborts = report.aborts.doomed
+                + report.aborts.deadlock
+                + report.aborts.stale
+                + report.aborts.revalidation;
+            let s = Sample {
+                workers,
+                commits: report.commits,
+                secs,
+                aborts,
+            };
+            if best.as_ref().is_none_or(|b| s.secs < b.secs) {
+                best = Some(s);
+            }
+        }
+        out.push(best.expect("reps >= 1"));
+    }
+    out
+}
+
+fn print_sweep(label: &str, samples: &[Sample]) {
+    println!("\n{label}");
+    println!("{:>8} {:>10} {:>12} {:>10} {:>8}", "workers", "commits", "commits/s", "time", "aborts");
+    let base = samples[0].commits as f64 / samples[0].secs;
+    for s in samples {
+        let rate = s.commits as f64 / s.secs;
+        println!(
+            "{:>8} {:>10} {:>12.0} {:>9.1}ms {:>8}   ({:.2}x)",
+            s.workers,
+            s.commits,
+            rate,
+            s.secs * 1e3,
+            s.aborts,
+            rate / base
+        );
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (tasks, mut work_us, reps) = if quick { (64, 100, 1) } else { (192, 200, 3) };
+    // Override the simulated RHS cost (µs). `DPS_SCALING_WORK_US=0` makes
+    // the run lock-bound, isolating the lock-table + engine-state overhead
+    // that the sharding/splitting refactor targets.
+    if let Some(us) = std::env::var("DPS_SCALING_WORK_US")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        work_us = us;
+    }
+
+    println!("Worker-count scalability sweep (RcRaWa / AbortReaders,");
+    println!("simulated RHS cost {work_us} µs, best of {reps} rep(s), {tasks} tasks)");
+
+    let shards = dps_lock::DEFAULT_SHARDS;
+    let partitioned = run_sweep("partitioned", tasks, tasks, work_us, reps, shards);
+    print_sweep(
+        &format!("partitioned (resources = tasks = {tasks}; zero data conflict; {shards} lock shards)"),
+        &partitioned,
+    );
+
+    let single_shard = run_sweep("partitioned-1shard", tasks, tasks, work_us, reps, 1);
+    print_sweep(
+        "partitioned, 1 lock shard (the pre-sharding centralised table)",
+        &single_shard,
+    );
+
+    let contended = run_sweep("contended", tasks, 1, work_us, reps, shards);
+    print_sweep(
+        "contended (resources = 1; every RHS writes the same tally)",
+        &contended,
+    );
+
+    // The acceptance gate: monotonic 1 → 4 improvement on the
+    // partitioned workload.
+    let rate = |s: &Sample| s.commits as f64 / s.secs;
+    let r1 = rate(&partitioned[0]);
+    let r2 = rate(&partitioned[1]);
+    let r4 = rate(&partitioned[2]);
+    println!(
+        "\npartitioned speed-up: 1w → 2w: {:.2}x, 2w → 4w: {:.2}x",
+        r2 / r1,
+        r4 / r2
+    );
+    if r1 < r2 && r2 < r4 {
+        println!("PASS: throughput is monotonic over 1 → 2 → 4 workers");
+    } else {
+        println!("WARN: non-monotonic scaling (noisy machine?) — rerun without --quick");
+        std::process::exit(1);
+    }
+}

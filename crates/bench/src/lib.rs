@@ -1,11 +1,14 @@
 //! # `dps-bench` — workloads, benches and the paper-reproduction binary
 //!
-//! Shared synthetic workloads used by the Criterion benches and by the
-//! `repro` binary (`cargo run -p dps-bench --bin repro --release`), which
+//! Shared synthetic workloads used by the benches (driven by the
+//! dependency-free Criterion-shaped [`harness`]) and by the `repro`
+//! binary (`cargo run -p dps-bench --bin repro --release`), which
 //! prints every table and figure of the paper next to the measured
-//! values. See `EXPERIMENTS.md` at the workspace root for the index.
+//! values. The `scaling` binary runs the worker-count scalability sweep.
+//! See `EXPERIMENTS.md` at the workspace root for the index.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod workloads;

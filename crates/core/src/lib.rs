@@ -46,6 +46,7 @@ mod parallel;
 pub mod semantics;
 mod single;
 mod static_parallel;
+mod world;
 
 pub use firing::{Firing, Footprint, Trace};
 pub use parallel::{AbortStats, ParallelConfig, ParallelEngine, ParallelReport, WorkModel};

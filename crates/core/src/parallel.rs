@@ -22,22 +22,43 @@
 //!    reader's instantiation against the new conflict set and dooms only
 //!    those actually invalidated — the paper's cheaper-abort alternative.
 //!
+//! ## Shared-state decomposition
+//!
+//! The engine's mutable state was formerly one `Mutex<Shared>` — every
+//! claim, doom-poll and commit serialised on it, so adding workers
+//! bought contention instead of throughput. It is now three
+//! independently-locked pieces, each held only by the phases that need
+//! it:
+//!
+//! * **[`World`]** (`Mutex`) — WM + matcher, locked at claim time and
+//!   across the commit's apply/match step;
+//! * **`Ledger`** (`Mutex` + `Condvar`) — claims, refraction, engine
+//!   dooms, in-flight count and termination flags; the scheduler's
+//!   state. Doom-polling during simulated RHS work touches *only* this
+//!   (and the lock manager), never the world;
+//! * **`Metrics`** (atomics) + **trace** (`Mutex<Trace>`) — counters and
+//!   the commit log.
+//!
+//! Lock order: world → ledger → trace (any prefix is fine; never in
+//! reverse). The condvar is tied to the ledger; waiters drop the world
+//! lock before sleeping.
+//!
 //! Every committed sequence is recorded as a [`Trace`];
 //! [`crate::semantics::validate_trace`] checks it against `ES_single`
 //! (Definition 3.2) — the property the paper proves as Theorem 2 (and
 //! extends to the improved scheme in §4.3).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
-
-use crossbeam::thread;
-use parking_lot::{Condvar, Mutex};
 
 use dps_lock::{ConflictPolicy, LockManager, Protocol, ResourceId, TxnId};
 use dps_match::{InstKey, Instantiation, Matcher, Rete};
 use dps_rules::{instantiate_actions, RuleSet};
 use dps_wm::{Atom, WorkingMemory};
 
+use crate::world::World;
 use crate::{Firing, Footprint, Trace};
 
 /// Simulated per-production RHS duration — stands in for the "full-
@@ -84,6 +105,12 @@ pub struct ParallelConfig {
     /// `None`: never escalate. Escalation trades lock-manager traffic
     /// for *false conflicts* — quantified by experiment X7.
     pub rc_escalation: Option<usize>,
+    /// Stripe count of the engine's lock table. The default
+    /// ([`dps_lock::DEFAULT_SHARDS`]) spreads lock traffic over
+    /// independent mutexes; `1` collapses to a single-mutex (centralised)
+    /// table — the pre-sharding layout, kept as a knob so the scaling
+    /// sweep can measure exactly what the striping buys.
+    pub lock_shards: usize,
 }
 
 impl Default for ParallelConfig {
@@ -95,6 +122,7 @@ impl Default for ParallelConfig {
             work: WorkModel::None,
             max_commits: 100_000,
             rc_escalation: None,
+            lock_shards: dps_lock::DEFAULT_SHARDS,
         }
     }
 }
@@ -139,21 +167,50 @@ pub struct ParallelReport {
     pub lock_stats: dps_lock::LockStats,
 }
 
-struct Shared {
-    wm: WorkingMemory,
-    matcher: Rete,
+/// Scheduler state: who has claimed what, what has fired, who is doomed
+/// at engine level, and the run's termination flags. The engine condvar
+/// is tied to this mutex.
+#[derive(Debug, Default)]
+struct Ledger {
     refracted: HashSet<InstKey>,
     claimed: HashSet<InstKey>,
     claims_by_txn: HashMap<TxnId, InstKey>,
     /// Readers doomed by engine-level revalidation.
     engine_doomed: HashSet<TxnId>,
-    trace: Trace,
-    commits: usize,
-    aborts: AbortStats,
-    wasted: Duration,
     inflight: usize,
     halted: bool,
     done: bool,
+}
+
+/// Run counters, updated lock-free.
+#[derive(Debug, Default)]
+struct Metrics {
+    commits: AtomicUsize,
+    doomed: AtomicU64,
+    deadlock: AtomicU64,
+    stale: AtomicU64,
+    revalidation: AtomicU64,
+    wasted_nanos: AtomicU64,
+}
+
+impl Metrics {
+    fn abort_stats(&self) -> AbortStats {
+        AbortStats {
+            doomed: self.doomed.load(Relaxed),
+            deadlock: self.deadlock.load(Relaxed),
+            stale: self.stale.load(Relaxed),
+            revalidation: self.revalidation.load(Relaxed),
+        }
+    }
+
+    fn count_abort(&self, cause: &AbortCause) {
+        match cause {
+            AbortCause::Doomed => self.doomed.fetch_add(1, Relaxed),
+            AbortCause::Deadlock => self.deadlock.fetch_add(1, Relaxed),
+            AbortCause::Stale | AbortCause::EvalError => self.stale.fetch_add(1, Relaxed),
+            AbortCause::Revalidation => self.revalidation.fetch_add(1, Relaxed),
+        };
+    }
 }
 
 /// The dynamic-approach parallel engine. See the module docs.
@@ -163,8 +220,14 @@ pub struct ParallelEngine {
     /// Stable class → relation-resource id mapping (covers every class
     /// any rule mentions).
     class_ids: HashMap<Atom, u32>,
-    shared: Mutex<Shared>,
+    /// Piece (b): the database and its matcher.
+    world: Mutex<World>,
+    /// Piece (a): claims + refraction + termination; condvar lives here.
+    ledger: Mutex<Ledger>,
     cv: Condvar,
+    /// Piece (c): commit log and counters.
+    trace: Mutex<Trace>,
+    metrics: Metrics,
     lm: LockManager,
 }
 
@@ -190,35 +253,17 @@ impl ParallelEngine {
                 }
             }
         }
-        let lm = LockManager::new(config.policy);
         ParallelEngine {
             rules: rules.clone(),
-            config,
             class_ids,
-            shared: Mutex::new(Shared {
-                wm,
-                matcher,
-                refracted: HashSet::new(),
-                claimed: HashSet::new(),
-                claims_by_txn: HashMap::new(),
-                engine_doomed: HashSet::new(),
-                trace: Trace::default(),
-                commits: 0,
-                aborts: AbortStats::default(),
-                wasted: Duration::ZERO,
-                inflight: 0,
-                halted: false,
-                done: false,
-            }),
+            lm: LockManager::with_shards(config.policy, config.lock_shards),
+            config,
+            world: Mutex::new(World { wm, matcher }),
+            ledger: Mutex::new(Ledger::default()),
             cv: Condvar::new(),
-            lm: LockManager::new(ConflictPolicy::AbortReaders), // replaced below
+            trace: Mutex::new(Trace::default()),
+            metrics: Metrics::default(),
         }
-        .with_lm(lm)
-    }
-
-    fn with_lm(mut self, lm: LockManager) -> Self {
-        self.lm = lm;
-        self
     }
 
     fn relation_resource(&self, class: &Atom) -> ResourceId {
@@ -235,21 +280,20 @@ impl ParallelEngine {
         let start = Instant::now();
         let workers = self.config.workers.max(1);
         let this = &*self;
-        thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(move |_| this.worker_loop());
+                scope.spawn(move || this.worker_loop());
             }
-        })
-        .expect("worker panicked");
+        });
         let wall = start.elapsed();
-        let s = self.shared.lock();
+        let halted = self.ledger.lock().unwrap().halted;
         ParallelReport {
-            commits: s.commits,
-            aborts: s.aborts,
+            commits: self.metrics.commits.load(Relaxed),
+            aborts: self.metrics.abort_stats(),
             wall,
-            wasted_work: s.wasted,
-            trace: s.trace.clone(),
-            halted: s.halted,
+            wasted_work: Duration::from_nanos(self.metrics.wasted_nanos.load(Relaxed)),
+            trace: self.trace.lock().unwrap().clone(),
+            halted,
             lock_stats: self.lm.stats(),
         }
     }
@@ -257,7 +301,7 @@ impl ParallelEngine {
     /// A snapshot of the current working memory (after `run`, the final
     /// state).
     pub fn final_wm(&self) -> WorkingMemory {
-        self.shared.lock().wm.clone()
+        self.world.lock().unwrap().wm.clone()
     }
 
     fn worker_loop(&self) {
@@ -272,44 +316,53 @@ impl ParallelEngine {
     /// One claim→execute→commit attempt (or a wait / exit decision).
     fn worker_step(&self) -> WorkerStep {
         // ---- claim ----
-        let claim = {
-            let mut s = self.shared.lock();
-            loop {
-                if s.done {
+        let claim = loop {
+            // Lock order: world before ledger. The world lock is dropped
+            // before any condvar wait so committers can make progress.
+            let world = self.world.lock().unwrap();
+            let mut ledger = self.ledger.lock().unwrap();
+            if ledger.done {
+                return WorkerStep::Finished;
+            }
+            // `commits` only changes under the ledger lock (held here),
+            // so this read is exact, as in the old single-mutex design.
+            let capped =
+                ledger.halted || self.metrics.commits.load(Relaxed) >= self.config.max_commits;
+            if capped {
+                if ledger.inflight == 0 {
+                    ledger.done = true;
+                    drop(ledger);
+                    self.cv.notify_all();
                     return WorkerStep::Finished;
                 }
-                if s.halted || s.commits >= self.config.max_commits {
-                    if s.inflight == 0 {
-                        s.done = true;
+                drop(world);
+                let _g = self.cv.wait(ledger).unwrap();
+                continue;
+            }
+            let candidate = world
+                .matcher
+                .conflict_set()
+                .iter()
+                .find(|i| {
+                    let k = i.key();
+                    !ledger.refracted.contains(&k) && !ledger.claimed.contains(&k)
+                })
+                .cloned();
+            match candidate {
+                Some(inst) => {
+                    ledger.claimed.insert(inst.key());
+                    ledger.inflight += 1;
+                    break inst;
+                }
+                None => {
+                    if ledger.inflight == 0 {
+                        ledger.done = true;
+                        drop(ledger);
                         self.cv.notify_all();
                         return WorkerStep::Finished;
                     }
-                    self.cv.wait(&mut s);
-                    continue;
-                }
-                let candidate = s
-                    .matcher
-                    .conflict_set()
-                    .iter()
-                    .find(|i| {
-                        let k = i.key();
-                        !s.refracted.contains(&k) && !s.claimed.contains(&k)
-                    })
-                    .cloned();
-                match candidate {
-                    Some(inst) => {
-                        s.claimed.insert(inst.key());
-                        s.inflight += 1;
-                        break inst;
-                    }
-                    None => {
-                        if s.inflight == 0 {
-                            s.done = true;
-                            self.cv.notify_all();
-                            return WorkerStep::Finished;
-                        }
-                        self.cv.wait(&mut s);
-                    }
+                    drop(world);
+                    let _g = self.cv.wait(ledger).unwrap();
                 }
             }
         };
@@ -322,33 +375,31 @@ impl ParallelEngine {
         let key = inst.key();
         let rule = self.rules.get(inst.rule).expect("known rule").clone();
         let txn = self.lm.begin();
-        {
-            let mut s = self.shared.lock();
-            s.claims_by_txn.insert(txn, key.clone());
-        }
+        self.ledger
+            .lock()
+            .unwrap()
+            .claims_by_txn
+            .insert(txn, key.clone());
         let mut worked = Duration::ZERO;
         match self.try_execute(txn, &inst, &rule, &mut worked) {
             Ok(()) => {}
             Err(cause) => {
                 // Abort path: release locks, unclaim, account.
                 let _ = self.lm.abort(txn); // NotActive when auto-aborted: fine
-                let mut s = self.shared.lock();
-                match cause {
-                    AbortCause::Doomed => s.aborts.doomed += 1,
-                    AbortCause::Deadlock => s.aborts.deadlock += 1,
-                    AbortCause::Stale => s.aborts.stale += 1,
-                    AbortCause::Revalidation => s.aborts.revalidation += 1,
-                    AbortCause::EvalError => {
-                        // Permanently skip this instantiation.
-                        s.refracted.insert(key.clone());
-                        s.aborts.stale += 1;
-                    }
+                self.metrics.count_abort(&cause);
+                self.metrics
+                    .wasted_nanos
+                    .fetch_add(worked.as_nanos() as u64, Relaxed);
+                let mut ledger = self.ledger.lock().unwrap();
+                if matches!(cause, AbortCause::EvalError) {
+                    // Permanently skip this instantiation.
+                    ledger.refracted.insert(key.clone());
                 }
-                s.wasted += worked;
-                s.engine_doomed.remove(&txn);
-                s.claims_by_txn.remove(&txn);
-                s.claimed.remove(&key);
-                s.inflight -= 1;
+                ledger.engine_doomed.remove(&txn);
+                ledger.claims_by_txn.remove(&txn);
+                ledger.claimed.remove(&key);
+                ledger.inflight -= 1;
+                drop(ledger);
                 self.cv.notify_all();
             }
         }
@@ -396,16 +447,19 @@ impl ParallelEngine {
 
         // ---- re-validate the claim under the read locks ----
         {
-            let s = self.shared.lock();
-            if !s.matcher.conflict_set().contains(&key) {
+            let world = self.world.lock().unwrap();
+            let ledger = self.ledger.lock().unwrap();
+            if !world.matcher.conflict_set().contains(&key) {
                 return Err(AbortCause::Stale);
             }
-            if s.engine_doomed.contains(&txn) {
+            if ledger.engine_doomed.contains(&txn) {
                 return Err(AbortCause::Revalidation);
             }
         }
 
         // ---- simulated RHS work, polling for dooms ----
+        // Note: polling touches only the lock manager and the ledger,
+        // never the world — busy workers do not serialise the matcher.
         let budget = self.config.work.duration(&rule.name);
         if !budget.is_zero() {
             let t0 = Instant::now();
@@ -413,8 +467,8 @@ impl ParallelEngine {
                 std::thread::sleep(Duration::from_micros(50).min(budget));
                 *worked = t0.elapsed();
                 self.lm.check(txn).map_err(classify)?;
-                let s = self.shared.lock();
-                if s.engine_doomed.contains(&txn) {
+                let ledger = self.ledger.lock().unwrap();
+                if ledger.engine_doomed.contains(&txn) {
                     return Err(AbortCause::Revalidation);
                 }
             }
@@ -464,8 +518,13 @@ impl ParallelEngine {
         }
 
         // ---- commit ----
-        let mut s = self.shared.lock();
-        if s.engine_doomed.contains(&txn) {
+        // World and ledger held together across lm.commit + WM/matcher
+        // apply: the commit must be atomic with respect to claim
+        // re-validation and other commits (the Theorem 2 oracle replays
+        // the trace serially, so commit order must equal apply order).
+        let mut world = self.world.lock().unwrap();
+        let mut ledger = self.ledger.lock().unwrap();
+        if ledger.engine_doomed.contains(&txn) {
             return Err(AbortCause::Revalidation);
         }
         let outcome = self.lm.commit(txn).map_err(classify)?;
@@ -473,41 +532,40 @@ impl ParallelEngine {
         // cannot have vanished (its read set was lock-protected since
         // re-validation, and a committed conflicting writer would have
         // failed the lm.commit above).
-        debug_assert!(s.matcher.conflict_set().contains(&key));
-        let changes = s.wm.apply(&delta).expect("locked WMEs are live");
-        s.matcher.apply(&changes);
-        s.refracted.insert(key.clone());
-        s.trace.firings.push(Firing {
-            rule: inst.rule,
-            rule_name: rule.name.clone(),
-            key: key.clone(),
-            delta,
-            halt,
-        });
-        s.commits += 1;
-        s.halted |= halt;
+        debug_assert!(world.matcher.conflict_set().contains(&key));
+        {
+            let mut trace = self.trace.lock().unwrap();
+            world.commit(
+                &mut ledger.refracted,
+                &mut trace,
+                Firing {
+                    rule: inst.rule,
+                    rule_name: rule.name.clone(),
+                    key: key.clone(),
+                    delta,
+                    halt,
+                },
+            );
+        }
+        self.metrics.commits.fetch_add(1, Relaxed);
+        ledger.halted |= halt;
         // Engine-level revalidation (policy `Revalidate`): doom only the
         // affected readers whose instantiation this commit invalidated.
         for reader in outcome.needs_revalidation {
-            let still_valid = s
+            let still_valid = ledger
                 .claims_by_txn
                 .get(&reader)
-                .is_some_and(|k| s.matcher.conflict_set().contains(k));
+                .is_some_and(|k| world.matcher.conflict_set().contains(k));
             if !still_valid {
-                s.engine_doomed.insert(reader);
+                ledger.engine_doomed.insert(reader);
             }
         }
-        s.claims_by_txn.remove(&txn);
-        s.claimed.remove(&key);
-        s.inflight -= 1;
-        if s.refracted.len() > 2048 {
-            let snapshot: Vec<InstKey> = s.refracted.iter().cloned().collect();
-            for k in snapshot {
-                if !s.matcher.conflict_set().contains(&k) {
-                    s.refracted.remove(&k);
-                }
-            }
-        }
+        ledger.claims_by_txn.remove(&txn);
+        ledger.claimed.remove(&key);
+        ledger.inflight -= 1;
+        world.gc_refracted(&mut ledger.refracted, 2048);
+        drop(ledger);
+        drop(world);
         self.cv.notify_all();
         Ok(())
     }

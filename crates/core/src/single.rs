@@ -7,6 +7,7 @@ use dps_match::{InstKey, Matcher, Rete, Strategy};
 use dps_rules::{instantiate_actions, RuleSet};
 use dps_wm::WorkingMemory;
 
+use crate::world::World;
 use crate::{Firing, Trace};
 
 /// Configuration of a single-thread run.
@@ -60,8 +61,7 @@ pub struct RunReport {
 #[derive(Clone, Debug)]
 pub struct SingleThreadEngine<M: Matcher = Rete> {
     rules: RuleSet,
-    wm: WorkingMemory,
-    matcher: M,
+    world: World<M>,
     config: EngineConfig,
     refracted: HashSet<InstKey>,
     trace: Trace,
@@ -87,8 +87,7 @@ impl<M: Matcher> SingleThreadEngine<M> {
     ) -> Self {
         SingleThreadEngine {
             rules: rules.clone(),
-            wm,
-            matcher,
+            world: World { wm, matcher },
             config,
             refracted: HashSet::new(),
             trace: Trace::default(),
@@ -98,12 +97,12 @@ impl<M: Matcher> SingleThreadEngine<M> {
 
     /// The current working memory.
     pub fn wm(&self) -> &WorkingMemory {
-        &self.wm
+        &self.world.wm
     }
 
     /// The matcher (for conflict-set inspection).
     pub fn matcher(&self) -> &M {
-        &self.matcher
+        &self.world.matcher
     }
 
     /// The commit sequence so far.
@@ -120,7 +119,7 @@ impl<M: Matcher> SingleThreadEngine<M> {
         let Some(inst) = self
             .config
             .strategy
-            .select(self.matcher.conflict_set(), &self.refracted)
+            .select(self.world.matcher.conflict_set(), &self.refracted)
         else {
             return StepOutcome::Quiescent;
         };
@@ -129,20 +128,20 @@ impl<M: Matcher> SingleThreadEngine<M> {
             .rules
             .get(inst.rule)
             .expect("matcher only emits known rules");
-        // execute
+        // execute — the commit skeleton is the one shared by all engines.
         let (delta, halt) = instantiate_actions(rule, &inst.bindings, &inst.wmes)
             .expect("validated rule instantiates");
-        let key = inst.key();
-        let changes = self.wm.apply(&delta).expect("matched WMEs are live");
-        self.matcher.apply(&changes);
-        self.refracted.insert(key.clone());
-        self.trace.firings.push(Firing {
-            rule: inst.rule,
-            rule_name: rule.name.clone(),
-            key,
-            delta,
-            halt,
-        });
+        self.world.commit(
+            &mut self.refracted,
+            &mut self.trace,
+            Firing {
+                rule: inst.rule,
+                rule_name: rule.name.clone(),
+                key: inst.key(),
+                delta,
+                halt,
+            },
+        );
         if halt {
             self.halted = true;
             return StepOutcome::Halted;
@@ -150,10 +149,7 @@ impl<M: Matcher> SingleThreadEngine<M> {
         // Keep the refraction set from growing without bound: drop keys
         // that are no longer in the conflict set (they can never match
         // again — timestamps are fresh on re-assertion).
-        if self.refracted.len() > 1024 {
-            let cs = self.matcher.conflict_set();
-            self.refracted.retain(|k| cs.contains(k));
-        }
+        self.world.gc_refracted(&mut self.refracted, 1024);
         StepOutcome::Fired
     }
 
@@ -175,7 +171,7 @@ impl<M: Matcher> SingleThreadEngine<M> {
 
     /// Consumes the engine, returning the final working memory and trace.
     pub fn into_parts(self) -> (WorkingMemory, Trace) {
-        (self.wm, self.trace)
+        (self.world.wm, self.trace)
     }
 }
 

@@ -21,6 +21,7 @@ use dps_rules::analysis::{interferes, rule_access, Granularity, RuleAccess};
 use dps_rules::{instantiate_actions, RuleSet};
 use dps_wm::{Atom, DeltaSet, WorkingMemory};
 
+use crate::world::World;
 use crate::{Firing, Footprint, Trace};
 
 /// How batch members are checked for mutual non-interference.
@@ -92,8 +93,7 @@ impl StaticReport {
 pub struct StaticParallelEngine {
     rules: RuleSet,
     accesses: Vec<RuleAccess>,
-    wm: WorkingMemory,
-    matcher: Rete,
+    world: World,
     config: StaticConfig,
     refracted: HashSet<InstKey>,
     trace: Trace,
@@ -108,8 +108,7 @@ impl StaticParallelEngine {
         StaticParallelEngine {
             rules: rules.clone(),
             accesses,
-            wm,
-            matcher,
+            world: World { wm, matcher },
             config,
             refracted: HashSet::new(),
             trace: Trace::default(),
@@ -119,7 +118,7 @@ impl StaticParallelEngine {
 
     /// The current working memory.
     pub fn wm(&self) -> &WorkingMemory {
-        &self.wm
+        &self.world.wm
     }
 
     fn cost(&self, name: &Atom) -> u64 {
@@ -131,6 +130,7 @@ impl StaticParallelEngine {
     fn cycle(&mut self) -> usize {
         // Candidate instantiations, deterministic order.
         let candidates: Vec<Instantiation> = self
+            .world
             .matcher
             .conflict_set()
             .iter()
@@ -183,29 +183,24 @@ impl StaticParallelEngine {
         for &i in &batch {
             let (inst, delta, halt, _) = &prepared[i];
             let rule_name = self.rules.get(inst.rule).expect("known").name.clone();
-            let changes = self
-                .wm
-                .apply(delta)
-                .expect("non-interfering batch applies cleanly");
-            self.matcher.apply(&changes);
-            self.refracted.insert(inst.key());
             max_cost = max_cost.max(self.cost(&rule_name));
-            self.trace.firings.push(Firing {
-                rule: inst.rule,
-                rule_name,
-                key: inst.key(),
-                delta: delta.clone(),
-                halt: *halt,
-            });
+            self.world.commit(
+                &mut self.refracted,
+                &mut self.trace,
+                Firing {
+                    rule: inst.rule,
+                    rule_name,
+                    key: inst.key(),
+                    delta: delta.clone(),
+                    halt: *halt,
+                },
+            );
             if *halt {
                 self.halted = true;
                 break;
             }
         }
-        if self.refracted.len() > 1024 {
-            let cs = self.matcher.conflict_set();
-            self.refracted.retain(|k| cs.contains(k));
-        }
+        self.world.gc_refracted(&mut self.refracted, 1024);
         batch.len()
     }
 

@@ -46,10 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod deadlock;
 mod error;
 mod manager;
 mod modes;
+mod sharding;
+mod txn;
 
 pub use error::LockError;
 pub use manager::{CommitOutcome, ConflictPolicy, LockEvent, LockManager, LockStats, TxnId};
 pub use modes::{compatibility_table, compatible, LockMode, Protocol, ResourceId};
+pub use sharding::DEFAULT_SHARDS;

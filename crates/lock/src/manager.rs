@@ -1,28 +1,47 @@
-//! The centralised lock manager.
+//! The sharded lock manager.
 //!
-//! One global lock table guarded by a mutex, a condition variable for
-//! blocking waits, FIFO-fair queues per resource, waits-for-graph
-//! deadlock detection (youngest victim), and the paper's commit-time
-//! `Rc`–`Wa` conflict resolution.
+//! Formerly one global `Mutex<State>` through which every `begin`,
+//! `lock`, `commit` and `abort` funnelled — the scalability killer this
+//! refactor removes. The decomposition follows the coordination-
+//! avoidance principle: coordinate only where the `Rc`/`Ra`/`Wa`
+//! semantics demand it.
+//!
+//! * **Lock table** → striped into [`Shard`]s (hash of the
+//!   [`ResourceId`]); two transactions on resources in different shards
+//!   never contend. FIFO waiter queues live inside each per-resource
+//!   entry, so fairness is unchanged.
+//! * **Transaction state** → per-transaction [`TxnState`] with its own
+//!   mutex and a [`WaitSlot`] to park on. Commit's `Rc`–`Wa` rule
+//!   linearizes at the owner's `Active → Committed` status flip — the
+//!   same race the old global lock serialised, now serialised by the
+//!   one mutex that actually matters.
+//! * **Counters / event log** → atomics and a dedicated mutex; hot
+//!   paths no longer serialise on bookkeeping.
+//! * **Deadlock detection** → a cross-shard waits-for walk
+//!   (see [`crate::deadlock`]) run by the transaction that blocks.
+//!
+//! Lock ordering (deadlock-freedom of the manager itself): a shard
+//! mutex may be taken before a transaction's `inner` mutex; `inner` is
+//! never held while taking a shard; the txn registry read lock and the
+//! `WaitSlot` mutex are leaves. At most one shard and one `inner` are
+//! held at any time.
+//!
+//! The public API and the commit-time `Rc`–`Wa` semantics are
+//! byte-for-byte those of the old centralised manager; the test suite
+//! below is carried over unchanged.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::BTreeMap;
 use std::fmt;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use crate::deadlock::find_cycle;
+use crate::sharding::{shard_of, Shard, DEFAULT_SHARDS};
+use crate::txn::{Status, TxnState};
+use crate::{LockError, LockMode, ResourceId};
 
-use crate::{compatible, LockError, LockMode, ResourceId};
-
-/// Transaction identifier. Monotonically increasing: a larger id means a
-/// *younger* transaction (deadlock victims are the youngest in the cycle).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct TxnId(pub u64);
-
-impl fmt::Display for TxnId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "T{}", self.0)
-    }
-}
+pub use crate::txn::TxnId;
 
 /// What to do with live `Rc` holders when an overlapping `Wa` holder
 /// commits first (paper §4.3).
@@ -84,180 +103,37 @@ pub enum LockEvent {
     Abort(TxnId),
 }
 
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum Status {
-    Active,
-    Doomed { by: Option<TxnId> },
-    Committed,
-    Aborted,
-}
-
+/// Monotonic event counters, updated lock-free on the hot paths.
 #[derive(Debug, Default)]
-struct TxnInfo {
-    status: Option<Status>,
-    held: BTreeMap<ResourceId, BTreeSet<LockMode>>,
+struct StatCounters {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    grants: AtomicU64,
+    blocks: AtomicU64,
+    dooms: AtomicU64,
+    deadlocks: AtomicU64,
 }
 
-impl TxnInfo {
-    fn status(&self) -> &Status {
-        self.status.as_ref().expect("initialised at begin")
-    }
-}
-
-#[derive(Debug, Default)]
-struct Entry {
-    holders: BTreeMap<TxnId, BTreeSet<LockMode>>,
-    waiters: VecDeque<(TxnId, LockMode)>,
-}
-
-#[derive(Debug, Default)]
-struct State {
-    next: u64,
-    txns: HashMap<TxnId, TxnInfo>,
-    table: HashMap<ResourceId, Entry>,
-    /// txn → resource it is currently blocked on (at most one).
-    waiting_on: HashMap<TxnId, (ResourceId, LockMode)>,
-    events: Vec<LockEvent>,
-    record: bool,
-    aborts: u64,
-    commits: u64,
-    stats: LockStats,
-}
-
-impl State {
-    fn log(&mut self, e: LockEvent) {
-        if self.record {
-            self.events.push(e);
-        }
-    }
-
-    fn entry(&mut self, res: ResourceId) -> &mut Entry {
-        self.table.entry(res).or_default()
-    }
-
-    /// Is `mode` grantable to `txn` on `res` right now?
-    fn grantable(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> bool {
-        let Some(entry) = self.table.get(&res) else {
-            return true;
-        };
-        for (&holder, modes) in &entry.holders {
-            if holder == txn {
-                continue;
-            }
-            if modes.iter().any(|&held| !compatible(held, mode)) {
-                return false;
-            }
-        }
-        // FIFO fairness: do not jump over an earlier waiter we conflict
-        // with (prevents writer starvation).
-        for &(waiter, wmode) in &entry.waiters {
-            if waiter == txn {
-                break;
-            }
-            if !compatible(wmode, mode) || !compatible(mode, wmode) {
-                return false;
-            }
-        }
-        true
-    }
-
-    fn grant(&mut self, txn: TxnId, res: ResourceId, mode: LockMode) {
-        self.entry(res).holders.entry(txn).or_default().insert(mode);
-        self.txns
-            .get_mut(&txn)
-            .expect("active")
-            .held
-            .entry(res)
-            .or_default()
-            .insert(mode);
-        self.stats.grants += 1;
-        self.log(LockEvent::Grant(txn, res, mode));
-    }
-
-    fn dequeue_waiter(&mut self, txn: TxnId) {
-        if let Some((res, _)) = self.waiting_on.remove(&txn) {
-            if let Some(entry) = self.table.get_mut(&res) {
-                entry.waiters.retain(|&(t, _)| t != txn);
-            }
-        }
-    }
-
-    fn release_all(&mut self, txn: TxnId) {
-        let held = std::mem::take(&mut self.txns.get_mut(&txn).expect("known txn").held);
-        for res in held.keys() {
-            if let Some(entry) = self.table.get_mut(res) {
-                entry.holders.remove(&txn);
-                if entry.holders.is_empty() && entry.waiters.is_empty() {
-                    self.table.remove(res);
-                }
-            }
-        }
-        self.dequeue_waiter(txn);
-    }
-
-    /// Transactions currently blocking `txn`'s pending request.
-    fn blockers(&self, txn: TxnId) -> Vec<TxnId> {
-        let Some(&(res, mode)) = self.waiting_on.get(&txn) else {
-            return Vec::new();
-        };
-        let Some(entry) = self.table.get(&res) else {
-            return Vec::new();
-        };
-        let mut out = Vec::new();
-        for (&holder, modes) in &entry.holders {
-            if holder != txn && modes.iter().any(|&held| !compatible(held, mode)) {
-                out.push(holder);
-            }
-        }
-        for &(waiter, wmode) in &entry.waiters {
-            if waiter == txn {
-                break;
-            }
-            if !compatible(wmode, mode) || !compatible(mode, wmode) {
-                out.push(waiter);
-            }
-        }
-        out
-    }
-
-    /// Looks for a waits-for cycle through `start`; returns the members.
-    fn find_cycle(&self, start: TxnId) -> Option<Vec<TxnId>> {
-        fn dfs(
-            state: &State,
-            node: TxnId,
-            start: TxnId,
-            path: &mut Vec<TxnId>,
-            depth: usize,
-        ) -> bool {
-            if depth > 0 && node == start {
-                return true;
-            }
-            if depth > 64 || path.contains(&node) {
-                return false;
-            }
-            path.push(node);
-            for b in state.blockers(node) {
-                if dfs(state, b, start, path, depth + 1) {
-                    return true;
-                }
-            }
-            path.pop();
-            false
-        }
-        let mut path: Vec<TxnId> = Vec::new();
-        if dfs(self, start, start, &mut path, 0) {
-            Some(path)
-        } else {
-            None
-        }
-    }
+/// Outcome of one attempt inside the [`LockManager::lock`] loop.
+enum Attempt {
+    /// Mode already held — no-op re-grant.
+    AlreadyHeld,
+    /// Granted now; wake these (formerly FIFO-blocked-by-us) waiters.
+    Granted { wake: Vec<TxnId> },
+    /// Not grantable; enqueued (`newly` = first time for this request)
+    /// and the wait slot is armed.
+    Enqueued { newly: bool },
 }
 
 /// The lock manager. Cheap to share behind an `Arc`; all methods take
 /// `&self`.
 pub struct LockManager {
-    state: Mutex<State>,
-    cv: Condvar,
+    shards: Box<[Shard]>,
+    txns: RwLock<std::collections::HashMap<TxnId, Arc<TxnState>>>,
+    next: AtomicU64,
+    stats: StatCounters,
+    record: AtomicBool,
+    events: Mutex<Vec<LockEvent>>,
     policy: ConflictPolicy,
     timeout: Option<Duration>,
 }
@@ -266,9 +142,21 @@ impl LockManager {
     /// Creates a manager with the given `Rc`–`Wa` conflict policy and no
     /// wait timeout (deadlocks are handled by detection).
     pub fn new(policy: ConflictPolicy) -> Self {
+        LockManager::with_shards(policy, DEFAULT_SHARDS)
+    }
+
+    /// Creates a manager with an explicit stripe count (min 1). Useful
+    /// for tests that want to force cross-shard paths (`shards = 1`
+    /// collapses to the old centralised behaviour).
+    pub fn with_shards(policy: ConflictPolicy, shards: usize) -> Self {
+        let n = shards.max(1);
         LockManager {
-            state: Mutex::new(State::default()),
-            cv: Condvar::new(),
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            txns: RwLock::new(std::collections::HashMap::new()),
+            next: AtomicU64::new(0),
+            stats: StatCounters::default(),
+            record: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
             policy,
             timeout: None,
         }
@@ -289,179 +177,267 @@ impl LockManager {
 
     /// Turns event recording on or off (off by default).
     pub fn set_recording(&self, on: bool) {
-        self.state.lock().record = on;
+        self.record.store(on, Relaxed);
     }
 
     /// Drains the recorded event log.
     pub fn take_events(&self) -> Vec<LockEvent> {
-        std::mem::take(&mut self.state.lock().events)
+        std::mem::take(&mut *self.events.lock().unwrap())
     }
 
     /// `(commits, aborts)` counters.
     pub fn counters(&self) -> (u64, u64) {
-        let s = self.state.lock();
-        (s.commits, s.aborts)
+        (
+            self.stats.commits.load(Relaxed),
+            self.stats.aborts.load(Relaxed),
+        )
     }
 
     /// Full aggregate statistics.
     pub fn stats(&self) -> LockStats {
-        let s = self.state.lock();
         LockStats {
-            commits: s.commits,
-            aborts: s.aborts,
-            ..s.stats
+            commits: self.stats.commits.load(Relaxed),
+            aborts: self.stats.aborts.load(Relaxed),
+            grants: self.stats.grants.load(Relaxed),
+            blocks: self.stats.blocks.load(Relaxed),
+            dooms: self.stats.dooms.load(Relaxed),
+            deadlocks: self.stats.deadlocks.load(Relaxed),
+        }
+    }
+
+    fn log(&self, e: LockEvent) {
+        if self.record.load(Relaxed) {
+            self.events.lock().unwrap().push(e);
+        }
+    }
+
+    fn txn_state(&self, txn: TxnId) -> Option<Arc<TxnState>> {
+        self.txns.read().unwrap().get(&txn).cloned()
+    }
+
+    fn shard(&self, res: ResourceId) -> &Shard {
+        &self.shards[shard_of(res, self.shards.len())]
+    }
+
+    /// Wakes the given transactions' wait slots.
+    fn signal_all(&self, ids: &[TxnId]) {
+        if ids.is_empty() {
+            return;
+        }
+        let reg = self.txns.read().unwrap();
+        for id in ids {
+            if let Some(ts) = reg.get(id) {
+                ts.slot.signal();
+            }
         }
     }
 
     /// Starts a transaction.
     pub fn begin(&self) -> TxnId {
-        let mut s = self.state.lock();
-        let id = TxnId(s.next);
-        s.next += 1;
-        s.txns.insert(
-            id,
-            TxnInfo {
-                status: Some(Status::Active),
-                held: BTreeMap::new(),
-            },
-        );
-        s.log(LockEvent::Begin(id));
+        let id = TxnId(self.next.fetch_add(1, Relaxed));
+        self.txns
+            .write()
+            .unwrap()
+            .insert(id, Arc::new(TxnState::new()));
+        self.log(LockEvent::Begin(id));
         id
     }
 
     /// `true` while the transaction is live (neither doomed, committed
     /// nor aborted).
     pub fn is_active(&self, txn: TxnId) -> bool {
-        matches!(
-            self.state
-                .lock()
-                .txns
-                .get(&txn)
-                .and_then(|t| t.status.as_ref()),
-            Some(Status::Active)
-        )
+        self.txn_state(txn)
+            .is_some_and(|ts| matches!(ts.inner.lock().unwrap().status, Status::Active))
     }
 
     /// Checks for a pending doom without acquiring anything — engines
     /// poll this between RHS steps so a doomed production stops early.
     /// On doom the transaction is auto-aborted and the error returned.
     pub fn check(&self, txn: TxnId) -> Result<(), LockError> {
-        let mut s = self.state.lock();
-        self.check_doomed(&mut s, txn)
+        match self.txn_state(txn) {
+            Some(ts) => self.check_doomed(txn, &ts),
+            None => Ok(()),
+        }
     }
 
     /// Acquires `mode` on `res` for `txn`, blocking until granted.
     pub fn lock(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> Result<(), LockError> {
-        let mut s = self.state.lock();
+        let Some(ts) = self.txn_state(txn) else {
+            return Err(LockError::NotActive(txn));
+        };
+        let deadline = self.timeout.map(|d| Instant::now() + d);
         loop {
-            self.check_doomed(&mut s, txn)?;
-            match s.txns.get(&txn).map(TxnInfo::status) {
-                Some(Status::Active) => {}
-                _ => return Err(LockError::NotActive(txn)),
-            }
-            // Re-grant of an already held mode is a no-op.
-            if s.txns[&txn]
-                .held
-                .get(&res)
-                .is_some_and(|m| m.contains(&mode))
-            {
-                s.dequeue_waiter(txn);
-                return Ok(());
-            }
-            if s.grantable(txn, res, mode) {
-                s.dequeue_waiter(txn);
-                s.grant(txn, res, mode);
-                self.cv.notify_all();
-                return Ok(());
-            }
-            // Enqueue and look for a deadlock.
-            if s.waiting_on.get(&txn) != Some(&(res, mode)) {
-                s.dequeue_waiter(txn);
-                s.waiting_on.insert(txn, (res, mode));
-                s.entry(res).waiters.push_back((txn, mode));
-                s.stats.blocks += 1;
-                s.log(LockEvent::Block(txn, res, mode));
-            }
-            if let Some(cycle) = s.find_cycle(txn) {
-                let victim = cycle.iter().copied().max().expect("cycle is non-empty");
-                if let Some(t) = s.txns.get_mut(&victim) {
-                    if matches!(t.status(), Status::Active) {
-                        t.status = Some(Status::Doomed { by: None });
-                        s.stats.deadlocks += 1;
-                        s.log(LockEvent::Doom(victim, None));
+            self.check_doomed(txn, &ts)?;
+            let attempt = {
+                let mut table = self.shard(res).table.lock().unwrap();
+                let mut inner = ts.inner.lock().unwrap();
+                match inner.status {
+                    Status::Active => {}
+                    // Doomed: loop back so check_doomed surfaces it.
+                    Status::Doomed { .. } => continue,
+                    _ => return Err(LockError::NotActive(txn)),
+                }
+                if inner.held.get(&res).is_some_and(|m| m.contains(&mode)) {
+                    Attempt::AlreadyHeld
+                } else if table.get(&res).is_none_or(|e| e.grantable(txn, mode)) {
+                    let entry = table.entry(res).or_default();
+                    let wake = if inner.waiting_on.take().is_some() {
+                        entry.remove_waiter(txn);
+                        // Waiters FIFO-blocked only by our queue entry
+                        // may now be grantable.
+                        entry.waiter_ids(txn)
+                    } else {
+                        Vec::new()
+                    };
+                    entry.holders.entry(txn).or_default().insert(mode);
+                    inner.held.entry(res).or_default().insert(mode);
+                    Attempt::Granted { wake }
+                } else {
+                    let newly = inner.waiting_on != Some((res, mode));
+                    if newly {
+                        let entry = table.entry(res).or_default();
+                        entry.remove_waiter(txn);
+                        entry.waiters.push_back((txn, mode));
+                        inner.waiting_on = Some((res, mode));
+                    }
+                    // Arm while still inside the shard critical section:
+                    // every waker mutates under this shard lock first and
+                    // signals after, so no wakeup can be lost.
+                    ts.slot.arm();
+                    Attempt::Enqueued { newly }
+                }
+            };
+            match attempt {
+                Attempt::AlreadyHeld => return Ok(()),
+                Attempt::Granted { wake } => {
+                    self.stats.grants.fetch_add(1, Relaxed);
+                    self.log(LockEvent::Grant(txn, res, mode));
+                    self.signal_all(&wake);
+                    return Ok(());
+                }
+                Attempt::Enqueued { newly } => {
+                    if newly {
+                        self.stats.blocks.fetch_add(1, Relaxed);
+                        self.log(LockEvent::Block(txn, res, mode));
+                    }
+                    // Deadlock detection runs with no shard lock held.
+                    if let Some(cycle) = find_cycle(txn, &|t| self.blockers_of(t)) {
+                        let victim = *cycle.iter().max().expect("cycle is non-empty");
+                        self.doom_deadlock_victim(victim);
+                        if victim == txn {
+                            self.check_doomed(txn, &ts)?;
+                        }
+                    }
+                    // A doom whose signal landed *before* our arm would be
+                    // erased by it — but such a doom set our status before
+                    // signalling, so this re-check catches it. Dooms after
+                    // the arm land on the flag and park returns at once.
+                    if matches!(ts.inner.lock().unwrap().status, Status::Doomed { .. }) {
+                        self.check_doomed(txn, &ts)?;
+                    }
+                    match deadline {
+                        Some(d) => {
+                            if ts.slot.park_until(d) {
+                                self.cancel_wait(txn, &ts, res);
+                                return Err(LockError::Timeout(txn));
+                            }
+                        }
+                        None => ts.slot.park(),
                     }
                 }
-                self.cv.notify_all();
-                if victim == txn {
-                    self.check_doomed(&mut s, txn)?;
-                }
-            }
-            match self.timeout {
-                Some(dur) => {
-                    if self.cv.wait_for(&mut s, dur).timed_out() {
-                        s.dequeue_waiter(txn);
-                        return Err(LockError::Timeout(txn));
-                    }
-                }
-                None => self.cv.wait(&mut s),
             }
         }
     }
 
     /// Non-blocking acquire: `Ok(true)` granted, `Ok(false)` would block.
     pub fn try_lock(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> Result<bool, LockError> {
-        let mut s = self.state.lock();
-        self.check_doomed(&mut s, txn)?;
-        match s.txns.get(&txn).map(TxnInfo::status) {
-            Some(Status::Active) => {}
-            _ => return Err(LockError::NotActive(txn)),
+        let Some(ts) = self.txn_state(txn) else {
+            return Err(LockError::NotActive(txn));
+        };
+        self.check_doomed(txn, &ts)?;
+        let granted = {
+            let mut table = self.shard(res).table.lock().unwrap();
+            let mut inner = ts.inner.lock().unwrap();
+            match inner.status {
+                Status::Active => {}
+                Status::Doomed { .. } => {
+                    drop(inner);
+                    drop(table);
+                    self.check_doomed(txn, &ts)?;
+                    unreachable!("doomed status must surface as an error");
+                }
+                _ => return Err(LockError::NotActive(txn)),
+            }
+            if inner.held.get(&res).is_some_and(|m| m.contains(&mode)) {
+                return Ok(true);
+            }
+            if table.get(&res).is_none_or(|e| e.grantable(txn, mode)) {
+                table
+                    .entry(res)
+                    .or_default()
+                    .holders
+                    .entry(txn)
+                    .or_default()
+                    .insert(mode);
+                inner.held.entry(res).or_default().insert(mode);
+                true
+            } else {
+                false
+            }
+        };
+        if granted {
+            self.stats.grants.fetch_add(1, Relaxed);
+            self.log(LockEvent::Grant(txn, res, mode));
         }
-        if s.txns[&txn]
-            .held
-            .get(&res)
-            .is_some_and(|m| m.contains(&mode))
-        {
-            return Ok(true);
-        }
-        if s.grantable(txn, res, mode) {
-            s.grant(txn, res, mode);
-            self.cv.notify_all();
-            Ok(true)
-        } else {
-            Ok(false)
-        }
+        Ok(granted)
     }
 
     /// Commits the transaction: applies the `Rc`–`Wa` commit rule, then
     /// releases every lock.
     pub fn commit(&self, txn: TxnId) -> Result<CommitOutcome, LockError> {
-        let mut s = self.state.lock();
-        self.check_doomed(&mut s, txn)?;
-        match s.txns.get(&txn).map(TxnInfo::status) {
-            Some(Status::Active) => {}
-            _ => return Err(LockError::NotActive(txn)),
-        }
+        let Some(ts) = self.txn_state(txn) else {
+            return Err(LockError::NotActive(txn));
+        };
+        // The linearization point: doom-check and Active → Committed flip
+        // are one critical section on our own mutex, so a concurrently
+        // committing writer either dooms us first (we abort here) or sees
+        // us Committed and skips us (Figure 4.3(a), reader-first order).
+        let taken = {
+            let mut inner = ts.inner.lock().unwrap();
+            match inner.status {
+                Status::Doomed { .. } => None,
+                Status::Active => {
+                    inner.status = Status::Committed;
+                    Some((std::mem::take(&mut inner.held), inner.waiting_on.take()))
+                }
+                _ => return Err(LockError::NotActive(txn)),
+            }
+        };
+        let Some((held, waiting)) = taken else {
+            self.check_doomed(txn, &ts)?;
+            unreachable!("doomed status must surface as an error");
+        };
         // Find live Rc holders overlapped by our Wa locks (they could
         // only have acquired Rc *before* our Wa was granted — Table 4.1
-        // forbids the reverse order).
-        let mut affected: Vec<TxnId> = Vec::new();
-        let held: Vec<(ResourceId, bool)> = s.txns[&txn]
-            .held
+        // forbids the reverse order). We still hold the shard entries, so
+        // no new Rc can slip in before release below.
+        let wa: Vec<ResourceId> = held
             .iter()
-            .map(|(r, modes)| (*r, modes.contains(&LockMode::Wa)))
+            .filter(|(_, modes)| modes.contains(&LockMode::Wa))
+            .map(|(r, _)| *r)
             .collect();
-        for (res, has_wa) in held {
-            if !has_wa {
-                continue;
-            }
-            if let Some(entry) = s.table.get(&res) {
-                for (&holder, modes) in &entry.holders {
-                    if holder != txn
-                        && modes.contains(&LockMode::Rc)
-                        && matches!(s.txns[&holder].status(), Status::Active)
-                        && !affected.contains(&holder)
-                    {
-                        affected.push(holder);
+        let mut affected: Vec<TxnId> = Vec::new();
+        for (si, ress) in group_by_shard(&wa, self.shards.len()) {
+            let table = self.shards[si].table.lock().unwrap();
+            for res in ress {
+                if let Some(entry) = table.get(&res) {
+                    for (&holder, modes) in &entry.holders {
+                        if holder != txn
+                            && modes.contains(&LockMode::Rc)
+                            && !affected.contains(&holder)
+                        {
+                            affected.push(holder);
+                        }
                     }
                 }
             }
@@ -470,65 +446,204 @@ impl LockManager {
         match self.policy {
             ConflictPolicy::AbortReaders => {
                 for reader in affected {
-                    s.txns.get_mut(&reader).expect("known").status =
-                        Some(Status::Doomed { by: Some(txn) });
-                    s.stats.dooms += 1;
-                    s.log(LockEvent::Doom(reader, Some(txn)));
-                    outcome.doomed_readers.push(reader);
+                    let Some(rts) = self.txn_state(reader) else {
+                        continue;
+                    };
+                    // Doom only if still Active at this instant — a reader
+                    // that already committed won (legal serial order) and
+                    // one that already aborted needs nothing.
+                    let doomed = {
+                        let mut ri = rts.inner.lock().unwrap();
+                        if matches!(ri.status, Status::Active) {
+                            ri.status = Status::Doomed { by: Some(txn) };
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if doomed {
+                        self.stats.dooms.fetch_add(1, Relaxed);
+                        self.log(LockEvent::Doom(reader, Some(txn)));
+                        outcome.doomed_readers.push(reader);
+                        rts.slot.signal(); // it may be parked
+                    }
                 }
             }
             ConflictPolicy::Revalidate => {
-                outcome.needs_revalidation = affected;
+                for reader in affected {
+                    let still_active = self
+                        .txn_state(reader)
+                        .is_some_and(|rts| matches!(rts.inner.lock().unwrap().status, Status::Active));
+                    if still_active {
+                        outcome.needs_revalidation.push(reader);
+                    }
+                }
             }
         }
-        s.release_all(txn);
-        s.txns.get_mut(&txn).expect("known").status = Some(Status::Committed);
-        s.commits += 1;
-        s.log(LockEvent::Commit(txn));
-        self.cv.notify_all();
+        self.release_held(txn, held, waiting);
+        self.stats.commits.fetch_add(1, Relaxed);
+        self.log(LockEvent::Commit(txn));
         Ok(outcome)
     }
 
     /// Aborts the transaction, releasing everything it holds.
     pub fn abort(&self, txn: TxnId) -> Result<(), LockError> {
-        let mut s = self.state.lock();
-        match s.txns.get(&txn).map(TxnInfo::status) {
-            Some(Status::Active | Status::Doomed { .. }) => {}
-            _ => return Err(LockError::NotActive(txn)),
-        }
-        s.release_all(txn);
-        s.txns.get_mut(&txn).expect("known").status = Some(Status::Aborted);
-        s.aborts += 1;
-        s.log(LockEvent::Abort(txn));
-        self.cv.notify_all();
+        let Some(ts) = self.txn_state(txn) else {
+            return Err(LockError::NotActive(txn));
+        };
+        let taken = {
+            let mut inner = ts.inner.lock().unwrap();
+            match inner.status {
+                Status::Active | Status::Doomed { .. } => {
+                    inner.status = Status::Aborted;
+                    (std::mem::take(&mut inner.held), inner.waiting_on.take())
+                }
+                _ => return Err(LockError::NotActive(txn)),
+            }
+        };
+        self.release_held(txn, taken.0, taken.1);
+        self.stats.aborts.fetch_add(1, Relaxed);
+        self.log(LockEvent::Abort(txn));
         Ok(())
     }
 
-    /// If `txn` is doomed: auto-abort it and surface the reason.
-    fn check_doomed(&self, s: &mut State, txn: TxnId) -> Result<(), LockError> {
-        let doom = match s.txns.get(&txn).and_then(|t| t.status.as_ref()) {
-            Some(Status::Doomed { by }) => Some(*by),
-            _ => None,
+    /// If `txn` is doomed: auto-abort it and surface the reason. The
+    /// `Doomed → Aborted` flip happens in one critical section so the
+    /// abort accounting runs exactly once even under concurrent polls.
+    fn check_doomed(&self, txn: TxnId, ts: &Arc<TxnState>) -> Result<(), LockError> {
+        let doomed = {
+            let mut inner = ts.inner.lock().unwrap();
+            match inner.status {
+                Status::Doomed { by } => {
+                    inner.status = Status::Aborted;
+                    Some((by, std::mem::take(&mut inner.held), inner.waiting_on.take()))
+                }
+                _ => None,
+            }
         };
-        if let Some(by) = doom {
-            s.release_all(txn);
-            s.txns.get_mut(&txn).expect("known").status = Some(Status::Aborted);
-            s.aborts += 1;
-            s.log(LockEvent::Abort(txn));
-            self.cv.notify_all();
-            return Err(match by {
-                Some(writer) => LockError::DoomedByWriter { txn, by: writer },
-                None => LockError::Deadlock(txn),
-            });
-        }
-        Ok(())
+        let Some((by, held, waiting)) = doomed else {
+            return Ok(());
+        };
+        self.release_held(txn, held, waiting);
+        self.stats.aborts.fetch_add(1, Relaxed);
+        self.log(LockEvent::Abort(txn));
+        Err(match by {
+            Some(writer) => LockError::DoomedByWriter { txn, by: writer },
+            None => LockError::Deadlock(txn),
+        })
     }
+
+    /// Transactions currently blocking `t`'s pending request. Reads
+    /// `t`'s own mutex, drops it, then reads the one shard of the
+    /// resource `t` waits for — never two locks at once.
+    fn blockers_of(&self, t: TxnId) -> Vec<TxnId> {
+        let Some(ts) = self.txn_state(t) else {
+            return Vec::new();
+        };
+        let waiting = ts.inner.lock().unwrap().waiting_on;
+        let Some((res, mode)) = waiting else {
+            return Vec::new();
+        };
+        let table = self.shard(res).table.lock().unwrap();
+        match table.get(&res) {
+            Some(entry) => entry.blockers_of(t, mode),
+            None => Vec::new(),
+        }
+    }
+
+    /// Marks `victim` doomed as a deadlock victim (if still active) and
+    /// wakes it so its parked `lock` call can observe the doom.
+    fn doom_deadlock_victim(&self, victim: TxnId) {
+        let Some(vts) = self.txn_state(victim) else {
+            return;
+        };
+        let doomed = {
+            let mut inner = vts.inner.lock().unwrap();
+            if matches!(inner.status, Status::Active) {
+                inner.status = Status::Doomed { by: None };
+                true
+            } else {
+                false
+            }
+        };
+        if doomed {
+            self.stats.deadlocks.fetch_add(1, Relaxed);
+            self.log(LockEvent::Doom(victim, None));
+        }
+        vts.slot.signal();
+    }
+
+    /// Removes `txn` from the waiter queue of `res` after a timed-out
+    /// wait, waking waiters that queued behind it.
+    fn cancel_wait(&self, txn: TxnId, ts: &Arc<TxnState>, res: ResourceId) {
+        let wake = {
+            let mut table = self.shard(res).table.lock().unwrap();
+            let mut inner = ts.inner.lock().unwrap();
+            inner.waiting_on = None;
+            match table.get_mut(&res) {
+                Some(entry) => {
+                    entry.remove_waiter(txn);
+                    let wake = entry.waiter_ids(txn);
+                    if entry.is_vacant() {
+                        table.remove(&res);
+                    }
+                    wake
+                }
+                None => Vec::new(),
+            }
+        };
+        self.signal_all(&wake);
+    }
+
+    /// Releases every held lock (and any stale waiter entry), shard by
+    /// shard, then wakes the waiters of the entries we touched.
+    fn release_held(
+        &self,
+        txn: TxnId,
+        held: BTreeMap<ResourceId, std::collections::BTreeSet<LockMode>>,
+        waiting: Option<(ResourceId, LockMode)>,
+    ) {
+        let mut resources: Vec<ResourceId> = held.keys().copied().collect();
+        if let Some((res, _)) = waiting {
+            if !resources.contains(&res) {
+                resources.push(res);
+            }
+        }
+        let mut wake: Vec<TxnId> = Vec::new();
+        for (si, ress) in group_by_shard(&resources, self.shards.len()) {
+            let mut table = self.shards[si].table.lock().unwrap();
+            for res in ress {
+                if let Some(entry) = table.get_mut(&res) {
+                    entry.holders.remove(&txn);
+                    entry.remove_waiter(txn);
+                    wake.extend(entry.waiter_ids(txn));
+                    if entry.is_vacant() {
+                        table.remove(&res);
+                    }
+                }
+            }
+        }
+        wake.sort_unstable();
+        wake.dedup();
+        self.signal_all(&wake);
+    }
+}
+
+/// Groups resources by their shard index (so each shard mutex is taken
+/// once, and shards are visited in ascending order).
+fn group_by_shard(resources: &[ResourceId], shards: usize) -> BTreeMap<usize, Vec<ResourceId>> {
+    let mut by_shard: BTreeMap<usize, Vec<ResourceId>> = BTreeMap::new();
+    for &res in resources {
+        by_shard.entry(shard_of(res, shards)).or_default().push(res);
+    }
+    by_shard
 }
 
 impl fmt::Debug for LockManager {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LockManager")
             .field("policy", &self.policy)
+            .field("shards", &self.shards.len())
             .finish_non_exhaustive()
     }
 }

@@ -198,13 +198,12 @@ impl Matcher for PartitionedRete {
                 rest = right;
                 offset = ci + 1;
             }
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (_, comp) in &mut slots {
                     let matcher = &mut comp.matcher;
-                    scope.spawn(move |_| matcher.apply(changes));
+                    scope.spawn(move || matcher.apply(changes));
                 }
-            })
-            .expect("matcher thread panicked");
+            });
         } else {
             for &ci in &affected {
                 self.components[ci].matcher.apply(changes);

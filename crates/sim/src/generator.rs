@@ -1,8 +1,7 @@
 //! Random abstract-system generation for the §5 parameter sweeps.
 
 use dps_core::abstract_model::{AbstractProduction, AbstractSystem};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dps_wm::rng::SmallRng;
 
 /// Parameters of a random abstract production system.
 #[derive(Clone, Copy, Debug)]
@@ -41,7 +40,7 @@ pub fn generate(cfg: &GeneratorConfig) -> AbstractSystem {
         cfg.time_range.0 >= 1 && cfg.time_range.0 <= cfg.time_range.1,
         "bad time range"
     );
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let n = cfg.productions;
     let mut prods = Vec::with_capacity(n);
     for i in 0..n {
@@ -57,7 +56,7 @@ pub fn generate(cfg: &GeneratorConfig) -> AbstractSystem {
                 adds.push(j);
             }
         }
-        let t = rng.random_range(cfg.time_range.0..=cfg.time_range.1);
+        let t = rng.range_u64(cfg.time_range.0, cfg.time_range.1);
         prods.push(AbstractProduction::new(adds, dels, t));
     }
     AbstractSystem::new(prods, 0..n)

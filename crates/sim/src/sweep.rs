@@ -3,13 +3,11 @@
 //! degree of conflict, number of processors, execution-time skew — over
 //! randomized systems, averaged across seeds.
 
-use serde::Serialize;
-
 use crate::generator::{generate, GeneratorConfig};
 use crate::{compare, single_thread_time};
 
 /// One point of a sweep.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SweepPoint {
     /// The varied parameter's value.
     pub x: f64,

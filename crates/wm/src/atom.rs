@@ -5,8 +5,6 @@ use std::borrow::Borrow;
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// A cheaply cloneable immutable string.
 ///
 /// Class names, attribute names and symbols occur in huge numbers of WMEs,
@@ -21,8 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a, b);
 /// assert_eq!(a.as_str(), "goal");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Atom(Arc<str>);
 
 impl Atom {

@@ -9,13 +9,11 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Atom, Value, Wme, WmeData, WmeId};
 
 /// One buffered RHS operation. `create`/`modify`/`delete` mirror the
 /// paper's §2 RHS operation list.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Delta {
     /// `create`: insert a new element.
     Create(WmeData),
@@ -32,7 +30,7 @@ pub enum Delta {
 }
 
 /// An ordered collection of buffered operations forming one atomic update.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DeltaSet {
     ops: Vec<Delta>,
 }
@@ -114,7 +112,7 @@ impl FromIterator<Delta> for DeltaSet {
 /// A `modify` appears as a `Removed` of the old element followed by an
 /// `Added` of the new one (same id, fresh timestamp), which is exactly how
 /// OPS5's Rete treats modifies.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Change {
     /// An element entered working memory.
     Added(Wme),

@@ -46,6 +46,7 @@ mod delta;
 mod error;
 mod persist;
 mod relation;
+pub mod rng;
 mod store;
 mod value;
 mod wme;

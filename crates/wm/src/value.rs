@@ -4,8 +4,6 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
-
 use crate::Atom;
 
 /// A typed attribute value.
@@ -20,7 +18,7 @@ use crate::Atom;
 /// before all floats, etc. Numeric *tests* in rules (`<`, `>`, …) instead
 /// use [`Value::num_cmp`], which compares integers and floats numerically,
 /// matching what a user expects of `(cost < 3.5)`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Value {
     /// Absent / null.
     Nil,

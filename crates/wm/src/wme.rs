@@ -3,8 +3,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Atom, Value};
 
 /// Stable identifier of a WME within one [`crate::WorkingMemory`].
@@ -12,7 +10,7 @@ use crate::{Atom, Value};
 /// Ids are never reused, so a `WmeId` seen by a matcher or held as a lock
 /// resource always denotes the same logical tuple, even after it has been
 /// removed.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WmeId(pub u64);
 
 impl fmt::Debug for WmeId {
@@ -40,7 +38,7 @@ pub type Timestamp = u64;
 /// assert_eq!(d.class.as_str(), "order");
 /// assert_eq!(d.attrs.get("qty"), Some(&Value::Int(40)));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WmeData {
     /// The class (relation name) this element belongs to.
     pub class: Atom,
@@ -77,7 +75,7 @@ impl WmeData {
 }
 
 /// A working-memory element as stored: payload plus identity and recency.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Wme {
     /// Stable identity.
     pub id: WmeId,

@@ -1,12 +1,15 @@
 //! Property tests on the working-memory substrate: index invariants
 //! under random operation streams, apply/undo inversion, and timestamp
 //! monotonicity.
+//!
+//! Randomness comes from the workspace's internal deterministic PRNG
+//! (`dps_wm::rng::SmallRng`); each property is checked over a fixed
+//! sweep of seeds so failures reproduce exactly by seed.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use dbps::wm::rng::SmallRng;
 use dbps::wm::{Atom, DeltaSet, Value, Wme, WmeData, WmeId, WorkingMemory};
+
+const CASES: u64 = 128;
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -16,19 +19,17 @@ enum Op {
 }
 
 fn random_ops(seed: u64, n: usize) -> Vec<Op> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| match rng.random_range(0..3) {
+        .map(|_| match rng.index(3) {
             0 => Op::Insert {
-                class: rng.random_range(0..3),
-                k: rng.random_range(-3..3),
+                class: rng.index(3) as u8,
+                k: rng.range_i64(-3, 3),
             },
-            1 => Op::Remove {
-                pick: rng.random_range(0..8),
-            },
+            1 => Op::Remove { pick: rng.index(8) },
             _ => Op::Modify {
-                pick: rng.random_range(0..8),
-                k: rng.random_range(-3..3),
+                pick: rng.index(8),
+                k: rng.range_i64(-3, 3),
             },
         })
         .collect()
@@ -62,31 +63,36 @@ fn apply_ops(wm: &mut WorkingMemory, ops: &[Op]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Secondary indexes never drift from the base tuples.
-    #[test]
-    fn index_invariants_hold_under_random_ops(seed in 0u64..1_000_000) {
+/// Secondary indexes never drift from the base tuples.
+#[test]
+fn index_invariants_hold_under_random_ops() {
+    for seed in 0..CASES {
         let mut wm = WorkingMemory::new();
         apply_ops(&mut wm, &random_ops(seed, 40));
         for class in ["c0", "c1", "c2"] {
             if let Some(rel) = wm.relation(class) {
-                prop_assert!(rel.check_index_invariants(), "class {class} index drifted");
+                assert!(
+                    rel.check_index_invariants(),
+                    "seed {seed}: class {class} index drifted"
+                );
                 // Equality selection agrees with a full scan.
                 for k in -3..3i64 {
                     let by_index = rel.select_eq("k", &Value::Int(k)).count();
-                    let by_scan =
-                        rel.iter().filter(|w| w.get("k") == Some(&Value::Int(k))).count();
-                    prop_assert_eq!(by_index, by_scan);
+                    let by_scan = rel
+                        .iter()
+                        .filter(|w| w.get("k") == Some(&Value::Int(k)))
+                        .count();
+                    assert_eq!(by_index, by_scan, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    /// `undo(apply(δ))` restores the exact previous state.
-    #[test]
-    fn apply_then_undo_is_identity(seed in 0u64..1_000_000) {
+/// `undo(apply(δ))` restores the exact previous state.
+#[test]
+fn apply_then_undo_is_identity() {
+    for seed in 0..CASES {
         let mut wm = WorkingMemory::new();
         apply_ops(&mut wm, &random_ops(seed, 20));
         let snapshot: Vec<Wme> = wm.iter().cloned().collect();
@@ -105,12 +111,14 @@ proptest! {
         let changes = wm.apply(&delta).unwrap();
         wm.undo(&changes).unwrap();
         let after: Vec<Wme> = wm.iter().cloned().collect();
-        prop_assert_eq!(snapshot, after);
+        assert_eq!(snapshot, after, "seed {seed}");
     }
+}
 
-    /// Timestamps increase strictly with every (re-)insertion.
-    #[test]
-    fn timestamps_strictly_increase(seed in 0u64..1_000_000) {
+/// Timestamps increase strictly with every (re-)insertion.
+#[test]
+fn timestamps_strictly_increase() {
+    for seed in 0..CASES {
         let mut wm = WorkingMemory::new();
         let ops = random_ops(seed, 30);
         let mut last = 0;
@@ -119,7 +127,7 @@ proptest! {
             match op {
                 Op::Insert { class, k } => {
                     let w = wm.insert_full(WmeData::new(format!("c{class}")).with("k", *k));
-                    prop_assert!(w.timestamp > last);
+                    assert!(w.timestamp > last, "seed {seed}");
                     last = w.timestamp;
                     live.push(w.id);
                 }
@@ -133,26 +141,28 @@ proptest! {
                     d.modify(id, [(Atom::from("k"), Value::Int(*k))]);
                     wm.apply(&d).unwrap();
                     let fresh = wm.get(id).unwrap().timestamp;
-                    prop_assert!(fresh > last);
+                    assert!(fresh > last, "seed {seed}");
                     last = fresh;
                 }
                 _ => {}
             }
         }
     }
+}
 
-    /// Snapshots roundtrip exactly for arbitrary operation histories,
-    /// and a redo log of further commits recovers the final state.
-    #[test]
-    fn persistence_roundtrip_under_random_ops(seed in 0u64..1_000_000) {
+/// Snapshots roundtrip exactly for arbitrary operation histories,
+/// and a redo log of further commits recovers the final state.
+#[test]
+fn persistence_roundtrip_under_random_ops() {
+    for seed in 0..CASES {
         let mut wm = WorkingMemory::new();
         apply_ops(&mut wm, &random_ops(seed, 25));
         let snap = wm.encode_snapshot();
         let restored = WorkingMemory::decode_snapshot(&snap).unwrap();
         let a: Vec<Wme> = wm.iter().cloned().collect();
         let b: Vec<Wme> = restored.iter().cloned().collect();
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(wm.clock(), restored.clock());
+        assert_eq!(a, b, "seed {seed}");
+        assert_eq!(wm.clock(), restored.clock(), "seed {seed}");
 
         // Ship further commits through a redo log.
         let mut log = dbps::wm::RedoLog::new();
@@ -191,21 +201,26 @@ proptest! {
             }
         }
         let mut recovered = WorkingMemory::decode_snapshot(&snap).unwrap();
-        dbps::wm::RedoLog::from_bytes(log.as_bytes()).unwrap().replay(&mut recovered).unwrap();
+        dbps::wm::RedoLog::from_bytes(log.as_bytes())
+            .unwrap()
+            .replay(&mut recovered)
+            .unwrap();
         let x: Vec<Wme> = shadow.iter().cloned().collect();
         let y: Vec<Wme> = recovered.iter().cloned().collect();
-        prop_assert_eq!(x, y);
+        assert_eq!(x, y, "seed {seed}");
     }
+}
 
-    /// Catalogue cardinalities equal live relation sizes.
-    #[test]
-    fn catalog_cardinalities_track_relations(seed in 0u64..1_000_000) {
+/// Catalogue cardinalities equal live relation sizes.
+#[test]
+fn catalog_cardinalities_track_relations() {
+    for seed in 0..CASES {
         let mut wm = WorkingMemory::new();
         apply_ops(&mut wm, &random_ops(seed, 40));
         for class in ["c0", "c1", "c2"] {
             let live = wm.relation(class).map_or(0, |r| r.len());
             let card = wm.catalog().stats(class).map_or(0, |s| s.cardinality);
-            prop_assert_eq!(live, card, "class {}", class);
+            assert_eq!(live, card, "seed {seed} class {class}");
         }
     }
 }
