@@ -70,6 +70,7 @@ fn engine_protocols(c: &mut Criterion) {
                                 max_commits: 1_000,
                                 rc_escalation: None,
                                 lock_shards: dps_lock::DEFAULT_SHARDS,
+                                ..Default::default()
                             },
                         );
                         let r = e.run();

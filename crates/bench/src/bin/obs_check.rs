@@ -1,0 +1,157 @@
+//! Shape-checks a `dps-scaling-report-v1` JSON document (as emitted by
+//! `scaling --json`), so CI can validate the observability pipeline
+//! end-to-end without `serde` or external tooling.
+//!
+//! Usage: `obs_check <report.json>` (or `-` / no argument for stdin).
+//! Exit 0 if the document is well-formed, 1 with a diagnostic otherwise.
+//!
+//! Checks:
+//! * top-level schema tag and sweep arrays;
+//! * the embedded `dps-obs-report-v1` document: every phase histogram
+//!   has `count`/`p50_ns`/`p95_ns`/`p99_ns`/`max_ns`, with ordered
+//!   percentiles;
+//! * every abort cause is present and the per-cause counts sum to the
+//!   event-counter abort total;
+//! * zero recorded anomalies;
+//! * the measured observe-ON/OFF ratio is below the 5% budget.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use dps_obs::json::{self, Json};
+
+fn check(doc: &Json) -> Result<(), String> {
+    let need_str = |path: &[&str]| -> Result<String, String> {
+        doc.at(path)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("missing string at {}", path.join(".")))
+    };
+    let need_u64 = |path: &[&str]| -> Result<u64, String> {
+        doc.at(path)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing integer at {}", path.join(".")))
+    };
+
+    // ---- envelope ----
+    let schema = need_str(&["schema"])?;
+    if schema != "dps-scaling-report-v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    for sweep in ["partitioned", "partitioned_1shard", "contended"] {
+        let arr = doc
+            .at(&["sweeps", sweep])
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("missing sweeps.{sweep}"))?;
+        if arr.is_empty() {
+            return Err(format!("sweeps.{sweep} is empty"));
+        }
+        for (i, s) in arr.iter().enumerate() {
+            for key in ["workers", "commits", "aborts"] {
+                s.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("sweeps.{sweep}[{i}].{key} missing"))?;
+            }
+            s.get("secs")
+                .and_then(Json::as_f64)
+                .filter(|v| *v > 0.0)
+                .ok_or_else(|| format!("sweeps.{sweep}[{i}].secs missing or non-positive"))?;
+        }
+    }
+
+    // ---- embedded obs report ----
+    let obs_schema = need_str(&["observability", "schema"])?;
+    if obs_schema != "dps-obs-report-v1" {
+        return Err(format!("unexpected observability schema {obs_schema:?}"));
+    }
+    for phase in ["lock_wait", "lhs_eval", "rhs_act", "commit"] {
+        let mut vals = Vec::new();
+        for key in ["count", "p50_ns", "p95_ns", "p99_ns", "max_ns"] {
+            vals.push(need_u64(&["observability", "phases", phase, key])?);
+        }
+        let (p50, p95, p99, max) = (vals[1], vals[2], vals[3], vals[4]);
+        if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+            return Err(format!(
+                "phases.{phase}: percentiles not ordered ({p50} / {p95} / {p99} / max {max})"
+            ));
+        }
+    }
+    // The contended workload must actually have exercised the commit
+    // path, and every recorded Block must have produced exactly one
+    // lock-wait sample (blocking is *rare* under Rc/Ra/Wa — that is the
+    // protocol's point — so the count may legitimately be small).
+    if need_u64(&["observability", "phases", "commit", "count"])? == 0 {
+        return Err("phases.commit.count is 0 on the contended run".into());
+    }
+    let lock_waits = need_u64(&["observability", "phases", "lock_wait", "count"])?;
+    let blocks = need_u64(&["observability", "events", "blocks"])?;
+    if lock_waits != blocks {
+        return Err(format!(
+            "lock_wait samples ({lock_waits}) disagree with Block events ({blocks})"
+        ));
+    }
+
+    // ---- abort accounting ----
+    let causes = ["doomed", "deadlock", "stale", "revalidation", "eval_error", "timeout"];
+    let mut cause_sum = 0;
+    for cause in causes {
+        cause_sum += need_u64(&["observability", "abort_causes", cause])?;
+    }
+    let aborts = need_u64(&["observability", "events", "aborts"])?;
+    if cause_sum != aborts {
+        return Err(format!(
+            "abort causes sum to {cause_sum} but events.aborts is {aborts}"
+        ));
+    }
+    if need_u64(&["observability", "events", "anomalies"])? != 0 {
+        return Err("events.anomalies is non-zero".into());
+    }
+
+    // ---- overhead budget ----
+    let ratio = doc
+        .at(&["obs_overhead", "ratio"])
+        .and_then(Json::as_f64)
+        .ok_or("missing obs_overhead.ratio")?;
+    if !(ratio.is_finite() && ratio < 1.05) {
+        return Err(format!("obs overhead ratio {ratio:.4} exceeds the 1.05 budget"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    let text = match arg.as_deref() {
+        Some("-") | None => {
+            let mut s = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+                eprintln!("obs_check: reading stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+            s
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("obs_check: reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let doc = match json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("obs_check: JSON parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&doc) {
+        Ok(()) => {
+            println!("obs_check: report OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

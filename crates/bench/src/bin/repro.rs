@@ -293,6 +293,7 @@ fn x2() {
                     max_commits: 10_000,
                     rc_escalation: None,
                     lock_shards: dps_lock::DEFAULT_SHARDS,
+                    ..Default::default()
                 },
             );
             let report = engine.run();
@@ -332,6 +333,7 @@ fn x3() {
                 max_commits: 10_000,
                 rc_escalation: None,
                 lock_shards: dps_lock::DEFAULT_SHARDS,
+                ..Default::default()
             },
         );
         let report = engine.run();
@@ -411,6 +413,7 @@ fn x7() {
                     max_commits: 10_000,
                     rc_escalation: esc,
                     lock_shards: dps_lock::DEFAULT_SHARDS,
+                    ..Default::default()
                 },
             );
             let report = engine.run();

@@ -23,19 +23,69 @@
 //! quantity is the paper's regime — RHS execution dominated by real work,
 //! with locking overhead at the margin — rather than pure lock-manager
 //! round-trips. Run with `--quick` for a faster, noisier sweep.
+//!
+//! ## Observability (`--json`)
+//!
+//! With `--json` the sweep additionally runs the contended workload once
+//! more with [`ParallelConfig::observe`] on and emits a machine-readable
+//! report to **stdout** (all human-readable tables move to stderr):
+//! schema `dps-scaling-report-v1`, embedding the full `dps-obs-report-v1`
+//! document (lock-wait/commit latency percentiles, per-cause abort
+//! breakdown, per-rule table) plus the sweep samples and the measured
+//! observability overhead. CI shape-checks this with the `obs_check`
+//! binary.
+//!
+//! Two gates (exit 1 on failure):
+//! * throughput is monotonic over 1 → 2 → 4 workers (partitioned);
+//! * the observe-ON 4-worker partitioned run costs < 5% over observe-OFF
+//!   (so the observe-OFF instrumentation — one branch per site — is
+//!   certainly below the 5% budget too).
 
 use std::time::Instant;
 
 use dps_bench::workloads;
 use dps_core::semantics::validate_trace;
-use dps_core::{ParallelConfig, ParallelEngine, WorkModel};
+use dps_core::{ParallelConfig, ParallelEngine, ParallelReport, WorkModel};
 use dps_lock::{ConflictPolicy, Protocol};
+use dps_obs::json::Json;
+use dps_obs::{validate_history, ObsReport, Phase};
 
 struct Sample {
     workers: usize,
     commits: usize,
     secs: f64,
     aborts: u64,
+}
+
+fn config(workers: usize, work_us: u64, lock_shards: usize, observe: bool) -> ParallelConfig {
+    ParallelConfig {
+        protocol: Protocol::RcRaWa,
+        policy: ConflictPolicy::AbortReaders,
+        workers,
+        work: WorkModel::FixedMicros(work_us),
+        lock_shards,
+        observe,
+        ..Default::default()
+    }
+}
+
+/// One timed, trace-validated run; returns `(report, secs)`.
+fn one_run(
+    label: &str,
+    tasks: usize,
+    resources: usize,
+    cfg: ParallelConfig,
+) -> (ParallelReport, f64, ParallelEngine) {
+    let (rules, wm) = workloads::shared_resources(tasks, resources);
+    let initial = wm.clone();
+    let mut engine = ParallelEngine::new(&rules, wm, cfg);
+    let t0 = Instant::now();
+    let report = engine.run();
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(report.commits, tasks, "{label}: lost commits");
+    validate_trace(&rules, &initial, &report.trace)
+        .expect("trace must replay single-threadedly (Theorem 2)");
+    (report, secs, engine)
 }
 
 fn run_sweep(
@@ -50,35 +100,17 @@ fn run_sweep(
     for &workers in &[1usize, 2, 4, 8] {
         let mut best: Option<Sample> = None;
         for _ in 0..reps {
-            let (rules, wm) = workloads::shared_resources(tasks, resources);
-            let initial = wm.clone();
-            let mut engine = ParallelEngine::new(
-                &rules,
-                wm,
-                ParallelConfig {
-                    protocol: Protocol::RcRaWa,
-                    policy: ConflictPolicy::AbortReaders,
-                    workers,
-                    work: WorkModel::FixedMicros(work_us),
-                    lock_shards,
-                    ..Default::default()
-                },
+            let (report, secs, _) = one_run(
+                label,
+                tasks,
+                resources,
+                config(workers, work_us, lock_shards, false),
             );
-            let t0 = Instant::now();
-            let report = engine.run();
-            let secs = t0.elapsed().as_secs_f64();
-            assert_eq!(report.commits, tasks, "{label}: lost commits");
-            validate_trace(&rules, &initial, &report.trace)
-                .expect("trace must replay single-threadedly (Theorem 2)");
-            let aborts = report.aborts.doomed
-                + report.aborts.deadlock
-                + report.aborts.stale
-                + report.aborts.revalidation;
             let s = Sample {
                 workers,
                 commits: report.commits,
                 secs,
-                aborts,
+                aborts: report.aborts.total(),
             };
             if best.as_ref().is_none_or(|b| s.secs < b.secs) {
                 best = Some(s);
@@ -90,12 +122,15 @@ fn run_sweep(
 }
 
 fn print_sweep(label: &str, samples: &[Sample]) {
-    println!("\n{label}");
-    println!("{:>8} {:>10} {:>12} {:>10} {:>8}", "workers", "commits", "commits/s", "time", "aborts");
+    eprintln!("\n{label}");
+    eprintln!(
+        "{:>8} {:>10} {:>12} {:>10} {:>8}",
+        "workers", "commits", "commits/s", "time", "aborts"
+    );
     let base = samples[0].commits as f64 / samples[0].secs;
     for s in samples {
         let rate = s.commits as f64 / s.secs;
-        println!(
+        eprintln!(
             "{:>8} {:>10} {:>12.0} {:>9.1}ms {:>8}   ({:.2}x)",
             s.workers,
             s.commits,
@@ -107,8 +142,51 @@ fn print_sweep(label: &str, samples: &[Sample]) {
     }
 }
 
+fn sweep_json(samples: &[Sample]) -> Json {
+    Json::Arr(
+        samples
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("workers".into(), Json::u64(s.workers as u64)),
+                    ("commits".into(), Json::u64(s.commits as u64)),
+                    ("secs".into(), Json::num(s.secs)),
+                    ("aborts".into(), Json::u64(s.aborts)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The instrumented contended run: returns the obs report (consistency-
+/// checked against the engine's own counters) for JSON embedding.
+fn observed_contended(tasks: usize, work_us: u64, shards: usize) -> ObsReport {
+    let (report, _, engine) = one_run(
+        "contended+obs",
+        tasks,
+        1,
+        config(4, work_us, shards, true),
+    );
+    let rec = engine.observer().expect("observe: true attaches a recorder");
+    let obs = rec.report();
+    // Internal consistency: the event stream must agree with both the
+    // engine's abort accounting and the history well-formedness rules.
+    assert_eq!(
+        obs.abort_cause_total(),
+        report.aborts.total(),
+        "per-cause abort breakdown must sum to the engine's abort total"
+    );
+    assert_eq!(obs.anomalies, 0, "accounting anomalies in the event stream");
+    if obs.dropped_events == 0 {
+        validate_history(&rec.history()).expect("merged history well-formed");
+    }
+    eprintln!("\nobservability (contended, 4 workers):\n{obs}");
+    obs
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = std::env::args().any(|a| a == "--json");
     let (tasks, mut work_us, reps) = if quick { (64, 100, 1) } else { (192, 200, 3) };
     // Override the simulated RHS cost (µs). `DPS_SCALING_WORK_US=0` makes
     // the run lock-bound, isolating the lock-table + engine-state overhead
@@ -120,8 +198,8 @@ fn main() {
         work_us = us;
     }
 
-    println!("Worker-count scalability sweep (RcRaWa / AbortReaders,");
-    println!("simulated RHS cost {work_us} µs, best of {reps} rep(s), {tasks} tasks)");
+    eprintln!("Worker-count scalability sweep (RcRaWa / AbortReaders,");
+    eprintln!("simulated RHS cost {work_us} µs, best of {reps} rep(s), {tasks} tasks)");
 
     let shards = dps_lock::DEFAULT_SHARDS;
     let partitioned = run_sweep("partitioned", tasks, tasks, work_us, reps, shards);
@@ -142,21 +220,101 @@ fn main() {
         &contended,
     );
 
-    // The acceptance gate: monotonic 1 → 4 improvement on the
-    // partitioned workload.
+    // Observability overhead: 4-worker partitioned, observe OFF vs ON,
+    // best of `reps`. The OFF cost of the instrumentation (a branch on a
+    // `None`) is strictly below the ON cost measured here.
+    let best_of = |observe: bool| -> f64 {
+        (0..reps)
+            .map(|_| one_run("overhead", tasks, tasks, config(4, work_us, shards, observe)).1)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let off_secs = best_of(false);
+    let on_secs = best_of(true);
+    let overhead = on_secs / off_secs - 1.0;
+    eprintln!(
+        "\nobservability overhead (partitioned, 4 workers): off {:.1}ms, on {:.1}ms ({:+.2}%)",
+        off_secs * 1e3,
+        on_secs * 1e3,
+        overhead * 1e2
+    );
+
+    let obs = observed_contended(tasks, work_us, shards);
+
+    if json {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::str("dps-scaling-report-v1")),
+            (
+                "config".into(),
+                Json::Obj(vec![
+                    ("tasks".into(), Json::u64(tasks as u64)),
+                    ("work_us".into(), Json::u64(work_us)),
+                    ("reps".into(), Json::u64(reps as u64)),
+                    ("lock_shards".into(), Json::u64(shards as u64)),
+                ]),
+            ),
+            (
+                "sweeps".into(),
+                Json::Obj(vec![
+                    ("partitioned".into(), sweep_json(&partitioned)),
+                    ("partitioned_1shard".into(), sweep_json(&single_shard)),
+                    ("contended".into(), sweep_json(&contended)),
+                ]),
+            ),
+            (
+                "obs_overhead".into(),
+                Json::Obj(vec![
+                    ("off_secs".into(), Json::num(off_secs)),
+                    ("on_secs".into(), Json::num(on_secs)),
+                    ("ratio".into(), Json::num(on_secs / off_secs)),
+                ]),
+            ),
+            ("observability".into(), obs.to_json()),
+        ]);
+        println!("{}", doc.to_string_pretty());
+    } else {
+        // Headline latency lines for the human report.
+        for phase in [Phase::LockWait, Phase::Commit] {
+            if let Some(h) = obs.phase(phase) {
+                eprintln!(
+                    "contended {}: p50 {} ns, p95 {} ns, p99 {} ns over {} samples",
+                    phase.name(),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                    h.count
+                );
+            }
+        }
+    }
+
+    // Gate 1: monotonic 1 → 4 improvement on the partitioned workload.
     let rate = |s: &Sample| s.commits as f64 / s.secs;
     let r1 = rate(&partitioned[0]);
     let r2 = rate(&partitioned[1]);
     let r4 = rate(&partitioned[2]);
-    println!(
+    eprintln!(
         "\npartitioned speed-up: 1w → 2w: {:.2}x, 2w → 4w: {:.2}x",
         r2 / r1,
         r4 / r2
     );
+    let mut failed = false;
     if r1 < r2 && r2 < r4 {
-        println!("PASS: throughput is monotonic over 1 → 2 → 4 workers");
+        eprintln!("PASS: throughput is monotonic over 1 → 2 → 4 workers");
     } else {
-        println!("WARN: non-monotonic scaling (noisy machine?) — rerun without --quick");
+        eprintln!("WARN: non-monotonic scaling (noisy machine?) — rerun without --quick");
+        failed = true;
+    }
+    // Gate 2: observability must stay within its 5% budget.
+    if overhead < 0.05 {
+        eprintln!("PASS: observability overhead {:.2}% < 5%", overhead * 1e2);
+    } else {
+        eprintln!(
+            "WARN: observability overhead {:.2}% >= 5% (noisy machine?)",
+            overhead * 1e2
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -50,10 +50,11 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use dps_lock::{ConflictPolicy, LockManager, Protocol, ResourceId, TxnId};
+use dps_obs::{EventKind as ObsEvent, Phase, Recorder};
 use dps_match::{InstKey, Instantiation, Matcher, Rete};
 use dps_rules::{instantiate_actions, RuleSet};
 use dps_wm::{Atom, WorkingMemory};
@@ -111,6 +112,16 @@ pub struct ParallelConfig {
     /// table — the pre-sharding layout, kept as a knob so the scaling
     /// sweep can measure exactly what the striping buys.
     pub lock_shards: usize,
+    /// Lock-wait timeout forwarded to the lock manager (`None`:
+    /// deadlock detection alone handles stuck waits). Timed-out
+    /// attempts abort with [`AbortStats::timeout`].
+    pub lock_timeout: Option<Duration>,
+    /// Observability: when `true` the engine attaches a
+    /// [`dps_obs::Recorder`] and emits the full transaction-lifecycle
+    /// event stream, phase latency histograms and per-rule tables
+    /// (retrieve via [`ParallelEngine::observer`]). When `false` every
+    /// instrumentation site costs one branch on a `None`.
+    pub observe: bool,
 }
 
 impl Default for ParallelConfig {
@@ -123,6 +134,8 @@ impl Default for ParallelConfig {
             max_commits: 100_000,
             rc_escalation: None,
             lock_shards: dps_lock::DEFAULT_SHARDS,
+            lock_timeout: None,
+            observe: false,
         }
     }
 }
@@ -135,15 +148,24 @@ pub struct AbortStats {
     /// Deadlock victims.
     pub deadlock: u64,
     /// Claim invalidated before/while acquiring condition locks.
+    ///
+    /// Historical note: this counter used to also absorb RHS evaluation
+    /// errors; those now have their own [`AbortStats::eval_error`]
+    /// counter, so `stale` means exactly what its name says.
     pub stale: u64,
     /// Revalidation failed (policy `Revalidate`).
     pub revalidation: u64,
+    /// RHS evaluation failed (e.g. division by zero); the
+    /// instantiation is refracted so it is never retried.
+    pub eval_error: u64,
+    /// A lock wait exceeded [`ParallelConfig::lock_timeout`].
+    pub timeout: u64,
 }
 
 impl AbortStats {
-    /// Total aborts.
+    /// Total aborts (sum over every cause counter).
     pub fn total(&self) -> u64 {
-        self.doomed + self.deadlock + self.stale + self.revalidation
+        self.doomed + self.deadlock + self.stale + self.revalidation + self.eval_error + self.timeout
     }
 }
 
@@ -190,6 +212,8 @@ struct Metrics {
     deadlock: AtomicU64,
     stale: AtomicU64,
     revalidation: AtomicU64,
+    eval_error: AtomicU64,
+    timeout: AtomicU64,
     wasted_nanos: AtomicU64,
 }
 
@@ -200,6 +224,8 @@ impl Metrics {
             deadlock: self.deadlock.load(Relaxed),
             stale: self.stale.load(Relaxed),
             revalidation: self.revalidation.load(Relaxed),
+            eval_error: self.eval_error.load(Relaxed),
+            timeout: self.timeout.load(Relaxed),
         }
     }
 
@@ -207,8 +233,10 @@ impl Metrics {
         match cause {
             AbortCause::Doomed => self.doomed.fetch_add(1, Relaxed),
             AbortCause::Deadlock => self.deadlock.fetch_add(1, Relaxed),
-            AbortCause::Stale | AbortCause::EvalError => self.stale.fetch_add(1, Relaxed),
+            AbortCause::Stale => self.stale.fetch_add(1, Relaxed),
             AbortCause::Revalidation => self.revalidation.fetch_add(1, Relaxed),
+            AbortCause::EvalError => self.eval_error.fetch_add(1, Relaxed),
+            AbortCause::Timeout => self.timeout.fetch_add(1, Relaxed),
         };
     }
 }
@@ -229,6 +257,9 @@ pub struct ParallelEngine {
     trace: Mutex<Trace>,
     metrics: Metrics,
     lm: LockManager,
+    /// Observability sink ([`ParallelConfig::observe`]); shared with the
+    /// lock manager. `None` ⇒ every instrumentation site is one branch.
+    obs: Option<Arc<Recorder>>,
 }
 
 enum WorkerStep {
@@ -253,17 +284,32 @@ impl ParallelEngine {
                 }
             }
         }
+        let obs = config.observe.then(|| Arc::new(Recorder::default()));
         ParallelEngine {
             rules: rules.clone(),
             class_ids,
-            lm: LockManager::with_shards(config.policy, config.lock_shards),
+            lm: LockManager::builder()
+                .policy(config.policy)
+                .shards(config.lock_shards)
+                .timeout(config.lock_timeout)
+                .obs(obs.clone())
+                .build(),
             config,
             world: Mutex::new(World { wm, matcher }),
             ledger: Mutex::new(Ledger::default()),
             cv: Condvar::new(),
             trace: Mutex::new(Trace::default()),
             metrics: Metrics::default(),
+            obs,
         }
+    }
+
+    /// The observability recorder, when [`ParallelConfig::observe`] is
+    /// set (shared with the engine's lock manager). Snapshot it with
+    /// [`Recorder::report`] or merge its event rings with
+    /// [`Recorder::history`].
+    pub fn observer(&self) -> Option<&Arc<Recorder>> {
+        self.obs.as_ref()
     }
 
     fn relation_resource(&self, class: &Atom) -> ResourceId {
@@ -382,10 +428,31 @@ impl ParallelEngine {
             .insert(txn, key.clone());
         let mut worked = Duration::ZERO;
         match self.try_execute(txn, &inst, &rule, &mut worked) {
-            Ok(()) => {}
+            Ok(()) => {
+                if let Some(obs) = &self.obs {
+                    obs.rule_fired(rule.name.as_str());
+                }
+            }
             Err(cause) => {
-                // Abort path: release locks, unclaim, account.
-                let _ = self.lm.abort(txn); // NotActive when auto-aborted: fine
+                // Abort path: release locks, unclaim, account. The lock
+                // manager may already have auto-aborted the transaction
+                // when it surfaced a doom/deadlock/timeout (`NotActive`
+                // here is that benign race); anything else would mean
+                // locks were leaked, so it is asserted in debug builds
+                // and flagged in the event stream in release builds.
+                match self.lm.abort(txn) {
+                    Ok(()) | Err(dps_lock::LockError::NotActive(_)) => {}
+                    Err(e) => {
+                        debug_assert!(false, "abort of {txn:?} failed: {e:?}");
+                        if let Some(obs) = &self.obs {
+                            obs.record(txn.0, ObsEvent::Anomaly { what: "abort-failed" });
+                        }
+                    }
+                }
+                if let Some(obs) = &self.obs {
+                    obs.record(txn.0, ObsEvent::Abort { cause: cause.to_obs() });
+                    obs.rule_aborted(rule.name.as_str());
+                }
                 self.metrics.count_abort(&cause);
                 self.metrics
                     .wasted_nanos
@@ -414,6 +481,11 @@ impl ParallelEngine {
     ) -> Result<(), AbortCause> {
         let key = inst.key();
         let proto = self.config.protocol;
+        // Phase clocks (None when observability is off). Samples are
+        // recorded only when a phase completes; the lock-wait histogram
+        // (recorded inside the lock manager) covers the blocked tails of
+        // phases that abort mid-lock.
+        let t_lhs = self.obs.as_ref().map(|_| Instant::now());
 
         // ---- condition (LHS) locks ----
         // Per-class tuple groups, so Rc escalation can promote a group
@@ -456,6 +528,13 @@ impl ParallelEngine {
                 return Err(AbortCause::Revalidation);
             }
         }
+        let t_rhs = match (&self.obs, t_lhs) {
+            (Some(obs), Some(t)) => {
+                obs.phase(Phase::LhsEval, t.elapsed());
+                Some(Instant::now())
+            }
+            _ => None,
+        };
 
         // ---- simulated RHS work, polling for dooms ----
         // Note: polling touches only the lock manager and the ledger,
@@ -516,6 +595,13 @@ impl ParallelEngine {
                 .lock(txn, *res, proto.action_write())
                 .map_err(classify)?;
         }
+        let t_commit = match (&self.obs, t_rhs) {
+            (Some(obs), Some(t)) => {
+                obs.phase(Phase::RhsAct, t.elapsed());
+                Some(Instant::now())
+            }
+            _ => None,
+        };
 
         // ---- commit ----
         // World and ledger held together across lm.commit + WM/matcher
@@ -566,6 +652,9 @@ impl ParallelEngine {
         world.gc_refracted(&mut ledger.refracted, 2048);
         drop(ledger);
         drop(world);
+        if let (Some(obs), Some(t)) = (&self.obs, t_commit) {
+            obs.phase(Phase::Commit, t.elapsed());
+        }
         self.cv.notify_all();
         Ok(())
     }
@@ -577,13 +666,29 @@ enum AbortCause {
     Stale,
     Revalidation,
     EvalError,
+    Timeout,
+}
+
+impl AbortCause {
+    /// The matching cause in the observability taxonomy.
+    fn to_obs(&self) -> dps_obs::AbortCause {
+        match self {
+            AbortCause::Doomed => dps_obs::AbortCause::Doomed,
+            AbortCause::Deadlock => dps_obs::AbortCause::Deadlock,
+            AbortCause::Stale => dps_obs::AbortCause::Stale,
+            AbortCause::Revalidation => dps_obs::AbortCause::Revalidation,
+            AbortCause::EvalError => dps_obs::AbortCause::EvalError,
+            AbortCause::Timeout => dps_obs::AbortCause::Timeout,
+        }
+    }
 }
 
 fn classify(e: dps_lock::LockError) -> AbortCause {
     match e {
         dps_lock::LockError::DoomedByWriter { .. } => AbortCause::Doomed,
         dps_lock::LockError::Deadlock(_) => AbortCause::Deadlock,
-        _ => AbortCause::Stale,
+        dps_lock::LockError::Timeout(_) => AbortCause::Timeout,
+        dps_lock::LockError::NotActive(_) => AbortCause::Stale,
     }
 }
 

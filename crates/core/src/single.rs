@@ -2,8 +2,11 @@
 //! whose behaviour defines the execution semantics (§3.2).
 
 use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
 
 use dps_match::{InstKey, Matcher, Rete, Strategy};
+use dps_obs::{Phase, Recorder};
 use dps_rules::{instantiate_actions, RuleSet};
 use dps_wm::WorkingMemory;
 
@@ -66,6 +69,8 @@ pub struct SingleThreadEngine<M: Matcher = Rete> {
     refracted: HashSet<InstKey>,
     trace: Trace,
     halted: bool,
+    /// Optional observability sink (phase latencies + per-rule table).
+    obs: Option<Arc<Recorder>>,
 }
 
 impl SingleThreadEngine<Rete> {
@@ -92,7 +97,16 @@ impl<M: Matcher> SingleThreadEngine<M> {
             refracted: HashSet::new(),
             trace: Trace::default(),
             halted: false,
+            obs: None,
         }
+    }
+
+    /// Attaches (or detaches) an observability recorder; each cycle then
+    /// contributes `lhs_eval` / `rhs_act` / `commit` latency samples and
+    /// a per-rule firing row. The single-thread engine is the latency
+    /// baseline the parallel phases of Figures 4.1/4.2 are compared to.
+    pub fn set_observer(&mut self, obs: Option<Arc<Recorder>>) {
+        self.obs = obs;
     }
 
     /// The current working memory.
@@ -116,6 +130,7 @@ impl<M: Matcher> SingleThreadEngine<M> {
             return StepOutcome::Halted;
         }
         // select
+        let t0 = self.obs.as_ref().map(|_| Instant::now());
         let Some(inst) = self
             .config
             .strategy
@@ -128,9 +143,24 @@ impl<M: Matcher> SingleThreadEngine<M> {
             .rules
             .get(inst.rule)
             .expect("matcher only emits known rules");
+        let t1 = match (&self.obs, t0) {
+            (Some(obs), Some(t)) => {
+                obs.phase(Phase::LhsEval, t.elapsed());
+                Some(Instant::now())
+            }
+            _ => None,
+        };
         // execute — the commit skeleton is the one shared by all engines.
         let (delta, halt) = instantiate_actions(rule, &inst.bindings, &inst.wmes)
             .expect("validated rule instantiates");
+        let t2 = match (&self.obs, t1) {
+            (Some(obs), Some(t)) => {
+                obs.phase(Phase::RhsAct, t.elapsed());
+                obs.rule_fired(rule.name.as_str());
+                Some(Instant::now())
+            }
+            _ => None,
+        };
         self.world.commit(
             &mut self.refracted,
             &mut self.trace,
@@ -142,6 +172,9 @@ impl<M: Matcher> SingleThreadEngine<M> {
                 halt,
             },
         );
+        if let (Some(obs), Some(t)) = (&self.obs, t2) {
+            obs.phase(Phase::Commit, t.elapsed());
+        }
         if halt {
             self.halted = true;
             return StepOutcome::Halted;

@@ -15,8 +15,11 @@
 //!   batch's effects equal those of firing it in any serial order).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
 
 use dps_match::{InstKey, Instantiation, Matcher, Rete};
+use dps_obs::{Phase, Recorder};
 use dps_rules::analysis::{interferes, rule_access, Granularity, RuleAccess};
 use dps_rules::{instantiate_actions, RuleSet};
 use dps_wm::{Atom, DeltaSet, WorkingMemory};
@@ -98,6 +101,8 @@ pub struct StaticParallelEngine {
     refracted: HashSet<InstKey>,
     trace: Trace,
     halted: bool,
+    /// Optional observability sink (batch-apply latency + per-rule table).
+    obs: Option<Arc<Recorder>>,
 }
 
 impl StaticParallelEngine {
@@ -113,7 +118,16 @@ impl StaticParallelEngine {
             refracted: HashSet::new(),
             trace: Trace::default(),
             halted: false,
+            obs: None,
         }
+    }
+
+    /// Attaches (or detaches) an observability recorder; each batch then
+    /// contributes `lhs_eval` (candidate preparation + independent-set
+    /// selection) and `commit` (batch apply) latency samples plus
+    /// per-rule firing rows.
+    pub fn set_observer(&mut self, obs: Option<Arc<Recorder>>) {
+        self.obs = obs;
     }
 
     /// The current working memory.
@@ -128,6 +142,7 @@ impl StaticParallelEngine {
     /// Selects one batch of mutually non-interfering instantiations and
     /// fires it. Returns the batch size (0 = quiescent).
     fn cycle(&mut self) -> usize {
+        let t0 = self.obs.as_ref().map(|_| Instant::now());
         // Candidate instantiations, deterministic order.
         let candidates: Vec<Instantiation> = self
             .world
@@ -176,6 +191,14 @@ impl StaticParallelEngine {
             }
         }
 
+        let t1 = match (&self.obs, t0) {
+            (Some(obs), Some(t)) => {
+                obs.phase(Phase::LhsEval, t.elapsed());
+                Some(Instant::now())
+            }
+            _ => None,
+        };
+
         // "Parallel" firing: the members are non-interfering, so applying
         // them in batch order is equivalent to every other order
         // (Theorem 1); the recorded order is the witnessing serial one.
@@ -184,6 +207,9 @@ impl StaticParallelEngine {
             let (inst, delta, halt, _) = &prepared[i];
             let rule_name = self.rules.get(inst.rule).expect("known").name.clone();
             max_cost = max_cost.max(self.cost(&rule_name));
+            if let Some(obs) = &self.obs {
+                obs.rule_fired(rule_name.as_str());
+            }
             self.world.commit(
                 &mut self.refracted,
                 &mut self.trace,
@@ -201,6 +227,9 @@ impl StaticParallelEngine {
             }
         }
         self.world.gc_refracted(&mut self.refracted, 1024);
+        if let (Some(obs), Some(t)) = (&self.obs, t1) {
+            obs.phase(Phase::Commit, t.elapsed());
+        }
         batch.len()
     }
 

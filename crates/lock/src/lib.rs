@@ -54,6 +54,8 @@ mod sharding;
 mod txn;
 
 pub use error::LockError;
-pub use manager::{CommitOutcome, ConflictPolicy, LockEvent, LockManager, LockStats, TxnId};
+pub use manager::{
+    CommitOutcome, ConflictPolicy, LockEvent, LockManager, LockManagerBuilder, LockStats, TxnId,
+};
 pub use modes::{compatibility_table, compatible, LockMode, Protocol, ResourceId};
 pub use sharding::DEFAULT_SHARDS;

@@ -36,6 +36,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use dps_obs::{EventKind as ObsEvent, Phase, Recorder};
+
 use crate::deadlock::find_cycle;
 use crate::sharding::{shard_of, Shard, DEFAULT_SHARDS};
 use crate::txn::{Status, TxnState};
@@ -114,6 +116,97 @@ struct StatCounters {
     deadlocks: AtomicU64,
 }
 
+/// Encodes a [`ResourceId`] into the opaque `u64` resource key used by
+/// `dps-obs` events: tuple ids go in the even space, relation ids in
+/// the odd space, so the two granularities never collide.
+fn res_key(res: ResourceId) -> u64 {
+    match res {
+        ResourceId::Tuple(id) => id << 1,
+        ResourceId::Relation(r) => (u64::from(r) << 1) | 1,
+    }
+}
+
+/// Static mode name for obs events (matches [`LockMode`]'s `Display`).
+fn mode_name(mode: LockMode) -> &'static str {
+    match mode {
+        LockMode::S => "S",
+        LockMode::X => "X",
+        LockMode::Rc => "Rc",
+        LockMode::Ra => "Ra",
+        LockMode::Wa => "Wa",
+    }
+}
+
+/// Composable constructor for [`LockManager`] (the `new` /
+/// `with_shards` / `with_timeout` constructors could not be combined —
+/// this builder replaces them; they remain as thin wrappers).
+///
+/// ```
+/// use dps_lock::{ConflictPolicy, LockManager};
+/// use std::time::Duration;
+///
+/// let mgr = LockManager::builder()
+///     .policy(ConflictPolicy::Revalidate)
+///     .shards(4)
+///     .timeout(Duration::from_millis(50))
+///     .build();
+/// assert_eq!(mgr.policy(), ConflictPolicy::Revalidate);
+/// ```
+#[derive(Debug, Default)]
+pub struct LockManagerBuilder {
+    policy: Option<ConflictPolicy>,
+    shards: Option<usize>,
+    timeout: Option<Duration>,
+    obs: Option<Arc<Recorder>>,
+}
+
+impl LockManagerBuilder {
+    /// Sets the `Rc`–`Wa` conflict policy (default
+    /// [`ConflictPolicy::AbortReaders`]).
+    pub fn policy(mut self, policy: ConflictPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the lock-table stripe count (default [`DEFAULT_SHARDS`],
+    /// min 1; `shards(1)` collapses to centralised behaviour).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Sets a wait timeout for blocked requests (default: none —
+    /// deadlocks are handled by detection alone).
+    pub fn timeout(mut self, timeout: impl Into<Option<Duration>>) -> Self {
+        self.timeout = timeout.into();
+        self
+    }
+
+    /// Attaches an observability recorder; the manager then emits
+    /// `Begin` / `Grant` / `Block` / `Doom` / `Deadlock` / `Commit`
+    /// events and the lock-wait latency histogram into it.
+    pub fn obs(mut self, obs: impl Into<Option<Arc<Recorder>>>) -> Self {
+        self.obs = obs.into();
+        self
+    }
+
+    /// Builds the manager.
+    pub fn build(self) -> LockManager {
+        let n = self.shards.unwrap_or(DEFAULT_SHARDS).max(1);
+        LockManager {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            txns: RwLock::new(std::collections::HashMap::new()),
+            next: AtomicU64::new(0),
+            stats: StatCounters::default(),
+            record: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
+            policy: self.policy.unwrap_or(ConflictPolicy::AbortReaders),
+            timeout: self.timeout,
+            obs: self.obs,
+        }
+    }
+}
+
 /// Outcome of one attempt inside the [`LockManager::lock`] loop.
 enum Attempt {
     /// Mode already held — no-op re-grant.
@@ -136,38 +229,39 @@ pub struct LockManager {
     events: Mutex<Vec<LockEvent>>,
     policy: ConflictPolicy,
     timeout: Option<Duration>,
+    obs: Option<Arc<Recorder>>,
 }
 
 impl LockManager {
+    /// Returns a composable builder (policy / shards / timeout / obs).
+    pub fn builder() -> LockManagerBuilder {
+        LockManagerBuilder::default()
+    }
+
     /// Creates a manager with the given `Rc`–`Wa` conflict policy and no
-    /// wait timeout (deadlocks are handled by detection).
+    /// wait timeout (deadlocks are handled by detection). Thin wrapper
+    /// over [`LockManager::builder`].
     pub fn new(policy: ConflictPolicy) -> Self {
-        LockManager::with_shards(policy, DEFAULT_SHARDS)
+        LockManager::builder().policy(policy).build()
     }
 
     /// Creates a manager with an explicit stripe count (min 1). Useful
     /// for tests that want to force cross-shard paths (`shards = 1`
-    /// collapses to the old centralised behaviour).
+    /// collapses to the old centralised behaviour). Thin wrapper over
+    /// [`LockManager::builder`].
     pub fn with_shards(policy: ConflictPolicy, shards: usize) -> Self {
-        let n = shards.max(1);
-        LockManager {
-            shards: (0..n).map(|_| Shard::default()).collect(),
-            txns: RwLock::new(std::collections::HashMap::new()),
-            next: AtomicU64::new(0),
-            stats: StatCounters::default(),
-            record: AtomicBool::new(false),
-            events: Mutex::new(Vec::new()),
-            policy,
-            timeout: None,
-        }
+        LockManager::builder().policy(policy).shards(shards).build()
     }
 
     /// Creates a manager whose blocked requests additionally time out.
+    /// Thin wrapper over [`LockManager::builder`].
     pub fn with_timeout(policy: ConflictPolicy, timeout: Duration) -> Self {
-        LockManager {
-            timeout: Some(timeout),
-            ..LockManager::new(policy)
-        }
+        LockManager::builder().policy(policy).timeout(timeout).build()
+    }
+
+    /// The attached observability recorder, if any.
+    pub fn observer(&self) -> Option<&Arc<Recorder>> {
+        self.obs.as_ref()
     }
 
     /// The configured conflict policy.
@@ -240,6 +334,9 @@ impl LockManager {
             .unwrap()
             .insert(id, Arc::new(TxnState::new()));
         self.log(LockEvent::Begin(id));
+        if let Some(obs) = &self.obs {
+            obs.record(id.0, ObsEvent::Begin);
+        }
         id
     }
 
@@ -262,6 +359,24 @@ impl LockManager {
 
     /// Acquires `mode` on `res` for `txn`, blocking until granted.
     pub fn lock(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> Result<(), LockError> {
+        let mut wait_from: Option<Instant> = None;
+        let result = self.lock_inner(txn, res, mode, &mut wait_from);
+        if let (Some(obs), Some(from)) = (&self.obs, wait_from) {
+            obs.phase(Phase::LockWait, from.elapsed());
+        }
+        result
+    }
+
+    /// The `lock` loop proper. Sets `*wait_from` the first time the
+    /// request enqueues so the wrapper can record the total wait (which
+    /// may span several wake/retry rounds) as one `LockWait` sample.
+    fn lock_inner(
+        &self,
+        txn: TxnId,
+        res: ResourceId,
+        mode: LockMode,
+        wait_from: &mut Option<Instant>,
+    ) -> Result<(), LockError> {
         let Some(ts) = self.txn_state(txn) else {
             return Err(LockError::NotActive(txn));
         };
@@ -312,6 +427,15 @@ impl LockManager {
                 Attempt::Granted { wake } => {
                     self.stats.grants.fetch_add(1, Relaxed);
                     self.log(LockEvent::Grant(txn, res, mode));
+                    if let Some(obs) = &self.obs {
+                        obs.record(
+                            txn.0,
+                            ObsEvent::Grant {
+                                resource: res_key(res),
+                                mode: mode_name(mode),
+                            },
+                        );
+                    }
                     self.signal_all(&wake);
                     return Ok(());
                 }
@@ -319,6 +443,18 @@ impl LockManager {
                     if newly {
                         self.stats.blocks.fetch_add(1, Relaxed);
                         self.log(LockEvent::Block(txn, res, mode));
+                        if wait_from.is_none() {
+                            *wait_from = Some(Instant::now());
+                        }
+                        if let Some(obs) = &self.obs {
+                            obs.record(
+                                txn.0,
+                                ObsEvent::Block {
+                                    resource: res_key(res),
+                                    mode: mode_name(mode),
+                                },
+                            );
+                        }
                     }
                     // Deadlock detection runs with no shard lock held.
                     if let Some(cycle) = find_cycle(txn, &|t| self.blockers_of(t)) {
@@ -388,6 +524,15 @@ impl LockManager {
         if granted {
             self.stats.grants.fetch_add(1, Relaxed);
             self.log(LockEvent::Grant(txn, res, mode));
+            if let Some(obs) = &self.obs {
+                obs.record(
+                    txn.0,
+                    ObsEvent::Grant {
+                        resource: res_key(res),
+                        mode: mode_name(mode),
+                    },
+                );
+            }
         }
         Ok(granted)
     }
@@ -451,19 +596,26 @@ impl LockManager {
                     };
                     // Doom only if still Active at this instant — a reader
                     // that already committed won (legal serial order) and
-                    // one that already aborted needs nothing.
+                    // one that already aborted needs nothing. The obs
+                    // timestamp is taken *inside* the critical section:
+                    // the victim records its own Abort only after it can
+                    // observe the doom (under this same mutex), so the
+                    // per-transaction event order stays monotone.
                     let doomed = {
                         let mut ri = rts.inner.lock().unwrap();
                         if matches!(ri.status, Status::Active) {
                             ri.status = Status::Doomed { by: Some(txn) };
-                            true
+                            Some(self.obs.as_ref().map(|o| o.now()))
                         } else {
-                            false
+                            None
                         }
                     };
-                    if doomed {
+                    if let Some(ts) = doomed {
                         self.stats.dooms.fetch_add(1, Relaxed);
                         self.log(LockEvent::Doom(reader, Some(txn)));
+                        if let (Some(obs), Some(ts)) = (&self.obs, ts) {
+                            obs.record_at(ts, reader.0, ObsEvent::Doom { by: txn.0 });
+                        }
                         outcome.doomed_readers.push(reader);
                         rts.slot.signal(); // it may be parked
                     }
@@ -483,6 +635,9 @@ impl LockManager {
         self.release_held(txn, held, waiting);
         self.stats.commits.fetch_add(1, Relaxed);
         self.log(LockEvent::Commit(txn));
+        if let Some(obs) = &self.obs {
+            obs.record(txn.0, ObsEvent::Commit);
+        }
         Ok(outcome)
     }
 
@@ -561,14 +716,19 @@ impl LockManager {
             let mut inner = vts.inner.lock().unwrap();
             if matches!(inner.status, Status::Active) {
                 inner.status = Status::Doomed { by: None };
-                true
+                // Timestamp inside the critical section — see the
+                // matching comment in `commit`.
+                Some(self.obs.as_ref().map(|o| o.now()))
             } else {
-                false
+                None
             }
         };
-        if doomed {
+        if let Some(ts) = doomed {
             self.stats.deadlocks.fetch_add(1, Relaxed);
             self.log(LockEvent::Doom(victim, None));
+            if let (Some(obs), Some(ts)) = (&self.obs, ts) {
+                obs.record_at(ts, victim.0, ObsEvent::Deadlock);
+            }
         }
         vts.slot.signal();
     }
@@ -789,6 +949,83 @@ mod tests {
         let (a, b) = (m.begin(), m.begin());
         m.lock(a, t(1), X).unwrap();
         assert_eq!(m.lock(b, t(1), X), Err(LockError::Timeout(b)));
+    }
+
+    #[test]
+    fn builder_composes_timeout_with_shards_and_policy() {
+        // The old constructors could not express this combination.
+        let m = LockManager::builder()
+            .policy(ConflictPolicy::Revalidate)
+            .shards(4)
+            .timeout(Duration::from_millis(20))
+            .build();
+        assert_eq!(m.policy(), ConflictPolicy::Revalidate);
+        let (a, b) = (m.begin(), m.begin());
+        m.lock(a, t(1), X).unwrap();
+        assert_eq!(m.lock(b, t(1), X), Err(LockError::Timeout(b)));
+    }
+
+    #[test]
+    fn builder_defaults_match_new() {
+        let m = LockManager::builder().build();
+        assert_eq!(m.policy(), ConflictPolicy::AbortReaders);
+        let a = m.begin();
+        m.lock(a, t(1), Rc).unwrap();
+        m.commit(a).unwrap();
+    }
+
+    #[test]
+    fn obs_recorder_sees_lock_lifecycle() {
+        use dps_obs::EventKind;
+
+        let rec = Arc::new(Recorder::default());
+        let m = LockManager::builder().obs(Arc::clone(&rec)).build();
+        let (a, b) = (m.begin(), m.begin());
+        m.lock(a, t(1), Rc).unwrap();
+        m.lock(b, t(1), Wa).unwrap();
+        m.commit(b).unwrap(); // dooms `a`
+        let history = rec.history();
+        let kinds_a: Vec<_> = history.iter().filter(|e| e.txn == a.0).map(|e| e.kind).collect();
+        assert!(kinds_a.contains(&EventKind::Begin));
+        assert!(kinds_a.contains(&EventKind::Grant {
+            resource: res_key(t(1)),
+            mode: "Rc"
+        }));
+        assert!(kinds_a.contains(&EventKind::Doom { by: b.0 }));
+        let kinds_b: Vec<_> = history.iter().filter(|e| e.txn == b.0).map(|e| e.kind).collect();
+        assert_eq!(kinds_b.last(), Some(&EventKind::Commit));
+        let rep = rec.report();
+        assert_eq!(rep.begins, 2);
+        assert_eq!(rep.commits, 1);
+        assert_eq!(rep.dooms, 1);
+    }
+
+    #[test]
+    fn obs_lock_wait_histogram_counts_blocked_waits() {
+        let rec = Arc::new(Recorder::default());
+        let m = Arc::new(LockManager::builder().obs(Arc::clone(&rec)).build());
+        let (a, b) = (m.begin(), m.begin());
+        m.lock(a, t(1), X).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.lock(b, t(1), X));
+        std::thread::sleep(Duration::from_millis(30));
+        m.commit(a).unwrap();
+        h.join().unwrap().unwrap();
+        let snap = rec.phase_snapshot(Phase::LockWait);
+        assert_eq!(snap.count, 1, "one blocked wait recorded");
+        assert!(
+            snap.max >= Duration::from_millis(20).as_nanos() as u64,
+            "wait spanned the writer's hold time (max {} ns)",
+            snap.max
+        );
+        m.commit(b).unwrap();
+    }
+
+    #[test]
+    fn res_key_spaces_never_collide() {
+        assert_ne!(res_key(ResourceId::Tuple(7)), res_key(ResourceId::Relation(7)));
+        assert_eq!(res_key(ResourceId::Tuple(7)) & 1, 0);
+        assert_eq!(res_key(ResourceId::Relation(7)) & 1, 1);
     }
 
     #[test]

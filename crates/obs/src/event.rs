@@ -1,0 +1,238 @@
+//! Transaction lifecycle events and the per-worker event ring.
+//!
+//! Events are the raw material for any consistency or performance
+//! analysis of a transactional history (Biswas & Enea's framing): each
+//! records *which* transaction did *what*, *when* — with timestamps in
+//! nanoseconds from a common per-[`crate::Recorder`] epoch, so merged
+//! histories are totally orderable.
+//!
+//! The crate sits below `dps-lock` and `dps-core` in the dependency
+//! order, so events speak in plain integers: `txn` is the numeric
+//! transaction id and `resource` an opaque resource key (the lock layer
+//! encodes tuple/relation ids into it; see its docs).
+
+/// Why a transaction aborted. The union of lock-manager causes
+/// (doomed-by-writer, deadlock, timeout) and engine causes (stale
+/// claim, failed revalidation, RHS evaluation error) — the paper's §5
+/// wasted-work factor `f` decomposed by origin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AbortCause {
+    /// Doomed by a committing `Wa` holder (Figure 4.3(b)).
+    Doomed,
+    /// Chosen as a deadlock victim.
+    Deadlock,
+    /// Claim invalidated before/while acquiring condition locks.
+    Stale,
+    /// Engine-level revalidation failed (policy `Revalidate`).
+    Revalidation,
+    /// The RHS failed to evaluate (e.g. division by zero).
+    EvalError,
+    /// A lock wait exceeded the configured timeout.
+    Timeout,
+}
+
+impl AbortCause {
+    /// Every cause, in display order.
+    pub const ALL: [AbortCause; 6] = [
+        AbortCause::Doomed,
+        AbortCause::Deadlock,
+        AbortCause::Stale,
+        AbortCause::Revalidation,
+        AbortCause::EvalError,
+        AbortCause::Timeout,
+    ];
+
+    /// Stable machine-readable name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortCause::Doomed => "doomed",
+            AbortCause::Deadlock => "deadlock",
+            AbortCause::Stale => "stale",
+            AbortCause::Revalidation => "revalidation",
+            AbortCause::EvalError => "eval_error",
+            AbortCause::Timeout => "timeout",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            AbortCause::Doomed => 0,
+            AbortCause::Deadlock => 1,
+            AbortCause::Stale => 2,
+            AbortCause::Revalidation => 3,
+            AbortCause::EvalError => 4,
+            AbortCause::Timeout => 5,
+        }
+    }
+}
+
+/// What happened.
+///
+/// Emission responsibilities (documented here because the history
+/// well-formedness check in [`crate::validate_history`] depends on
+/// them): the **lock manager** emits `Begin`, `Grant`, `Block`, `Doom`,
+/// `Deadlock` and `Commit`; the **engine** emits the single
+/// `Abort { cause }` terminal for every transaction that does not
+/// commit (it is the only layer that knows the full cause taxonomy),
+/// plus `Anomaly` markers for accounting races that should never
+/// happen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Transaction began.
+    Begin,
+    /// A lock was granted.
+    Grant {
+        /// Opaque resource key (see module docs).
+        resource: u64,
+        /// Lock-mode name (`"Rc"`, `"Wa"`, `"S"`, …).
+        mode: &'static str,
+    },
+    /// A lock request blocked (first time only per request).
+    Block {
+        /// Opaque resource key.
+        resource: u64,
+        /// Lock-mode name.
+        mode: &'static str,
+    },
+    /// Doomed by a committing writer.
+    Doom {
+        /// The committing writer's transaction id.
+        by: u64,
+    },
+    /// Doomed as a deadlock victim.
+    Deadlock,
+    /// Transaction committed (terminal).
+    Commit,
+    /// Transaction aborted (terminal), with its cause.
+    Abort {
+        /// Why.
+        cause: AbortCause,
+    },
+    /// An accounting anomaly (e.g. an abort call that failed with
+    /// something other than the benign auto-abort race).
+    Anomaly {
+        /// Short static description.
+        what: &'static str,
+    },
+}
+
+impl EventKind {
+    /// `true` for the two terminal kinds (`Commit` / `Abort`).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, EventKind::Commit | EventKind::Abort { .. })
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds since the recorder's epoch (monotonic).
+    pub ts: u64,
+    /// Numeric transaction id.
+    pub txn: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// A bounded circular buffer of events. One per worker slot; when full
+/// it overwrites the oldest entry and the recorder counts the drop, so
+/// recording can never block or grow without bound.
+#[derive(Debug)]
+pub(crate) struct Ring {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest element (only meaningful once wrapped).
+    head: usize,
+    /// Total pushes ever (≥ `buf.len()`); `pushes - capacity` of them
+    /// were dropped once wrapped.
+    pushes: u64,
+}
+
+impl Ring {
+    pub fn new(capacity: usize) -> Self {
+        Ring {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            pushes: 0,
+        }
+    }
+
+    /// Pushes an event; returns `true` if an old event was overwritten.
+    pub fn push(&mut self, ev: Event) -> bool {
+        self.pushes += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+            false
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            true
+        }
+    }
+
+    /// Events in arrival order.
+    pub fn iter_ordered(&self) -> impl Iterator<Item = &Event> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> Event {
+        Event {
+            ts,
+            txn: ts,
+            kind: EventKind::Begin,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut r = Ring::new(3);
+        for t in 0..5 {
+            let dropped = r.push(ev(t));
+            assert_eq!(dropped, t >= 3);
+        }
+        let got: Vec<u64> = r.iter_ordered().map(|e| e.ts).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.pushes, 5);
+    }
+
+    #[test]
+    fn ring_below_capacity_preserves_everything() {
+        let mut r = Ring::new(8);
+        for t in 0..4 {
+            assert!(!r.push(ev(t)));
+        }
+        let got: Vec<u64> = r.iter_ordered().map(|e| e.ts).collect();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn terminal_kinds() {
+        assert!(EventKind::Commit.is_terminal());
+        assert!(EventKind::Abort {
+            cause: AbortCause::Stale
+        }
+        .is_terminal());
+        assert!(!EventKind::Begin.is_terminal());
+        assert!(!EventKind::Anomaly { what: "x" }.is_terminal());
+    }
+
+    #[test]
+    fn cause_names_align_with_all() {
+        for (i, c) in AbortCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(!c.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! A minimal JSON value, serializer and parser.
+//!
+//! The workspace is dependency-free (no `serde`), but the observability
+//! layer must emit machine-readable reports and CI must shape-check
+//! them. This module provides exactly that: a [`Json`] tree with a
+//! `Display` serializer (stable key order — objects are ordered vectors,
+//! not maps) and a small recursive-descent [`parse`] used by the report
+//! validators. Numbers are `f64` (every counter we export fits in the
+//! 2⁵³ exact-integer range).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with preserved key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for integer counters.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// Convenience constructor for `u64` counters (lossless below 2⁵³).
+    pub fn u64(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Nested lookup: `at(&["a", "b"])` ≡ `get("a")?.get("b")`.
+    pub fn at(&self, path: &[&str]) -> Option<&Json> {
+        path.iter().try_fold(self, |v, k| v.get(k))
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The object members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Json, indent: usize, pretty: bool) {
+    let pad = |out: &mut String, n: usize| {
+        if pretty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(n));
+        }
+    };
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Json::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                write_value(out, item, indent + 1, pretty);
+            }
+            if !items.is_empty() {
+                pad(out, indent);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                out.push('"');
+                escape_into(out, k);
+                out.push_str("\":");
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            if !members.is_empty() {
+                pad(out, indent);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl Json {
+    /// Compact serialization.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, 0, false);
+        out
+    }
+
+    /// Two-space-indented serialization.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, 0, true);
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_pretty())
+    }
+}
+
+/// Parses a JSON document. Returns a descriptive error on malformed
+/// input (byte offset included).
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("malformed number '{text}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err(self.err("truncated \\u escape"));
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| self.err("non-ascii \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                        self.pos += 4;
+                        // Surrogate pairs are not needed for our reports;
+                        // map unpaired surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("bad UTF-8")),
+                    };
+                    if start + len > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| self.err("bad UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or ']'"));
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(members)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or '}'"));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let v = Json::Obj(vec![
+            ("schema".into(), Json::str("v1")),
+            ("n".into(), Json::u64(42)),
+            ("pi".into(), Json::Num(1.5)),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            (
+                "arr".into(),
+                Json::Arr(vec![Json::u64(1), Json::str("two"), Json::Obj(vec![])]),
+            ),
+        ]);
+        for s in [v.to_string_compact(), v.to_string_pretty()] {
+            assert_eq!(parse(&s).unwrap(), v, "roundtrip failed for: {s}");
+        }
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = Json::Obj(vec![(
+            "k\"ey\\".into(),
+            Json::str("line1\nline2\ttab \"quoted\" \u{1}"),
+        )]);
+        let s = v.to_string_compact();
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let v = Json::str("µs → naïve 漢");
+        assert_eq!(parse(&v.to_string_compact()).unwrap(), v);
+        assert_eq!(parse(r#""µs""#).unwrap(), Json::str("µs"));
+    }
+
+    #[test]
+    fn numbers_parse() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("-3.5").unwrap().as_f64(), Some(-3.5));
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(parse("2.5").unwrap().as_u64(), None, "non-integer");
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let v = parse(r#"{"a": {"b": [1, 2, 3]}}"#).unwrap();
+        assert_eq!(
+            v.at(&["a", "b"]).and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        assert!(v.get("missing").is_none());
+        assert!(v.at(&["a", "missing"]).is_none());
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2", "{'a':1}"] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn integers_serialize_without_fraction() {
+        assert_eq!(Json::u64(7).to_string_compact(), "7");
+        assert_eq!(Json::Num(7.25).to_string_compact(), "7.25");
+    }
+}

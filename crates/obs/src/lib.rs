@@ -1,0 +1,60 @@
+//! # `dps-obs` — observability for the production-system stack
+//!
+//! The paper's §5 argues that the dynamic approach's speed-up is
+//! governed by three factors: the **degree of conflict** (how often
+//! concurrent productions collide), the **wasted-work fraction `f`**
+//! (execution time thrown away by aborts) and the per-production
+//! execution-time distribution. Optimising any of them requires
+//! *seeing* them first. This crate is the dependency-free seeing
+//! apparatus, threaded through `dps-lock`, `dps-core` and `dps-bench`:
+//!
+//! * **[`Recorder`]** — the shared sink. Per-worker-slot [event
+//!   rings](event) record the transaction lifecycle (`Begin` / `Grant`
+//!   / `Block` / `Doom` / `Deadlock` / `Commit` / `Abort`-with-cause)
+//!   with monotonic nanosecond timestamps from a common epoch;
+//!   [`Recorder::history`] merges them into one global history on
+//!   demand, and [`validate_history`] checks its well-formedness
+//!   (recorded per-transaction histories are the raw material for any
+//!   consistency or performance analysis — Biswas & Enea).
+//! * **[Histograms](hist)** — fixed log₂-bucket latency histograms
+//!   (p50/p95/p99/max) for the lock-wait, LHS-eval, RHS-act and commit
+//!   phases of Figures 4.1/4.2.
+//! * **Per-rule tables** — firing/abort breakdown per rule name.
+//! * **[JSON](json)** — a hand-rolled writer *and* parser, so benches
+//!   emit machine-readable reports and CI can shape-check them without
+//!   `serde`.
+//!
+//! Everything is toggleable and cheap: instrumentation sites hold an
+//! `Option<Arc<Recorder>>`, so "off" costs one branch on a `None`.
+//!
+//! ```
+//! use dps_obs::{EventKind, Phase, Recorder, validate_history};
+//! use std::time::Duration;
+//!
+//! let rec = Recorder::default();
+//! rec.record(0, EventKind::Begin);
+//! rec.phase(Phase::LockWait, Duration::from_micros(12));
+//! rec.record(0, EventKind::Commit);
+//! rec.rule_fired("bump");
+//!
+//! validate_history(&rec.history()).unwrap();
+//! let report = rec.report();
+//! assert_eq!(report.commits, 1);
+//! println!("{report}");                       // human
+//! let doc = report.to_json().to_string_pretty(); // machine
+//! assert!(doc.contains("\"lock_wait\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod hist;
+pub mod json;
+mod recorder;
+mod report;
+
+pub use event::{AbortCause, Event, EventKind};
+pub use hist::{HistSnapshot, Histogram, Phase};
+pub use recorder::{validate_history, Recorder, RuleStat, DEFAULT_RING_CAPACITY, DEFAULT_SLOTS};
+pub use report::{ObsReport, RuleRow};

@@ -1,0 +1,436 @@
+//! The [`Recorder`]: the one object the whole stack reports into.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Near-zero cost when absent.** Every instrumentation site holds
+//!    an `Option<Arc<Recorder>>`; off means one branch on a `None`.
+//! 2. **No cross-worker contention when on.** Events go into
+//!    per-worker-slot rings (a thread-local slot index assigned on
+//!    first use), histograms and counters are relaxed atomics, and the
+//!    only map (the per-rule table) is touched once per commit/abort,
+//!    not per lock operation.
+//! 3. **Merge on demand.** [`Recorder::history`] collects every ring
+//!    and sorts by timestamp; nothing global is maintained during the
+//!    run.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::event::{AbortCause, Event, EventKind, Ring};
+use crate::hist::{HistSnapshot, Histogram, Phase};
+use crate::report::{ObsReport, RuleRow};
+
+/// Default number of ring slots (worker threads hash onto these; more
+/// workers than slots just share).
+pub const DEFAULT_SLOTS: usize = 16;
+
+/// Default per-ring capacity in events.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// Aggregate event counters (all relaxed atomics).
+#[derive(Debug, Default)]
+struct Counters {
+    begins: AtomicU64,
+    grants: AtomicU64,
+    blocks: AtomicU64,
+    dooms: AtomicU64,
+    deadlocks: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    anomalies: AtomicU64,
+}
+
+/// Per-rule firing/abort tallies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleStat {
+    /// Commits of this rule.
+    pub fired: u64,
+    /// Aborted attempts of this rule.
+    pub aborted: u64,
+}
+
+/// The observability recorder. Cheap to share behind an `Arc`; every
+/// method takes `&self` and is safe to call from any thread.
+#[derive(Debug)]
+pub struct Recorder {
+    epoch: Instant,
+    rings: Box<[Mutex<Ring>]>,
+    hists: [Histogram; 4],
+    abort_causes: [AtomicU64; 6],
+    counters: Counters,
+    dropped: AtomicU64,
+    rules: Mutex<BTreeMap<String, RuleStat>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::with_capacity(DEFAULT_SLOTS, DEFAULT_RING_CAPACITY)
+    }
+}
+
+/// Global slot allocator: each OS thread gets a stable slot number on
+/// its first record, so a worker's events land in "its" ring.
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn thread_slot() -> usize {
+    THREAD_SLOT.with(|s| match s.get() {
+        Some(n) => n,
+        None => {
+            let n = NEXT_SLOT.fetch_add(1, Relaxed);
+            s.set(Some(n));
+            n
+        }
+    })
+}
+
+impl Recorder {
+    /// Creates a recorder with `slots` rings of `capacity` events each.
+    pub fn with_capacity(slots: usize, capacity: usize) -> Self {
+        Recorder {
+            epoch: Instant::now(),
+            rings: (0..slots.max(1)).map(|_| Mutex::new(Ring::new(capacity))).collect(),
+            hists: std::array::from_fn(|_| Histogram::default()),
+            abort_causes: std::array::from_fn(|_| AtomicU64::new(0)),
+            counters: Counters::default(),
+            dropped: AtomicU64::new(0),
+            rules: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Nanoseconds since this recorder's epoch. Use with
+    /// [`Recorder::record_at`] to capture a timestamp inside a critical
+    /// section and record the event after releasing it (the lock
+    /// manager's doom paths do this so per-transaction timestamp order
+    /// matches the real happens-before order).
+    pub fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Records an event stamped with the current time.
+    pub fn record(&self, txn: u64, kind: EventKind) {
+        let ts = self.now();
+        self.record_at(ts, txn, kind);
+    }
+
+    /// Records an event with an explicit timestamp from [`Recorder::now`].
+    pub fn record_at(&self, ts: u64, txn: u64, kind: EventKind) {
+        match &kind {
+            EventKind::Begin => self.counters.begins.fetch_add(1, Relaxed),
+            EventKind::Grant { .. } => self.counters.grants.fetch_add(1, Relaxed),
+            EventKind::Block { .. } => self.counters.blocks.fetch_add(1, Relaxed),
+            EventKind::Doom { .. } => self.counters.dooms.fetch_add(1, Relaxed),
+            EventKind::Deadlock => self.counters.deadlocks.fetch_add(1, Relaxed),
+            EventKind::Commit => self.counters.commits.fetch_add(1, Relaxed),
+            EventKind::Abort { cause } => {
+                self.abort_causes[cause.index()].fetch_add(1, Relaxed);
+                self.counters.aborts.fetch_add(1, Relaxed)
+            }
+            EventKind::Anomaly { .. } => self.counters.anomalies.fetch_add(1, Relaxed),
+        };
+        let slot = thread_slot() % self.rings.len();
+        let overwrote = self.rings[slot].lock().unwrap().push(Event { ts, txn, kind });
+        if overwrote {
+            self.dropped.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Records a phase duration into its histogram.
+    pub fn phase(&self, phase: Phase, d: Duration) {
+        self.hists[phase.index()].record(d);
+    }
+
+    /// A snapshot of one phase histogram.
+    pub fn phase_snapshot(&self, phase: Phase) -> HistSnapshot {
+        self.hists[phase.index()].snapshot()
+    }
+
+    /// Counts a committed firing of `rule`.
+    pub fn rule_fired(&self, rule: &str) {
+        let mut rules = self.rules.lock().unwrap();
+        rules.entry(rule.to_owned()).or_default().fired += 1;
+    }
+
+    /// Counts an aborted attempt of `rule`.
+    pub fn rule_aborted(&self, rule: &str) {
+        let mut rules = self.rules.lock().unwrap();
+        rules.entry(rule.to_owned()).or_default().aborted += 1;
+    }
+
+    /// Events dropped because a ring wrapped. A non-zero value means
+    /// [`Recorder::history`] is incomplete (counters and histograms are
+    /// unaffected — they never drop).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+
+    /// Abort count for one cause.
+    pub fn aborts_by_cause(&self, cause: AbortCause) -> u64 {
+        self.abort_causes[cause.index()].load(Relaxed)
+    }
+
+    /// Merges every per-worker ring into one global history, ordered by
+    /// timestamp (ties broken by transaction id, then by event kind
+    /// discriminant stability of the sort — `sort_by_key` is stable).
+    pub fn history(&self) -> Vec<Event> {
+        let mut all: Vec<Event> = Vec::new();
+        for ring in self.rings.iter() {
+            let ring = ring.lock().unwrap();
+            all.extend(ring.iter_ordered().copied());
+        }
+        all.sort_by_key(|e| (e.ts, e.txn));
+        all
+    }
+
+    /// Builds the aggregate [`ObsReport`] snapshot.
+    pub fn report(&self) -> ObsReport {
+        let rules = self.rules.lock().unwrap();
+        ObsReport {
+            phases: Phase::ALL
+                .iter()
+                .map(|&p| (p, self.hists[p.index()].snapshot()))
+                .collect(),
+            abort_causes: AbortCause::ALL
+                .iter()
+                .map(|&c| (c, self.abort_causes[c.index()].load(Relaxed)))
+                .collect(),
+            begins: self.counters.begins.load(Relaxed),
+            grants: self.counters.grants.load(Relaxed),
+            blocks: self.counters.blocks.load(Relaxed),
+            dooms: self.counters.dooms.load(Relaxed),
+            deadlocks: self.counters.deadlocks.load(Relaxed),
+            commits: self.counters.commits.load(Relaxed),
+            aborts: self.counters.aborts.load(Relaxed),
+            anomalies: self.counters.anomalies.load(Relaxed),
+            dropped_events: self.dropped.load(Relaxed),
+            rules: rules
+                .iter()
+                .map(|(name, stat)| RuleRow {
+                    name: name.clone(),
+                    fired: stat.fired,
+                    aborted: stat.aborted,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Checks that a merged history is well-formed:
+///
+/// * every transaction with any event has exactly one `Begin`, and it
+///   is its first event;
+/// * every begun transaction ends in **exactly one** terminal
+///   (`Commit` or `Abort`), with no events after it (`Anomaly` markers
+///   excepted — they may trail an abort);
+/// * per-transaction timestamps are monotonically non-decreasing.
+///
+/// Call only when [`Recorder::dropped`] is zero — a wrapped ring loses
+/// prefixes, which legitimately breaks these invariants.
+pub fn validate_history(events: &[Event]) -> Result<(), String> {
+    #[derive(Default)]
+    struct TxnCheck {
+        begun: bool,
+        terminals: u32,
+        last_ts: u64,
+        events: u32,
+    }
+    let mut txns: BTreeMap<u64, TxnCheck> = BTreeMap::new();
+    for ev in events {
+        let t = txns.entry(ev.txn).or_default();
+        if ev.ts < t.last_ts {
+            return Err(format!(
+                "txn {}: timestamp went backwards ({} -> {})",
+                ev.txn, t.last_ts, ev.ts
+            ));
+        }
+        t.last_ts = ev.ts;
+        t.events += 1;
+        match ev.kind {
+            EventKind::Begin => {
+                if t.begun {
+                    return Err(format!("txn {}: duplicate Begin", ev.txn));
+                }
+                if t.events != 1 {
+                    return Err(format!("txn {}: Begin is not its first event", ev.txn));
+                }
+                t.begun = true;
+            }
+            EventKind::Anomaly { .. } => {}
+            kind => {
+                if !t.begun {
+                    return Err(format!("txn {}: {kind:?} before Begin", ev.txn));
+                }
+                if t.terminals > 0 {
+                    return Err(format!("txn {}: {kind:?} after a terminal event", ev.txn));
+                }
+                if kind.is_terminal() {
+                    t.terminals += 1;
+                }
+            }
+        }
+    }
+    for (txn, t) in &txns {
+        if t.begun && t.terminals != 1 {
+            return Err(format!(
+                "txn {txn}: {} terminal events (expected exactly 1)",
+                t.terminals
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(ts: u64, txn: u64, kind: EventKind) -> Event {
+        Event { ts, txn, kind }
+    }
+
+    #[test]
+    fn record_and_report_counts() {
+        let r = Recorder::default();
+        r.record(0, EventKind::Begin);
+        r.record(
+            0,
+            EventKind::Grant {
+                resource: 2,
+                mode: "Rc",
+            },
+        );
+        r.record(0, EventKind::Commit);
+        r.record(1, EventKind::Begin);
+        r.record(
+            1,
+            EventKind::Abort {
+                cause: AbortCause::Stale,
+            },
+        );
+        let rep = r.report();
+        assert_eq!((rep.begins, rep.grants, rep.commits, rep.aborts), (2, 1, 1, 1));
+        assert_eq!(r.aborts_by_cause(AbortCause::Stale), 1);
+        assert_eq!(r.aborts_by_cause(AbortCause::Doomed), 0);
+        assert_eq!(rep.abort_cause_total(), 1);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn history_merges_sorted_and_validates() {
+        let r = Recorder::default();
+        for txn in 0..4u64 {
+            r.record(txn, EventKind::Begin);
+            r.record(
+                txn,
+                EventKind::Grant {
+                    resource: txn,
+                    mode: "Rc",
+                },
+            );
+            r.record(txn, EventKind::Commit);
+        }
+        let h = r.history();
+        assert_eq!(h.len(), 12);
+        assert!(h.windows(2).all(|w| w[0].ts <= w[1].ts), "sorted by ts");
+        validate_history(&h).unwrap();
+    }
+
+    #[test]
+    fn cross_thread_recording_is_complete() {
+        let r = std::sync::Arc::new(Recorder::default());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let txn = t * 100 + i;
+                        r.record(txn, EventKind::Begin);
+                        r.record(txn, EventKind::Commit);
+                    }
+                });
+            }
+        });
+        let rep = r.report();
+        assert_eq!((rep.begins, rep.commits), (400, 400));
+        assert_eq!(r.dropped(), 0);
+        validate_history(&r.history()).unwrap();
+    }
+
+    #[test]
+    fn overflow_counts_drops() {
+        let r = Recorder::with_capacity(1, 4);
+        for txn in 0..10 {
+            r.record(txn, EventKind::Begin);
+        }
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.history().len(), 4);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_histories() {
+        // Missing terminal.
+        let h = vec![e(0, 1, EventKind::Begin)];
+        assert!(validate_history(&h).unwrap_err().contains("terminal"));
+        // Double terminal.
+        let h = vec![
+            e(0, 1, EventKind::Begin),
+            e(1, 1, EventKind::Commit),
+            e(
+                2,
+                1,
+                EventKind::Abort {
+                    cause: AbortCause::Stale,
+                },
+            ),
+        ];
+        assert!(validate_history(&h).is_err());
+        // Backwards time.
+        let h = vec![e(5, 1, EventKind::Begin), e(3, 1, EventKind::Commit)];
+        assert!(validate_history(&h).unwrap_err().contains("backwards"));
+        // Event before begin.
+        let h = vec![e(0, 1, EventKind::Commit)];
+        assert!(validate_history(&h).unwrap_err().contains("before Begin"));
+        // Duplicate begin.
+        let h = vec![
+            e(0, 1, EventKind::Begin),
+            e(1, 1, EventKind::Begin),
+            e(2, 1, EventKind::Commit),
+        ];
+        assert!(validate_history(&h).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn anomaly_markers_do_not_break_validation() {
+        let h = vec![
+            e(0, 1, EventKind::Begin),
+            e(
+                1,
+                1,
+                EventKind::Abort {
+                    cause: AbortCause::Deadlock,
+                },
+            ),
+            e(2, 1, EventKind::Anomaly { what: "late" }),
+        ];
+        validate_history(&h).unwrap();
+    }
+
+    #[test]
+    fn rule_tables_accumulate() {
+        let r = Recorder::default();
+        r.rule_fired("bump");
+        r.rule_fired("bump");
+        r.rule_aborted("bump");
+        r.rule_fired("other");
+        let rep = r.report();
+        let bump = rep.rules.iter().find(|r| r.name == "bump").unwrap();
+        assert_eq!((bump.fired, bump.aborted), (2, 1));
+        assert_eq!(rep.rules.len(), 2);
+    }
+}

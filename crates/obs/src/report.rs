@@ -1,0 +1,232 @@
+//! The aggregate report: phase histograms, abort breakdown, event
+//! counters and per-rule tables, with a human `Display` and a JSON
+//! exporter.
+
+use std::fmt;
+
+use crate::event::AbortCause;
+use crate::hist::{HistSnapshot, Phase};
+use crate::json::Json;
+
+/// One row of the per-rule firing/abort table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleRow {
+    /// Rule name.
+    pub name: String,
+    /// Commits.
+    pub fired: u64,
+    /// Aborted attempts.
+    pub aborted: u64,
+}
+
+/// Point-in-time aggregate snapshot of a [`crate::Recorder`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObsReport {
+    /// Latency histograms per phase, in [`Phase::ALL`] order.
+    pub phases: Vec<(Phase, HistSnapshot)>,
+    /// Abort counts per cause, in [`AbortCause::ALL`] order.
+    pub abort_causes: Vec<(AbortCause, u64)>,
+    /// `Begin` events.
+    pub begins: u64,
+    /// `Grant` events.
+    pub grants: u64,
+    /// `Block` events.
+    pub blocks: u64,
+    /// `Doom` events (writer-doomed readers).
+    pub dooms: u64,
+    /// `Deadlock` events (deadlock-victim dooms).
+    pub deadlocks: u64,
+    /// `Commit` events.
+    pub commits: u64,
+    /// `Abort` events.
+    pub aborts: u64,
+    /// `Anomaly` markers (should be 0 on a healthy run).
+    pub anomalies: u64,
+    /// Events lost to ring overwrites (history incomplete if non-zero).
+    pub dropped_events: u64,
+    /// Per-rule firing/abort rows, sorted by rule name.
+    pub rules: Vec<RuleRow>,
+}
+
+impl ObsReport {
+    /// Sum of the per-cause abort counts. Equals [`ObsReport::aborts`]
+    /// by construction (each `Abort` event carries exactly one cause).
+    pub fn abort_cause_total(&self) -> u64 {
+        self.abort_causes.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The snapshot for one phase.
+    pub fn phase(&self, phase: Phase) -> Option<&HistSnapshot> {
+        self.phases.iter().find(|(p, _)| *p == phase).map(|(_, h)| h)
+    }
+
+    /// Exports the report as a JSON tree (hand the result to
+    /// [`Json::to_string_pretty`] or embed it into a larger document).
+    pub fn to_json(&self) -> Json {
+        let phases = Json::Obj(
+            self.phases
+                .iter()
+                .map(|(p, h)| {
+                    (
+                        p.name().to_owned(),
+                        Json::Obj(vec![
+                            ("count".into(), Json::u64(h.count)),
+                            ("p50_ns".into(), Json::u64(h.p50())),
+                            ("p95_ns".into(), Json::u64(h.p95())),
+                            ("p99_ns".into(), Json::u64(h.p99())),
+                            ("max_ns".into(), Json::u64(h.max)),
+                            ("mean_ns".into(), Json::u64(h.mean())),
+                            ("sum_ns".into(), Json::u64(h.sum)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let causes = Json::Obj(
+            self.abort_causes
+                .iter()
+                .map(|(c, n)| (c.name().to_owned(), Json::u64(*n)))
+                .collect(),
+        );
+        let events = Json::Obj(vec![
+            ("begins".into(), Json::u64(self.begins)),
+            ("grants".into(), Json::u64(self.grants)),
+            ("blocks".into(), Json::u64(self.blocks)),
+            ("dooms".into(), Json::u64(self.dooms)),
+            ("deadlocks".into(), Json::u64(self.deadlocks)),
+            ("commits".into(), Json::u64(self.commits)),
+            ("aborts".into(), Json::u64(self.aborts)),
+            ("anomalies".into(), Json::u64(self.anomalies)),
+            ("dropped".into(), Json::u64(self.dropped_events)),
+        ]);
+        let rules = Json::Arr(
+            self.rules
+                .iter()
+                .map(|r| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::str(r.name.clone())),
+                        ("fired".into(), Json::u64(r.fired)),
+                        ("aborted".into(), Json::u64(r.aborted)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("schema".into(), Json::str("dps-obs-report-v1")),
+            ("phases".into(), phases),
+            ("abort_causes".into(), causes),
+            ("events".into(), events),
+            ("rules".into(), rules),
+        ])
+    }
+}
+
+impl fmt::Display for ObsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "observability report")?;
+        writeln!(
+            f,
+            "  events: {} begin, {} grant, {} block, {} doom, {} deadlock, {} commit, {} abort{}{}",
+            self.begins,
+            self.grants,
+            self.blocks,
+            self.dooms,
+            self.deadlocks,
+            self.commits,
+            self.aborts,
+            if self.anomalies > 0 {
+                format!(", {} ANOMALIES", self.anomalies)
+            } else {
+                String::new()
+            },
+            if self.dropped_events > 0 {
+                format!(" ({} dropped)", self.dropped_events)
+            } else {
+                String::new()
+            },
+        )?;
+        writeln!(f, "  latency (per phase):")?;
+        for (p, h) in &self.phases {
+            writeln!(f, "    {:<9} {h}", p.name())?;
+        }
+        writeln!(f, "  aborts by cause (total {}):", self.abort_cause_total())?;
+        for (c, n) in &self.abort_causes {
+            if *n > 0 {
+                writeln!(f, "    {:<12} {n}", c.name())?;
+            }
+        }
+        if !self.rules.is_empty() {
+            writeln!(f, "  per-rule:")?;
+            writeln!(f, "    {:<24} {:>8} {:>8}", "rule", "fired", "aborted")?;
+            for r in &self.rules {
+                writeln!(f, "    {:<24} {:>8} {:>8}", r.name, r.fired, r.aborted)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::Recorder;
+
+    #[test]
+    fn json_export_has_required_shape() {
+        let r = Recorder::default();
+        r.phase(Phase::LockWait, std::time::Duration::from_micros(3));
+        r.phase(Phase::Commit, std::time::Duration::from_micros(7));
+        r.record(
+            0,
+            crate::EventKind::Abort {
+                cause: AbortCause::EvalError,
+            },
+        );
+        r.rule_fired("bump");
+        let rep = r.report();
+        let parsed = json::parse(&rep.to_json().to_string_pretty()).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("dps-obs-report-v1")
+        );
+        for phase in ["lock_wait", "lhs_eval", "rhs_act", "commit"] {
+            for key in ["count", "p50_ns", "p95_ns", "p99_ns", "max_ns"] {
+                assert!(
+                    parsed.at(&["phases", phase, key]).and_then(Json::as_u64).is_some(),
+                    "missing phases.{phase}.{key}"
+                );
+            }
+        }
+        assert_eq!(
+            parsed.at(&["abort_causes", "eval_error"]).and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(parsed.at(&["events", "aborts"]).and_then(Json::as_u64), Some(1));
+        let rules = parsed.get("rules").and_then(Json::as_arr).unwrap();
+        assert_eq!(rules[0].get("name").and_then(Json::as_str), Some("bump"));
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let r = Recorder::default();
+        r.record(0, crate::EventKind::Begin);
+        r.record(0, crate::EventKind::Commit);
+        r.rule_fired("bump");
+        let text = r.report().to_string();
+        for needle in ["events:", "latency", "lock_wait", "per-rule", "bump"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn cause_total_matches_abort_events() {
+        let r = Recorder::default();
+        for cause in AbortCause::ALL {
+            r.record(7, crate::EventKind::Abort { cause });
+        }
+        let rep = r.report();
+        assert_eq!(rep.abort_cause_total(), rep.aborts);
+        assert_eq!(rep.aborts, 6);
+    }
+}

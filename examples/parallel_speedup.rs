@@ -54,6 +54,7 @@ fn run(tasks: usize, tallies: usize, workers: usize, protocol: Protocol) -> (Dur
             max_commits: 10_000,
             rc_escalation: None,
             lock_shards: dbps::lock::DEFAULT_SHARDS,
+            ..Default::default()
         },
     );
     let report = engine.run();

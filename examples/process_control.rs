@@ -86,6 +86,7 @@ fn main() {
             max_commits: 1_000,
             rc_escalation: None,
             lock_shards: dbps::lock::DEFAULT_SHARDS,
+            ..Default::default()
         },
     );
     let report = engine.run();

@@ -15,11 +15,14 @@
 //! * [`engine`] — single-thread, static-parallel and dynamic-parallel
 //!   engines, and the execution-semantics checker.
 //! * [`sim`] — the discrete-event simulator reproducing section 5.
+//! * [`obs`] — observability: transaction-lifecycle event history,
+//!   phase latency histograms, per-rule tables, JSON reports.
 
 #![forbid(unsafe_code)]
 
 pub use dps_core as engine;
 pub use dps_lock as lock;
+pub use dps_obs as obs;
 pub use dps_match as rete;
 pub use dps_rules as rules;
 pub use dps_sim as sim;
