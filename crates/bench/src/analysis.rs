@@ -1,0 +1,228 @@
+//! Shared harness for trace-analysis runs: run a dynamic-engine
+//! workload with observability on, feed the merged history through
+//! `dps-obs::analysis`, and close the §3 Theorem-2 loop by replaying
+//! the recovered commit sequence through the single-thread oracle
+//! (`validate_trace`).
+//!
+//! Used by the `analyze` binary (both protocols, 8 workers, JSON
+//! report) and by `scaling --json` (which embeds one analyzed run in
+//! its report). The obs crate sits below `dps-core` and therefore can
+//! only check the history *structurally*; this module supplies the two
+//! pieces it cannot: the execution-graph replay and the cross-check of
+//! the recovered rule sequence against the engine's own trace.
+
+use std::time::Instant;
+
+use dps_core::semantics::validate_trace;
+use dps_core::{ParallelConfig, ParallelEngine, WorkModel};
+use dps_lock::{res_of_key, ConflictPolicy, Protocol};
+use dps_obs::analysis::{analyze, RunAnalysis, Verdict};
+use dps_obs::json::Json;
+use dps_obs::{validate_history, ObsReport};
+
+use crate::workloads;
+
+/// Stable name for a lock protocol (JSON key and CLI label).
+pub fn protocol_name(p: Protocol) -> &'static str {
+    match p {
+        Protocol::TwoPhase => "2pl",
+        Protocol::RcRaWa => "rc_ra_wa",
+    }
+}
+
+/// One fully analyzed dynamic-engine run.
+pub struct AnalyzedRun {
+    /// Which lock protocol ran.
+    pub protocol: Protocol,
+    /// Worker count.
+    pub workers: usize,
+    /// Committed transactions.
+    pub commits: usize,
+    /// Aborted transactions.
+    pub aborts: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// The aggregate obs snapshot (histograms, counters).
+    pub obs: ObsReport,
+    /// The full analysis (graph, contention, critical path, checker —
+    /// replay verdict already attached).
+    pub analysis: RunAnalysis,
+    /// Interned rule-name table for resolving `Fire` rule ids.
+    pub rule_names: Vec<String>,
+}
+
+/// Runs `shared_resources(tasks, resources)` under `protocol` with
+/// observability on and analyzes the resulting history end-to-end.
+///
+/// The checker verdict inside the returned [`AnalyzedRun`] covers:
+/// 1. structural recovery of the commit sequence from `Fire` records;
+/// 2. agreement of the recovered rule sequence with the engine's trace;
+/// 3. replay of the trace through the single-thread execution graph.
+pub fn analyzed_run(
+    protocol: Protocol,
+    workers: usize,
+    tasks: usize,
+    resources: usize,
+    work_us: u64,
+) -> AnalyzedRun {
+    let (rules, wm) = workloads::shared_resources(tasks, resources);
+    let initial = wm.clone();
+    let mut engine = ParallelEngine::new(
+        &rules,
+        wm,
+        ParallelConfig {
+            protocol,
+            policy: ConflictPolicy::AbortReaders,
+            workers,
+            work: WorkModel::FixedMicros(work_us),
+            observe: true,
+            ..Default::default()
+        },
+    );
+    let t0 = Instant::now();
+    let report = engine.run();
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(report.commits, tasks, "{}: lost commits", protocol_name(protocol));
+
+    let rec = engine.observer().expect("observe: true attaches a recorder");
+    assert_eq!(rec.dropped(), 0, "ring capacity must suffice for analysis runs");
+    let history = rec.history();
+    validate_history(&history).expect("merged history well-formed");
+
+    let mut analysis = analyze(&history);
+
+    // Cross-check: the commit sequence recovered *from the event
+    // stream alone* must name the same rules, in the same order, as
+    // the engine's own trace.
+    let rule_names = rec.rule_names();
+    let recovered: Vec<&str> = analysis
+        .checker
+        .rule_sequence()
+        .iter()
+        .map(|&id| rule_names.get(id as usize).map(String::as_str).unwrap_or("?"))
+        .collect();
+    let traced = report.trace.names();
+    if recovered != traced {
+        analysis.checker.structural_errors.push(format!(
+            "recovered rule sequence ({} firings) disagrees with the engine trace ({})",
+            recovered.len(),
+            traced.len()
+        ));
+    }
+
+    // §3 replay: the firing sequence must be a member of ES_single.
+    analysis.set_replay_result(
+        validate_trace(&rules, &initial, &report.trace).map_err(|v| v.to_string()),
+    );
+
+    AnalyzedRun {
+        protocol,
+        workers,
+        commits: report.commits,
+        aborts: report.aborts.total(),
+        secs,
+        obs: rec.report(),
+        analysis,
+        rule_names,
+    }
+}
+
+impl AnalyzedRun {
+    /// Per-run JSON object for the `dps-analysis-report-v1` document.
+    pub fn to_json(&self, top_contended: usize) -> Json {
+        let mut fields = vec![
+            ("protocol".into(), Json::str(protocol_name(self.protocol))),
+            ("workers".into(), Json::u64(self.workers as u64)),
+            ("commits".into(), Json::u64(self.commits as u64)),
+            ("aborts".into(), Json::u64(self.aborts)),
+            ("secs".into(), Json::num(self.secs)),
+        ];
+        if let Json::Obj(body) = self.analysis.to_json(top_contended) {
+            fields.extend(body);
+        }
+        Json::Obj(fields)
+    }
+
+    /// Human-readable analysis summary (to stderr-style writers).
+    pub fn print_human(&self) {
+        let c = &self.analysis.critical;
+        eprintln!(
+            "\n[{} / {} workers] {} commits, {} aborts in {:.1}ms",
+            protocol_name(self.protocol),
+            self.workers,
+            self.commits,
+            self.aborts,
+            self.secs * 1e3
+        );
+        eprintln!(
+            "  critical path : {:.2}ms over {} txns (wall {:.2}ms)",
+            c.critical_path_ns as f64 / 1e6,
+            c.critical_path.len(),
+            c.wall_ns as f64 / 1e6
+        );
+        eprintln!(
+            "  parallelism   : effective {:.2}x, max-speed-up estimate {:.2}x",
+            c.effective_parallelism, c.max_speedup_estimate
+        );
+        eprintln!(
+            "  wasted work f : {:.4} ({:.2}ms of {:.2}ms busy)",
+            c.wasted_fraction,
+            c.wasted_ns as f64 / 1e6,
+            c.total_busy_ns as f64 / 1e6
+        );
+        if self.analysis.contention.is_empty() {
+            eprintln!("  contention    : none observed");
+        } else {
+            eprintln!(
+                "  contention    : {:<18} {:>7} {:>12} {:>9} {:>6} {:>9}",
+                "resource", "blocks", "blocked", "blockers", "dooms", "deadlocks"
+            );
+            for r in self.analysis.contention.iter().take(8) {
+                eprintln!(
+                    "                  {:<18} {:>7} {:>11.2}ms {:>9} {:>6} {:>9}",
+                    format!("{}", res_of_key(r.resource)),
+                    r.blocks,
+                    r.blocked_ns as f64 / 1e6,
+                    r.distinct_blockers,
+                    r.dooms_caused,
+                    r.deadlock_aborts
+                );
+            }
+        }
+        let v = self.analysis.verdict();
+        eprintln!(
+            "  checker       : {} ({} commits recovered, {} structural errors, replay {})",
+            v.name(),
+            self.analysis.checker.commits.len(),
+            self.analysis.checker.structural_errors.len(),
+            match &self.analysis.checker.replay_result {
+                None => "not-run",
+                Some(Ok(())) => "ok",
+                Some(Err(_)) => "VIOLATION",
+            }
+        );
+        for err in &self.analysis.checker.structural_errors {
+            eprintln!("    ! {err}");
+        }
+        if let Some(Err(e)) = &self.analysis.checker.replay_result {
+            eprintln!("    ! replay: {e}");
+        }
+    }
+}
+
+/// Assembles the `dps-analysis-report-v1` document from analyzed runs.
+pub fn analysis_document(runs: &[AnalyzedRun], top_contended: usize) -> Json {
+    let overall = if runs.iter().all(|r| r.analysis.verdict() == Verdict::Consistent) {
+        Verdict::Consistent
+    } else {
+        Verdict::Inconsistent
+    };
+    Json::Obj(vec![
+        ("schema".into(), Json::str("dps-analysis-report-v1")),
+        (
+            "runs".into(),
+            Json::Arr(runs.iter().map(|r| r.to_json(top_contended)).collect()),
+        ),
+        ("verdict".into(), Json::str(overall.name())),
+    ])
+}

@@ -1,11 +1,13 @@
 //! Shape-checks a `dps-scaling-report-v1` JSON document (as emitted by
-//! `scaling --json`), so CI can validate the observability pipeline
-//! end-to-end without `serde` or external tooling.
+//! `scaling --json`) **or** a standalone `dps-analysis-report-v1`
+//! document (as emitted by `analyze --json`), so CI can validate the
+//! observability pipeline end-to-end without `serde` or external
+//! tooling. Dispatch is on the top-level `schema` tag.
 //!
 //! Usage: `obs_check <report.json>` (or `-` / no argument for stdin).
 //! Exit 0 if the document is well-formed, 1 with a diagnostic otherwise.
 //!
-//! Checks:
+//! Scaling-report checks:
 //! * top-level schema tag and sweep arrays;
 //! * the embedded `dps-obs-report-v1` document: every phase histogram
 //!   has `count`/`p50_ns`/`p95_ns`/`p99_ns`/`max_ns`, with ordered
@@ -13,12 +15,139 @@
 //! * every abort cause is present and the per-cause counts sum to the
 //!   event-counter abort total;
 //! * zero recorded anomalies;
-//! * the measured observe-ON/OFF ratio is below the 5% budget.
+//! * the measured observe-ON/OFF ratio is below the 5% budget;
+//! * the embedded analysis document, if present (reports written
+//!   before the analysis layer existed still pass — old shape).
+//!
+//! Analysis-report checks (embedded or standalone):
+//! * every run has a contention table, a critical path with consistent
+//!   busy/wasted accounting and `wasted_fraction` in `[0, 1]`;
+//! * every run's checker section reports zero structural errors and a
+//!   replayed, `consistent` verdict — the CI gate for §3 Theorem 2.
 
 use std::io::Read;
 use std::process::ExitCode;
 
 use dps_obs::json::{self, Json};
+
+/// Validates a `dps-analysis-report-v1` document (`where` prefixes
+/// diagnostics so embedded and standalone uses read naturally).
+fn check_analysis(doc: &Json, at: &str) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{at}: missing schema"))?;
+    if schema != "dps-analysis-report-v1" {
+        return Err(format!("{at}: unexpected schema {schema:?}"));
+    }
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{at}: missing runs array"))?;
+    if runs.is_empty() {
+        return Err(format!("{at}: runs is empty"));
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let at = format!("{at}.runs[{i}]");
+        run.get("protocol")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}: missing protocol"))?;
+        for key in ["workers", "commits", "aborts"] {
+            run.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{at}: missing {key}"))?;
+        }
+        // Contention rows.
+        let rows = run
+            .get("contention")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{at}: missing contention table"))?;
+        for (j, row) in rows.iter().enumerate() {
+            for key in [
+                "resource",
+                "blocks",
+                "blocked_ns",
+                "distinct_blockers",
+                "dooms_caused",
+                "deadlock_aborts",
+            ] {
+                row.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{at}.contention[{j}]: missing {key}"))?;
+            }
+        }
+        // Critical path block.
+        let need = |key: &str| -> Result<u64, String> {
+            run.at(&["critical_path", key])
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{at}.critical_path: missing {key}"))
+        };
+        let total = need("total_busy_ns")?;
+        let useful = need("useful_busy_ns")?;
+        let wasted = need("wasted_ns")?;
+        let critical = need("critical_path_ns")?;
+        need("wall_ns")?;
+        if useful + wasted != total {
+            return Err(format!(
+                "{at}.critical_path: useful ({useful}) + wasted ({wasted}) != total busy ({total})"
+            ));
+        }
+        if critical > total {
+            return Err(format!(
+                "{at}.critical_path: critical path ({critical}) exceeds total busy ({total})"
+            ));
+        }
+        let f = run
+            .at(&["critical_path", "wasted_fraction"])
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{at}.critical_path: missing wasted_fraction"))?;
+        if !(0.0..=1.0).contains(&f) {
+            return Err(format!("{at}.critical_path: wasted_fraction {f} outside [0, 1]"));
+        }
+        run.at(&["critical_path", "critical_path_txns"])
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{at}.critical_path: missing critical_path_txns"))?;
+        for key in ["effective_parallelism", "max_speedup_estimate"] {
+            let v = run
+                .at(&["critical_path", key])
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{at}.critical_path: missing {key}"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{at}.critical_path: {key} = {v} is not sane"));
+            }
+        }
+        // Checker gate.
+        let errors = run
+            .at(&["checker", "structural_errors"])
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{at}.checker: missing structural_errors"))?;
+        if !errors.is_empty() {
+            return Err(format!("{at}.checker: {} structural errors", errors.len()));
+        }
+        let replay = run
+            .at(&["checker", "replay"])
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}.checker: missing replay"))?;
+        if replay != "consistent" {
+            return Err(format!("{at}.checker: replay is {replay:?}, not \"consistent\""));
+        }
+        let verdict = run
+            .at(&["checker", "verdict"])
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}.checker: missing verdict"))?;
+        if verdict != "consistent" {
+            return Err(format!("{at}.checker: verdict is {verdict:?}"));
+        }
+    }
+    let overall = doc
+        .get("verdict")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{at}: missing overall verdict"))?;
+    if overall != "consistent" {
+        return Err(format!("{at}: overall verdict is {overall:?}"));
+    }
+    Ok(())
+}
 
 fn check(doc: &Json) -> Result<(), String> {
     let need_str = |path: &[&str]| -> Result<String, String> {
@@ -33,8 +162,12 @@ fn check(doc: &Json) -> Result<(), String> {
             .ok_or_else(|| format!("missing integer at {}", path.join(".")))
     };
 
-    // ---- envelope ----
+    // ---- envelope (dispatch on the schema tag) ----
     let schema = need_str(&["schema"])?;
+    if schema == "dps-analysis-report-v1" {
+        // Standalone analysis document (from `analyze --json`).
+        return check_analysis(doc, "doc");
+    }
     if schema != "dps-scaling-report-v1" {
         return Err(format!("unexpected schema {schema:?}"));
     }
@@ -114,6 +247,13 @@ fn check(doc: &Json) -> Result<(), String> {
         .ok_or("missing obs_overhead.ratio")?;
     if !(ratio.is_finite() && ratio < 1.05) {
         return Err(format!("obs overhead ratio {ratio:.4} exceeds the 1.05 budget"));
+    }
+
+    // ---- embedded analysis document ----
+    // Reports written before the analysis layer existed don't carry the
+    // key; those still pass (old shape). When present it must be valid.
+    if let Some(analysis) = doc.get("analysis") {
+        check_analysis(analysis, "analysis")?;
     }
     Ok(())
 }

@@ -14,15 +14,20 @@ use dps_bench::workloads;
 use dps_core::abstract_model::{fmt_seq, paper33_example};
 use dps_core::semantics::{validate_trace, ExecutionGraph};
 use dps_core::{
-    ParallelConfig, ParallelEngine, SelectionMode, StaticConfig, StaticParallelEngine, WorkModel,
+    ParallelConfig, ParallelEngine, ParallelReport, SelectionMode, StaticConfig,
+    StaticParallelEngine, WorkModel,
 };
 use dps_lock::{
     compatibility_table, ConflictPolicy, LockError, LockEvent, LockManager, LockMode, Protocol,
     ResourceId,
 };
+use dps_obs::analysis::analyze;
+use dps_obs::validate_history;
 use dps_rules::analysis::Granularity;
+use dps_rules::RuleSet;
 use dps_sim::scenario::all_figures;
 use dps_sim::{simulate_multi, sweep, Outcome};
+use dps_wm::WorkingMemory;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -79,6 +84,33 @@ fn header(title: &str) {
     println!("{}", "=".repeat(78));
     println!("{title}");
     println!("{}", "=".repeat(78));
+}
+
+/// Feeds an instrumented run's merged event history through the
+/// trace-analysis layer and returns a one-cell digest: wasted-work
+/// fraction `f`, effective parallelism, and the semantic-consistency
+/// checker's verdict (§3 replay through `validate_trace` included).
+/// Used by the dynamic-engine experiments (X2/X3/X7), which all run
+/// with `observe: true`.
+fn obs_digest(
+    engine: &ParallelEngine,
+    rules: &RuleSet,
+    initial: &WorkingMemory,
+    report: &ParallelReport,
+) -> String {
+    let rec = engine.observer().expect("observe: true attaches a recorder");
+    let history = rec.history();
+    validate_history(&history).expect("merged history well-formed");
+    let mut analysis = analyze(&history);
+    analysis
+        .set_replay_result(validate_trace(rules, initial, &report.trace).map_err(|v| v.to_string()));
+    let c = &analysis.critical;
+    format!(
+        "f {:.2}, eff {:.1}x, {}",
+        c.wasted_fraction,
+        c.effective_parallelism,
+        analysis.verdict().name()
+    )
 }
 
 /// E3.2 — §3.3 example + Figure 3.2: the execution graph and ES_single.
@@ -274,7 +306,7 @@ fn x1() {
 fn x2() {
     header("X2  Measured: Rc/Ra/Wa vs 2PL, long RHS, varying contention (wall-clock)");
     println!("workload: 24 tasks charge K shared tallies; RHS busy-works 2 ms; 8 workers\n");
-    println!("  tallies | protocol |  wall (ms) | commits | aborts");
+    println!("  tallies | protocol |  wall (ms) | commits | aborts | trace analysis");
     for &resources in &[24usize, 8, 2, 1] {
         for (name, protocol) in [
             ("2PL    ", Protocol::TwoPhase),
@@ -293,17 +325,19 @@ fn x2() {
                     max_commits: 10_000,
                     rc_escalation: None,
                     lock_shards: dps_lock::DEFAULT_SHARDS,
+                    observe: true,
                     ..Default::default()
                 },
             );
             let report = engine.run();
             validate_trace(&rules, &initial, &report.trace).expect("semantic consistency");
             println!(
-                "  {:>7} | {name} | {:>10.1} | {:>7} | {:>6}",
+                "  {:>7} | {name} | {:>10.1} | {:>7} | {:>6} | {}",
                 resources,
                 report.wall.as_secs_f64() * 1e3,
                 report.commits,
-                report.aborts.total()
+                report.aborts.total(),
+                obs_digest(&engine, &rules, &initial, &report)
             );
         }
     }
@@ -315,7 +349,7 @@ fn x2() {
 fn x3() {
     header("X3  Conflict-policy ablation: AbortReaders vs Revalidate (false conflicts)");
     println!("workload: 12 guards with negated CEs (relation-level Rc), 12 producers\n");
-    println!("  policy       | commits | doomed | revalidation aborts | stale");
+    println!("  policy       | commits | doomed | revalidation aborts | stale | trace analysis");
     for (name, policy) in [
         ("AbortReaders", ConflictPolicy::AbortReaders),
         ("Revalidate  ", ConflictPolicy::Revalidate),
@@ -333,14 +367,19 @@ fn x3() {
                 max_commits: 10_000,
                 rc_escalation: None,
                 lock_shards: dps_lock::DEFAULT_SHARDS,
+                observe: true,
                 ..Default::default()
             },
         );
         let report = engine.run();
         validate_trace(&rules, &initial, &report.trace).expect("semantic consistency");
         println!(
-            "  {name} | {:>7} | {:>6} | {:>19} | {:>5}",
-            report.commits, report.aborts.doomed, report.aborts.revalidation, report.aborts.stale
+            "  {name} | {:>7} | {:>6} | {:>19} | {:>5} | {}",
+            report.commits,
+            report.aborts.doomed,
+            report.aborts.revalidation,
+            report.aborts.stale,
+            obs_digest(&engine, &rules, &initial, &report)
         );
     }
     println!("\n(producers never touch the guards' WMEs, yet AbortReaders kills guards on");
@@ -394,7 +433,7 @@ fn x5() {
 fn x7() {
     header("X7  Rc escalation ablation: tuple locks vs relation locks (Sec 4.3)");
     println!("workload: 24 tasks, 8 tallies, 0.5 ms RHS, 8 workers\n");
-    println!("  escalation | policy       |  wall (ms) | aborts (doomed/reval/stale)");
+    println!("  escalation | policy       |  wall (ms) | aborts (doomed/reval/stale) | trace analysis");
     for (esc_name, esc) in [("never ", None), ("always", Some(0usize))] {
         for (pol_name, policy) in [
             ("AbortReaders", ConflictPolicy::AbortReaders),
@@ -413,18 +452,20 @@ fn x7() {
                     max_commits: 10_000,
                     rc_escalation: esc,
                     lock_shards: dps_lock::DEFAULT_SHARDS,
+                    observe: true,
                     ..Default::default()
                 },
             );
             let report = engine.run();
             validate_trace(&rules, &initial, &report.trace).expect("semantic consistency");
             println!(
-                "  {esc_name}     | {pol_name} | {:>10.1} | {:>3} ({}/{}/{})",
+                "  {esc_name}     | {pol_name} | {:>10.1} | {:>3} ({}/{}/{}) | {}",
                 report.wall.as_secs_f64() * 1e3,
                 report.aborts.total(),
                 report.aborts.doomed,
                 report.aborts.revalidation,
                 report.aborts.stale,
+                obs_digest(&engine, &rules, &initial, &report)
             );
         }
     }

@@ -31,9 +31,11 @@
 //! report to **stdout** (all human-readable tables move to stderr):
 //! schema `dps-scaling-report-v1`, embedding the full `dps-obs-report-v1`
 //! document (lock-wait/commit latency percentiles, per-cause abort
-//! breakdown, per-rule table) plus the sweep samples and the measured
-//! observability overhead. CI shape-checks this with the `obs_check`
-//! binary.
+//! breakdown, per-rule table) plus the sweep samples, the measured
+//! observability overhead, and a `dps-analysis-report-v1` document for
+//! the instrumented run (per-resource contention attribution, critical
+//! path / wasted-work `f`, and the §3-Theorem-2 checker verdict). CI
+//! shape-checks all of it with the `obs_check` binary.
 //!
 //! Two gates (exit 1 on failure):
 //! * throughput is monotonic over 1 → 2 → 4 workers (partitioned);
@@ -43,12 +45,13 @@
 
 use std::time::Instant;
 
+use dps_bench::analysis::{analysis_document, analyzed_run};
 use dps_bench::workloads;
 use dps_core::semantics::validate_trace;
 use dps_core::{ParallelConfig, ParallelEngine, ParallelReport, WorkModel};
 use dps_lock::{ConflictPolicy, Protocol};
 use dps_obs::json::Json;
-use dps_obs::{validate_history, ObsReport, Phase};
+use dps_obs::{ObsReport, Phase};
 
 struct Sample {
     workers: usize,
@@ -159,29 +162,32 @@ fn sweep_json(samples: &[Sample]) -> Json {
 }
 
 /// The instrumented contended run: returns the obs report (consistency-
-/// checked against the engine's own counters) for JSON embedding.
-fn observed_contended(tasks: usize, work_us: u64, shards: usize) -> ObsReport {
-    let (report, _, engine) = one_run(
-        "contended+obs",
-        tasks,
-        1,
-        config(4, work_us, shards, true),
-    );
-    let rec = engine.observer().expect("observe: true attaches a recorder");
-    let obs = rec.report();
-    // Internal consistency: the event stream must agree with both the
-    // engine's abort accounting and the history well-formedness rules.
+/// checked against the engine's own counters) plus the embedded
+/// `dps-analysis-report-v1` document (contention attribution, critical
+/// path, wasted-work `f` and the Theorem-2 checker verdict) for JSON
+/// embedding.
+fn observed_contended(tasks: usize, work_us: u64) -> (ObsReport, Json) {
+    let run = analyzed_run(Protocol::RcRaWa, 4, tasks, 1, work_us);
+    let obs = run.obs.clone();
+    // Internal consistency: the event stream must agree with the
+    // engine's abort accounting (analyzed_run already validated the
+    // merged history and replayed the trace through the §3 oracle).
     assert_eq!(
         obs.abort_cause_total(),
-        report.aborts.total(),
+        run.aborts,
         "per-cause abort breakdown must sum to the engine's abort total"
     );
     assert_eq!(obs.anomalies, 0, "accounting anomalies in the event stream");
-    if obs.dropped_events == 0 {
-        validate_history(&rec.history()).expect("merged history well-formed");
-    }
+    assert_eq!(
+        run.analysis.verdict(),
+        dps_obs::Verdict::Consistent,
+        "contended run's firing sequence must be a member of ES_single: {:?}",
+        run.analysis.checker.structural_errors
+    );
     eprintln!("\nobservability (contended, 4 workers):\n{obs}");
-    obs
+    run.print_human();
+    let analysis = analysis_document(std::slice::from_ref(&run), 16);
+    (obs, analysis)
 }
 
 fn main() {
@@ -238,7 +244,7 @@ fn main() {
         overhead * 1e2
     );
 
-    let obs = observed_contended(tasks, work_us, shards);
+    let (obs, analysis) = observed_contended(tasks, work_us);
 
     if json {
         let doc = Json::Obj(vec![
@@ -269,6 +275,7 @@ fn main() {
                 ]),
             ),
             ("observability".into(), obs.to_json()),
+            ("analysis".into(), analysis),
         ]);
         println!("{}", doc.to_string_pretty());
     } else {

@@ -4,11 +4,13 @@
 //! dependency-free Criterion-shaped [`harness`]) and by the `repro`
 //! binary (`cargo run -p dps-bench --bin repro --release`), which
 //! prints every table and figure of the paper next to the measured
-//! values. The `scaling` binary runs the worker-count scalability sweep.
+//! values. The `scaling` binary runs the worker-count scalability sweep
+//! and the `analyze` binary the trace-analysis pipeline ([`analysis`]).
 //! See `EXPERIMENTS.md` at the workspace root for the index.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod harness;
 pub mod workloads;

@@ -632,6 +632,22 @@ impl ParallelEngine {
                     halt,
                 },
             );
+            // Commit-sequence record for the semantic checker (§3
+            // Theorem 2): this firing's 0-based slot in the global
+            // trace, stamped while the trace lock is still held so
+            // `seq` order equals trace-append order. The Fire event
+            // trails the lock manager's Commit terminal (the sequence
+            // number only exists now); `validate_history` and the
+            // checker both account for that.
+            if let Some(obs) = &self.obs {
+                obs.record(
+                    txn.0,
+                    ObsEvent::Fire {
+                        rule: obs.intern_rule(rule.name.as_str()),
+                        seq: (trace.len() - 1) as u64,
+                    },
+                );
+            }
         }
         self.metrics.commits.fetch_add(1, Relaxed);
         ledger.halted |= halt;

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dps_match::{InstKey, Matcher, Rete, Strategy};
-use dps_obs::{Phase, Recorder};
+use dps_obs::{EventKind, Phase, Recorder};
 use dps_rules::{instantiate_actions, RuleSet};
 use dps_wm::WorkingMemory;
 
@@ -174,6 +174,18 @@ impl<M: Matcher> SingleThreadEngine<M> {
         );
         if let (Some(obs), Some(t)) = (&self.obs, t2) {
             obs.phase(Phase::Commit, t.elapsed());
+        }
+        // Serial firings are degenerate transactions: emit the same
+        // Begin/Commit/Fire triple the parallel engine produces (txn id
+        // = 0-based firing index), so a serial run's history feeds the
+        // same analysis pipeline and the commit-sequence checker sees
+        // seq == txn == trace position.
+        if let Some(obs) = &self.obs {
+            let seq = (self.trace.len() - 1) as u64;
+            let rule_id = obs.intern_rule(rule.name.as_str());
+            obs.record(seq, EventKind::Begin);
+            obs.record(seq, EventKind::Commit);
+            obs.record(seq, EventKind::Fire { rule: rule_id, seq });
         }
         if halt {
             self.halted = true;

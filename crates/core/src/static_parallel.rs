@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dps_match::{InstKey, Instantiation, Matcher, Rete};
-use dps_obs::{Phase, Recorder};
+use dps_obs::{EventKind, Phase, Recorder};
 use dps_rules::analysis::{interferes, rule_access, Granularity, RuleAccess};
 use dps_rules::{instantiate_actions, RuleSet};
 use dps_wm::{Atom, DeltaSet, WorkingMemory};
@@ -215,12 +215,23 @@ impl StaticParallelEngine {
                 &mut self.trace,
                 Firing {
                     rule: inst.rule,
-                    rule_name,
+                    rule_name: rule_name.clone(),
                     key: inst.key(),
                     delta: delta.clone(),
                     halt: *halt,
                 },
             );
+            // Batch members are degenerate transactions; emit the same
+            // Begin/Commit/Fire triple the dynamic engine produces so
+            // static-mode histories feed the analysis pipeline (txn id
+            // = 0-based trace position of the firing).
+            if let Some(obs) = &self.obs {
+                let seq = (self.trace.len() - 1) as u64;
+                let rule_id = obs.intern_rule(rule_name.as_str());
+                obs.record(seq, EventKind::Begin);
+                obs.record(seq, EventKind::Commit);
+                obs.record(seq, EventKind::Fire { rule: rule_id, seq });
+            }
             if *halt {
                 self.halted = true;
                 break;

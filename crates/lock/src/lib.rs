@@ -55,7 +55,8 @@ mod txn;
 
 pub use error::LockError;
 pub use manager::{
-    CommitOutcome, ConflictPolicy, LockEvent, LockManager, LockManagerBuilder, LockStats, TxnId,
+    res_key, res_of_key, CommitOutcome, ConflictPolicy, LockEvent, LockManager,
+    LockManagerBuilder, LockStats, TxnId,
 };
 pub use modes::{compatibility_table, compatible, LockMode, Protocol, ResourceId};
 pub use sharding::DEFAULT_SHARDS;

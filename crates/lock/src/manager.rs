@@ -118,11 +118,23 @@ struct StatCounters {
 
 /// Encodes a [`ResourceId`] into the opaque `u64` resource key used by
 /// `dps-obs` events: tuple ids go in the even space, relation ids in
-/// the odd space, so the two granularities never collide.
-fn res_key(res: ResourceId) -> u64 {
+/// the odd space, so the two granularities never collide. Public so
+/// the analysis layer can decode contention tables back into
+/// tuple/relation ids (see [`res_of_key`]).
+pub fn res_key(res: ResourceId) -> u64 {
     match res {
         ResourceId::Tuple(id) => id << 1,
         ResourceId::Relation(r) => (u64::from(r) << 1) | 1,
+    }
+}
+
+/// Decodes an obs resource key back into a [`ResourceId`] (inverse of
+/// [`res_key`]).
+pub fn res_of_key(key: u64) -> ResourceId {
+    if key & 1 == 0 {
+        ResourceId::Tuple(key >> 1)
+    } else {
+        ResourceId::Relation((key >> 1) as u32)
     }
 }
 
@@ -214,8 +226,11 @@ enum Attempt {
     /// Granted now; wake these (formerly FIFO-blocked-by-us) waiters.
     Granted { wake: Vec<TxnId> },
     /// Not grantable; enqueued (`newly` = first time for this request)
-    /// and the wait slot is armed.
-    Enqueued { newly: bool },
+    /// and the wait slot is armed. `holder` names one transaction the
+    /// request waits for (the first conflicting holder / earlier
+    /// waiter, captured inside the shard critical section so it is an
+    /// actual wait-for edge at block time), for the obs `Block` event.
+    Enqueued { newly: bool, holder: Option<TxnId> },
 }
 
 /// The lock manager. Cheap to share behind an `Arc`; all methods take
@@ -409,17 +424,22 @@ impl LockManager {
                     Attempt::Granted { wake }
                 } else {
                     let newly = inner.waiting_on != Some((res, mode));
+                    let mut holder = None;
                     if newly {
                         let entry = table.entry(res).or_default();
                         entry.remove_waiter(txn);
                         entry.waiters.push_back((txn, mode));
                         inner.waiting_on = Some((res, mode));
+                        // Name the wait-for edge target while the shard
+                        // is still locked (blockers_of stops at our own
+                        // queue entry, so pushing first is safe).
+                        holder = entry.blockers_of(txn, mode).first().copied();
                     }
                     // Arm while still inside the shard critical section:
                     // every waker mutates under this shard lock first and
                     // signals after, so no wakeup can be lost.
                     ts.slot.arm();
-                    Attempt::Enqueued { newly }
+                    Attempt::Enqueued { newly, holder }
                 }
             };
             match attempt {
@@ -439,7 +459,7 @@ impl LockManager {
                     self.signal_all(&wake);
                     return Ok(());
                 }
-                Attempt::Enqueued { newly } => {
+                Attempt::Enqueued { newly, holder } => {
                     if newly {
                         self.stats.blocks.fetch_add(1, Relaxed);
                         self.log(LockEvent::Block(txn, res, mode));
@@ -452,6 +472,7 @@ impl LockManager {
                                 ObsEvent::Block {
                                     resource: res_key(res),
                                     mode: mode_name(mode),
+                                    holder: holder.map(|h| h.0),
                                 },
                             );
                         }
@@ -1026,6 +1047,40 @@ mod tests {
         assert_ne!(res_key(ResourceId::Tuple(7)), res_key(ResourceId::Relation(7)));
         assert_eq!(res_key(ResourceId::Tuple(7)) & 1, 0);
         assert_eq!(res_key(ResourceId::Relation(7)) & 1, 1);
+        for res in [ResourceId::Tuple(0), ResourceId::Tuple(41), ResourceId::Relation(9)] {
+            assert_eq!(res_of_key(res_key(res)), res);
+        }
+    }
+
+    #[test]
+    fn obs_block_event_names_the_holder() {
+        use dps_obs::EventKind;
+
+        let rec = Arc::new(Recorder::default());
+        let m = Arc::new(LockManager::builder().obs(Arc::clone(&rec)).build());
+        let (a, b) = (m.begin(), m.begin());
+        m.lock(a, t(1), X).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.lock(b, t(1), X));
+        std::thread::sleep(Duration::from_millis(30));
+        m.commit(a).unwrap();
+        h.join().unwrap().unwrap();
+        m.commit(b).unwrap();
+        let history = rec.history();
+        let block = history
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Block { .. }))
+            .expect("one Block event");
+        assert_eq!(block.txn, b.0);
+        assert_eq!(
+            block.kind,
+            EventKind::Block {
+                resource: res_key(t(1)),
+                mode: "X",
+                holder: Some(a.0),
+            },
+            "the blocked writer names the holding writer as its wait-for target"
+        );
     }
 
     #[test]

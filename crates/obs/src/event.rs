@@ -74,8 +74,9 @@ impl AbortCause {
 /// `Deadlock` and `Commit`; the **engine** emits the single
 /// `Abort { cause }` terminal for every transaction that does not
 /// commit (it is the only layer that knows the full cause taxonomy),
-/// plus `Anomaly` markers for accounting races that should never
-/// happen.
+/// one `Fire { rule, seq }` per *committed* transaction naming its
+/// slot in the global commit sequence, plus `Anomaly` markers for
+/// accounting races that should never happen.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventKind {
     /// Transaction began.
@@ -93,6 +94,12 @@ pub enum EventKind {
         resource: u64,
         /// Lock-mode name.
         mode: &'static str,
+        /// The transaction currently holding (or queued ahead on) the
+        /// resource that caused the block — the *wait-for edge target*
+        /// the analysis layer reconstructs blocking graphs from.
+        /// `None` when the lock manager could not name one (shouldn't
+        /// happen, but old histories predate the field).
+        holder: Option<u64>,
     },
     /// Doomed by a committing writer.
     Doom {
@@ -103,6 +110,18 @@ pub enum EventKind {
     Deadlock,
     /// Transaction committed (terminal).
     Commit,
+    /// The committed firing's place in the global commit sequence:
+    /// `seq` is the 0-based position in the engine's trace and `rule`
+    /// an interned rule-name id (see [`crate::Recorder::intern_rule`]).
+    /// Emitted by the engine immediately after the commit critical
+    /// section, so it may trail the `Commit` terminal — the semantic
+    /// checker (§3 Theorem 2) pairs them back up.
+    Fire {
+        /// Interned rule-name id.
+        rule: u32,
+        /// 0-based position in the global commit sequence.
+        seq: u64,
+    },
     /// Transaction aborted (terminal), with its cause.
     Abort {
         /// Why.
@@ -226,6 +245,13 @@ mod tests {
         .is_terminal());
         assert!(!EventKind::Begin.is_terminal());
         assert!(!EventKind::Anomaly { what: "x" }.is_terminal());
+        assert!(!EventKind::Fire { rule: 0, seq: 0 }.is_terminal());
+        assert!(!EventKind::Block {
+            resource: 1,
+            mode: "S",
+            holder: Some(7)
+        }
+        .is_terminal());
     }
 
     #[test]

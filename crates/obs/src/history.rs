@@ -1,0 +1,304 @@
+//! Merged-history (de)serialization: `Vec<Event>` ↔ JSON.
+//!
+//! The analysis layer consumes merged histories; persisting them lets a
+//! run be recorded once and analyzed offline (`analyze <history.json>`)
+//! or shipped as a CI artifact. The format is one JSON array of event
+//! objects, each `{"ts": …, "txn": …, "kind": "…", …payload}`, wrapped
+//! in a `dps-history-v1` envelope by [`history_to_json`].
+//!
+//! [`Event`] is `Copy` and its string payloads are `&'static str`, so
+//! the parser re-interns mode and anomaly names against closed static
+//! tables ([`intern_mode`], [`intern_anomaly`]); an unknown mode is a
+//! parse error (the lock layer's mode alphabet is closed), an unknown
+//! anomaly string maps to the catch-all `"other"`.
+//!
+//! Backwards compatibility: `Block` events written before the `holder`
+//! field existed parse with `holder: None`, and `Doom`'s JSON key is
+//! `"holder"` to match (the Rust field stays `by`).
+
+use crate::event::{AbortCause, Event, EventKind};
+use crate::json::Json;
+
+/// The closed alphabet of lock-mode names the lock layer emits.
+pub const MODES: [&str; 5] = ["S", "X", "Rc", "Ra", "Wa"];
+
+/// Known anomaly descriptions (events carry `&'static str`).
+pub const ANOMALIES: [&str; 3] = ["abort-failed", "late", "other"];
+
+/// Re-interns a mode name against [`MODES`]. `None` if unknown.
+pub fn intern_mode(name: &str) -> Option<&'static str> {
+    MODES.iter().find(|m| **m == name).copied()
+}
+
+/// Re-interns an anomaly description against [`ANOMALIES`], falling
+/// back to the catch-all `"other"` for strings this build doesn't know.
+pub fn intern_anomaly(name: &str) -> &'static str {
+    ANOMALIES.iter().find(|a| **a == name).copied().unwrap_or("other")
+}
+
+/// Serializes one event as a JSON object.
+pub fn event_to_json(ev: &Event) -> Json {
+    let mut fields = vec![
+        ("ts".into(), Json::u64(ev.ts)),
+        ("txn".into(), Json::u64(ev.txn)),
+    ];
+    let kind: &str = match ev.kind {
+        EventKind::Begin => "begin",
+        EventKind::Grant { resource, mode } => {
+            fields.push(("resource".into(), Json::u64(resource)));
+            fields.push(("mode".into(), Json::str(mode)));
+            "grant"
+        }
+        EventKind::Block {
+            resource,
+            mode,
+            holder,
+        } => {
+            fields.push(("resource".into(), Json::u64(resource)));
+            fields.push(("mode".into(), Json::str(mode)));
+            if let Some(h) = holder {
+                fields.push(("holder".into(), Json::u64(h)));
+            }
+            "block"
+        }
+        EventKind::Doom { by } => {
+            fields.push(("holder".into(), Json::u64(by)));
+            "doom"
+        }
+        EventKind::Deadlock => "deadlock",
+        EventKind::Commit => "commit",
+        EventKind::Fire { rule, seq } => {
+            fields.push(("rule".into(), Json::u64(u64::from(rule))));
+            fields.push(("seq".into(), Json::u64(seq)));
+            "fire"
+        }
+        EventKind::Abort { cause } => {
+            fields.push(("cause".into(), Json::str(cause.name())));
+            "abort"
+        }
+        EventKind::Anomaly { what } => {
+            fields.push(("what".into(), Json::str(what)));
+            "anomaly"
+        }
+    };
+    fields.insert(2, ("kind".into(), Json::str(kind)));
+    Json::Obj(fields)
+}
+
+/// Parses one event object (inverse of [`event_to_json`]).
+pub fn event_from_json(j: &Json) -> Result<Event, String> {
+    let need_u64 = |key: &str| -> Result<u64, String> {
+        j.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event missing integer {key:?}"))
+    };
+    let ts = need_u64("ts")?;
+    let txn = need_u64("txn")?;
+    let kind_name = j
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("event missing string \"kind\"")?;
+    let mode = || -> Result<&'static str, String> {
+        let m = j
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or("event missing string \"mode\"")?;
+        intern_mode(m).ok_or_else(|| format!("unknown lock mode {m:?}"))
+    };
+    let kind = match kind_name {
+        "begin" => EventKind::Begin,
+        "grant" => EventKind::Grant {
+            resource: need_u64("resource")?,
+            mode: mode()?,
+        },
+        "block" => EventKind::Block {
+            resource: need_u64("resource")?,
+            mode: mode()?,
+            // Old-shape histories predate the holder field.
+            holder: j.get("holder").and_then(Json::as_u64),
+        },
+        "doom" => EventKind::Doom {
+            by: need_u64("holder")?,
+        },
+        "deadlock" => EventKind::Deadlock,
+        "commit" => EventKind::Commit,
+        "fire" => EventKind::Fire {
+            rule: u32::try_from(need_u64("rule")?)
+                .map_err(|_| "fire rule id exceeds u32".to_string())?,
+            seq: need_u64("seq")?,
+        },
+        "abort" => {
+            let c = j
+                .get("cause")
+                .and_then(Json::as_str)
+                .ok_or("abort event missing string \"cause\"")?;
+            let cause = AbortCause::ALL
+                .iter()
+                .find(|k| k.name() == c)
+                .copied()
+                .ok_or_else(|| format!("unknown abort cause {c:?}"))?;
+            EventKind::Abort { cause }
+        }
+        "anomaly" => {
+            let w = j
+                .get("what")
+                .and_then(Json::as_str)
+                .ok_or("anomaly event missing string \"what\"")?;
+            EventKind::Anomaly {
+                what: intern_anomaly(w),
+            }
+        }
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(Event { ts, txn, kind })
+}
+
+/// Wraps a merged history in a `dps-history-v1` envelope.
+pub fn history_to_json(events: &[Event]) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::str("dps-history-v1")),
+        (
+            "events".into(),
+            Json::Arr(events.iter().map(event_to_json).collect()),
+        ),
+    ])
+}
+
+/// Parses a `dps-history-v1` envelope (or a bare event array) back
+/// into a `Vec<Event>`.
+pub fn history_from_json(j: &Json) -> Result<Vec<Event>, String> {
+    let arr = match j {
+        Json::Arr(a) => a,
+        _ => {
+            if let Some(schema) = j.get("schema").and_then(Json::as_str) {
+                if schema != "dps-history-v1" {
+                    return Err(format!("unexpected history schema {schema:?}"));
+                }
+            }
+            j.get("events")
+                .and_then(Json::as_arr)
+                .ok_or("history document missing \"events\" array")?
+        }
+    };
+    arr.iter().map(event_from_json).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event {
+                ts: 0,
+                txn: 1,
+                kind: EventKind::Begin,
+            },
+            Event {
+                ts: 1,
+                txn: 1,
+                kind: EventKind::Grant {
+                    resource: 8,
+                    mode: "Rc",
+                },
+            },
+            Event {
+                ts: 2,
+                txn: 2,
+                kind: EventKind::Begin,
+            },
+            Event {
+                ts: 3,
+                txn: 2,
+                kind: EventKind::Block {
+                    resource: 8,
+                    mode: "Wa",
+                    holder: Some(1),
+                },
+            },
+            Event {
+                ts: 4,
+                txn: 1,
+                kind: EventKind::Commit,
+            },
+            Event {
+                ts: 5,
+                txn: 1,
+                kind: EventKind::Fire { rule: 3, seq: 0 },
+            },
+            Event {
+                ts: 6,
+                txn: 2,
+                kind: EventKind::Abort {
+                    cause: AbortCause::Doomed,
+                },
+            },
+            Event {
+                ts: 7,
+                txn: 2,
+                kind: EventKind::Anomaly { what: "late" },
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_every_event() {
+        let h = sample();
+        let text = history_to_json(&h).to_string_pretty();
+        let parsed = history_from_json(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn doom_serializes_under_holder_key() {
+        let ev = Event {
+            ts: 9,
+            txn: 4,
+            kind: EventKind::Doom { by: 11 },
+        };
+        let j = event_to_json(&ev);
+        assert_eq!(j.get("holder").and_then(Json::as_u64), Some(11));
+        assert_eq!(event_from_json(&j).unwrap(), ev);
+    }
+
+    #[test]
+    fn old_shape_block_without_holder_parses() {
+        let j = json::parse(
+            r#"{"ts": 3, "txn": 2, "kind": "block", "resource": 8, "mode": "Wa"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            event_from_json(&j).unwrap().kind,
+            EventKind::Block {
+                resource: 8,
+                mode: "Wa",
+                holder: None
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_mode_is_a_parse_error() {
+        let j = json::parse(r#"{"ts": 0, "txn": 0, "kind": "grant", "resource": 1, "mode": "Z"}"#)
+            .unwrap();
+        assert!(event_from_json(&j).unwrap_err().contains("unknown lock mode"));
+    }
+
+    #[test]
+    fn unknown_anomaly_maps_to_other() {
+        let j = json::parse(r#"{"ts": 0, "txn": 0, "kind": "anomaly", "what": "novel"}"#).unwrap();
+        assert_eq!(
+            event_from_json(&j).unwrap().kind,
+            EventKind::Anomaly { what: "other" }
+        );
+    }
+
+    #[test]
+    fn bare_array_form_is_accepted() {
+        let h = sample();
+        let bare = Json::Arr(h.iter().map(event_to_json).collect()).to_string_compact();
+        let parsed = history_from_json(&json::parse(&bare).unwrap()).unwrap();
+        assert_eq!(parsed, h);
+    }
+}

@@ -22,7 +22,12 @@
 //! * **Per-rule tables** — firing/abort breakdown per rule name.
 //! * **[JSON](json)** — a hand-rolled writer *and* parser, so benches
 //!   emit machine-readable reports and CI can shape-check them without
-//!   `serde`.
+//!   `serde` (and [histories round-trip](history) for offline analysis).
+//! * **[Analysis](analysis)** — the explanation layer over the raw
+//!   stream: blocking/wait-for graph reconstruction, per-resource
+//!   contention attribution, critical-path extraction (effective
+//!   parallelism, wasted-work `f`) and the §3-Theorem-2 commit-sequence
+//!   checker ([`analyze`]).
 //!
 //! Everything is toggleable and cheap: instrumentation sites hold an
 //! `Option<Arc<Recorder>>`, so "off" costs one branch on a `None`.
@@ -48,13 +53,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod event;
 pub mod hist;
+pub mod history;
 pub mod json;
 mod recorder;
 mod report;
 
+pub use analysis::{analyze, RunAnalysis, Verdict};
 pub use event::{AbortCause, Event, EventKind};
 pub use hist::{HistSnapshot, Histogram, Phase};
+pub use history::{history_from_json, history_to_json};
 pub use recorder::{validate_history, Recorder, RuleStat, DEFAULT_RING_CAPACITY, DEFAULT_SLOTS};
 pub use report::{ObsReport, RuleRow};

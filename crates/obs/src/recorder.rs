@@ -39,6 +39,7 @@ struct Counters {
     dooms: AtomicU64,
     deadlocks: AtomicU64,
     commits: AtomicU64,
+    fires: AtomicU64,
     aborts: AtomicU64,
     anomalies: AtomicU64,
 }
@@ -63,6 +64,10 @@ pub struct Recorder {
     counters: Counters,
     dropped: AtomicU64,
     rules: Mutex<BTreeMap<String, RuleStat>>,
+    /// Rule-name interner backing [`EventKind::Fire`]'s compact
+    /// `rule: u32` id (events are `Copy`, so they cannot carry the
+    /// name itself). Rule sets are small, so a linear scan suffices.
+    rule_names: Mutex<Vec<String>>,
 }
 
 impl Default for Recorder {
@@ -101,6 +106,7 @@ impl Recorder {
             counters: Counters::default(),
             dropped: AtomicU64::new(0),
             rules: Mutex::new(BTreeMap::new()),
+            rule_names: Mutex::new(Vec::new()),
         }
     }
 
@@ -128,6 +134,7 @@ impl Recorder {
             EventKind::Doom { .. } => self.counters.dooms.fetch_add(1, Relaxed),
             EventKind::Deadlock => self.counters.deadlocks.fetch_add(1, Relaxed),
             EventKind::Commit => self.counters.commits.fetch_add(1, Relaxed),
+            EventKind::Fire { .. } => self.counters.fires.fetch_add(1, Relaxed),
             EventKind::Abort { cause } => {
                 self.abort_causes[cause.index()].fetch_add(1, Relaxed);
                 self.counters.aborts.fetch_add(1, Relaxed)
@@ -161,6 +168,29 @@ impl Recorder {
     pub fn rule_aborted(&self, rule: &str) {
         let mut rules = self.rules.lock().unwrap();
         rules.entry(rule.to_owned()).or_default().aborted += 1;
+    }
+
+    /// Interns a rule name, returning the compact id to embed in
+    /// [`EventKind::Fire`]. Idempotent: the same name always maps to
+    /// the same id within one recorder.
+    pub fn intern_rule(&self, name: &str) -> u32 {
+        let mut names = self.rule_names.lock().unwrap();
+        if let Some(i) = names.iter().position(|n| n == name) {
+            return i as u32;
+        }
+        names.push(name.to_owned());
+        (names.len() - 1) as u32
+    }
+
+    /// The interned rule-name table (index = the `rule` id carried by
+    /// [`EventKind::Fire`] events).
+    pub fn rule_names(&self) -> Vec<String> {
+        self.rule_names.lock().unwrap().clone()
+    }
+
+    /// Looks up one interned rule name.
+    pub fn rule_name(&self, id: u32) -> Option<String> {
+        self.rule_names.lock().unwrap().get(id as usize).cloned()
     }
 
     /// Events dropped because a ring wrapped. A non-zero value means
@@ -206,6 +236,7 @@ impl Recorder {
             dooms: self.counters.dooms.load(Relaxed),
             deadlocks: self.counters.deadlocks.load(Relaxed),
             commits: self.counters.commits.load(Relaxed),
+            fires: self.counters.fires.load(Relaxed),
             aborts: self.counters.aborts.load(Relaxed),
             anomalies: self.counters.anomalies.load(Relaxed),
             dropped_events: self.dropped.load(Relaxed),
@@ -227,7 +258,11 @@ impl Recorder {
 ///   is its first event;
 /// * every begun transaction ends in **exactly one** terminal
 ///   (`Commit` or `Abort`), with no events after it (`Anomaly` markers
-///   excepted — they may trail an abort);
+///   excepted — they may trail an abort — and `Fire` records, which
+///   legitimately trail the `Commit` they describe because the engine
+///   only learns the sequence number after the commit critical
+///   section);
+/// * `Fire` never appears on a transaction that aborted;
 /// * per-transaction timestamps are monotonically non-decreasing.
 ///
 /// Call only when [`Recorder::dropped`] is zero — a wrapped ring loses
@@ -237,6 +272,7 @@ pub fn validate_history(events: &[Event]) -> Result<(), String> {
     struct TxnCheck {
         begun: bool,
         terminals: u32,
+        aborted: bool,
         last_ts: u64,
         events: u32,
     }
@@ -262,6 +298,18 @@ pub fn validate_history(events: &[Event]) -> Result<(), String> {
                 t.begun = true;
             }
             EventKind::Anomaly { .. } => {}
+            EventKind::Fire { .. } => {
+                // Fire trails the Commit it describes (the sequence
+                // number only exists after the commit critical
+                // section), so it is exempt from the after-terminal
+                // rule — but never legal before Begin or on an abort.
+                if !t.begun {
+                    return Err(format!("txn {}: Fire before Begin", ev.txn));
+                }
+                if t.aborted {
+                    return Err(format!("txn {}: Fire on an aborted transaction", ev.txn));
+                }
+            }
             kind => {
                 if !t.begun {
                     return Err(format!("txn {}: {kind:?} before Begin", ev.txn));
@@ -271,6 +319,9 @@ pub fn validate_history(events: &[Event]) -> Result<(), String> {
                 }
                 if kind.is_terminal() {
                     t.terminals += 1;
+                    if matches!(kind, EventKind::Abort { .. }) {
+                        t.aborted = true;
+                    }
                 }
             }
         }
@@ -403,6 +454,86 @@ mod tests {
             e(2, 1, EventKind::Commit),
         ];
         assert!(validate_history(&h).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_history_is_trivially_valid() {
+        validate_history(&[]).unwrap();
+    }
+
+    #[test]
+    fn abort_without_begin_is_rejected() {
+        let h = vec![e(
+            0,
+            9,
+            EventKind::Abort {
+                cause: AbortCause::Doomed,
+            },
+        )];
+        let err = validate_history(&h).unwrap_err();
+        assert!(err.contains("before Begin"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_commit_is_rejected() {
+        let h = vec![
+            e(0, 3, EventKind::Begin),
+            e(1, 3, EventKind::Commit),
+            e(2, 3, EventKind::Commit),
+        ];
+        let err = validate_history(&h).unwrap_err();
+        assert!(err.contains("after a terminal"), "{err}");
+    }
+
+    #[test]
+    fn cross_slot_timestamp_ties_are_fine() {
+        // Two transactions recorded on different worker slots can share
+        // identical timestamps; monotonicity is only *per transaction*,
+        // and equal timestamps within one transaction are allowed too.
+        let h = vec![
+            e(5, 1, EventKind::Begin),
+            e(5, 2, EventKind::Begin),
+            e(5, 1, EventKind::Commit),
+            e(5, 2, EventKind::Commit),
+        ];
+        validate_history(&h).unwrap();
+    }
+
+    #[test]
+    fn fire_may_trail_its_commit_but_not_an_abort() {
+        let h = vec![
+            e(0, 1, EventKind::Begin),
+            e(1, 1, EventKind::Commit),
+            e(2, 1, EventKind::Fire { rule: 0, seq: 0 }),
+        ];
+        validate_history(&h).unwrap();
+        let h = vec![
+            e(0, 1, EventKind::Begin),
+            e(
+                1,
+                1,
+                EventKind::Abort {
+                    cause: AbortCause::Stale,
+                },
+            ),
+            e(2, 1, EventKind::Fire { rule: 0, seq: 0 }),
+        ];
+        let err = validate_history(&h).unwrap_err();
+        assert!(err.contains("aborted"), "{err}");
+        // And never before Begin.
+        let h = vec![e(0, 1, EventKind::Fire { rule: 0, seq: 0 })];
+        assert!(validate_history(&h).unwrap_err().contains("before Begin"));
+    }
+
+    #[test]
+    fn rule_interner_is_idempotent_and_ordered() {
+        let r = Recorder::default();
+        assert_eq!(r.intern_rule("alpha"), 0);
+        assert_eq!(r.intern_rule("beta"), 1);
+        assert_eq!(r.intern_rule("alpha"), 0);
+        assert_eq!(r.rule_names(), vec!["alpha".to_string(), "beta".to_string()]);
+        assert_eq!(r.rule_name(1).as_deref(), Some("beta"));
+        assert_eq!(r.rule_name(2), None);
     }
 
     #[test]

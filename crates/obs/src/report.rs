@@ -38,6 +38,9 @@ pub struct ObsReport {
     pub deadlocks: u64,
     /// `Commit` events.
     pub commits: u64,
+    /// `Fire` events (commit-sequence records; equals `commits` on a
+    /// healthy engine-instrumented run, 0 on lock-manager-only runs).
+    pub fires: u64,
     /// `Abort` events.
     pub aborts: u64,
     /// `Anomaly` markers (should be 0 on a healthy run).
@@ -95,6 +98,7 @@ impl ObsReport {
             ("dooms".into(), Json::u64(self.dooms)),
             ("deadlocks".into(), Json::u64(self.deadlocks)),
             ("commits".into(), Json::u64(self.commits)),
+            ("fires".into(), Json::u64(self.fires)),
             ("aborts".into(), Json::u64(self.aborts)),
             ("anomalies".into(), Json::u64(self.anomalies)),
             ("dropped".into(), Json::u64(self.dropped_events)),

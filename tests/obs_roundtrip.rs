@@ -1,0 +1,207 @@
+//! Seed-loop property tests for the observability JSON pipeline: the
+//! hand-rolled writer and parser must be exact inverses on
+//!
+//! 1. randomized merged histories (`Vec<Event>` → `dps-history-v1` →
+//!    parse → `Vec<Event>` equality, both pretty and compact forms);
+//! 2. randomized `ObsReport`s driven through a real [`Recorder`]
+//!    (`to_json` → text → parse → `Json` tree equality);
+//! 3. recorder-produced histories from random but *lifecycle-valid*
+//!    transaction schedules (which must also pass `validate_history`
+//!    before and after the round trip).
+//!
+//! Randomness comes from the workspace's internal deterministic PRNG
+//! (`dps_wm::rng::SmallRng`); each property runs over a fixed sweep of
+//! seeds so failures reproduce exactly by seed.
+
+use std::time::Duration;
+
+use dbps::obs::history::{ANOMALIES, MODES};
+use dbps::obs::json::{self, Json};
+use dbps::obs::{
+    history_from_json, history_to_json, validate_history, AbortCause, Event, EventKind, Phase,
+    Recorder,
+};
+use dbps::wm::rng::SmallRng;
+
+const CASES: u64 = 64;
+
+/// An arbitrary event — any kind, any payload from the closed alphabets.
+fn random_event(rng: &mut SmallRng, ts: u64) -> Event {
+    let txn = rng.range_u64(0, 12);
+    let kind = match rng.index(9) {
+        0 => EventKind::Begin,
+        1 => EventKind::Grant {
+            resource: rng.range_u64(0, 64),
+            mode: MODES[rng.index(MODES.len())],
+        },
+        2 => EventKind::Block {
+            resource: rng.range_u64(0, 64),
+            mode: MODES[rng.index(MODES.len())],
+            holder: if rng.random_bool(0.5) {
+                Some(rng.range_u64(0, 12))
+            } else {
+                None
+            },
+        },
+        3 => EventKind::Doom {
+            by: rng.range_u64(0, 12),
+        },
+        4 => EventKind::Deadlock,
+        5 => EventKind::Commit,
+        6 => EventKind::Fire {
+            rule: rng.range_u64(0, 8) as u32,
+            seq: rng.range_u64(0, 100),
+        },
+        7 => EventKind::Abort {
+            cause: AbortCause::ALL[rng.index(AbortCause::ALL.len())],
+        },
+        _ => EventKind::Anomaly {
+            what: ANOMALIES[rng.index(ANOMALIES.len())],
+        },
+    };
+    Event { ts, txn, kind }
+}
+
+#[test]
+fn random_histories_round_trip_exactly() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.index(40);
+        let history: Vec<Event> = (0..n as u64).map(|ts| random_event(&mut rng, ts)).collect();
+
+        // Pretty form.
+        let pretty = history_to_json(&history).to_string_pretty();
+        let parsed = history_from_json(&json::parse(&pretty).expect("pretty parses"))
+            .expect("pretty history decodes");
+        assert_eq!(parsed, history, "seed {seed}: pretty round trip");
+
+        // Compact form through the same pipeline.
+        let compact = history_to_json(&history).to_string_compact();
+        let parsed = history_from_json(&json::parse(&compact).expect("compact parses"))
+            .expect("compact history decodes");
+        assert_eq!(parsed, history, "seed {seed}: compact round trip");
+    }
+}
+
+/// Drives a [`Recorder`] with a random but lifecycle-valid schedule:
+/// every transaction begins first, accumulates random non-terminal
+/// events, and ends with exactly one terminal (`Fire` may trail a
+/// commit, as the engine emits it).
+fn random_valid_recorder(rng: &mut SmallRng) -> Recorder {
+    let rec = Recorder::with_capacity(4, 4096);
+    let txns = 1 + rng.index(10) as u64;
+    let mut seq = 0u64;
+    for txn in 0..txns {
+        rec.record(txn, EventKind::Begin);
+        for _ in 0..rng.index(4) {
+            match rng.index(3) {
+                0 => rec.record(
+                    txn,
+                    EventKind::Grant {
+                        resource: rng.range_u64(0, 16),
+                        mode: MODES[rng.index(MODES.len())],
+                    },
+                ),
+                1 => rec.record(
+                    txn,
+                    EventKind::Block {
+                        resource: rng.range_u64(0, 16),
+                        mode: MODES[rng.index(MODES.len())],
+                        holder: txn.checked_sub(1),
+                    },
+                ),
+                _ => rec.record(txn, EventKind::Doom { by: txn.wrapping_add(1) }),
+            }
+        }
+        if rng.random_bool(0.7) {
+            rec.record(txn, EventKind::Commit);
+            rec.record(
+                txn,
+                EventKind::Fire {
+                    rule: rec.intern_rule(if txn % 2 == 0 { "even" } else { "odd" }),
+                    seq,
+                },
+            );
+            seq += 1;
+            rec.rule_fired(if txn % 2 == 0 { "even" } else { "odd" });
+        } else {
+            rec.record(
+                txn,
+                EventKind::Abort {
+                    cause: AbortCause::ALL[rng.index(AbortCause::ALL.len())],
+                },
+            );
+            rec.rule_aborted("odd");
+        }
+        rec.phase(
+            Phase::ALL[rng.index(Phase::ALL.len())],
+            Duration::from_nanos(rng.range_u64(0, 1 << 20)),
+        );
+    }
+    rec
+}
+
+#[test]
+fn recorder_histories_survive_serialization_and_stay_valid() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rec = random_valid_recorder(&mut rng);
+        let history = rec.history();
+        validate_history(&history).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+
+        let text = history_to_json(&history).to_string_compact();
+        let parsed =
+            history_from_json(&json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(parsed, history, "seed {seed}");
+        // Well-formedness is serialization-invariant.
+        validate_history(&parsed).unwrap_or_else(|e| panic!("seed {seed} (reparsed): {e}"));
+    }
+}
+
+#[test]
+fn random_reports_round_trip_as_json_trees() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rec = random_valid_recorder(&mut rng);
+        let doc = rec.report().to_json();
+
+        let pretty = json::parse(&doc.to_string_pretty()).expect("pretty parses");
+        assert_eq!(pretty, doc, "seed {seed}: pretty tree");
+        let compact = json::parse(&doc.to_string_compact()).expect("compact parses");
+        assert_eq!(compact, doc, "seed {seed}: compact tree");
+    }
+}
+
+#[test]
+fn scaling_style_nested_documents_round_trip() {
+    // A nested object mixing every Json shape the report writers emit
+    // (negative and fractional numbers, escapes, empty containers).
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::str("dps-test-v1")),
+            (
+                "values".into(),
+                Json::Arr(
+                    (0..rng.index(8))
+                        .map(|_| Json::num(rng.range_i64(-1000, 1000) as f64 / 8.0))
+                        .collect(),
+                ),
+            ),
+            (
+                "nested".into(),
+                Json::Obj(vec![
+                    ("quoted".into(), Json::str("a \"b\" \\ c\n\t")),
+                    ("none".into(), Json::Null),
+                    ("flag".into(), Json::Bool(rng.random_bool(0.5))),
+                    ("empty_arr".into(), Json::Arr(vec![])),
+                    ("empty_obj".into(), Json::Obj(vec![])),
+                ]),
+            ),
+        ]);
+        let pretty = json::parse(&doc.to_string_pretty()).expect("pretty parses");
+        assert_eq!(pretty, doc, "seed {seed}");
+        let compact = json::parse(&doc.to_string_compact()).expect("compact parses");
+        assert_eq!(compact, doc, "seed {seed}");
+    }
+}
