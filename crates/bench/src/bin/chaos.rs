@@ -1,0 +1,183 @@
+//! Chaos gate: sweep seeded fault plans × conflict policies × worker
+//! counts through the dynamic engine, and require every surviving run
+//! to (a) drain its whole workload and (b) replay consistently through
+//! the §3 single-thread oracle. Also runs the falsifiability probe
+//! (corrupted commit sequence → the checker **must** reject) and the
+//! governor A/B on the doom-storm plan (experiment XS.3).
+//!
+//! Usage: `chaos [--quick] [--json] [--workers N] [--seed S]`. With
+//! `--json` the `dps-chaos-report-v1` document goes to stdout (human
+//! summary to stderr); `obs_check` shape-checks it in CI. Exit 0 iff
+//! every surviving run passes *and* the corrupted run is rejected.
+
+use std::process::ExitCode;
+
+use dps_bench::chaos::{
+    chaos_document, chaos_run, policy_name, sweep_governor, ChaosRun, ChaosSpec,
+    GovernorComparison,
+};
+use dps_lock::{ConflictPolicy, FaultPlan};
+use dps_obs::Verdict;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u64>().ok())
+    };
+    let workers = flag("--workers").unwrap_or(8) as usize;
+    let seed = flag("--seed").unwrap_or(0xD1CE_2026);
+    let worker_counts: Vec<usize> = if quick { vec![workers] } else { vec![2, workers] };
+    let (tasks, resources, work_us) = if quick { (24, 3, 100) } else { (48, 4, 150) };
+
+    eprintln!(
+        "chaos gate: {} plans x 2 policies x {:?} workers, {tasks} tasks over \
+         {resources} tallies, {work_us}us RHS, seed {seed:#x}",
+        FaultPlan::NAMED.len(),
+        worker_counts
+    );
+
+    // ---- the sweep ----
+    let mut runs: Vec<ChaosRun> = Vec::new();
+    for (plan_name, ctor) in FaultPlan::NAMED {
+        for policy in [ConflictPolicy::AbortReaders, ConflictPolicy::Revalidate] {
+            for &w in &worker_counts {
+                let run = chaos_run(ChaosSpec {
+                    plan: plan_name,
+                    fault: ctor(seed),
+                    policy,
+                    workers: w,
+                    tasks,
+                    resources,
+                    work_us,
+                    busy: false,
+                    governor: Some(sweep_governor(seed)),
+                });
+                eprintln!(
+                    "  [{plan_name:>13} / {:<13} / {w} workers] {}/{} commits, {} aborts \
+                     ({} injected), {} faults, checker {}",
+                    policy_name(policy),
+                    run.commits,
+                    tasks,
+                    run.aborts,
+                    run.injected_aborts,
+                    run.faults.total(),
+                    run.verdict.name()
+                );
+                for err in run.structural_errors.iter().take(3) {
+                    eprintln!("    ! {err}");
+                }
+                runs.push(run);
+            }
+        }
+    }
+
+    // ---- falsifiability probe ----
+    // Odd task count: flipping the low bit of the last recovered slot
+    // always breaks 0..n contiguity, so rejection is guaranteed, not
+    // probabilistic.
+    let corrupted = chaos_run(ChaosSpec {
+        plan: "corrupted",
+        fault: FaultPlan {
+            corrupt_fire_seq: true,
+            ..FaultPlan::quiet(seed)
+        },
+        policy: ConflictPolicy::AbortReaders,
+        workers: workers.min(4),
+        tasks: if tasks % 2 == 0 { tasks + 1 } else { tasks },
+        resources,
+        work_us: 0,
+        busy: false,
+        governor: None,
+    });
+    let rejected = corrupted.verdict == Verdict::Inconsistent;
+    eprintln!(
+        "  [    corrupted / falsifiability ] checker {} ({} structural errors) — {}",
+        corrupted.verdict.name(),
+        corrupted.structural_errors.len(),
+        if rejected { "rejected as required" } else { "ACCEPTED (oracle is a rubber stamp!)" }
+    );
+
+    // ---- governor A/B on the doom storm (XS.3) ----
+    // The governor's target regime is §5's bad corner: a *hot spot*
+    // (every task charges one tally) with an *expensive* RHS, under a
+    // forced-abort storm — each doom throws away the full RHS cost, so
+    // wasted work dominates and backing off / escalating pays. (The
+    // sweep above covers the cheap-RHS regime, where the governor is
+    // expected to stay roughly neutral.)
+    // The RHS must be expensive relative to the engine's fixed
+    // per-commit overhead (matcher re-derivation, condvar handoff):
+    // the governor trades parallel redundancy for serial certainty,
+    // which only pays when each thrown-away attempt burns real
+    // processor time.
+    let ab_work_us = if quick { 800 } else { 2_500 };
+    // Hot-spot tuning: small backoff (the hot spot is already
+    // throughput-bound, long sleeps only add latency), a tight
+    // starvation bound so the serial fallback engages within a few
+    // doomed retries, and a long cooldown so it sticks for the rest of
+    // the storm.
+    let ab_governor = dps_core::GovernorConfig {
+        backoff_base_us: 10,
+        backoff_cap_us: 150,
+        storm_window: 8,
+        storm_threshold_pm: 300,
+        escalate_after: 2,
+        starvation_bound: 2,
+        cooldown_commits: 64,
+        seed,
+    };
+    let leg = |governor| {
+        chaos_run(ChaosSpec {
+            plan: "doom_storm",
+            fault: FaultPlan::doom_storm(seed),
+            policy: ConflictPolicy::AbortReaders,
+            workers,
+            tasks,
+            resources: 1,
+            work_us: ab_work_us,
+            busy: true,
+            governor,
+        })
+    };
+    let comparison = GovernorComparison {
+        off: leg(None),
+        on: leg(Some(ab_governor)),
+    };
+    eprintln!(
+        "  governor A/B (doom_storm, {workers} workers): off {:.1} commits/s \
+         ({} aborts, {:.1}ms wasted) -> on {:.1} commits/s ({} aborts, {:.1}ms wasted)",
+        comparison.off.commits as f64 / comparison.off.secs.max(1e-9),
+        comparison.off.aborts,
+        comparison.off.wasted_ms,
+        comparison.on.commits as f64 / comparison.on.secs.max(1e-9),
+        comparison.on.aborts,
+        comparison.on.wasted_ms,
+    );
+
+    // A/B legs must themselves be consistent runs.
+    let ab_ok = comparison.off.passes() && comparison.on.passes();
+
+    if json {
+        println!(
+            "{}",
+            chaos_document(seed, &runs, &corrupted, &comparison).to_string_pretty()
+        );
+    }
+
+    let all_pass = runs.iter().all(ChaosRun::passes);
+    if all_pass && rejected && ab_ok {
+        eprintln!(
+            "\nchaos: all {} surviving runs drained + replayed consistently; \
+             corrupted run rejected",
+            runs.len() + 2
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nchaos: GATE FAILED (survivors ok: {all_pass}, a/b ok: {ab_ok}, corrupted rejected: {rejected})");
+        ExitCode::FAILURE
+    }
+}

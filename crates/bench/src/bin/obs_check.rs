@@ -1,6 +1,7 @@
 //! Shape-checks a `dps-scaling-report-v1` JSON document (as emitted by
-//! `scaling --json`) **or** a standalone `dps-analysis-report-v1`
-//! document (as emitted by `analyze --json`), so CI can validate the
+//! `scaling --json`), a standalone `dps-analysis-report-v1` document
+//! (as emitted by `analyze --json`), **or** a `dps-chaos-report-v1`
+//! document (as emitted by `chaos --json`), so CI can validate the
 //! observability pipeline end-to-end without `serde` or external
 //! tooling. Dispatch is on the top-level `schema` tag.
 //!
@@ -24,6 +25,15 @@
 //!   busy/wasted accounting and `wasted_fraction` in `[0, 1]`;
 //! * every run's checker section reports zero structural errors and a
 //!   replayed, `consistent` verdict — the CI gate for §3 Theorem 2.
+//!
+//! Chaos-report checks (the robustness gate):
+//! * every sweep run drained its workload (`commits ==
+//!   expected_commits`) and its checker section is `consistent` with a
+//!   `consistent` replay and zero structural errors;
+//! * the falsifiability probe was *rejected* (a checker that accepts a
+//!   corrupted commit sequence proves nothing);
+//! * the governor A/B block carries both legs with sane throughput;
+//! * the overall verdict is `consistent`.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -149,6 +159,126 @@ fn check_analysis(doc: &Json, at: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `dps-chaos-report-v1` document (from `chaos --json`).
+fn check_chaos(doc: &Json) -> Result<(), String> {
+    doc.get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("chaos: missing seed")?;
+
+    // ---- sweep runs ----
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("chaos: missing runs array")?;
+    if runs.is_empty() {
+        return Err("chaos: runs is empty".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let at = format!("chaos.runs[{i}]");
+        run.get("plan")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}: missing plan"))?;
+        let policy = run
+            .get("policy")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}: missing policy"))?;
+        if !matches!(policy, "abort_readers" | "revalidate") {
+            return Err(format!("{at}: unknown policy {policy:?}"));
+        }
+        let mut vals = Vec::new();
+        for key in [
+            "workers",
+            "commits",
+            "expected_commits",
+            "aborts",
+            "injected_aborts",
+            "faults_injected",
+        ] {
+            vals.push(
+                run.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{at}: missing {key}"))?,
+            );
+        }
+        let (commits, expected) = (vals[1], vals[2]);
+        if commits != expected {
+            return Err(format!(
+                "{at}: drained {commits}/{expected} — a surviving run must drain its workload"
+            ));
+        }
+        for key in ["secs", "wasted_ms"] {
+            run.get(key)
+                .and_then(Json::as_f64)
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| format!("{at}: missing or insane {key}"))?;
+        }
+        // Checker gate: counts here, not sample strings (the samples
+        // live on stderr).
+        if run
+            .at(&["checker", "structural_errors"])
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{at}.checker: missing structural_errors"))?
+            != 0
+        {
+            return Err(format!("{at}.checker: structural errors on a surviving run"));
+        }
+        for (key, want) in [("replay", "consistent"), ("verdict", "consistent")] {
+            let got = run
+                .at(&["checker", key])
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{at}.checker: missing {key}"))?;
+            if got != want {
+                return Err(format!("{at}.checker: {key} is {got:?}, not {want:?}"));
+            }
+        }
+    }
+
+    // ---- falsifiability probe ----
+    if doc.at(&["falsifiability", "rejected"]) != Some(&Json::Bool(true)) {
+        return Err(
+            "chaos.falsifiability: the corrupted run was not rejected — the oracle \
+             is a rubber stamp"
+                .into(),
+        );
+    }
+    if doc
+        .at(&["falsifiability", "structural_errors"])
+        .and_then(Json::as_u64)
+        .ok_or("chaos.falsifiability: missing structural_errors")?
+        == 0
+    {
+        return Err("chaos.falsifiability: rejected without a structural error".into());
+    }
+
+    // ---- governor A/B ----
+    for leg in ["off", "on"] {
+        let at = format!("chaos.governor_comparison.{leg}");
+        for key in ["commits", "aborts"] {
+            doc.at(&["governor_comparison", leg, key])
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{at}: missing {key}"))?;
+        }
+        doc.at(&["governor_comparison", leg, "throughput"])
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("{at}: missing or non-positive throughput"))?;
+        doc.at(&["governor_comparison", leg, "wasted_ms"])
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or_else(|| format!("{at}: missing wasted_ms"))?;
+    }
+
+    // ---- overall verdict ----
+    let verdict = doc
+        .get("verdict")
+        .and_then(Json::as_str)
+        .ok_or("chaos: missing verdict")?;
+    if verdict != "consistent" {
+        return Err(format!("chaos: verdict is {verdict:?}"));
+    }
+    Ok(())
+}
+
 fn check(doc: &Json) -> Result<(), String> {
     let need_str = |path: &[&str]| -> Result<String, String> {
         doc.at(path)
@@ -167,6 +297,10 @@ fn check(doc: &Json) -> Result<(), String> {
     if schema == "dps-analysis-report-v1" {
         // Standalone analysis document (from `analyze --json`).
         return check_analysis(doc, "doc");
+    }
+    if schema == "dps-chaos-report-v1" {
+        // Chaos-gate document (from `chaos --json`).
+        return check_chaos(doc);
     }
     if schema != "dps-scaling-report-v1" {
         return Err(format!("unexpected schema {schema:?}"));
@@ -230,6 +364,13 @@ fn check(doc: &Json) -> Result<(), String> {
     for cause in causes {
         cause_sum += need_u64(&["observability", "abort_causes", cause])?;
     }
+    // "injected" joined the taxonomy with the chaos layer; reports
+    // written before it carry no key, which reads as zero (and a
+    // fault-free scaling run must report zero anyway).
+    cause_sum += doc
+        .at(&["observability", "abort_causes", "injected"])
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
     let aborts = need_u64(&["observability", "events", "aborts"])?;
     if cause_sum != aborts {
         return Err(format!(

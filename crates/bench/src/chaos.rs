@@ -1,0 +1,319 @@
+//! Chaos-gate harness: fault-injected dynamic-engine runs that must
+//! still replay consistently.
+//!
+//! The gate's claim is the robustness version of Theorem 2: *under any
+//! seeded [`FaultPlan`]* — grant delays, spurious wakeups, forced
+//! aborts, mid-RHS stalls, timeout storms — every run that survives to
+//! quiescence still drains its whole workload and its commit sequence
+//! still replays through the single-thread oracle (`ES_M ⊆
+//! ES_single`). The harness runs the sweep (named plans × conflict
+//! policies × worker counts), plus:
+//!
+//! * a **falsifiability probe**: the same pipeline with
+//!   [`FaultPlan::corrupt_fire_seq`] set and an odd commit count must
+//!   be *rejected* by the checker (the low-bit flip breaks `0..n`
+//!   contiguity of the recovered sequence), proving the oracle can
+//!   actually fail;
+//! * a **governor A/B**: the doom-storm plan with the adaptive retry
+//!   governor off vs on, so the report carries the degradation story
+//!   (throughput, aborts, wasted work) for experiment XS.3.
+//!
+//! The `chaos` binary drives this module; `obs_check` shape-checks the
+//! emitted `dps-chaos-report-v1` document in CI.
+
+use std::time::Instant;
+
+use dps_core::semantics::validate_trace;
+use dps_core::{GovernorConfig, GovernorStats, ParallelConfig, ParallelEngine, WorkModel};
+use dps_lock::{ConflictPolicy, FaultPlan, FaultStats, Protocol};
+use dps_obs::analysis::{analyze, Verdict};
+use dps_obs::json::Json;
+use dps_obs::validate_history;
+
+use crate::workloads;
+
+/// Stable name for a conflict policy (JSON key and CLI label).
+pub fn policy_name(p: ConflictPolicy) -> &'static str {
+    match p {
+        ConflictPolicy::AbortReaders => "abort_readers",
+        ConflictPolicy::Revalidate => "revalidate",
+    }
+}
+
+/// Shape of one chaos run.
+#[derive(Clone, Debug)]
+pub struct ChaosSpec {
+    /// Label of the fault plan (one of [`FaultPlan::NAMED`], or
+    /// "corrupted" for the falsifiability probe).
+    pub plan: &'static str,
+    /// The fault plan itself.
+    pub fault: FaultPlan,
+    /// Commit-time `Rc`–`Wa` policy.
+    pub policy: ConflictPolicy,
+    /// Worker threads.
+    pub workers: usize,
+    /// Tasks in the `shared_resources` workload (= expected commits).
+    pub tasks: usize,
+    /// Shared tallies (contention knob).
+    pub resources: usize,
+    /// Simulated RHS cost, microseconds.
+    pub work_us: u64,
+    /// `true`: CPU-bound RHS ([`WorkModel::BusyMicros`] — aborted work
+    /// costs wall-clock on an oversubscribed machine); `false`:
+    /// I/O-bound ([`WorkModel::FixedMicros`], a sleep).
+    pub busy: bool,
+    /// Adaptive retry governor (`None`: off).
+    pub governor: Option<GovernorConfig>,
+}
+
+/// Outcome of one chaos run, everything the gate and the report need.
+#[derive(Clone, Debug)]
+pub struct ChaosRun {
+    /// The spec that produced it.
+    pub spec: ChaosSpec,
+    /// Committed transactions.
+    pub commits: usize,
+    /// Aborts, total.
+    pub aborts: u64,
+    /// Aborts with the injected cause (must equal forced-abort count).
+    pub injected_aborts: u64,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Wasted (aborted) simulated work, milliseconds.
+    pub wasted_ms: f64,
+    /// Injection counters.
+    pub faults: FaultStats,
+    /// Governor counters, when one was attached.
+    pub governor: Option<GovernorStats>,
+    /// Structural errors found by the §3 checker (count + samples).
+    pub structural_errors: Vec<String>,
+    /// Replay result label: "consistent" / "violation" / "not-run".
+    pub replay: &'static str,
+    /// Overall checker verdict.
+    pub verdict: Verdict,
+    /// `true` iff the run drained every task (liveness).
+    pub drained: bool,
+}
+
+impl ChaosRun {
+    /// The gate predicate for *surviving* (non-corrupted) runs.
+    pub fn passes(&self) -> bool {
+        self.drained && self.verdict == Verdict::Consistent && self.injected_aborts == self.faults.forced_aborts
+    }
+
+    /// Per-run JSON object for the `dps-chaos-report-v1` document.
+    pub fn to_json(&self) -> Json {
+        let gov = match &self.governor {
+            None => Json::Null,
+            Some(g) => Json::Obj(vec![
+                ("escalations".into(), Json::u64(g.escalations)),
+                ("serializations".into(), Json::u64(g.serializations)),
+                ("deescalations".into(), Json::u64(g.deescalations)),
+                ("backoffs".into(), Json::u64(g.backoffs)),
+            ]),
+        };
+        Json::Obj(vec![
+            ("plan".into(), Json::str(self.spec.plan)),
+            ("policy".into(), Json::str(policy_name(self.spec.policy))),
+            ("workers".into(), Json::u64(self.spec.workers as u64)),
+            ("commits".into(), Json::u64(self.commits as u64)),
+            (
+                "expected_commits".into(),
+                Json::u64(self.spec.tasks as u64),
+            ),
+            ("aborts".into(), Json::u64(self.aborts)),
+            ("injected_aborts".into(), Json::u64(self.injected_aborts)),
+            ("faults_injected".into(), Json::u64(self.faults.total())),
+            ("secs".into(), Json::num(self.secs)),
+            ("wasted_ms".into(), Json::num(self.wasted_ms)),
+            ("governor".into(), gov),
+            (
+                "checker".into(),
+                Json::Obj(vec![
+                    (
+                        "structural_errors".into(),
+                        Json::u64(self.structural_errors.len() as u64),
+                    ),
+                    ("replay".into(), Json::str(self.replay)),
+                    ("verdict".into(), Json::str(self.verdict.name())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Runs one chaos spec end-to-end: engine → history validation →
+/// checker recovery → trace cross-check → §3 replay. Never panics on
+/// an inconsistent outcome (the falsifiability probe *wants* one); the
+/// verdict is returned for the gate to judge.
+pub fn chaos_run(spec: ChaosSpec) -> ChaosRun {
+    let (rules, wm) = workloads::shared_resources(spec.tasks, spec.resources);
+    let initial = wm.clone();
+    let mut engine = ParallelEngine::new(
+        &rules,
+        wm,
+        ParallelConfig {
+            protocol: Protocol::RcRaWa,
+            policy: spec.policy,
+            workers: spec.workers,
+            work: if spec.busy {
+                WorkModel::BusyMicros(spec.work_us)
+            } else {
+                WorkModel::FixedMicros(spec.work_us)
+            },
+            observe: true,
+            fault: Some(spec.fault.clone()),
+            governor: spec.governor.clone(),
+            ..Default::default()
+        },
+    );
+    let t0 = Instant::now();
+    let report = engine.run();
+    let secs = t0.elapsed().as_secs_f64();
+
+    let rec = engine.observer().expect("observe: true attaches a recorder");
+    let history = rec.history();
+    let mut structural_errors: Vec<String> = Vec::new();
+    if let Err(e) = validate_history(&history) {
+        structural_errors.push(format!("history: {e}"));
+    }
+    let mut analysis = analyze(&history);
+
+    // Cross-check the recovered rule sequence against the engine trace.
+    let rule_names = rec.rule_names();
+    let recovered: Vec<&str> = analysis
+        .checker
+        .rule_sequence()
+        .iter()
+        .map(|&id| rule_names.get(id as usize).map(String::as_str).unwrap_or("?"))
+        .collect();
+    if recovered != report.trace.names() {
+        analysis.checker.structural_errors.push(format!(
+            "recovered rule sequence ({} firings) disagrees with the engine trace ({})",
+            recovered.len(),
+            report.trace.names().len()
+        ));
+    }
+
+    // §3 replay of the engine's own trace.
+    analysis.set_replay_result(
+        validate_trace(&rules, &initial, &report.trace).map_err(|v| v.to_string()),
+    );
+    structural_errors.extend(analysis.checker.structural_errors.iter().cloned());
+    let replay = match &analysis.checker.replay_result {
+        None => "not-run",
+        Some(Ok(())) => "consistent",
+        Some(Err(_)) => "violation",
+    };
+    let verdict = if structural_errors.is_empty() && analysis.verdict() == Verdict::Consistent {
+        Verdict::Consistent
+    } else {
+        Verdict::Inconsistent
+    };
+
+    ChaosRun {
+        commits: report.commits,
+        aborts: report.aborts.total(),
+        injected_aborts: report.aborts.injected,
+        secs,
+        wasted_ms: report.wasted_work.as_secs_f64() * 1e3,
+        faults: report.fault_stats.unwrap_or_default(),
+        governor: report.governor,
+        structural_errors,
+        replay,
+        verdict,
+        drained: report.commits == spec.tasks,
+        spec,
+    }
+}
+
+/// The governor configuration the chaos sweep runs with: aggressive
+/// enough to engage under the injected storms, conservative enough to
+/// stay silent on the quiet plan.
+pub fn sweep_governor(seed: u64) -> GovernorConfig {
+    GovernorConfig {
+        backoff_base_us: 30,
+        backoff_cap_us: 1_000,
+        storm_window: 16,
+        storm_threshold_pm: 450,
+        escalate_after: 3,
+        starvation_bound: 5,
+        cooldown_commits: 8,
+        seed,
+    }
+}
+
+/// A/B measurement for XS.3: the doom-storm plan, governor off vs on.
+#[derive(Clone, Debug)]
+pub struct GovernorComparison {
+    /// Governor-off run.
+    pub off: ChaosRun,
+    /// Governor-on run.
+    pub on: ChaosRun,
+}
+
+impl GovernorComparison {
+    /// JSON block for the report.
+    pub fn to_json(&self) -> Json {
+        let leg = |r: &ChaosRun| {
+            Json::Obj(vec![
+                ("secs".into(), Json::num(r.secs)),
+                (
+                    "throughput".into(),
+                    Json::num(r.commits as f64 / r.secs.max(1e-9)),
+                ),
+                ("commits".into(), Json::u64(r.commits as u64)),
+                ("aborts".into(), Json::u64(r.aborts)),
+                ("wasted_ms".into(), Json::num(r.wasted_ms)),
+            ])
+        };
+        Json::Obj(vec![
+            ("plan".into(), Json::str(self.off.spec.plan)),
+            ("workers".into(), Json::u64(self.off.spec.workers as u64)),
+            ("off".into(), leg(&self.off)),
+            ("on".into(), leg(&self.on)),
+        ])
+    }
+}
+
+/// Assembles the `dps-chaos-report-v1` document.
+pub fn chaos_document(
+    seed: u64,
+    runs: &[ChaosRun],
+    falsifiability: &ChaosRun,
+    comparison: &GovernorComparison,
+) -> Json {
+    let all_pass = runs.iter().all(ChaosRun::passes);
+    let rejected = falsifiability.verdict == Verdict::Inconsistent;
+    Json::Obj(vec![
+        ("schema".into(), Json::str("dps-chaos-report-v1")),
+        ("seed".into(), Json::u64(seed)),
+        (
+            "runs".into(),
+            Json::Arr(runs.iter().map(ChaosRun::to_json).collect()),
+        ),
+        (
+            "falsifiability".into(),
+            Json::Obj(vec![
+                ("rejected".into(), Json::Bool(rejected)),
+                (
+                    "structural_errors".into(),
+                    Json::u64(falsifiability.structural_errors.len() as u64),
+                ),
+                (
+                    "verdict".into(),
+                    Json::str(falsifiability.verdict.name()),
+                ),
+            ]),
+        ),
+        ("governor_comparison".into(), comparison.to_json()),
+        (
+            "verdict".into(),
+            Json::str(if all_pass && rejected {
+                "consistent"
+            } else {
+                "inconsistent"
+            }),
+        ),
+    ])
+}

@@ -12,5 +12,6 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod chaos;
 pub mod harness;
 pub mod workloads;

@@ -1,0 +1,499 @@
+//! Adaptive retry governor — graceful degradation under doom storms.
+//!
+//! The paper's §5 analysis makes the speed-up of the dynamic approach a
+//! function of the **degree of conflict** and the **wasted-work
+//! fraction `f`**: when concurrent productions collide often, the
+//! optimistic `Rc`–`Wa` relaxation stops paying for itself — every
+//! committing writer dooms a crowd of readers whose execution time is
+//! thrown away, and the engine can end up slower than a pessimistic
+//! one. The governor is the engine's feedback controller for exactly
+//! that regime. It watches the abort stream and degrades gracefully,
+//! in three escalating steps, then walks back when contention subsides:
+//!
+//! 1. **Backoff** — every contention abort of a rule earns the retry a
+//!    bounded-exponential delay with deterministic (seed-hashed)
+//!    jitter, so a doomed production does not immediately re-collide
+//!    with the writer that killed it.
+//! 2. **Escalation** — when the sliding-window abort rate crosses the
+//!    storm threshold, resources repeatedly implicated in contention
+//!    aborts are flipped to **pessimistic 2PL modes** (`Rc → S`,
+//!    `Ra → S`, `Wa → X`). The cross-protocol rows of the
+//!    compatibility function treat any read/write mix as incompatible,
+//!    so an escalated resource simply blocks instead of dooming —
+//!    trading parallelism for wasted work, exactly the §5 dial.
+//! 3. **Serialization** — a rule whose consecutive-abort streak passes
+//!    the starvation bound is pushed through a global serial-fallback
+//!    mutex: one starving production at a time runs effectively alone,
+//!    guaranteeing progress. The mutex is acquired **before** any lock
+//!    and released after commit/abort, so it is strictly outermost and
+//!    can never join a waits-for cycle inside the lock manager.
+//!
+//! De-escalation: once the storm detector goes quiet, a run of clean
+//! commits (the cooldown) clears every escalated resource and
+//! serialized rule in one step. All transitions are emitted as
+//! first-class [`dps_obs::EventKind::Escalate`] events.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use dps_obs::{EventKind as ObsEvent, Recorder};
+
+/// SplitMix64 finalizer (the workspace's standard mixer) — used for the
+/// deterministic backoff jitter.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a rule name — the `resource` field of a `serialize`
+/// escalation event (rules are not lock-table resources, so they get a
+/// stable synthetic id).
+fn rule_tag(rule: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in rule.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Tuning knobs for the [`Governor`]. The defaults are deliberately
+/// conservative: under organic contention (no fault injection) a
+/// healthy run should never trip the storm detector.
+#[derive(Clone, Debug)]
+pub struct GovernorConfig {
+    /// First-retry backoff, microseconds (doubles per consecutive
+    /// abort of the same rule, up to [`GovernorConfig::backoff_cap_us`]).
+    pub backoff_base_us: u64,
+    /// Backoff ceiling, microseconds.
+    pub backoff_cap_us: u64,
+    /// Sliding-window length (outcomes) for the doom-storm detector.
+    pub storm_window: usize,
+    /// Per-mille abort rate over the window that declares a storm.
+    pub storm_threshold_pm: u32,
+    /// Contention aborts implicating one resource before it is
+    /// escalated to pessimistic modes (only counted during a storm).
+    pub escalate_after: u32,
+    /// Consecutive aborts of one rule before it is serialized through
+    /// the global fallback mutex (the starvation bound).
+    pub starvation_bound: u32,
+    /// Clean commits, with the storm detector quiet, before every
+    /// escalation and serialization is rolled back.
+    pub cooldown_commits: u32,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            backoff_base_us: 50,
+            backoff_cap_us: 2_000,
+            storm_window: 32,
+            storm_threshold_pm: 500,
+            escalate_after: 3,
+            starvation_bound: 6,
+            cooldown_commits: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// Point-in-time governor counters, reported alongside the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GovernorStats {
+    /// Resources escalated to pessimistic 2PL modes (cumulative).
+    pub escalations: u64,
+    /// Rules pushed through the serial fallback (cumulative).
+    pub serializations: u64,
+    /// De-escalation sweeps performed (each clears everything).
+    pub deescalations: u64,
+    /// Backoff delays imposed on retries.
+    pub backoffs: u64,
+    /// Resources currently escalated.
+    pub escalated_now: usize,
+    /// Rules currently serialized.
+    pub serialized_now: usize,
+}
+
+/// Mutable governor state (one mutex; every critical section is a few
+/// map operations).
+#[derive(Debug, Default)]
+struct GovState {
+    /// Sliding outcome window: `true` = contention abort.
+    window: VecDeque<bool>,
+    /// Aborts in the window (maintained incrementally).
+    window_aborts: usize,
+    /// Contention aborts implicating each resource key.
+    res_aborts: HashMap<u64, u32>,
+    /// Resources currently under pessimistic modes.
+    escalated: HashSet<u64>,
+    /// Consecutive contention aborts per rule (reset on commit).
+    rule_streak: HashMap<String, u32>,
+    /// Rules currently routed through the serial fallback.
+    serialized: HashSet<String>,
+    /// Clean commits since the storm last showed itself.
+    calm_commits: u32,
+}
+
+impl GovState {
+    fn push_outcome(&mut self, abort: bool, window: usize) {
+        self.window.push_back(abort);
+        self.window_aborts += usize::from(abort);
+        while self.window.len() > window.max(1) {
+            if self.window.pop_front() == Some(true) {
+                self.window_aborts -= 1;
+            }
+        }
+    }
+
+    /// Storm = window at least half warm and abort rate ≥ threshold.
+    fn storm(&self, cfg: &GovernorConfig) -> bool {
+        let len = self.window.len();
+        len * 2 >= cfg.storm_window.max(1)
+            && self.window_aborts * 1000 >= cfg.storm_threshold_pm as usize * len
+    }
+}
+
+/// The governor. Share by reference from the engine; every method takes
+/// `&self`.
+#[derive(Debug)]
+pub struct Governor {
+    config: GovernorConfig,
+    state: Mutex<GovState>,
+    /// The serial-fallback mutex. Strictly outermost: acquired before
+    /// any lock-manager request, released after commit/abort.
+    serial: Mutex<()>,
+    /// Fast-path flags so the unescalated hot path costs one atomic
+    /// load, not a mutex acquisition per resource.
+    any_escalated: AtomicBool,
+    any_serialized: AtomicBool,
+    escalations: AtomicU64,
+    serializations: AtomicU64,
+    deescalations: AtomicU64,
+    backoffs: AtomicU64,
+}
+
+impl Governor {
+    /// Builds a governor from its tuning knobs.
+    pub fn new(config: GovernorConfig) -> Self {
+        Governor {
+            config,
+            state: Mutex::new(GovState::default()),
+            serial: Mutex::new(()),
+            any_escalated: AtomicBool::new(false),
+            any_serialized: AtomicBool::new(false),
+            escalations: AtomicU64::new(0),
+            serializations: AtomicU64::new(0),
+            deescalations: AtomicU64::new(0),
+            backoffs: AtomicU64::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GovernorConfig {
+        &self.config
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> GovernorStats {
+        let st = self.state.lock().unwrap();
+        GovernorStats {
+            escalations: self.escalations.load(Relaxed),
+            serializations: self.serializations.load(Relaxed),
+            deescalations: self.deescalations.load(Relaxed),
+            backoffs: self.backoffs.load(Relaxed),
+            escalated_now: st.escalated.len(),
+            serialized_now: st.serialized.len(),
+        }
+    }
+
+    /// Is this resource currently under pessimistic (2PL) modes? One
+    /// relaxed atomic load when nothing is escalated.
+    pub fn is_escalated(&self, res_key: u64) -> bool {
+        self.any_escalated.load(Relaxed) && self.state.lock().unwrap().escalated.contains(&res_key)
+    }
+
+    /// If `rule` is currently serialized, acquires the global fallback
+    /// mutex — hold the guard across the whole attempt. Call **before**
+    /// the first lock request (the guard must stay outermost).
+    pub fn serial_guard(&self, rule: &str) -> Option<MutexGuard<'_, ()>> {
+        if !self.any_serialized.load(Relaxed) {
+            return None;
+        }
+        if !self.state.lock().unwrap().serialized.contains(rule) {
+            return None;
+        }
+        Some(self.serial.lock().unwrap())
+    }
+
+    /// Feed a commit. Clears the rule's abort streak, cools the storm
+    /// detector and — after a full quiet cooldown — rolls back every
+    /// escalation/serialization in one sweep (emitting a `deescalate`
+    /// event against slot `obs_slot`).
+    pub fn on_commit(&self, rule: &str, obs_slot: u64, obs: Option<&Recorder>) {
+        let mut st = self.state.lock().unwrap();
+        st.push_outcome(false, self.config.storm_window);
+        st.rule_streak.remove(rule);
+        if st.escalated.is_empty() && st.serialized.is_empty() {
+            return;
+        }
+        if st.storm(&self.config) {
+            st.calm_commits = 0;
+            return;
+        }
+        st.calm_commits += 1;
+        if st.calm_commits >= self.config.cooldown_commits {
+            st.escalated.clear();
+            st.serialized.clear();
+            st.res_aborts.clear();
+            st.calm_commits = 0;
+            self.any_escalated.store(false, Relaxed);
+            self.any_serialized.store(false, Relaxed);
+            self.deescalations.fetch_add(1, Relaxed);
+            drop(st);
+            if let Some(obs) = obs {
+                obs.record(
+                    obs_slot,
+                    ObsEvent::Escalate {
+                        resource: 0,
+                        action: "deescalate",
+                    },
+                );
+            }
+        }
+    }
+
+    /// Feed a contention abort (doomed / deadlock / timeout / injected /
+    /// revalidation — *not* stale or eval-error). `touched` is the
+    /// resource keys the transaction held condition locks on (the doom
+    /// channel). Returns the backoff to sleep before retrying —
+    /// deterministic in `(seed, slot, streak)`.
+    pub fn on_contention_abort(
+        &self,
+        rule: &str,
+        touched: &[u64],
+        obs_slot: u64,
+        obs: Option<&Recorder>,
+    ) -> Duration {
+        let mut st = self.state.lock().unwrap();
+        st.push_outcome(true, self.config.storm_window);
+        let streak = {
+            let s = st.rule_streak.entry(rule.to_owned()).or_insert(0);
+            *s += 1;
+            *s
+        };
+        let storm = st.storm(&self.config);
+        if storm {
+            st.calm_commits = 0;
+        }
+        // Resource attribution → escalation (only while storming:
+        // isolated collisions are the optimistic protocol working as
+        // designed, not a regime change).
+        let mut newly_escalated: Vec<u64> = Vec::new();
+        for &res in touched {
+            let n = {
+                let c = st.res_aborts.entry(res).or_insert(0);
+                *c += 1;
+                *c
+            };
+            if storm && n >= self.config.escalate_after && st.escalated.insert(res) {
+                newly_escalated.push(res);
+            }
+        }
+        if !newly_escalated.is_empty() {
+            self.any_escalated.store(true, Relaxed);
+            self.escalations
+                .fetch_add(newly_escalated.len() as u64, Relaxed);
+        }
+        // Starvation bound → serialize the rule.
+        let mut serialized_now = false;
+        if streak >= self.config.starvation_bound && st.serialized.insert(rule.to_owned()) {
+            self.any_serialized.store(true, Relaxed);
+            self.serializations.fetch_add(1, Relaxed);
+            serialized_now = true;
+        }
+        drop(st);
+        if let Some(obs) = obs {
+            for res in &newly_escalated {
+                obs.record(
+                    obs_slot,
+                    ObsEvent::Escalate {
+                        resource: *res,
+                        action: "escalate",
+                    },
+                );
+            }
+            if serialized_now {
+                obs.record(
+                    obs_slot,
+                    ObsEvent::Escalate {
+                        resource: rule_tag(rule),
+                        action: "serialize",
+                    },
+                );
+            }
+        }
+        self.backoffs.fetch_add(1, Relaxed);
+        self.backoff(obs_slot, streak)
+    }
+
+    /// Bounded exponential backoff with deterministic jitter:
+    /// `min(cap, base·2^(streak−1)) + hash(seed, slot, streak) % base`.
+    fn backoff(&self, slot: u64, streak: u32) -> Duration {
+        let base = self.config.backoff_base_us;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let shift = u64::from(streak.saturating_sub(1).min(16));
+        let exp = base.saturating_mul(1u64 << shift).min(self.config.backoff_cap_us);
+        let jitter = mix(self.config.seed ^ mix(slot).rotate_left(17) ^ u64::from(streak)) % base;
+        Duration::from_micros(exp + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight() -> GovernorConfig {
+        GovernorConfig {
+            backoff_base_us: 10,
+            backoff_cap_us: 100,
+            storm_window: 8,
+            storm_threshold_pm: 500,
+            escalate_after: 3,
+            starvation_bound: 4,
+            cooldown_commits: 3,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn quiet_runs_never_escalate() {
+        let g = Governor::new(tight());
+        for i in 0..100 {
+            g.on_commit("r", i, None);
+        }
+        // A lone abort amid commits is not a storm.
+        g.on_contention_abort("r", &[7], 0, None);
+        assert!(!g.is_escalated(7));
+        assert!(g.serial_guard("r").is_none());
+        assert_eq!(g.stats().escalations, 0);
+    }
+
+    #[test]
+    fn storm_escalates_the_hot_resource() {
+        let g = Governor::new(tight());
+        for i in 0..4 {
+            g.on_contention_abort("r", &[7], i, None);
+        }
+        assert!(g.is_escalated(7), "hot resource escalated under storm");
+        assert!(!g.is_escalated(8), "cold resource untouched");
+        let s = g.stats();
+        assert_eq!(s.escalations, 1);
+        assert_eq!(s.escalated_now, 1);
+    }
+
+    #[test]
+    fn starvation_bound_serializes_the_rule() {
+        let g = Governor::new(tight());
+        for i in 0..4 {
+            assert!(g.serial_guard("starving").is_none(), "abort {i}: not yet");
+            g.on_contention_abort("starving", &[], i, None);
+        }
+        let guard = g.serial_guard("starving");
+        assert!(guard.is_some(), "4th consecutive abort trips the bound");
+        assert!(g.serial_guard("other").is_none());
+        assert_eq!(g.stats().serializations, 1);
+    }
+
+    #[test]
+    fn commit_resets_the_streak() {
+        let g = Governor::new(tight());
+        for _ in 0..3 {
+            g.on_contention_abort("r", &[], 0, None);
+        }
+        g.on_commit("r", 0, None);
+        g.on_contention_abort("r", &[], 0, None);
+        assert!(
+            g.serial_guard("r").is_none(),
+            "streak is consecutive, not cumulative"
+        );
+    }
+
+    #[test]
+    fn cooldown_deescalates_everything() {
+        let g = Governor::new(tight());
+        for i in 0..5 {
+            g.on_contention_abort("r", &[7], i, None);
+        }
+        assert!(g.is_escalated(7));
+        assert!(g.serial_guard("r").is_some(), "also serialized");
+        // Quiet stretch: flush the storm out of the window, then count
+        // the cooldown.
+        for i in 0..16 {
+            g.on_commit("r", i, None);
+        }
+        assert!(!g.is_escalated(7), "cooldown cleared the escalation");
+        assert!(g.serial_guard("r").is_none(), "and the serialization");
+        let s = g.stats();
+        assert_eq!(s.deescalations, 1);
+        assert_eq!(s.escalated_now, 0);
+        assert_eq!(s.serialized_now, 0);
+    }
+
+    #[test]
+    fn backoff_grows_and_is_bounded() {
+        let g = Governor::new(tight());
+        let d1 = g.backoff(5, 1);
+        let d4 = g.backoff(5, 4);
+        let d20 = g.backoff(5, 20);
+        assert!(d1 >= Duration::from_micros(10));
+        assert!(d1 < Duration::from_micros(20), "base + jitter < 2·base");
+        assert!(d4 > d1, "exponential growth");
+        assert!(
+            d20 <= Duration::from_micros(110),
+            "cap + jitter bounds the tail: {d20:?}"
+        );
+        // Deterministic in (seed, slot, streak).
+        assert_eq!(g.backoff(5, 3), g.backoff(5, 3));
+        assert_ne!(g.backoff(5, 1), g.backoff(6, 1), "jitter varies by slot");
+    }
+
+    #[test]
+    fn zero_base_disables_backoff() {
+        let g = Governor::new(GovernorConfig {
+            backoff_base_us: 0,
+            ..tight()
+        });
+        assert_eq!(g.on_contention_abort("r", &[], 0, None), Duration::ZERO);
+    }
+
+    #[test]
+    fn escalation_events_reach_the_recorder() {
+        let rec = Recorder::default();
+        let g = Governor::new(tight());
+        for i in 0..5 {
+            g.on_contention_abort("r", &[9], i, Some(&rec));
+        }
+        for i in 0..16 {
+            g.on_commit("r", i, Some(&rec));
+        }
+        let history = rec.history();
+        let actions: Vec<&str> = history
+            .iter()
+            .filter_map(|e| match e.kind {
+                ObsEvent::Escalate { action, .. } => Some(action),
+                _ => None,
+            })
+            .collect();
+        assert!(actions.contains(&"escalate"));
+        assert!(actions.contains(&"serialize"));
+        assert!(actions.contains(&"deescalate"));
+        assert_eq!(rec.report().escalations, actions.len() as u64);
+    }
+}

@@ -19,6 +19,11 @@ pub enum LockError {
     },
     /// The request waited longer than the configured timeout.
     Timeout(TxnId),
+    /// The transaction was force-aborted by the chaos fault injector
+    /// (see [`crate::fault`]). Never occurs outside fault-injected
+    /// runs; kept distinct so injected failures cannot masquerade as
+    /// organic dooms or deadlocks in the abort accounting.
+    Injected(TxnId),
     /// Operation on a transaction id that is not active (never begun,
     /// already committed or already aborted).
     NotActive(TxnId),
@@ -31,16 +36,17 @@ impl LockError {
             LockError::Deadlock(t)
             | LockError::DoomedByWriter { txn: t, .. }
             | LockError::Timeout(t)
+            | LockError::Injected(t)
             | LockError::NotActive(t) => t,
         }
     }
 
-    /// `true` for errors that mean "abort and retry" (deadlock victim or
-    /// doomed reader) rather than a programming error.
+    /// `true` for errors that mean "abort and retry" (deadlock victim,
+    /// doomed reader or injected fault) rather than a programming error.
     pub fn is_abort(&self) -> bool {
         matches!(
             self,
-            LockError::Deadlock(_) | LockError::DoomedByWriter { .. }
+            LockError::Deadlock(_) | LockError::DoomedByWriter { .. } | LockError::Injected(_)
         )
     }
 }
@@ -56,6 +62,9 @@ impl fmt::Display for LockError {
                 )
             }
             LockError::Timeout(t) => write!(f, "transaction {t}: lock wait timed out"),
+            LockError::Injected(t) => {
+                write!(f, "transaction {t} aborted: fault injector forced abort")
+            }
             LockError::NotActive(t) => write!(f, "transaction {t} is not active"),
         }
     }
@@ -76,8 +85,10 @@ mod tests {
         assert_eq!(e.txn(), TxnId(3));
         assert!(e.is_abort());
         assert!(LockError::Deadlock(TxnId(1)).is_abort());
+        assert!(LockError::Injected(TxnId(1)).is_abort());
         assert!(!LockError::Timeout(TxnId(1)).is_abort());
         assert!(!LockError::NotActive(TxnId(1)).is_abort());
+        assert_eq!(LockError::Injected(TxnId(5)).txn(), TxnId(5));
     }
 
     #[test]

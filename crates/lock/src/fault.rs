@@ -1,0 +1,482 @@
+//! Deterministic, seeded fault injection — the chaos layer.
+//!
+//! The paper's semantic-consistency condition (`ES_M ⊆ ES_single`,
+//! Theorem 2) must hold under *adversarial* schedules, not just
+//! happy-path ones. This module manufactures those schedules: a
+//! [`FaultPlan`] describes a reproducible storm of grant delays,
+//! spurious wakeups, forced aborts, mid-RHS stalls and timeout storms,
+//! and a [`FaultInjector`] threads it through the lock manager's and
+//! engine's seams. The chaos gate (`dps-bench`'s `chaos` bin) then
+//! requires every surviving trace to replay consistently through the
+//! single-thread oracle.
+//!
+//! ## Determinism model
+//!
+//! Every injection decision is a **pure function** of
+//! `(plan.seed, site, txn id, salt)` — hashed through the same
+//! SplitMix64 finalizer the lock table uses for sharding — so:
+//!
+//! * the decision stream carries **no shared mutable state** (no RNG
+//!   stream to race on): two threads asking concurrently perturb
+//!   nothing;
+//! * a single-worker run is **bit-reproducible** from its seed;
+//! * a multi-worker run draws its faults from a distribution fixed
+//!   entirely by the seed (the OS schedule still decides transaction
+//!   interleaving and id assignment — no user-space layer can pin
+//!   that — but re-running a seed replays the same per-decision odds
+//!   at every site).
+//!
+//! Probabilities are expressed in **per-mille** (`0..=1000`) so plans
+//! stay integer-only, like the rest of the dependency-free workspace.
+//!
+//! Injected faults are accounted three ways: the injector's own
+//! [`FaultStats`] atomics, first-class [`dps_obs::EventKind::Fault`]
+//! events (when a recorder is attached), and — for forced aborts — the
+//! dedicated [`crate::LockError::Injected`] /
+//! [`dps_obs::AbortCause::Injected`] cause, so chaos never pollutes the
+//! organic abort taxonomy.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+use dps_obs::{EventKind as ObsEvent, Recorder};
+
+use crate::txn::TxnId;
+
+/// SplitMix64 finalizer (same mixer as the lock-table's `shard_of`).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fault-site tags (salt the hash so the same txn draws independent
+/// decisions at different seams).
+mod site {
+    pub const GRANT_DELAY: u64 = 0x01;
+    pub const SPURIOUS: u64 = 0x02;
+    pub const FORCED_ABORT: u64 = 0x03;
+    pub const RHS_STALL: u64 = 0x04;
+    pub const TIMEOUT_STORM: u64 = 0x05;
+}
+
+/// A reproducible chaos schedule: per-mille odds and magnitudes for
+/// every fault kind, plus the seed that fixes all decisions.
+///
+/// `Default` is the all-quiet plan (every probability 0) — attaching it
+/// injects nothing, which the zero-cost tests rely on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed fixing every injection decision (see the module docs).
+    pub seed: u64,
+    /// Per-mille odds that a successful grant is held up by
+    /// [`FaultPlan::grant_delay_us`] *before* the requester proceeds
+    /// (the lock is already held, so the delay amplifies contention).
+    pub grant_delay_pm: u32,
+    /// Grant-delay magnitude, microseconds.
+    pub grant_delay_us: u64,
+    /// Per-mille odds, per blocked wait round, that a parked waiter
+    /// wakes spuriously and re-runs the grant loop without a signal.
+    pub spurious_wakeup_pm: u32,
+    /// Per-mille odds that a lock request force-aborts its transaction
+    /// with [`crate::LockError::Injected`].
+    pub forced_abort_pm: u32,
+    /// Per-mille odds, per doomed-poll, that the engine's RHS loop
+    /// stalls for [`FaultPlan::rhs_stall_us`] mid-action (widening the
+    /// window in which a committing writer can doom the worker).
+    pub rhs_stall_pm: u32,
+    /// RHS-stall magnitude, microseconds.
+    pub rhs_stall_us: u64,
+    /// Per-mille odds that a blocked wait's deadline is slashed to
+    /// [`FaultPlan::timeout_storm_us`] — a timeout storm (fires even on
+    /// managers configured with no timeout at all).
+    pub timeout_storm_pm: u32,
+    /// Stormed deadline, microseconds.
+    pub timeout_storm_us: u64,
+    /// Deterministic stall (µs, no probability) inserted between a
+    /// wait timing out and the waiter cancelling itself — widens the
+    /// doom-vs-timeout race window so the cause-priority rule (doom
+    /// wins) is testable. 0 = off.
+    pub timeout_race_stall_us: u64,
+    /// Corrupt the engine's `Fire.seq` commit-sequence records
+    /// (`seq ^ 1`) — the falsifiability knob: a corrupted ordering
+    /// **must** be rejected by the §3 checker, proving the chaos gate
+    /// can actually fail.
+    pub corrupt_fire_seq: bool,
+}
+
+impl FaultPlan {
+    /// Named plan: no faults at all (baseline for overhead comparison).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan { seed, ..Default::default() }
+    }
+
+    /// Named plan: grant delays only — schedule perturbation without
+    /// any induced aborts.
+    pub fn delays(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            grant_delay_pm: 150,
+            grant_delay_us: 300,
+            spurious_wakeup_pm: 100,
+            ..Default::default()
+        }
+    }
+
+    /// Named plan: doom storm — forced aborts and RHS stalls drive the
+    /// abort rate high enough to trip the governor's storm detector.
+    pub fn doom_storm(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            forced_abort_pm: 250,
+            rhs_stall_pm: 200,
+            rhs_stall_us: 400,
+            grant_delay_pm: 100,
+            grant_delay_us: 200,
+            ..Default::default()
+        }
+    }
+
+    /// Named plan: timeout storm — blocked waits keep getting slashed
+    /// deadlines, exercising the timeout/doom race paths.
+    pub fn timeout_storm(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            timeout_storm_pm: 300,
+            timeout_storm_us: 200,
+            spurious_wakeup_pm: 150,
+            timeout_race_stall_us: 50,
+            ..Default::default()
+        }
+    }
+
+    /// Named plan: everything at once.
+    pub fn mixed(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            grant_delay_pm: 100,
+            grant_delay_us: 200,
+            spurious_wakeup_pm: 100,
+            forced_abort_pm: 120,
+            rhs_stall_pm: 120,
+            rhs_stall_us: 300,
+            timeout_storm_pm: 120,
+            timeout_storm_us: 300,
+            timeout_race_stall_us: 30,
+            ..Default::default()
+        }
+    }
+
+    /// The named CI sweep: `(label, constructor)` for every plan the
+    /// chaos gate runs.
+    #[allow(clippy::type_complexity)]
+    pub const NAMED: [(&'static str, fn(u64) -> FaultPlan); 5] = [
+        ("quiet", FaultPlan::quiet),
+        ("delays", FaultPlan::delays),
+        ("doom_storm", FaultPlan::doom_storm),
+        ("timeout_storm", FaultPlan::timeout_storm),
+        ("mixed", FaultPlan::mixed),
+    ];
+
+    /// Looks a named plan up by label.
+    pub fn by_name(name: &str, seed: u64) -> Option<FaultPlan> {
+        FaultPlan::NAMED
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, ctor)| ctor(seed))
+    }
+}
+
+/// Injection counters (all relaxed atomics; snapshot via
+/// [`FaultInjector::stats`]).
+#[derive(Debug, Default)]
+struct FaultCounters {
+    grant_delays: AtomicU64,
+    spurious_wakeups: AtomicU64,
+    forced_aborts: AtomicU64,
+    rhs_stalls: AtomicU64,
+    timeout_storms: AtomicU64,
+    timeout_race_stalls: AtomicU64,
+}
+
+/// Point-in-time snapshot of every injection counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Grants held up by an injected delay.
+    pub grant_delays: u64,
+    /// Parked waits woken without a signal.
+    pub spurious_wakeups: u64,
+    /// Transactions force-aborted ([`crate::LockError::Injected`]).
+    pub forced_aborts: u64,
+    /// Mid-RHS stalls injected at the doomed-poll seam.
+    pub rhs_stalls: u64,
+    /// Blocked waits whose deadline was slashed *and then fired*.
+    pub timeout_storms: u64,
+    /// Deterministic timeout-race stalls taken.
+    pub timeout_race_stalls: u64,
+}
+
+impl FaultStats {
+    /// Sum over every fault kind.
+    pub fn total(&self) -> u64 {
+        self.grant_delays
+            + self.spurious_wakeups
+            + self.forced_aborts
+            + self.rhs_stalls
+            + self.timeout_storms
+            + self.timeout_race_stalls
+    }
+}
+
+/// The injector: a [`FaultPlan`] plus counters. Share behind an `Arc`;
+/// every method takes `&self` and is lock-free (counters are relaxed
+/// atomics, decisions are pure hashes).
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Wraps a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan, counters: FaultCounters::default() }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            grant_delays: self.counters.grant_delays.load(Relaxed),
+            spurious_wakeups: self.counters.spurious_wakeups.load(Relaxed),
+            forced_aborts: self.counters.forced_aborts.load(Relaxed),
+            rhs_stalls: self.counters.rhs_stalls.load(Relaxed),
+            timeout_storms: self.counters.timeout_storms.load(Relaxed),
+            timeout_race_stalls: self.counters.timeout_race_stalls.load(Relaxed),
+        }
+    }
+
+    /// The pure decision hash: true with probability `pm`/1000.
+    fn hit(&self, site_tag: u64, txn: TxnId, salt: u64, pm: u32) -> bool {
+        if pm == 0 {
+            return false;
+        }
+        let h = mix(self
+            .plan
+            .seed
+            .wrapping_add(mix(site_tag))
+            ^ mix(txn.0).rotate_left(17)
+            ^ mix(salt).rotate_left(31));
+        (h % 1000) < u64::from(pm)
+    }
+
+    fn emit(obs: Option<&Recorder>, txn: TxnId, kind: &'static str) {
+        if let Some(obs) = obs {
+            obs.record(txn.0, ObsEvent::Fault { kind });
+        }
+    }
+
+    /// Grant seam: maybe stall the requester *after* its grant (lock
+    /// already held, so the delay stretches the hold time).
+    pub(crate) fn grant_delay(&self, txn: TxnId, res: u64, obs: Option<&Recorder>) {
+        if self.hit(site::GRANT_DELAY, txn, res, self.plan.grant_delay_pm) {
+            self.counters.grant_delays.fetch_add(1, Relaxed);
+            Self::emit(obs, txn, "grant_delay");
+            std::thread::sleep(Duration::from_micros(self.plan.grant_delay_us));
+        }
+    }
+
+    /// Park seam: should this wait round wake spuriously (skip the
+    /// park and re-run the grant loop)? `round` salts the hash so a
+    /// request that loops draws fresh odds each time — hashing only
+    /// `(txn, res)` would return the same answer forever and livelock.
+    pub(crate) fn spurious_wakeup(
+        &self,
+        txn: TxnId,
+        res: u64,
+        round: u64,
+        obs: Option<&Recorder>,
+    ) -> bool {
+        let hit = self.hit(
+            site::SPURIOUS,
+            txn,
+            res ^ mix(round),
+            self.plan.spurious_wakeup_pm,
+        );
+        if hit {
+            self.counters.spurious_wakeups.fetch_add(1, Relaxed);
+            Self::emit(obs, txn, "spurious_wakeup");
+        }
+        hit
+    }
+
+    /// Request seam: force-abort this transaction's lock request?
+    /// (The manager performs the actual abort and emits the event.)
+    pub(crate) fn forced_abort(&self, txn: TxnId, res: u64) -> bool {
+        self.hit(site::FORCED_ABORT, txn, res, self.plan.forced_abort_pm)
+    }
+
+    /// Counts a forced abort the manager actually carried out (the
+    /// decision in [`Self::forced_abort`] may be vetoed by a
+    /// concurrent organic doom, which takes priority).
+    pub(crate) fn count_forced_abort(&self, txn: TxnId, obs: Option<&Recorder>) {
+        self.counters.forced_aborts.fetch_add(1, Relaxed);
+        Self::emit(obs, txn, "forced_abort");
+    }
+
+    /// Engine seam: maybe stall between RHS steps. `step` salts the
+    /// hash per poll. Public because the engine (not the manager)
+    /// owns the RHS loop.
+    pub fn rhs_stall(&self, txn: TxnId, step: u64, obs: Option<&Recorder>) {
+        if self.hit(site::RHS_STALL, txn, step, self.plan.rhs_stall_pm) {
+            self.counters.rhs_stalls.fetch_add(1, Relaxed);
+            Self::emit(obs, txn, "rhs_stall");
+            std::thread::sleep(Duration::from_micros(self.plan.rhs_stall_us));
+        }
+    }
+
+    /// Block seam: slash this request's wait deadline? Decided once
+    /// per `lock` call, before the first park.
+    pub(crate) fn storm_deadline(&self, txn: TxnId, res: u64) -> Option<Duration> {
+        if self.hit(site::TIMEOUT_STORM, txn, res, self.plan.timeout_storm_pm) {
+            Some(Duration::from_micros(self.plan.timeout_storm_us))
+        } else {
+            None
+        }
+    }
+
+    /// Counts a stormed deadline that actually fired (recorded at the
+    /// timeout, not at the slashing, so the counter means "aborts the
+    /// storm caused", not "deadlines it touched").
+    pub(crate) fn count_timeout_storm(&self, txn: TxnId, obs: Option<&Recorder>) {
+        self.counters.timeout_storms.fetch_add(1, Relaxed);
+        Self::emit(obs, txn, "timeout_storm");
+    }
+
+    /// Timeout seam: deterministic stall between `park_until` expiring
+    /// and the waiter cancelling itself — widens the doom-vs-timeout
+    /// race window for the cause-priority test.
+    pub(crate) fn timeout_race_stall(&self, txn: TxnId, obs: Option<&Recorder>) {
+        if self.plan.timeout_race_stall_us > 0 {
+            self.counters.timeout_race_stalls.fetch_add(1, Relaxed);
+            Self::emit(obs, txn, "timeout_race_stall");
+            std::thread::sleep(Duration::from_micros(self.plan.timeout_race_stall_us));
+        }
+    }
+
+    /// Falsifiability seam: corrupt a commit-sequence number. The §3
+    /// checker must reject the resulting trace — `chaos` and
+    /// `tests/chaos.rs` prove the oracle can actually fail.
+    pub fn corrupt_seq(&self, seq: u64) -> u64 {
+        if self.plan.corrupt_fire_seq {
+            seq ^ 1
+        } else {
+            seq
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let inj = FaultInjector::new(FaultPlan::quiet(42));
+        for i in 0..2000 {
+            assert!(!inj.forced_abort(TxnId(i), i));
+            assert!(!inj.spurious_wakeup(TxnId(i), i, 0, None));
+            assert!(inj.storm_deadline(TxnId(i), i).is_none());
+            inj.grant_delay(TxnId(i), i, None);
+            inj.rhs_stall(TxnId(i), i, None);
+            assert_eq!(inj.corrupt_seq(i), i);
+        }
+        assert_eq!(inj.stats().total(), 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_the_seed() {
+        let a = FaultInjector::new(FaultPlan::mixed(7));
+        let b = FaultInjector::new(FaultPlan::mixed(7));
+        let c = FaultInjector::new(FaultPlan::mixed(8));
+        let mut diverged = false;
+        for i in 0..500 {
+            assert_eq!(a.forced_abort(TxnId(i), i), b.forced_abort(TxnId(i), i));
+            assert_eq!(
+                a.storm_deadline(TxnId(i), i).is_some(),
+                b.storm_deadline(TxnId(i), i).is_some()
+            );
+            if a.forced_abort(TxnId(i), i) != c.forced_abort(TxnId(i), i) {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "different seeds draw different faults");
+    }
+
+    #[test]
+    fn hit_rate_tracks_per_mille() {
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 3,
+            forced_abort_pm: 250,
+            ..Default::default()
+        });
+        let hits = (0..4000).filter(|&i| inj.forced_abort(TxnId(i), i)).count();
+        // 250‰ of 4000 = 1000 expected; allow a generous band.
+        assert!((700..1300).contains(&hits), "hit rate {hits}/4000 off 250‰");
+    }
+
+    #[test]
+    fn spurious_rounds_draw_fresh_odds() {
+        // With round-salted hashing, a request that keeps looping must
+        // eventually draw a miss (no livelock).
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 9,
+            spurious_wakeup_pm: 500,
+            ..Default::default()
+        });
+        let miss = (0..64).position(|round| !inj.spurious_wakeup(TxnId(1), 1, round, None));
+        assert!(miss.is_some(), "all 64 rounds hit — round salt ignored?");
+    }
+
+    #[test]
+    fn corrupt_seq_flips_the_low_bit() {
+        let inj = FaultInjector::new(FaultPlan {
+            corrupt_fire_seq: true,
+            ..Default::default()
+        });
+        assert_eq!(inj.corrupt_seq(0), 1);
+        assert_eq!(inj.corrupt_seq(1), 0);
+        assert_eq!(inj.corrupt_seq(6), 7);
+    }
+
+    #[test]
+    fn named_plans_resolve() {
+        for (name, _) in FaultPlan::NAMED {
+            let plan = FaultPlan::by_name(name, 11).unwrap();
+            assert_eq!(plan.seed, 11);
+        }
+        assert!(FaultPlan::by_name("nope", 0).is_none());
+        assert_eq!(FaultPlan::by_name("quiet", 5), Some(FaultPlan::quiet(5)));
+    }
+
+    #[test]
+    fn stats_snapshot_counts() {
+        let inj = FaultInjector::new(FaultPlan {
+            timeout_race_stall_us: 1,
+            ..Default::default()
+        });
+        inj.timeout_race_stall(TxnId(0), None);
+        inj.count_forced_abort(TxnId(1), None);
+        inj.count_timeout_storm(TxnId(2), None);
+        let s = inj.stats();
+        assert_eq!(s.timeout_race_stalls, 1);
+        assert_eq!(s.forced_aborts, 1);
+        assert_eq!(s.timeout_storms, 1);
+        assert_eq!(s.total(), 3);
+    }
+}

@@ -48,12 +48,14 @@
 
 mod deadlock;
 mod error;
+pub mod fault;
 mod manager;
 mod modes;
 mod sharding;
 mod txn;
 
 pub use error::LockError;
+pub use fault::{FaultInjector, FaultPlan, FaultStats};
 pub use manager::{
     res_key, res_of_key, CommitOutcome, ConflictPolicy, LockEvent, LockManager,
     LockManagerBuilder, LockStats, TxnId,

@@ -118,8 +118,13 @@ pub fn build(history: &[Event]) -> BlockingGraph {
         if span.begin_ts == 0 && matches!(ev.kind, EventKind::Begin) {
             span.begin_ts = ev.ts;
         }
-        // Fire trails the terminal; it must not extend the span.
-        if !matches!(ev.kind, EventKind::Fire { .. }) {
+        // Fire trails the terminal; chaos markers (Fault / Escalate)
+        // are schedule commentary, not transaction work. Neither may
+        // extend the span.
+        if !matches!(
+            ev.kind,
+            EventKind::Fire { .. } | EventKind::Fault { .. } | EventKind::Escalate { .. }
+        ) {
             span.end_ts = span.end_ts.max(ev.ts);
         }
         match ev.kind {
@@ -186,7 +191,10 @@ pub fn build(history: &[Event]) -> BlockingGraph {
             EventKind::Fire { rule, seq } => {
                 span.fire = Some((rule, seq));
             }
-            EventKind::Begin | EventKind::Anomaly { .. } => {}
+            EventKind::Begin
+            | EventKind::Anomaly { .. }
+            | EventKind::Fault { .. }
+            | EventKind::Escalate { .. } => {}
         }
     }
     // Any wait still open at end-of-history (ring drop or hung run):

@@ -29,17 +29,22 @@ pub enum AbortCause {
     EvalError,
     /// A lock wait exceeded the configured timeout.
     Timeout,
+    /// Forced abort injected by the chaos fault injector (never occurs
+    /// in production runs; kept separate so injected failures cannot
+    /// masquerade as — or pollute the statistics of — organic causes).
+    Injected,
 }
 
 impl AbortCause {
     /// Every cause, in display order.
-    pub const ALL: [AbortCause; 6] = [
+    pub const ALL: [AbortCause; 7] = [
         AbortCause::Doomed,
         AbortCause::Deadlock,
         AbortCause::Stale,
         AbortCause::Revalidation,
         AbortCause::EvalError,
         AbortCause::Timeout,
+        AbortCause::Injected,
     ];
 
     /// Stable machine-readable name (used as the JSON key).
@@ -51,6 +56,7 @@ impl AbortCause {
             AbortCause::Revalidation => "revalidation",
             AbortCause::EvalError => "eval_error",
             AbortCause::Timeout => "timeout",
+            AbortCause::Injected => "injected",
         }
     }
 
@@ -62,6 +68,7 @@ impl AbortCause {
             AbortCause::Revalidation => 3,
             AbortCause::EvalError => 4,
             AbortCause::Timeout => 5,
+            AbortCause::Injected => 6,
         }
     }
 }
@@ -133,7 +140,44 @@ pub enum EventKind {
         /// Short static description.
         what: &'static str,
     },
+    /// A chaos-layer fault was injected at this point (grant delay,
+    /// spurious wakeup, forced abort, RHS stall, …). First-class so
+    /// the attribution table can explain *why* a chaos run degraded;
+    /// never emitted outside fault-injected runs.
+    Fault {
+        /// Short static fault-kind name (one of
+        /// [`crate::event::FAULT_KINDS`]).
+        kind: &'static str,
+    },
+    /// The adaptive governor changed a resource's degradation state
+    /// (escalate to pessimistic locking, serialize, de-escalate).
+    /// `txn` is the transaction whose outcome triggered the decision.
+    Escalate {
+        /// Opaque resource key (see module docs).
+        resource: u64,
+        /// Short static action name (one of
+        /// [`crate::event::ESCALATE_ACTIONS`]).
+        action: &'static str,
+    },
 }
+
+/// Closed vocabulary of [`EventKind::Fault`] kinds — the JSON
+/// round-trip interns against this table, so fault names survive the
+/// `&'static str` representation.
+pub const FAULT_KINDS: [&str; 6] = [
+    "grant_delay",
+    "spurious_wakeup",
+    "forced_abort",
+    "rhs_stall",
+    "timeout_storm",
+    "timeout_race_stall",
+];
+
+/// Closed vocabulary of [`EventKind::Escalate`] actions (the governor's
+/// degradation state machine): `escalate` = optimistic → pessimistic
+/// lock modes for the resource, `serialize` = route through the global
+/// serial fallback, `deescalate` = back to optimistic.
+pub const ESCALATE_ACTIONS: [&str; 3] = ["escalate", "serialize", "deescalate"];
 
 impl EventKind {
     /// `true` for the two terminal kinds (`Commit` / `Abort`).

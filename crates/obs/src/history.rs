@@ -16,7 +16,7 @@
 //! field existed parse with `holder: None`, and `Doom`'s JSON key is
 //! `"holder"` to match (the Rust field stays `by`).
 
-use crate::event::{AbortCause, Event, EventKind};
+use crate::event::{AbortCause, Event, EventKind, ESCALATE_ACTIONS, FAULT_KINDS};
 use crate::json::Json;
 
 /// The closed alphabet of lock-mode names the lock layer emits.
@@ -34,6 +34,18 @@ pub fn intern_mode(name: &str) -> Option<&'static str> {
 /// back to the catch-all `"other"` for strings this build doesn't know.
 pub fn intern_anomaly(name: &str) -> &'static str {
     ANOMALIES.iter().find(|a| **a == name).copied().unwrap_or("other")
+}
+
+/// Re-interns a fault-kind name against [`FAULT_KINDS`]. `None` if
+/// unknown (the fault alphabet is closed, like lock modes).
+pub fn intern_fault(name: &str) -> Option<&'static str> {
+    FAULT_KINDS.iter().find(|k| **k == name).copied()
+}
+
+/// Re-interns an escalation action against [`ESCALATE_ACTIONS`].
+/// `None` if unknown.
+pub fn intern_escalate(name: &str) -> Option<&'static str> {
+    ESCALATE_ACTIONS.iter().find(|a| **a == name).copied()
 }
 
 /// Serializes one event as a JSON object.
@@ -79,6 +91,15 @@ pub fn event_to_json(ev: &Event) -> Json {
         EventKind::Anomaly { what } => {
             fields.push(("what".into(), Json::str(what)));
             "anomaly"
+        }
+        EventKind::Fault { kind } => {
+            fields.push(("fault".into(), Json::str(kind)));
+            "fault"
+        }
+        EventKind::Escalate { resource, action } => {
+            fields.push(("resource".into(), Json::u64(resource)));
+            fields.push(("action".into(), Json::str(action)));
+            "escalate"
         }
     };
     fields.insert(2, ("kind".into(), Json::str(kind)));
@@ -146,6 +167,26 @@ pub fn event_from_json(j: &Json) -> Result<Event, String> {
                 .ok_or("anomaly event missing string \"what\"")?;
             EventKind::Anomaly {
                 what: intern_anomaly(w),
+            }
+        }
+        "fault" => {
+            let k = j
+                .get("fault")
+                .and_then(Json::as_str)
+                .ok_or("fault event missing string \"fault\"")?;
+            EventKind::Fault {
+                kind: intern_fault(k).ok_or_else(|| format!("unknown fault kind {k:?}"))?,
+            }
+        }
+        "escalate" => {
+            let a = j
+                .get("action")
+                .and_then(Json::as_str)
+                .ok_or("escalate event missing string \"action\"")?;
+            EventKind::Escalate {
+                resource: need_u64("resource")?,
+                action: intern_escalate(a)
+                    .ok_or_else(|| format!("unknown escalate action {a:?}"))?,
             }
         }
         other => return Err(format!("unknown event kind {other:?}")),
@@ -239,6 +280,21 @@ mod tests {
                 txn: 2,
                 kind: EventKind::Anomaly { what: "late" },
             },
+            Event {
+                ts: 8,
+                txn: 2,
+                kind: EventKind::Fault {
+                    kind: "forced_abort",
+                },
+            },
+            Event {
+                ts: 9,
+                txn: 1,
+                kind: EventKind::Escalate {
+                    resource: 8,
+                    action: "escalate",
+                },
+            },
         ]
     }
 
@@ -283,6 +339,18 @@ mod tests {
         let j = json::parse(r#"{"ts": 0, "txn": 0, "kind": "grant", "resource": 1, "mode": "Z"}"#)
             .unwrap();
         assert!(event_from_json(&j).unwrap_err().contains("unknown lock mode"));
+    }
+
+    #[test]
+    fn unknown_fault_or_action_is_a_parse_error() {
+        let j =
+            json::parse(r#"{"ts": 0, "txn": 0, "kind": "fault", "fault": "gremlin"}"#).unwrap();
+        assert!(event_from_json(&j).unwrap_err().contains("unknown fault kind"));
+        let j = json::parse(
+            r#"{"ts": 0, "txn": 0, "kind": "escalate", "resource": 3, "action": "panic"}"#,
+        )
+        .unwrap();
+        assert!(event_from_json(&j).unwrap_err().contains("unknown escalate action"));
     }
 
     #[test]

@@ -62,7 +62,7 @@ mod recorder;
 mod report;
 
 pub use analysis::{analyze, RunAnalysis, Verdict};
-pub use event::{AbortCause, Event, EventKind};
+pub use event::{AbortCause, Event, EventKind, ESCALATE_ACTIONS, FAULT_KINDS};
 pub use hist::{HistSnapshot, Histogram, Phase};
 pub use history::{history_from_json, history_to_json};
 pub use recorder::{validate_history, Recorder, RuleStat, DEFAULT_RING_CAPACITY, DEFAULT_SLOTS};

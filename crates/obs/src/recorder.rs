@@ -42,6 +42,8 @@ struct Counters {
     fires: AtomicU64,
     aborts: AtomicU64,
     anomalies: AtomicU64,
+    faults: AtomicU64,
+    escalations: AtomicU64,
 }
 
 /// Per-rule firing/abort tallies.
@@ -60,7 +62,7 @@ pub struct Recorder {
     epoch: Instant,
     rings: Box<[Mutex<Ring>]>,
     hists: [Histogram; 4],
-    abort_causes: [AtomicU64; 6],
+    abort_causes: [AtomicU64; 7],
     counters: Counters,
     dropped: AtomicU64,
     rules: Mutex<BTreeMap<String, RuleStat>>,
@@ -140,6 +142,8 @@ impl Recorder {
                 self.counters.aborts.fetch_add(1, Relaxed)
             }
             EventKind::Anomaly { .. } => self.counters.anomalies.fetch_add(1, Relaxed),
+            EventKind::Fault { .. } => self.counters.faults.fetch_add(1, Relaxed),
+            EventKind::Escalate { .. } => self.counters.escalations.fetch_add(1, Relaxed),
         };
         let slot = thread_slot() % self.rings.len();
         let overwrote = self.rings[slot].lock().unwrap().push(Event { ts, txn, kind });
@@ -239,6 +243,8 @@ impl Recorder {
             fires: self.counters.fires.load(Relaxed),
             aborts: self.counters.aborts.load(Relaxed),
             anomalies: self.counters.anomalies.load(Relaxed),
+            faults: self.counters.faults.load(Relaxed),
+            escalations: self.counters.escalations.load(Relaxed),
             dropped_events: self.dropped.load(Relaxed),
             rules: rules
                 .iter()
@@ -297,7 +303,13 @@ pub fn validate_history(events: &[Event]) -> Result<(), String> {
                 }
                 t.begun = true;
             }
-            EventKind::Anomaly { .. } => {}
+            // Markers are exempt from the lifecycle rules: anomalies
+            // may trail an abort, and chaos-layer Fault / Escalate
+            // events are commentary on the schedule, not part of the
+            // transaction protocol (a forced-abort Fault is recorded
+            // concurrently with the victim's own terminal, so it may
+            // land on either side of it in the merged order).
+            EventKind::Anomaly { .. } | EventKind::Fault { .. } | EventKind::Escalate { .. } => {}
             EventKind::Fire { .. } => {
                 // Fire trails the Commit it describes (the sequence
                 // number only exists after the commit critical

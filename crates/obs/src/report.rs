@@ -45,6 +45,12 @@ pub struct ObsReport {
     pub aborts: u64,
     /// `Anomaly` markers (should be 0 on a healthy run).
     pub anomalies: u64,
+    /// `Fault` markers injected by the chaos layer (0 outside
+    /// fault-injected runs).
+    pub faults: u64,
+    /// `Escalate` markers from the adaptive governor's degradation
+    /// state machine (0 when the governor is off or never triggered).
+    pub escalations: u64,
     /// Events lost to ring overwrites (history incomplete if non-zero).
     pub dropped_events: u64,
     /// Per-rule firing/abort rows, sorted by rule name.
@@ -101,6 +107,8 @@ impl ObsReport {
             ("fires".into(), Json::u64(self.fires)),
             ("aborts".into(), Json::u64(self.aborts)),
             ("anomalies".into(), Json::u64(self.anomalies)),
+            ("faults".into(), Json::u64(self.faults)),
+            ("escalations".into(), Json::u64(self.escalations)),
             ("dropped".into(), Json::u64(self.dropped_events)),
         ]);
         let rules = Json::Arr(
@@ -149,6 +157,13 @@ impl fmt::Display for ObsReport {
                 String::new()
             },
         )?;
+        if self.faults > 0 || self.escalations > 0 {
+            writeln!(
+                f,
+                "  chaos: {} injected fault(s), {} governor escalation event(s)",
+                self.faults, self.escalations
+            )?;
+        }
         writeln!(f, "  latency (per phase):")?;
         for (p, h) in &self.phases {
             writeln!(f, "    {:<9} {h}", p.name())?;
@@ -231,6 +246,6 @@ mod tests {
         }
         let rep = r.report();
         assert_eq!(rep.abort_cause_total(), rep.aborts);
-        assert_eq!(rep.aborts, 6);
+        assert_eq!(rep.aborts, AbortCause::ALL.len() as u64);
     }
 }
