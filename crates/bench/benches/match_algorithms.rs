@@ -126,5 +126,83 @@ fn partitioned(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, build, incremental, negation_churn, partitioned);
+/// The drain-pattern micro-bench `conflict.rs` points at (`conflict_drain`):
+/// removing every instantiation that mentions one hot WME, or every
+/// instantiation of one rule, under large fan-outs. An `InstKey` owns a
+/// `Vec<(WmeId, Timestamp)>`, so the pre-drain implementation — cloning
+/// each key out of the `by_wme` / `by_rule` index into a temporary
+/// `Vec` — paid O(conditions) heap allocations *per key* before a single
+/// removal happened; the drain pattern moves the whole index set out in
+/// one `HashMap::remove`. The per-iteration `clone` of the pre-built set
+/// is identical noise for both operations, so relative movement between
+/// this bench's rows tracks the drain path itself.
+fn conflict_drain(c: &mut Criterion) {
+    use dps_match::{ConflictSet, Instantiation};
+    use dps_rules::{Bindings, RuleId};
+    use dps_wm::{Wme, WmeId};
+
+    let wme = |id: u64| Wme {
+        id: WmeId(id),
+        data: WmeData::new("c"),
+        timestamp: id,
+    };
+    // `fanout` instantiations all mentioning the hot WmeId(0) (and all
+    // belonging to RuleId(0)), plus an equal population of bystanders
+    // that must survive the drain untouched.
+    let build = |fanout: usize| -> ConflictSet {
+        let mut cs = ConflictSet::new();
+        for i in 0..fanout as u64 {
+            cs.insert(Instantiation {
+                rule: RuleId(0),
+                wmes: vec![wme(0), wme(1_000 + 2 * i), wme(1_001 + 2 * i)],
+                bindings: Bindings::new(),
+                salience: 0,
+            });
+            cs.insert(Instantiation {
+                rule: RuleId(1 + (i % 8) as u32),
+                wmes: vec![wme(10_000 + 2 * i), wme(10_001 + 2 * i)],
+                bindings: Bindings::new(),
+                salience: 0,
+            });
+        }
+        cs
+    };
+
+    let mut g = c.benchmark_group("conflict_drain");
+    for &fanout in &[64usize, 512] {
+        let base = build(fanout);
+        g.bench_with_input(
+            BenchmarkId::new("remove_mentioning", fanout),
+            &fanout,
+            |b, &fanout| {
+                b.iter(|| {
+                    let mut cs = base.clone();
+                    assert_eq!(cs.remove_mentioning(black_box(WmeId(0))), fanout);
+                    black_box(cs.len())
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("remove_of_rule", fanout),
+            &fanout,
+            |b, &fanout| {
+                b.iter(|| {
+                    let mut cs = base.clone();
+                    assert_eq!(cs.remove_of_rule(black_box(RuleId(0))).len(), fanout);
+                    black_box(cs.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    build,
+    incremental,
+    negation_churn,
+    partitioned,
+    conflict_drain
+);
 criterion_main!(benches);

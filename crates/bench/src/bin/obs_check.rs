@@ -1,7 +1,8 @@
 //! Shape-checks a `dps-scaling-report-v1` JSON document (as emitted by
 //! `scaling --json`), a standalone `dps-analysis-report-v1` document
-//! (as emitted by `analyze --json`), **or** a `dps-chaos-report-v1`
-//! document (as emitted by `chaos --json`), so CI can validate the
+//! (as emitted by `analyze --json`), a `dps-chaos-report-v1` document
+//! (as emitted by `chaos --json`), **or** a `dps-match-report-v1`
+//! document (as emitted by `matchbench --json`), so CI can validate the
 //! observability pipeline end-to-end without `serde` or external
 //! tooling. Dispatch is on the top-level `schema` tag.
 //!
@@ -25,6 +26,15 @@
 //!   busy/wasted accounting and `wasted_fraction` in `[0, 1]`;
 //! * every run's checker section reports zero structural errors and a
 //!   replayed, `consistent` verdict — the CI gate for §3 Theorem 2.
+//!
+//! Match-report checks (the sharded-pipeline gate):
+//! * every sweep row has sane counters and publishes exactly one delta
+//!   batch per commit, with zero aborts (the workload is conflict-free);
+//! * the instrumented run's `match_apply` histogram is populated with
+//!   ordered percentiles, and the fan-out counters show the plan
+//!   actually sharded (`shards > 1`, free-advances observed);
+//! * the recomputed speed-ups clear the ISSUE 5 gates: 2 shards beat
+//!   1 shard, and max shards beat 1 shard by ≥ 1.5×.
 //!
 //! Chaos-report checks (the robustness gate):
 //! * every sweep run drained its workload (`commits ==
@@ -279,6 +289,129 @@ fn check_chaos(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `dps-match-report-v1` document (from `matchbench --json`)
+/// — the sharded-match-pipeline gate.
+fn check_match(doc: &Json) -> Result<(), String> {
+    for key in ["groups", "pairs", "workers", "reps"] {
+        doc.at(&["config", key])
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("match.config: missing {key}"))?;
+    }
+
+    // ---- sweep rows ----
+    let sweep = doc
+        .get("sweep")
+        .and_then(Json::as_arr)
+        .ok_or("match: missing sweep array")?;
+    if sweep.len() < 2 {
+        return Err("match: sweep needs at least shard counts 1 and 2".into());
+    }
+    let mut rates = Vec::new();
+    for (i, row) in sweep.iter().enumerate() {
+        let at = format!("match.sweep[{i}]");
+        let mut vals = Vec::new();
+        for key in [
+            "shards",
+            "plan_shards",
+            "commits",
+            "aborts",
+            "batches",
+            "applies",
+            "free_advances",
+            "steals",
+        ] {
+            vals.push(
+                row.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{at}: missing {key}"))?,
+            );
+        }
+        let (commits, aborts, batches) = (vals[2], vals[3], vals[4]);
+        if aborts != 0 {
+            return Err(format!("{at}: {aborts} aborts on the conflict-free workload"));
+        }
+        if batches != commits {
+            return Err(format!(
+                "{at}: {batches} delta batches for {commits} commits — publish must be 1:1"
+            ));
+        }
+        let secs = row
+            .get("secs")
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("{at}: missing or non-positive secs"))?;
+        rates.push(commits as f64 / secs);
+    }
+
+    // ---- recomputed ISSUE 5 gates ----
+    if rates[1] <= rates[0] {
+        return Err(format!(
+            "match: 2 shards ({:.0}/s) did not beat 1 shard ({:.0}/s)",
+            rates[1], rates[0]
+        ));
+    }
+    let rmax = rates.last().copied().unwrap_or(0.0);
+    if rmax < 1.5 * rates[0] {
+        return Err(format!(
+            "match: max shards only {:.2}x over 1 shard (< 1.5x floor)",
+            rmax / rates[0]
+        ));
+    }
+    for key in ["x2_over_x1", "max_over_x1"] {
+        doc.at(&["speedup", key])
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("match.speedup: missing {key}"))?;
+    }
+
+    // ---- embedded obs report: match_apply histogram + fan-out ----
+    let need_u64 = |path: &[&str]| -> Result<u64, String> {
+        doc.at(path)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("match: missing integer at {}", path.join(".")))
+    };
+    let obs_schema = doc
+        .at(&["observability", "schema"])
+        .and_then(Json::as_str)
+        .ok_or("match: missing observability.schema")?;
+    if obs_schema != "dps-obs-report-v1" {
+        return Err(format!("match: unexpected observability schema {obs_schema:?}"));
+    }
+    let mut vals = Vec::new();
+    for key in ["count", "p50_ns", "p95_ns", "p99_ns", "max_ns"] {
+        vals.push(need_u64(&["observability", "phases", "match_apply", key])?);
+    }
+    let (count, p50, p95, p99, max) = (vals[0], vals[1], vals[2], vals[3], vals[4]);
+    if count == 0 {
+        return Err("match: match_apply histogram is empty on an instrumented run".into());
+    }
+    if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+        return Err(format!(
+            "match: match_apply percentiles not ordered ({p50} / {p95} / {p99} / max {max})"
+        ));
+    }
+    let shards = need_u64(&["observability", "fanout", "shards"])?;
+    if shards < 2 {
+        return Err(format!("match: instrumented plan has {shards} shard(s) — not sharded"));
+    }
+    let batches = need_u64(&["observability", "fanout", "batches"])?;
+    let applies = need_u64(&["observability", "fanout", "applies"])?;
+    let free = need_u64(&["observability", "fanout", "free_advances"])?;
+    need_u64(&["observability", "fanout", "steals"])?;
+    if batches == 0 || applies == 0 {
+        return Err("match: fan-out counters show no published batches".into());
+    }
+    if free == 0 {
+        return Err(
+            "match: zero free-advances — unaffected shards are paying for every batch".into(),
+        );
+    }
+    if need_u64(&["observability", "events", "anomalies"])? != 0 {
+        return Err("match: events.anomalies is non-zero".into());
+    }
+    Ok(())
+}
+
 fn check(doc: &Json) -> Result<(), String> {
     let need_str = |path: &[&str]| -> Result<String, String> {
         doc.at(path)
@@ -302,14 +435,14 @@ fn check(doc: &Json) -> Result<(), String> {
         // Chaos-gate document (from `chaos --json`).
         return check_chaos(doc);
     }
+    if schema == "dps-match-report-v1" {
+        // Sharded-match-pipeline document (from `matchbench --json`).
+        return check_match(doc);
+    }
     if schema != "dps-scaling-report-v1" {
         return Err(format!("unexpected schema {schema:?}"));
     }
-    for sweep in ["partitioned", "partitioned_1shard", "contended"] {
-        let arr = doc
-            .at(&["sweeps", sweep])
-            .and_then(Json::as_arr)
-            .ok_or_else(|| format!("missing sweeps.{sweep}"))?;
+    let check_rows = |sweep: &str, arr: &[Json]| -> Result<(), String> {
         if arr.is_empty() {
             return Err(format!("sweeps.{sweep} is empty"));
         }
@@ -324,6 +457,19 @@ fn check(doc: &Json) -> Result<(), String> {
                 .filter(|v| *v > 0.0)
                 .ok_or_else(|| format!("sweeps.{sweep}[{i}].secs missing or non-positive"))?;
         }
+        Ok(())
+    };
+    for sweep in ["partitioned", "partitioned_1shard", "contended"] {
+        let arr = doc
+            .at(&["sweeps", sweep])
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("missing sweeps.{sweep}"))?;
+        check_rows(sweep, arr)?;
+    }
+    // "match_heavy" joined the sweeps with the sharded match pipeline;
+    // reports written before it carry no key (old shape still passes).
+    if let Some(arr) = doc.at(&["sweeps", "match_heavy"]).and_then(Json::as_arr) {
+        check_rows("match_heavy", arr)?;
     }
 
     // ---- embedded obs report ----

@@ -124,6 +124,41 @@ fn run_sweep(
     out
 }
 
+/// The match-bound sweep: `match_heavy` under the default shard plan,
+/// trace-validated like every other run.
+fn run_match_heavy_sweep(groups: usize, pairs: usize, reps: usize) -> Vec<Sample> {
+    let mut out = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        let mut best: Option<Sample> = None;
+        for _ in 0..reps {
+            let (rules, wm) = workloads::match_heavy(groups, pairs);
+            let initial = wm.clone();
+            let cfg = ParallelConfig {
+                workers,
+                ..Default::default()
+            };
+            let mut engine = ParallelEngine::new(&rules, wm, cfg);
+            let t0 = Instant::now();
+            let report = engine.run();
+            let secs = t0.elapsed().as_secs_f64();
+            assert_eq!(report.commits, groups * pairs, "match-heavy: lost commits");
+            validate_trace(&rules, &initial, &report.trace)
+                .expect("trace must replay single-threadedly (Theorem 2)");
+            let s = Sample {
+                workers,
+                commits: report.commits,
+                secs,
+                aborts: report.aborts.total(),
+            };
+            if best.as_ref().is_none_or(|b| s.secs < b.secs) {
+                best = Some(s);
+            }
+        }
+        out.push(best.expect("reps >= 1"));
+    }
+    out
+}
+
 fn print_sweep(label: &str, samples: &[Sample]) {
     eprintln!("\n{label}");
     eprintln!(
@@ -226,6 +261,20 @@ fn main() {
         &contended,
     );
 
+    // match-heavy: zero data conflict but a large, long-lived conflict
+    // set, so the measured quantity is the sharded match pipeline (claim
+    // scans and Rete updates), not the lock table. No simulated RHS cost
+    // — the workload is match-bound by construction.
+    let (mh_groups, mh_pairs) = if quick { (16, 16) } else { (32, 32) };
+    let match_heavy = run_match_heavy_sweep(mh_groups, mh_pairs, reps);
+    print_sweep(
+        &format!(
+            "match-heavy (match_heavy({mh_groups}, {mh_pairs}); match-bound; {} match shards)",
+            dps_match::DEFAULT_MATCH_SHARDS
+        ),
+        &match_heavy,
+    );
+
     // Observability overhead: 4-worker partitioned, observe OFF vs ON,
     // best of `reps`. The OFF cost of the instrumentation (a branch on a
     // `None`) is strictly below the ON cost measured here.
@@ -264,6 +313,7 @@ fn main() {
                     ("partitioned".into(), sweep_json(&partitioned)),
                     ("partitioned_1shard".into(), sweep_json(&single_shard)),
                     ("contended".into(), sweep_json(&contended)),
+                    ("match_heavy".into(), sweep_json(&match_heavy)),
                 ]),
             ),
             (

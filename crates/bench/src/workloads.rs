@@ -117,6 +117,39 @@ pub fn false_conflicts(guards: usize, events: usize) -> (RuleSet, WorkingMemory)
     (rules, wm)
 }
 
+/// A match-dominated workload: `groups` independent rule families, each
+/// a wide fan-out join of one `cfg-g` tuple against `pairs` `item-g`
+/// tuples, firing a cheap `make`-only RHS. Nothing is ever removed or
+/// modified, so
+///
+/// * the conflict set holds `groups * pairs` live instantiations for the
+///   whole run (every fired one stays satisfied, held back only by
+///   refraction) — the claim scan's refracted prefix grows linearly and
+///   total scan work grows quadratically, making **match cost, not lock
+///   contention, the measured axis** (there are zero conflict aborts);
+/// * the class families are disjoint (`cfg-g`/`item-g`/`out-g` appear in
+///   exactly one rule), so the rule partition yields `groups`
+///   class-connected components — ideal fodder for match sharding.
+///
+/// Total commits = `groups * pairs`, deterministically.
+pub fn match_heavy(groups: usize, pairs: usize) -> (RuleSet, WorkingMemory) {
+    let mut src = String::new();
+    for g in 0..groups {
+        src.push_str(&format!(
+            "(p fan-{g} (cfg-{g} ^on true) (item-{g} ^id <i>) --> (make out-{g} ^id <i>))\n"
+        ));
+    }
+    let rules = RuleSet::parse(&src).expect("static workload parses");
+    let mut wm = WorkingMemory::new();
+    for g in 0..groups {
+        wm.insert(WmeData::new(format!("cfg-{g}")).with("on", true));
+        for i in 0..pairs {
+            wm.insert(WmeData::new(format!("item-{g}")).with("id", i as i64));
+        }
+    }
+    (rules, wm)
+}
+
 /// A full order-fulfillment pipeline — the richest workload in the
 /// suite, exercising multi-way joins, arithmetic, salience, negation and
 /// value disjunctions together. `fulfillable` orders flow
@@ -248,6 +281,16 @@ mod tests {
         assert_eq!(e.run().commits, 12);
         for job in e.wm().class_iter("job") {
             assert_eq!(job.get("stage"), Some(&dps_wm::Value::Int(4)));
+        }
+    }
+
+    #[test]
+    fn match_heavy_commit_count() {
+        let (rules, wm) = match_heavy(4, 3);
+        let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+        assert_eq!(e.run().commits, 12);
+        for g in 0..4 {
+            assert_eq!(e.wm().class_iter(&format!("out-{g}")).count(), 3);
         }
     }
 

@@ -49,6 +49,7 @@ pub mod abstract_model;
 mod firing;
 pub mod governor;
 mod parallel;
+mod pipeline;
 pub mod semantics;
 mod single;
 mod static_parallel;

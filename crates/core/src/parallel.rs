@@ -24,24 +24,29 @@
 //!
 //! ## Shared-state decomposition
 //!
-//! The engine's mutable state was formerly one `Mutex<Shared>` — every
-//! claim, doom-poll and commit serialised on it, so adding workers
-//! bought contention instead of throughput. It is now three
-//! independently-locked pieces, each held only by the phases that need
-//! it:
+//! The engine's mutable state was formerly one `Mutex<Shared>`, then a
+//! `Mutex<World>` (WM + one monolithic matcher) beside the scheduler's
+//! ledger — every claim scan and every commit still serialised on the
+//! single matcher. The matcher is now the **sharded match pipeline**
+//! ([`crate::pipeline`]):
 //!
-//! * **[`World`]** (`Mutex`) — WM + matcher, locked at claim time and
-//!   across the commit's apply/match step;
-//! * **`Ledger`** (`Mutex` + `Condvar`) — claims, refraction, engine
-//!   dooms, in-flight count and termination flags; the scheduler's
-//!   state. Doom-polling during simulated RHS work touches *only* this
-//!   (and the lock manager), never the world;
+//! * **`WmBase`** (`Mutex`) — the authoritative WM + commit sequence
+//!   counter; the commit critical section shrinks to lock-manager
+//!   commit + WM delta apply + publishing the change batch;
+//! * **match shards** (one `Mutex` each) — per-component Rete networks
+//!   with their own conflict-set slice and refraction slice, caught up
+//!   from the sequence-numbered delta log by committers fanning out and
+//!   by idle claim scans stealing pending shard×batch work;
+//! * **`Ledger`** (`Mutex` + `Condvar`) — claims, engine dooms,
+//!   in-flight count and termination flags; the scheduler's state.
+//!   Doom-polling during simulated RHS work touches *only* this (and
+//!   the lock manager), never any matcher;
 //! * **`Metrics`** (atomics) + **trace** (`Mutex<Trace>`) — counters and
 //!   the commit log.
 //!
-//! Lock order: world → ledger → trace (any prefix is fine; never in
-//! reverse). The condvar is tied to the ledger; waiters drop the world
-//! lock before sleeping.
+//! Lock order: base → shard → log → ledger → trace (any subsequence is
+//! fine; never in reverse). The condvar is tied to the ledger; waiters
+//! hold nothing else while sleeping.
 //!
 //! Every committed sequence is recorded as a [`Trace`];
 //! [`crate::semantics::validate_trace`] checks it against `ES_single`
@@ -50,20 +55,20 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use dps_lock::{
     res_key, ConflictPolicy, FaultInjector, FaultPlan, FaultStats, LockManager, LockMode, Protocol,
     ResourceId, TxnId,
 };
-use dps_obs::{EventKind as ObsEvent, Phase, Recorder};
-use dps_match::{InstKey, Instantiation, Matcher, Rete};
+use dps_match::{InstKey, Instantiation, Matcher, DEFAULT_MATCH_SHARDS};
+use dps_obs::{EventKind as ObsEvent, FanoutStats, Phase, Recorder};
 use dps_rules::{instantiate_actions, RuleSet};
 use dps_wm::{Atom, WorkingMemory};
 
 use crate::governor::{Governor, GovernorConfig, GovernorStats};
-use crate::world::World;
+use crate::pipeline::MatchPipeline;
 use crate::{Firing, Footprint, Trace};
 
 /// Simulated per-production RHS duration — stands in for the "full-
@@ -182,6 +187,12 @@ pub struct ParallelConfig {
     /// per-resource escalation to pessimistic 2PL modes, and a serial
     /// fallback past the starvation bound. `None` disables it.
     pub governor: Option<GovernorConfig>,
+    /// Match shards: the rule partition's class-connected components
+    /// are folded onto at most this many independently-locked Rete
+    /// networks (clamped to the component count; `1` collapses to the
+    /// monolithic pre-pipeline layout — the recovery knob `matchbench`
+    /// measures). See [`crate::pipeline`].
+    pub match_shards: usize,
 }
 
 impl Default for ParallelConfig {
@@ -198,6 +209,7 @@ impl Default for ParallelConfig {
             observe: false,
             fault: None,
             governor: None,
+            match_shards: DEFAULT_MATCH_SHARDS,
         }
     }
 }
@@ -265,14 +277,18 @@ pub struct ParallelReport {
     /// Governor counters, when a [`ParallelConfig::governor`] was
     /// attached.
     pub governor: Option<GovernorStats>,
+    /// Sharded-match fan-out tallies (batches published, shard×batch
+    /// applies, free epoch advances, stolen catch-ups; maintained with
+    /// or without [`ParallelConfig::observe`]).
+    pub fanout: FanoutStats,
 }
 
-/// Scheduler state: who has claimed what, what has fired, who is doomed
-/// at engine level, and the run's termination flags. The engine condvar
-/// is tied to this mutex.
+/// Scheduler state: who has claimed what, who is doomed at engine
+/// level, and the run's termination flags. The engine condvar is tied
+/// to this mutex. (Refraction lives on the match shards — it is a
+/// per-shard slice now, not global scheduler state.)
 #[derive(Debug, Default)]
 struct Ledger {
-    refracted: HashSet<InstKey>,
     claimed: HashSet<InstKey>,
     claims_by_txn: HashMap<TxnId, InstKey>,
     /// Readers doomed by engine-level revalidation.
@@ -329,9 +345,10 @@ pub struct ParallelEngine {
     /// Stable class → relation-resource id mapping (covers every class
     /// any rule mentions).
     class_ids: HashMap<Atom, u32>,
-    /// Piece (b): the database and its matcher.
-    world: Mutex<World>,
-    /// Piece (a): claims + refraction + termination; condvar lives here.
+    /// Piece (b): the authoritative WM (commit critical section) plus
+    /// the per-shard match networks and the delta log between them.
+    pipeline: MatchPipeline,
+    /// Piece (a): claims + termination; condvar lives here.
     ledger: Mutex<Ledger>,
     cv: Condvar,
     /// Piece (c): commit log and counters.
@@ -356,7 +373,7 @@ enum WorkerStep {
 impl ParallelEngine {
     /// Creates the engine over an initial working memory.
     pub fn new(rules: &RuleSet, wm: WorkingMemory, config: ParallelConfig) -> Self {
-        let matcher = Rete::new(rules, &wm);
+        let pipeline = MatchPipeline::new(rules, wm, config.match_shards);
         let mut class_ids = HashMap::new();
         for (_, rule) in rules.iter() {
             for cond in &rule.conditions {
@@ -371,6 +388,9 @@ impl ParallelEngine {
             }
         }
         let obs = config.observe.then(|| Arc::new(Recorder::default()));
+        if let Some(obs) = &obs {
+            obs.set_match_shards(pipeline.shards() as u64);
+        }
         let injector = config
             .fault
             .clone()
@@ -387,7 +407,7 @@ impl ParallelEngine {
                 .fault(injector.clone())
                 .build(),
             config,
-            world: Mutex::new(World { wm, matcher }),
+            pipeline,
             ledger: Mutex::new(Ledger::default()),
             cv: Condvar::new(),
             trace: Mutex::new(Trace::default()),
@@ -421,8 +441,8 @@ impl ParallelEngine {
         let workers = self.config.workers.max(1);
         let this = &*self;
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(move || this.worker_loop());
+            for idx in 0..workers {
+                scope.spawn(move || this.worker_loop(idx));
             }
         });
         let wall = start.elapsed();
@@ -437,74 +457,122 @@ impl ParallelEngine {
             lock_stats: self.lm.stats(),
             fault_stats: self.injector.as_ref().map(|inj| inj.stats()),
             governor: self.governor.as_ref().map(|g| g.stats()),
+            fanout: self.pipeline.fanout_stats(),
         }
     }
 
     /// A snapshot of the current working memory (after `run`, the final
     /// state).
     pub fn final_wm(&self) -> WorkingMemory {
-        self.world.lock().unwrap().wm.clone()
+        self.pipeline.base.lock().unwrap().wm.clone()
     }
 
-    fn worker_loop(&self) {
+    fn worker_loop(&self, worker: usize) {
         loop {
-            match self.worker_step() {
+            match self.worker_step(worker) {
                 WorkerStep::Worked => {}
                 WorkerStep::Finished => return,
             }
         }
     }
 
+    /// `true` when the run may not claim more work (halt seen or the
+    /// commit cap reached). `commits` only changes under the ledger
+    /// lock, so reads under that lock are exact.
+    fn capped(&self, ledger: &Ledger) -> bool {
+        ledger.halted || self.metrics.commits.load(Relaxed) >= self.config.max_commits
+    }
+
     /// One claim→execute→commit attempt (or a wait / exit decision).
-    fn worker_step(&self) -> WorkerStep {
-        // ---- claim ----
+    ///
+    /// The claim scan walks the match shards starting at `worker`'s own
+    /// rotation offset (workers fan out over different shards instead
+    /// of racing down the same conflict-set prefix). Each shard is
+    /// first caught up to the watermark — idle claim scans *steal* the
+    /// pending shard×batch match work — then scanned skipping the
+    /// shard's refraction slice; the ledger is only taken lazily at the
+    /// first unrefracted candidate, so the (quadratic) refracted-prefix
+    /// skip runs on shard-local state alone.
+    fn worker_step(&self, worker: usize) -> WorkerStep {
         let claim = loop {
-            // Lock order: world before ledger. The world lock is dropped
-            // before any condvar wait so committers can make progress.
-            let world = self.world.lock().unwrap();
-            let mut ledger = self.ledger.lock().unwrap();
-            if ledger.done {
-                return WorkerStep::Finished;
-            }
-            // `commits` only changes under the ledger lock (held here),
-            // so this read is exact, as in the old single-mutex design.
-            let capped =
-                ledger.halted || self.metrics.commits.load(Relaxed) >= self.config.max_commits;
-            if capped {
-                if ledger.inflight == 0 {
-                    ledger.done = true;
-                    drop(ledger);
-                    self.cv.notify_all();
+            // ---- gate: termination / halt / commit cap ----
+            {
+                let mut ledger = self.ledger.lock().unwrap();
+                if ledger.done {
                     return WorkerStep::Finished;
                 }
-                drop(world);
-                let _g = self.cv.wait(ledger).unwrap();
-                continue;
-            }
-            let candidate = world
-                .matcher
-                .conflict_set()
-                .iter()
-                .find(|i| {
-                    let k = i.key();
-                    !ledger.refracted.contains(&k) && !ledger.claimed.contains(&k)
-                })
-                .cloned();
-            match candidate {
-                Some(inst) => {
-                    ledger.claimed.insert(inst.key());
-                    ledger.inflight += 1;
-                    break inst;
-                }
-                None => {
+                if self.capped(&ledger) {
                     if ledger.inflight == 0 {
                         ledger.done = true;
                         drop(ledger);
                         self.cv.notify_all();
                         return WorkerStep::Finished;
                     }
-                    drop(world);
                     let _g = self.cv.wait(ledger).unwrap();
+                    continue;
+                }
+            }
+            // ---- scan the shards at a fixed watermark ----
+            let w = self.pipeline.watermark();
+            let shards = self.pipeline.shards();
+            let mut saw_claimed = false;
+            let mut found: Option<Instantiation> = None;
+            'shards: for off in 0..shards {
+                let s = (worker + off) % shards;
+                let mut state = self.pipeline.shard_state(s);
+                self.pipeline
+                    .catch_up(s, w, &mut state, true, self.obs.as_deref());
+                // Lock order: shard → ledger. The guard is acquired at
+                // the first candidate that survives the refraction skip
+                // and held for the rest of this shard's scan.
+                let mut ledger: Option<MutexGuard<'_, Ledger>> = None;
+                for inst in state.rete.conflict_set().iter() {
+                    let key = inst.key();
+                    if state.refracted.contains(&key) {
+                        continue;
+                    }
+                    let led = ledger.get_or_insert_with(|| self.ledger.lock().unwrap());
+                    if led.done || self.capped(led) {
+                        break 'shards; // re-gate at the loop top
+                    }
+                    if led.claimed.contains(&key) {
+                        saw_claimed = true;
+                        continue;
+                    }
+                    led.claimed.insert(key);
+                    led.inflight += 1;
+                    found = Some(inst.clone());
+                    break 'shards;
+                }
+            }
+            match found {
+                Some(inst) => break inst,
+                None => {
+                    let mut ledger = self.ledger.lock().unwrap();
+                    if ledger.done {
+                        return WorkerStep::Finished;
+                    }
+                    // Sound termination: zero candidates across every
+                    // shard at watermark `w`, nothing in flight, and no
+                    // commit advanced the watermark since the scan began
+                    // (commits bump the watermark *before* decrementing
+                    // `inflight`, both before their condvar notify, so
+                    // this re-check cannot miss one).
+                    if !self.capped(&ledger)
+                        && !saw_claimed
+                        && ledger.inflight == 0
+                        && self.pipeline.watermark() == w
+                    {
+                        ledger.done = true;
+                        drop(ledger);
+                        self.cv.notify_all();
+                        return WorkerStep::Finished;
+                    }
+                    if ledger.inflight > 0 {
+                        let _g = self.cv.wait(ledger).unwrap();
+                    }
+                    // else: the watermark moved (or a claimed key was
+                    // released) — rescan immediately.
                 }
             }
         };
@@ -566,11 +634,18 @@ impl ParallelEngine {
                 self.metrics
                     .wasted_nanos
                     .fetch_add(worked.as_nanos() as u64, Relaxed);
-                let mut ledger = self.ledger.lock().unwrap();
                 if matches!(cause, AbortCause::EvalError) {
-                    // Permanently skip this instantiation.
-                    ledger.refracted.insert(key.clone());
+                    // Permanently skip this instantiation: refract it on
+                    // its rule's shard *before* unclaiming below, so no
+                    // scanner can re-claim it in between (shard → ledger
+                    // respects the lock order).
+                    let s = self.pipeline.plan().shard_of(key.rule);
+                    self.pipeline
+                        .shard_state(s)
+                        .refracted
+                        .insert(key.clone());
                 }
+                let mut ledger = self.ledger.lock().unwrap();
                 ledger.engine_doomed.remove(&txn);
                 ledger.claims_by_txn.remove(&txn);
                 ledger.claimed.remove(&key);
@@ -661,12 +736,24 @@ impl ParallelEngine {
         }
 
         // ---- re-validate the claim under the read locks ----
+        // The watermark is read under the base mutex, so every publish
+        // ≤ `w` is complete; the shard is pinned to at least `w` before
+        // the membership check. Any *later* commit that could
+        // invalidate this claim necessarily conflicts with the `Rc`
+        // locks just acquired (tuple `Wa`, or relation `Wa` vs our
+        // negated-class relation `Rc`), so the lock manager dooms us —
+        // a stale shard view can never carry a claim to commit.
         {
-            let world = self.world.lock().unwrap();
-            let ledger = self.ledger.lock().unwrap();
-            if !world.matcher.conflict_set().contains(&key) {
+            let w = self.pipeline.base.lock().unwrap().next_seq - 1;
+            let s = self.pipeline.plan().shard_of(key.rule);
+            let mut state = self.pipeline.shard_state(s);
+            self.pipeline
+                .catch_up(s, w, &mut state, true, self.obs.as_deref());
+            if !state.rete.conflict_set().contains(&key) {
                 return Err(AbortCause::Stale);
             }
+            drop(state);
+            let ledger = self.ledger.lock().unwrap();
             if ledger.engine_doomed.contains(&txn) {
                 return Err(AbortCause::Revalidation);
             }
@@ -776,34 +863,63 @@ impl ParallelEngine {
         };
 
         // ---- commit ----
-        // World and ledger held together across lm.commit + WM/matcher
-        // apply: the commit must be atomic with respect to claim
-        // re-validation and other commits (the Theorem 2 oracle replays
-        // the trace serially, so commit order must equal apply order).
-        let mut world = self.world.lock().unwrap();
-        let mut ledger = self.ledger.lock().unwrap();
-        if ledger.engine_doomed.contains(&txn) {
-            return Err(AbortCause::Revalidation);
+        // The base mutex is the commit critical section: lm.commit, WM
+        // delta apply and batch publication happen under it, so commit
+        // order equals sequence order equals trace order (the Theorem 2
+        // oracle replays the trace serially). The matcher is *not*
+        // driven here — the batch is published to the delta log and
+        // fanned out to the affected shards after the base is released.
+        let obs = self.obs.as_deref();
+        let mut base = self.pipeline.base.lock().unwrap();
+        {
+            // Engine-doom check. Dropping the ledger before lm.commit is
+            // safe: engine dooms are only ever inserted by revalidation
+            // passes, which run under the base mutex (held here).
+            let ledger = self.ledger.lock().unwrap();
+            if ledger.engine_doomed.contains(&txn) {
+                return Err(AbortCause::Revalidation);
+            }
         }
         let outcome = self.lm.commit(txn).map_err(classify)?;
-        // Past this point the commit is irrevocable; the instantiation
-        // cannot have vanished (its read set was lock-protected since
-        // re-validation, and a committed conflicting writer would have
-        // failed the lm.commit above).
-        debug_assert!(world.matcher.conflict_set().contains(&key));
+        // Past this point the commit is irrevocable.
+        let changes = base
+            .wm
+            .apply(&delta)
+            .expect("committed firing only touches live WMEs");
+        let seq = base.next_seq;
+        base.next_seq += 1;
+        let affected = self.pipeline.publish(seq, changes, obs);
+        // Own shard: catch up to the pre-commit state — where the
+        // instantiation cannot have vanished (its read set was
+        // lock-protected since re-validation, and a committed
+        // conflicting writer would have failed the lm.commit above) —
+        // then absorb the own batch and refract *before* the unclaim
+        // below, closing the double-fire window.
+        let own = self.pipeline.plan().shard_of(inst.rule);
+        {
+            let mut state = self.pipeline.shard_state(own);
+            // A claim scanner may already have stolen this batch (the
+            // watermark is visible the moment `publish` returns); the
+            // pre-commit membership invariant is only checkable when
+            // the shard is genuinely behind. `applied` is stable here:
+            // we hold both the base mutex and the shard lock.
+            if self.pipeline.applied(own) < seq {
+                self.pipeline.catch_up(own, seq - 1, &mut state, false, obs);
+                debug_assert!(state.rete.conflict_set().contains(&key));
+                self.pipeline.catch_up(own, seq, &mut state, false, obs);
+            }
+            state.refracted.insert(key.clone());
+            state.maybe_gc();
+        }
         {
             let mut trace = self.trace.lock().unwrap();
-            world.commit(
-                &mut ledger.refracted,
-                &mut trace,
-                Firing {
-                    rule: inst.rule,
-                    rule_name: rule.name.clone(),
-                    key: key.clone(),
-                    delta,
-                    halt,
-                },
-            );
+            trace.firings.push(Firing {
+                rule: inst.rule,
+                rule_name: rule.name.clone(),
+                key: key.clone(),
+                delta,
+                halt,
+            });
             // Commit-sequence record for the semantic checker (§3
             // Theorem 2): this firing's 0-based slot in the global
             // trace, stamped while the trace lock is still held so
@@ -811,44 +927,73 @@ impl ParallelEngine {
             // trails the lock manager's Commit terminal (the sequence
             // number only exists now); `validate_history` and the
             // checker both account for that.
-            if let Some(obs) = &self.obs {
+            if let Some(obs) = obs {
                 // Falsifiability seam: `corrupt_fire_seq` plans flip the
                 // recorded slot's low bit so the §3 checker must reject
                 // the history — proving the chaos gate can fail.
-                let seq = (trace.len() - 1) as u64;
-                let seq = self.injector.as_ref().map_or(seq, |inj| inj.corrupt_seq(seq));
+                let fire_seq = (trace.len() - 1) as u64;
+                let fire_seq = self
+                    .injector
+                    .as_ref()
+                    .map_or(fire_seq, |inj| inj.corrupt_seq(fire_seq));
                 obs.record(
                     txn.0,
                     ObsEvent::Fire {
                         rule: obs.intern_rule(rule.name.as_str()),
-                        seq,
+                        seq: fire_seq,
                     },
                 );
             }
         }
-        self.metrics.commits.fetch_add(1, Relaxed);
-        ledger.halted |= halt;
         // Engine-level revalidation (policy `Revalidate`): doom only the
         // affected readers whose instantiation this commit invalidated.
-        for reader in outcome.needs_revalidation {
-            let still_valid = ledger
-                .claims_by_txn
-                .get(&reader)
-                .is_some_and(|k| world.matcher.conflict_set().contains(k));
-            if !still_valid {
-                ledger.engine_doomed.insert(reader);
+        // Claims are snapshotted under the ledger, checked against
+        // caught-up shards, and dooms re-verified against the *same*
+        // claim (shard → ledger order throughout; still under base, so
+        // the doomed reader cannot be mid-commit).
+        if !outcome.needs_revalidation.is_empty() {
+            let claims: Vec<(TxnId, InstKey)> = {
+                let ledger = self.ledger.lock().unwrap();
+                outcome
+                    .needs_revalidation
+                    .iter()
+                    .filter_map(|r| ledger.claims_by_txn.get(r).map(|k| (*r, k.clone())))
+                    .collect()
+            };
+            for (reader, k) in claims {
+                let s = self.pipeline.plan().shard_of(k.rule);
+                let still_valid = {
+                    let mut state = self.pipeline.shard_state(s);
+                    self.pipeline.catch_up(s, seq, &mut state, false, obs);
+                    state.rete.conflict_set().contains(&k)
+                };
+                if !still_valid {
+                    let mut ledger = self.ledger.lock().unwrap();
+                    if ledger.claims_by_txn.get(&reader) == Some(&k) {
+                        ledger.engine_doomed.insert(reader);
+                    }
+                }
             }
         }
-        ledger.claims_by_txn.remove(&txn);
-        ledger.claimed.remove(&key);
-        ledger.inflight -= 1;
-        world.gc_refracted(&mut ledger.refracted, 2048);
-        drop(ledger);
-        drop(world);
-        if let (Some(obs), Some(t)) = (&self.obs, t_commit) {
+        {
+            let mut ledger = self.ledger.lock().unwrap();
+            // Incremented under the ledger so the claim gate's cap
+            // check stays exact.
+            self.metrics.commits.fetch_add(1, Relaxed);
+            ledger.halted |= halt;
+            ledger.claims_by_txn.remove(&txn);
+            ledger.claimed.remove(&key);
+            ledger.inflight -= 1;
+        }
+        drop(base);
+        if let (Some(obs), Some(t)) = (obs, t_commit) {
             obs.phase(Phase::Commit, t.elapsed());
         }
         self.cv.notify_all();
+        // Fan the batch out to the remaining affected shards *outside*
+        // the commit critical section — the pipeline half of the
+        // design: match work overlaps the next commit.
+        self.pipeline.fan_out(&affected, seq, obs);
         Ok(())
     }
 }

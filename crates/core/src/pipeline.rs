@@ -1,0 +1,426 @@
+//! The sharded match pipeline: Rete off the world mutex.
+//!
+//! The dynamic engine's former `Mutex<World>` made every claim scan and
+//! every commit serialise on one matcher. This module splits that state
+//! into the paper's natural grain — the rule partition's class-connected
+//! components — so the match phase runs as a *pipeline* behind the
+//! commit critical section:
+//!
+//! * **[`WmBase`]** (`Mutex`) — the authoritative working memory plus
+//!   the commit sequence counter. `commit` now only applies the WM
+//!   delta and *publishes* the resulting change batch; it no longer
+//!   drives any matcher inline.
+//! * **Delta log** — a bounded queue of sequence-numbered change
+//!   batches (`Arc`'d, so shards share one copy), plus a `watermark`
+//!   atomic: the highest published sequence. The watermark is stored
+//!   while the base mutex is held, so `watermark()` read after locking
+//!   the base is exact.
+//! * **[`MatchShard`]s** — one per plan shard: a [`Rete`] over that
+//!   shard's rules (speaking global rule ids via
+//!   [`Rete::with_rules`]), the shard's **refraction slice**, and an
+//!   `applied` cursor. A published batch fans out only to shards whose
+//!   alpha classes intersect it ([`ShardPlan::affected`]); the rest
+//!   advance their cursor for free with one CAS.
+//! * **Work stealing** — any worker holding a shard lock can
+//!   [`MatchPipeline::catch_up`] that shard from the log; idle claim
+//!   scans do exactly that, so match work overlaps RHS execution
+//!   instead of queueing behind the committer.
+//!
+//! ### Why a stale shard view can never commit
+//!
+//! Claim validation reads the watermark `w` **under the base mutex**
+//! (every publish completes before the base is released), catches the
+//! claimed rule's shard up to `w`, and checks membership. Any commit
+//! that could invalidate the claim after that point necessarily
+//! conflicts with the claim's condition locks — a tuple `Wa` against
+//! our tuple `Rc`, or a relation `Wa` (creates, and the
+//! modify/remove relation escalation) against our relation `Rc` for
+//! negated classes — so the lock manager dooms us before or at our own
+//! `commit`. The shard epoch therefore only needs to be exact up to
+//! `w`; later invalidations are the lock manager's problem, exactly as
+//! in the monolithic design. See DESIGN.md §12.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use dps_match::{InstKey, Matcher, Rete, ShardPlan};
+use dps_obs::{FanoutStats, Phase, Recorder};
+use dps_rules::RuleSet;
+use dps_wm::{Change, WorkingMemory};
+
+/// Log entries older than the slowest shard are pruned opportunistically;
+/// past this length the committer force-drains lagging shards so an
+/// unlucky (never-affected, never-scanned) shard cannot pin the log.
+const LOG_DRAIN_THRESHOLD: usize = 64;
+
+/// The commit critical section's state: authoritative WM + sequencing.
+#[derive(Debug)]
+pub(crate) struct WmBase {
+    /// The authoritative working memory.
+    pub wm: WorkingMemory,
+    /// Sequence number the *next* commit will take (watermark + 1).
+    pub next_seq: u64,
+}
+
+/// One published commit: its sequence number, its WM change batch and
+/// the shards whose alpha classes intersect it.
+#[derive(Debug)]
+struct LogEntry {
+    seq: u64,
+    changes: Arc<Vec<Change>>,
+    affected: Vec<usize>,
+}
+
+/// A shard's lock-protected state: its Rete and its refraction slice.
+#[derive(Debug)]
+pub(crate) struct ShardState {
+    /// The shard's network; its conflict set is the authoritative slice
+    /// for the shard's rules.
+    pub rete: Rete,
+    /// Refraction for this shard's rules (fired or eval-error keys).
+    pub refracted: HashSet<InstKey>,
+    /// Next refraction-GC trigger (doubles after each sweep).
+    gc_at: usize,
+}
+
+impl ShardState {
+    /// Bounds the refraction slice: past the trigger, drop keys no
+    /// longer in the conflict set (timestamps are fresh on
+    /// re-assertion, so a dead key can never match again). The trigger
+    /// doubles with the surviving size, amortising the sweep.
+    pub fn maybe_gc(&mut self) {
+        if self.refracted.len() >= self.gc_at {
+            let cs = self.rete.conflict_set();
+            self.refracted.retain(|k| cs.contains(k));
+            self.gc_at = (self.refracted.len() * 2).max(1024);
+        }
+    }
+}
+
+/// One match shard: lock-protected state plus its lock-free log cursor.
+#[derive(Debug)]
+pub(crate) struct MatchShard {
+    state: Mutex<ShardState>,
+    /// Highest log sequence this shard has incorporated. Only advances
+    /// (`fetch_max` / forward CAS); `applied ≤ watermark` always.
+    applied: AtomicU64,
+}
+
+/// Fan-out tallies (relaxed atomics; maintained whether or not a
+/// [`Recorder`] is attached, so reports are free).
+#[derive(Debug, Default)]
+struct PipelineStats {
+    batches: AtomicU64,
+    applies: AtomicU64,
+    free_advances: AtomicU64,
+    steals: AtomicU64,
+}
+
+/// The sharded match pipeline. See the module docs for the protocol;
+/// the lock order is **base → shard → log** (the engine's ledger and
+/// trace mutexes sort after `shard` and are never held while taking a
+/// shard lock).
+#[derive(Debug)]
+pub(crate) struct MatchPipeline {
+    /// The commit critical section.
+    pub base: Mutex<WmBase>,
+    plan: ShardPlan,
+    shards: Vec<MatchShard>,
+    log: Mutex<VecDeque<LogEntry>>,
+    watermark: AtomicU64,
+    stats: PipelineStats,
+}
+
+impl MatchPipeline {
+    /// Partitions `rules` onto at most `shards` shards (clamped to the
+    /// class-connected component count) and loads `wm` into every shard
+    /// network.
+    pub fn new(rules: &RuleSet, wm: WorkingMemory, shards: usize) -> Self {
+        let plan = ShardPlan::new(rules, shards);
+        let shard_states = plan
+            .build(rules, &wm)
+            .into_iter()
+            .map(|rete| MatchShard {
+                state: Mutex::new(ShardState {
+                    rete,
+                    refracted: HashSet::new(),
+                    gc_at: 1024,
+                }),
+                applied: AtomicU64::new(0),
+            })
+            .collect();
+        MatchPipeline {
+            base: Mutex::new(WmBase { wm, next_seq: 1 }),
+            plan,
+            shards: shard_states,
+            log: Mutex::new(VecDeque::new()),
+            watermark: AtomicU64::new(0),
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// The shard layout.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Locks one shard's state.
+    pub fn shard_state(&self, s: usize) -> MutexGuard<'_, ShardState> {
+        self.shards[s].state.lock().unwrap()
+    }
+
+    /// Shard `s`'s log cursor. Stable while the caller holds both the
+    /// base mutex and the shard's state lock (applies need the state
+    /// lock; free advances happen under the base mutex).
+    pub fn applied(&self, s: usize) -> u64 {
+        self.shards[s].applied.load(Ordering::Acquire)
+    }
+
+    /// The highest published commit sequence. Reading it *after*
+    /// acquiring the base mutex yields an exact value (publish happens
+    /// under the base mutex); elsewhere it is a safe lower bound.
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// Publishes commit `seq`'s change batch. **Must be called with the
+    /// base mutex held** and `seq == base.next_seq - 1` already bumped
+    /// by the caller. Appends the log entry, advances the watermark,
+    /// and free-advances every unaffected, fully-caught-up shard.
+    /// Returns the affected shard list for the caller's fan-out.
+    pub fn publish(&self, seq: u64, changes: Vec<Change>, obs: Option<&Recorder>) -> Vec<usize> {
+        let affected = self.plan.affected(&changes);
+        self.log.lock().unwrap().push_back(LogEntry {
+            seq,
+            changes: Arc::new(changes),
+            affected: affected.clone(),
+        });
+        // Watermark before free advances: `applied ≤ watermark` stays
+        // invariant (a cursor only reaches `seq` once `watermark` has).
+        self.watermark.store(seq, Ordering::Release);
+        let mut free = 0u64;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if affected.binary_search(&s).is_err()
+                && shard
+                    .applied
+                    .compare_exchange(seq - 1, seq, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                free += 1;
+            }
+        }
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.free_advances.fetch_add(free, Ordering::Relaxed);
+        if let Some(obs) = obs {
+            obs.fanout_batch(free);
+        }
+        affected
+    }
+
+    /// Brings shard `s` (whose state the caller holds) up to at least
+    /// `target`. `stolen` marks applies done outside the committing
+    /// worker's own fan-out (claim-scan work stealing), for the fan-out
+    /// tallies.
+    pub fn catch_up(
+        &self,
+        s: usize,
+        target: u64,
+        state: &mut ShardState,
+        stolen: bool,
+        obs: Option<&Recorder>,
+    ) {
+        loop {
+            let cur = self.shards[s].applied.load(Ordering::Acquire);
+            if cur >= target {
+                return;
+            }
+            // Snapshot the needed entries, then drop the log lock before
+            // running the network (never hold the log across an apply).
+            let batch: Vec<(u64, Option<Arc<Vec<Change>>>)> = {
+                let log = self.log.lock().unwrap();
+                log.iter()
+                    .filter(|e| e.seq > cur && e.seq <= target)
+                    .map(|e| {
+                        let hit = e.affected.binary_search(&s).is_ok();
+                        (e.seq, hit.then(|| Arc::clone(&e.changes)))
+                    })
+                    .collect()
+            };
+            if batch.is_empty() {
+                // Entries ≤ `cur` were pruned only after every shard
+                // (including this one) applied them, so an empty batch
+                // means a concurrent `catch_up` raced us past `target`.
+                debug_assert!(self.shards[s].applied.load(Ordering::Acquire) >= target);
+                return;
+            }
+            debug_assert_eq!(batch[0].0, cur + 1, "delta log must be gapless");
+            for (seq, changes) in batch {
+                if let Some(changes) = changes {
+                    let t0 = obs.map(|_| Instant::now());
+                    state.rete.apply(&changes);
+                    self.stats.applies.fetch_add(1, Ordering::Relaxed);
+                    if stolen {
+                        self.stats.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let (Some(obs), Some(t0)) = (obs, t0) {
+                        obs.phase(Phase::MatchApply, t0.elapsed());
+                        obs.fanout_apply(stolen);
+                    }
+                }
+                self.shards[s].applied.fetch_max(seq, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// The committing worker's fan-out: push `seq` to every affected
+    /// shard, then prune the log. When the log has grown past
+    /// [`LOG_DRAIN_THRESHOLD`] the committer also drains *lagging*
+    /// shards (affected or not), bounding the log against shards no
+    /// batch ever routes to.
+    pub fn fan_out(&self, affected: &[usize], seq: u64, obs: Option<&Recorder>) {
+        for &s in affected {
+            if self.shards[s].applied.load(Ordering::Acquire) >= seq {
+                continue;
+            }
+            let mut state = self.shard_state(s);
+            self.catch_up(s, seq, &mut state, false, obs);
+        }
+        let over = self.log.lock().unwrap().len() > LOG_DRAIN_THRESHOLD;
+        if over {
+            for s in 0..self.shards.len() {
+                if self.shards[s].applied.load(Ordering::Acquire) < seq {
+                    let mut state = self.shard_state(s);
+                    self.catch_up(s, seq, &mut state, false, obs);
+                }
+            }
+        }
+        self.prune();
+    }
+
+    /// Drops log entries every shard has incorporated.
+    fn prune(&self) {
+        let min = self
+            .shards
+            .iter()
+            .map(|s| s.applied.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0);
+        let mut log = self.log.lock().unwrap();
+        while log.front().is_some_and(|e| e.seq <= min) {
+            log.pop_front();
+        }
+    }
+
+    /// Point-in-time fan-out tallies.
+    pub fn fanout_stats(&self) -> FanoutStats {
+        FanoutStats {
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            applies: self.stats.applies.load(Ordering::Relaxed),
+            free_advances: self.stats.free_advances.load(Ordering::Relaxed),
+            steals: self.stats.steals.load(Ordering::Relaxed),
+            shards: self.shards.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_wm::WmeData;
+
+    const CORPUS: &str = r#"
+        (p fam1 (a ^k <x>) (b ^k <x>) --> (remove 1))
+        (p fam2 (c ^k <x>) --> (make d ^k <x>))
+        (p fam3 (e ^k <x>) --> (remove 1))
+    "#;
+
+    fn pipeline(shards: usize) -> (RuleSet, MatchPipeline) {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let mut wm = WorkingMemory::new();
+        wm.insert(WmeData::new("a").with("k", 1i64));
+        wm.insert(WmeData::new("b").with("k", 1i64));
+        wm.insert(WmeData::new("e").with("k", 2i64));
+        let p = MatchPipeline::new(&rules, wm, shards);
+        (rules, p)
+    }
+
+    /// Drives one commit through the base/publish/fan-out protocol.
+    fn commit_changes(p: &MatchPipeline, data: WmeData) -> (u64, Vec<usize>) {
+        let mut base = p.base.lock().unwrap();
+        let w = base.wm.insert_full(data);
+        let seq = base.next_seq;
+        base.next_seq += 1;
+        let affected = p.publish(seq, vec![Change::Added(w)], None);
+        drop(base);
+        p.fan_out(&affected, seq, None);
+        (seq, affected)
+    }
+
+    #[test]
+    fn publish_free_advances_unaffected_shards() {
+        let (_, p) = pipeline(3);
+        assert_eq!(p.shards(), 3);
+        let (seq, affected) = commit_changes(&p, WmeData::new("e").with("k", 9i64));
+        assert_eq!(affected.len(), 1, "only fam3's shard fans in");
+        assert_eq!(p.watermark(), seq);
+        for s in 0..p.shards() {
+            assert_eq!(p.shards[s].applied.load(Ordering::Acquire), seq);
+        }
+        let stats = p.fanout_stats();
+        assert_eq!((stats.batches, stats.applies, stats.free_advances), (1, 1, 2));
+        assert_eq!(p.log.lock().unwrap().len(), 0, "fully-applied entries pruned");
+    }
+
+    #[test]
+    fn lagging_shard_catches_up_from_the_log() {
+        let (rules, p) = pipeline(3);
+        // Publish without fanning out: shards lag behind the watermark.
+        let mut base = p.base.lock().unwrap();
+        let w1 = base.wm.insert_full(WmeData::new("e").with("k", 5i64));
+        let seq1 = base.next_seq;
+        base.next_seq += 1;
+        p.publish(seq1, vec![Change::Added(w1)], None);
+        let w2 = base.wm.insert_full(WmeData::new("e").with("k", 6i64));
+        let seq2 = base.next_seq;
+        base.next_seq += 1;
+        p.publish(seq2, vec![Change::Added(w2)], None);
+        drop(base);
+        let s = p.plan().shard_of(rules.id_of("fam3").unwrap());
+        assert!(p.shards[s].applied.load(Ordering::Acquire) < seq2);
+        let before = {
+            let st = p.shard_state(s);
+            st.rete.conflict_set().len()
+        };
+        let mut st = p.shard_state(s);
+        p.catch_up(s, seq2, &mut st, true, None);
+        assert_eq!(st.rete.conflict_set().len(), before + 2);
+        drop(st);
+        assert_eq!(p.shards[s].applied.load(Ordering::Acquire), seq2);
+        assert_eq!(p.fanout_stats().steals, 2);
+    }
+
+    #[test]
+    fn refraction_gc_keeps_live_keys() {
+        let (_, p) = pipeline(1);
+        let mut st = p.shard_state(0);
+        st.gc_at = 1; // force the sweep
+        let live = st.rete.conflict_set().iter().next().unwrap().key();
+        let dead = InstKey {
+            rule: live.rule,
+            wmes: vec![],
+        };
+        st.refracted.insert(live.clone());
+        st.refracted.insert(dead.clone());
+        st.maybe_gc();
+        assert!(st.refracted.contains(&live));
+        assert!(!st.refracted.contains(&dead));
+        assert!(st.gc_at >= 1024, "trigger re-arms");
+    }
+}

@@ -77,12 +77,15 @@ impl ConflictSet {
     }
 
     /// Removes every instantiation mentioning `id`; returns how many left.
+    ///
+    /// Takes the whole `by_wme` index set out of the map in one move
+    /// instead of cloning each `InstKey` into a temporary `Vec` (an
+    /// `InstKey` owns a `Vec<(WmeId, Timestamp)>`, so the old per-key
+    /// clones were O(conditions) heap allocations each; see the
+    /// micro-bench note in `benches::conflict_drain`). `remove` tolerates
+    /// the already-removed `by_wme` entry (`get_mut` → `None`).
     pub fn remove_mentioning(&mut self, id: WmeId) -> usize {
-        let keys: Vec<InstKey> = self
-            .by_wme
-            .get(&id)
-            .map(|s| s.iter().cloned().collect())
-            .unwrap_or_default();
+        let keys = self.by_wme.remove(&id).unwrap_or_default();
         let n = keys.len();
         for k in &keys {
             self.remove(k);
@@ -91,12 +94,13 @@ impl ConflictSet {
     }
 
     /// Removes every instantiation of a rule; returns them.
+    ///
+    /// Same drain-the-index pattern as [`remove_mentioning`]: the
+    /// `by_rule` set is moved out wholesale, so no `InstKey` is cloned.
+    ///
+    /// [`remove_mentioning`]: ConflictSet::remove_mentioning
     pub fn remove_of_rule(&mut self, rule: RuleId) -> Vec<Instantiation> {
-        let keys: Vec<InstKey> = self
-            .by_rule
-            .get(&rule)
-            .map(|s| s.iter().cloned().collect())
-            .unwrap_or_default();
+        let keys = self.by_rule.remove(&rule).unwrap_or_default();
         keys.iter().filter_map(|k| self.remove(k)).collect()
     }
 

@@ -46,6 +46,7 @@ mod instantiation;
 mod partition;
 mod resolve;
 mod rete;
+mod shard;
 mod treat;
 
 pub use alpha::{AlphaMemId, AlphaNetwork};
@@ -54,6 +55,7 @@ pub use instantiation::{InstKey, Instantiation};
 pub use partition::{PartitionStats, PartitionedRete};
 pub use resolve::Strategy;
 pub use rete::Rete;
+pub use shard::{ShardPlan, ShardedRete, DEFAULT_MATCH_SHARDS};
 pub use treat::Treat;
 
 use dps_wm::Change;

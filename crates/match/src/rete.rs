@@ -195,6 +195,22 @@ impl Rete {
     /// Builds the network for `rules` and loads the initial working
     /// memory.
     pub fn new(rules: &RuleSet, wm: &WorkingMemory) -> Self {
+        Rete::with_rules(rules.iter(), wm)
+    }
+
+    /// Builds the network for an arbitrary `(RuleId, &Rule)` collection
+    /// and loads the initial working memory.
+    ///
+    /// The given ids are stored verbatim in the production nodes, so the
+    /// resulting conflict set speaks the *caller's* id space. This is
+    /// what lets a match shard own a Rete over a subset of the rule set
+    /// while still emitting global rule ids — no translation layer, no
+    /// re-merge (contrast [`crate::PartitionedRete`], which pays a
+    /// local→global rewrite per affected component).
+    pub fn with_rules<'a>(
+        rules: impl IntoIterator<Item = (RuleId, &'a Rule)>,
+        wm: &WorkingMemory,
+    ) -> Self {
         let mut rete = Rete {
             alpha: AlphaNetwork::default(),
             nodes: vec![Node::Memory {
@@ -218,7 +234,7 @@ impl Rete {
         if let Node::Memory { tokens, .. } = &mut rete.nodes[0] {
             tokens.insert(dummy);
         }
-        for (id, rule) in rules.iter() {
+        for (id, rule) in rules {
             rete.compile_rule(id, rule);
         }
         for wme in wm.iter() {

@@ -1,0 +1,352 @@
+//! Match shards: the rule partition's class-connected components packed
+//! onto N independent Rete networks.
+//!
+//! The coordination-avoidance rule (Bailis et al.): rules whose
+//! condition classes don't overlap need no coordination at all. The
+//! union-find over shared classes (the same computation
+//! [`crate::PartitionedRete`] performs) yields the *finest* such
+//! partition; a [`ShardPlan`] folds those components onto a bounded
+//! number of shards so each shard can sit behind its own mutex with its
+//! own conflict-set slice. Shard Retes are built with
+//! [`Rete::with_rules`], so they emit **global** rule ids natively —
+//! there is no local→global translation and no merged conflict set to
+//! refresh; a shard's `conflict_set()` *is* the authoritative slice for
+//! its rules.
+//!
+//! [`ShardedRete`] is the serial composition of a plan and its Retes —
+//! the differential-testing vehicle (sharded ≡ monolithic, see
+//! `tests/match_shard.rs`) and the substrate `dps-core`'s parallel
+//! engine wraps one mutex around per shard.
+
+use std::collections::{BTreeSet, HashMap};
+
+use dps_rules::{Rule, RuleId, RuleSet};
+use dps_wm::{Atom, Change, WorkingMemory};
+
+use crate::{InstKey, Matcher, Rete};
+
+/// Default shard count for the sharded match pipeline. Eight matches
+/// the workspace's other sharding defaults; the plan clamps to the
+/// number of class-connected components, so small rule sets never pay
+/// for empty shards.
+pub const DEFAULT_MATCH_SHARDS: usize = 8;
+
+/// Classes a rule mentions anywhere (conditions — positive and negated —
+/// and `make` targets).
+pub(crate) fn rule_classes(rule: &Rule) -> BTreeSet<Atom> {
+    let mut out: BTreeSet<Atom> = rule
+        .conditions
+        .iter()
+        .map(|c| c.ce().class.clone())
+        .collect();
+    for action in &rule.actions {
+        if let dps_rules::Action::Make { class, .. } = action {
+            out.insert(class.clone());
+        }
+    }
+    out
+}
+
+/// Union-find partition of rule indices joined through shared classes:
+/// returns the class-connected components, deterministically ordered by
+/// their smallest rule index.
+pub(crate) fn class_components(rules: &RuleSet) -> Vec<Vec<usize>> {
+    let n = rules.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    let mut class_owner: HashMap<Atom, usize> = HashMap::new();
+    for (i, rule) in rules.rules().iter().enumerate() {
+        for class in rule_classes(rule) {
+            match class_owner.get(&class) {
+                Some(&j) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+                None => {
+                    class_owner.insert(class, i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// The static shard layout: which rules live on which shard, and which
+/// shards a working-memory class routes to.
+///
+/// Components are assigned round-robin in deterministic component order;
+/// the shard count is clamped to the component count (a plan never
+/// contains an empty shard, and `shards = 1` collapses to the
+/// monolithic layout — the recovery knob the benchmarks measure).
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// `rules_per_shard[s]` = global rule ids on shard `s`, ascending.
+    rules_per_shard: Vec<Vec<RuleId>>,
+    /// class → shards whose rules mention it (ascending, deduplicated).
+    routes: HashMap<Atom, Vec<usize>>,
+    /// rule index → owning shard.
+    shard_of_rule: Vec<usize>,
+    /// Number of class-connected components (≥ shard count).
+    components: usize,
+}
+
+impl ShardPlan {
+    /// Computes the plan for `rules` over at most `shards` shards.
+    pub fn new(rules: &RuleSet, shards: usize) -> Self {
+        let components = class_components(rules);
+        let n_components = components.len();
+        let n_shards = shards.max(1).min(n_components.max(1));
+        let mut rules_per_shard: Vec<Vec<RuleId>> = vec![Vec::new(); n_shards];
+        let mut shard_of_rule = vec![0usize; rules.len()];
+        let mut routes: HashMap<Atom, Vec<usize>> = HashMap::new();
+        for (ci, members) in components.iter().enumerate() {
+            let s = ci % n_shards;
+            for &m in members {
+                rules_per_shard[s].push(RuleId(m as u32));
+                shard_of_rule[m] = s;
+                for class in rule_classes(&rules.rules()[m]) {
+                    let shards = routes.entry(class).or_default();
+                    if !shards.contains(&s) {
+                        shards.push(s);
+                    }
+                }
+            }
+        }
+        for shard_rules in &mut rules_per_shard {
+            shard_rules.sort_unstable();
+        }
+        for shards in routes.values_mut() {
+            shards.sort_unstable();
+        }
+        ShardPlan {
+            rules_per_shard,
+            routes,
+            shard_of_rule,
+            components: n_components,
+        }
+    }
+
+    /// Number of shards in the plan (≥ 1, ≤ requested, ≤ components).
+    pub fn shards(&self) -> usize {
+        self.rules_per_shard.len()
+    }
+
+    /// Number of class-connected components the plan was folded from.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Global rule ids on shard `s`, ascending.
+    pub fn rules_of(&self, s: usize) -> &[RuleId] {
+        &self.rules_per_shard[s]
+    }
+
+    /// The shard owning a rule.
+    pub fn shard_of(&self, rule: RuleId) -> usize {
+        self.shard_of_rule
+            .get(rule.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Shards whose alpha classes intersect a change batch (ascending,
+    /// deduplicated). Classes no rule mentions route nowhere.
+    pub fn affected(&self, changes: &[Change]) -> Vec<usize> {
+        let mut out: Vec<usize> = changes
+            .iter()
+            .filter_map(|c| self.routes.get(&c.wme().data.class))
+            .flatten()
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Builds the per-shard Rete networks over the initial working
+    /// memory, in shard order. Each network speaks global rule ids
+    /// (see [`Rete::with_rules`]).
+    pub fn build(&self, rules: &RuleSet, wm: &WorkingMemory) -> Vec<Rete> {
+        (0..self.shards())
+            .map(|s| {
+                Rete::with_rules(
+                    self.rules_of(s)
+                        .iter()
+                        .map(|&id| (id, rules.get(id).expect("plan ids come from this set"))),
+                    wm,
+                )
+            })
+            .collect()
+    }
+}
+
+/// A plan plus its per-shard Retes, driven serially: the reference
+/// composition the equivalence property tests pin against a monolithic
+/// [`Rete`], and the shape `dps-core` parallelises by giving each shard
+/// its own mutex and delta cursor.
+pub struct ShardedRete {
+    plan: ShardPlan,
+    shards: Vec<Rete>,
+}
+
+impl ShardedRete {
+    /// Partitions `rules` onto at most `shards` shards and loads the
+    /// initial working memory into every shard network.
+    pub fn new(rules: &RuleSet, wm: &WorkingMemory, shards: usize) -> Self {
+        let plan = ShardPlan::new(rules, shards);
+        let shards = plan.build(rules, wm);
+        ShardedRete { plan, shards }
+    }
+
+    /// The shard layout.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// One shard's network (its conflict set is the authoritative slice
+    /// for that shard's rules).
+    pub fn shard(&self, s: usize) -> &Rete {
+        &self.shards[s]
+    }
+
+    /// Applies a change batch, fanning out only to affected shards;
+    /// returns how many shards actually ran their networks.
+    pub fn apply(&mut self, changes: &[Change]) -> usize {
+        let affected = self.plan.affected(changes);
+        for &s in &affected {
+            self.shards[s].apply(changes);
+        }
+        affected.len()
+    }
+
+    /// Total conflict-set size across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.conflict_set().len()).sum()
+    }
+
+    /// `true` when every shard's conflict-set slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The union of the per-shard conflict-set slices, as keys (shards
+    /// are disjoint by construction, so this is a disjoint union).
+    pub fn conflict_keys(&self) -> BTreeSet<InstKey> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.conflict_set().iter().map(|i| i.key()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_wm::WmeData;
+
+    const CORPUS: &str = r#"
+        (p fam1-a (a ^k <x>) (b ^k <x>) --> (remove 1))
+        (p fam1-b (b ^k <x>) --> (remove 1))
+        (p fam2-a (c ^k <x>) -(d ^k <x>) --> (remove 1))
+        (p fam3-a (e ^k <x>) --> (make f ^k <x>))
+        (p fam3-b (f ^k <x>) --> (remove 1))
+    "#;
+
+    #[test]
+    fn plan_folds_components_round_robin() {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        // 3 components ({a,b}, {c,d}, {e,f}) folded onto 2 shards.
+        let plan = ShardPlan::new(&rules, 2);
+        assert_eq!(plan.components(), 3);
+        assert_eq!(plan.shards(), 2);
+        let total: usize = (0..plan.shards()).map(|s| plan.rules_of(s).len()).sum();
+        assert_eq!(total, rules.len());
+        // Every rule's owning shard agrees with the per-shard lists.
+        for s in 0..plan.shards() {
+            for &id in plan.rules_of(s) {
+                assert_eq!(plan.shard_of(id), s);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_components() {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let plan = ShardPlan::new(&rules, 64);
+        assert_eq!(plan.shards(), 3, "no empty shards");
+        assert_eq!(ShardPlan::new(&rules, 1).shards(), 1);
+    }
+
+    #[test]
+    fn routes_cover_negated_and_make_classes() {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let plan = ShardPlan::new(&rules, 3);
+        let mut wm = WorkingMemory::new();
+        // `d` appears only inside a negated CE; `f` is a make target.
+        for class in ["a", "b", "c", "d", "e", "f"] {
+            let w = wm.insert_full(WmeData::new(class).with("k", 1i64));
+            assert_eq!(
+                plan.affected(&[Change::Added(w)]).len(),
+                1,
+                "class {class} must route to its component's shard"
+            );
+        }
+        // Unknown classes route nowhere.
+        let w = wm.insert_full(WmeData::new("zzz-unknown"));
+        assert!(plan.affected(&[Change::Added(w)]).is_empty());
+    }
+
+    #[test]
+    fn sharded_initial_load_matches_monolithic() {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let mut wm = WorkingMemory::new();
+        wm.insert(WmeData::new("b").with("k", 1i64));
+        wm.insert(WmeData::new("c").with("k", 1i64));
+        wm.insert(WmeData::new("e").with("k", 2i64));
+        for shards in [1, 2, 3, 8] {
+            let sharded = ShardedRete::new(&rules, &wm, shards);
+            let mono = Rete::new(&rules, &wm);
+            let mono_keys: BTreeSet<InstKey> =
+                mono.conflict_set().iter().map(|i| i.key()).collect();
+            assert_eq!(sharded.conflict_keys(), mono_keys, "{shards} shards");
+            assert_eq!(sharded.len(), mono.conflict_set().len());
+        }
+    }
+
+    #[test]
+    fn global_rule_ids_survive_sharding() {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let mut wm = WorkingMemory::new();
+        wm.insert(WmeData::new("e").with("k", 7i64));
+        let sharded = ShardedRete::new(&rules, &wm, 3);
+        let fam3 = rules.id_of("fam3-a").unwrap();
+        let shard = sharded.shard(sharded.plan().shard_of(fam3));
+        let inst = shard.conflict_set().iter().next().unwrap();
+        assert_eq!(inst.rule, fam3, "shard Retes speak global ids");
+    }
+
+    #[test]
+    fn unaffected_shards_do_not_run() {
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let mut wm = WorkingMemory::new();
+        let mut sharded = ShardedRete::new(&rules, &wm, 3);
+        let w = wm.insert_full(WmeData::new("b").with("k", 0i64));
+        assert_eq!(sharded.apply(&[Change::Added(w)]), 1, "one shard fans in");
+        assert_eq!(sharded.len(), 1, "only fam1-b fires");
+    }
+}

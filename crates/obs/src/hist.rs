@@ -31,11 +31,21 @@ pub enum Phase {
     RhsAct,
     /// The commit critical section (lock-manager commit + WM apply).
     Commit,
+    /// Applying a published WM delta batch to one match shard's Rete
+    /// (the sharded pipeline's per-shard `catch_up` work — both the
+    /// committer's fan-out and stolen catch-up applies land here).
+    MatchApply,
 }
 
 impl Phase {
     /// Every phase, in display order.
-    pub const ALL: [Phase; 4] = [Phase::LockWait, Phase::LhsEval, Phase::RhsAct, Phase::Commit];
+    pub const ALL: [Phase; 5] = [
+        Phase::LockWait,
+        Phase::LhsEval,
+        Phase::RhsAct,
+        Phase::Commit,
+        Phase::MatchApply,
+    ];
 
     /// Stable machine-readable name (used as the JSON key).
     pub fn name(self) -> &'static str {
@@ -44,6 +54,7 @@ impl Phase {
             Phase::LhsEval => "lhs_eval",
             Phase::RhsAct => "rhs_act",
             Phase::Commit => "commit",
+            Phase::MatchApply => "match_apply",
         }
     }
 
@@ -53,6 +64,7 @@ impl Phase {
             Phase::LhsEval => 1,
             Phase::RhsAct => 2,
             Phase::Commit => 3,
+            Phase::MatchApply => 4,
         }
     }
 }
@@ -251,7 +263,10 @@ mod tests {
     #[test]
     fn phase_names_are_stable() {
         let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
-        assert_eq!(names, ["lock_wait", "lhs_eval", "rhs_act", "commit"]);
+        assert_eq!(
+            names,
+            ["lock_wait", "lhs_eval", "rhs_act", "commit", "match_apply"]
+        );
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);
         }

@@ -66,4 +66,4 @@ pub use event::{AbortCause, Event, EventKind, ESCALATE_ACTIONS, FAULT_KINDS};
 pub use hist::{HistSnapshot, Histogram, Phase};
 pub use history::{history_from_json, history_to_json};
 pub use recorder::{validate_history, Recorder, RuleStat, DEFAULT_RING_CAPACITY, DEFAULT_SLOTS};
-pub use report::{ObsReport, RuleRow};
+pub use report::{FanoutStats, ObsReport, RuleRow};

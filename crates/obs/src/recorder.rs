@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use crate::event::{AbortCause, Event, EventKind, Ring};
 use crate::hist::{HistSnapshot, Histogram, Phase};
-use crate::report::{ObsReport, RuleRow};
+use crate::report::{FanoutStats, ObsReport, RuleRow};
 
 /// Default number of ring slots (worker threads hash onto these; more
 /// workers than slots just share).
@@ -46,6 +46,17 @@ struct Counters {
     escalations: AtomicU64,
 }
 
+/// Sharded-match fan-out tallies (relaxed atomics). All zero unless the
+/// engine runs the sharded match pipeline and observation is on.
+#[derive(Debug, Default)]
+struct Fanout {
+    batches: AtomicU64,
+    applies: AtomicU64,
+    free_advances: AtomicU64,
+    steals: AtomicU64,
+    shards: AtomicU64,
+}
+
 /// Per-rule firing/abort tallies.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RuleStat {
@@ -61,9 +72,10 @@ pub struct RuleStat {
 pub struct Recorder {
     epoch: Instant,
     rings: Box<[Mutex<Ring>]>,
-    hists: [Histogram; 4],
+    hists: [Histogram; 5],
     abort_causes: [AtomicU64; 7],
     counters: Counters,
+    fanout: Fanout,
     dropped: AtomicU64,
     rules: Mutex<BTreeMap<String, RuleStat>>,
     /// Rule-name interner backing [`EventKind::Fire`]'s compact
@@ -106,6 +118,7 @@ impl Recorder {
             hists: std::array::from_fn(|_| Histogram::default()),
             abort_causes: std::array::from_fn(|_| AtomicU64::new(0)),
             counters: Counters::default(),
+            fanout: Fanout::default(),
             dropped: AtomicU64::new(0),
             rules: Mutex::new(BTreeMap::new()),
             rule_names: Mutex::new(Vec::new()),
@@ -160,6 +173,42 @@ impl Recorder {
     /// A snapshot of one phase histogram.
     pub fn phase_snapshot(&self, phase: Phase) -> HistSnapshot {
         self.hists[phase.index()].snapshot()
+    }
+
+    /// Notes the sharded pipeline's configured match-shard count (set
+    /// once at engine start; the maximum wins if called twice).
+    pub fn set_match_shards(&self, shards: u64) {
+        self.fanout.shards.fetch_max(shards, Relaxed);
+    }
+
+    /// Counts one published WM delta batch; `free` is how many shards
+    /// advanced for free because none of their alpha classes
+    /// intersected the batch. (Real applies of the batch are counted
+    /// per shard by [`Recorder::fanout_apply`] as they happen.)
+    pub fn fanout_batch(&self, free: u64) {
+        self.fanout.batches.fetch_add(1, Relaxed);
+        self.fanout.free_advances.fetch_add(free, Relaxed);
+    }
+
+    /// Counts one shard×batch Rete apply. `stolen` marks applies done
+    /// by a worker catching a shard up outside the committing worker's
+    /// own fan-out (idle-worker work stealing).
+    pub fn fanout_apply(&self, stolen: bool) {
+        self.fanout.applies.fetch_add(1, Relaxed);
+        if stolen {
+            self.fanout.steals.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Snapshot of the sharded-match fan-out tallies.
+    pub fn fanout_snapshot(&self) -> FanoutStats {
+        FanoutStats {
+            batches: self.fanout.batches.load(Relaxed),
+            applies: self.fanout.applies.load(Relaxed),
+            free_advances: self.fanout.free_advances.load(Relaxed),
+            steals: self.fanout.steals.load(Relaxed),
+            shards: self.fanout.shards.load(Relaxed),
+        }
     }
 
     /// Counts a committed firing of `rule`.
@@ -246,6 +295,7 @@ impl Recorder {
             faults: self.counters.faults.load(Relaxed),
             escalations: self.counters.escalations.load(Relaxed),
             dropped_events: self.dropped.load(Relaxed),
+            fanout: self.fanout_snapshot(),
             rules: rules
                 .iter()
                 .map(|(name, stat)| RuleRow {

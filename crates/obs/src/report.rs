@@ -19,6 +19,33 @@ pub struct RuleRow {
     pub aborted: u64,
 }
 
+/// Sharded-match fan-out tallies: how WM delta batches propagated to
+/// the per-shard Rete networks. All-zero when the engine does not run
+/// the sharded match pipeline (old-shape reports simply omit the
+/// block; consumers must treat it as optional).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FanoutStats {
+    /// Published WM delta batches (one per commit).
+    pub batches: u64,
+    /// Shard×batch Rete applies actually performed.
+    pub applies: u64,
+    /// Shard epoch advances that skipped the apply because no alpha
+    /// class of the shard intersected the batch.
+    pub free_advances: u64,
+    /// Applies performed by a worker other than the committing one
+    /// (idle-worker catch-up stealing); subset of `applies`.
+    pub steals: u64,
+    /// Configured match-shard count (0 when the pipeline is off).
+    pub shards: u64,
+}
+
+impl FanoutStats {
+    /// `true` when nothing was recorded (pipeline off or unobserved).
+    pub fn is_empty(&self) -> bool {
+        *self == FanoutStats::default()
+    }
+}
+
 /// Point-in-time aggregate snapshot of a [`crate::Recorder`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct ObsReport {
@@ -53,6 +80,9 @@ pub struct ObsReport {
     pub escalations: u64,
     /// Events lost to ring overwrites (history incomplete if non-zero).
     pub dropped_events: u64,
+    /// Sharded-match fan-out tallies (all zero when the sharded
+    /// pipeline is not in use).
+    pub fanout: FanoutStats,
     /// Per-rule firing/abort rows, sorted by rule name.
     pub rules: Vec<RuleRow>,
 }
@@ -123,11 +153,19 @@ impl ObsReport {
                 })
                 .collect(),
         );
+        let fanout = Json::Obj(vec![
+            ("batches".into(), Json::u64(self.fanout.batches)),
+            ("applies".into(), Json::u64(self.fanout.applies)),
+            ("free_advances".into(), Json::u64(self.fanout.free_advances)),
+            ("steals".into(), Json::u64(self.fanout.steals)),
+            ("shards".into(), Json::u64(self.fanout.shards)),
+        ]);
         Json::Obj(vec![
             ("schema".into(), Json::str("dps-obs-report-v1")),
             ("phases".into(), phases),
             ("abort_causes".into(), causes),
             ("events".into(), events),
+            ("fanout".into(), fanout),
             ("rules".into(), rules),
         ])
     }
@@ -167,6 +205,17 @@ impl fmt::Display for ObsReport {
         writeln!(f, "  latency (per phase):")?;
         for (p, h) in &self.phases {
             writeln!(f, "    {:<9} {h}", p.name())?;
+        }
+        if !self.fanout.is_empty() {
+            writeln!(
+                f,
+                "  match fan-out: {} shard(s), {} batch(es), {} applies ({} stolen), {} free advance(s)",
+                self.fanout.shards,
+                self.fanout.batches,
+                self.fanout.applies,
+                self.fanout.steals,
+                self.fanout.free_advances,
+            )?;
         }
         writeln!(f, "  aborts by cause (total {}):", self.abort_cause_total())?;
         for (c, n) in &self.abort_causes {
@@ -236,6 +285,45 @@ mod tests {
         for needle in ["events:", "latency", "lock_wait", "per-rule", "bump"] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn fanout_round_trips_and_renders() {
+        let r = Recorder::default();
+        let rep = r.report();
+        assert!(rep.fanout.is_empty());
+        assert!(!rep.to_string().contains("match fan-out"), "empty stays silent");
+
+        r.set_match_shards(4);
+        r.fanout_batch(3);
+        r.fanout_apply(false);
+        r.fanout_apply(true);
+        let rep = r.report();
+        assert_eq!(
+            rep.fanout,
+            FanoutStats {
+                batches: 1,
+                applies: 2,
+                free_advances: 3,
+                steals: 1,
+                shards: 4,
+            }
+        );
+        let parsed = json::parse(&rep.to_json().to_string_pretty()).unwrap();
+        for (key, want) in [
+            ("batches", 1),
+            ("applies", 2),
+            ("free_advances", 3),
+            ("steals", 1),
+            ("shards", 4),
+        ] {
+            assert_eq!(
+                parsed.at(&["fanout", key]).and_then(Json::as_u64),
+                Some(want),
+                "fanout.{key}"
+            );
+        }
+        assert!(rep.to_string().contains("match fan-out"));
     }
 
     #[test]

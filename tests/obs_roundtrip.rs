@@ -138,6 +138,15 @@ fn random_valid_recorder(rng: &mut SmallRng) -> Recorder {
             Duration::from_nanos(rng.range_u64(0, 1 << 20)),
         );
     }
+    // Half the cases also exercise the match fan-out counters, so the
+    // report round-trip covers both the empty and populated shapes.
+    if rng.random_bool(0.5) {
+        rec.set_match_shards(1 + rng.range_u64(0, 8));
+        for _ in 0..1 + rng.index(6) {
+            rec.fanout_batch(rng.range_u64(0, 4));
+            rec.fanout_apply(rng.random_bool(0.3));
+        }
+    }
     rec
 }
 
@@ -170,6 +179,80 @@ fn random_reports_round_trip_as_json_trees() {
         let compact = json::parse(&doc.to_string_compact()).expect("compact parses");
         assert_eq!(compact, doc, "seed {seed}: compact tree");
     }
+}
+
+#[test]
+fn fanout_counters_survive_the_report_round_trip() {
+    // Deterministic fan-out traffic: the counters must land in the
+    // emitted tree with exact values and survive reparsing.
+    let rec = Recorder::with_capacity(2, 256);
+    rec.set_match_shards(8);
+    rec.fanout_batch(5); // one batch, five free-advanced shards
+    rec.fanout_batch(7);
+    rec.fanout_apply(false); // committer applies its own shard
+    rec.fanout_apply(true); // an idle worker steals a catch-up
+    rec.fanout_apply(true);
+    let snap = rec.fanout_snapshot();
+    assert_eq!(
+        (snap.batches, snap.applies, snap.free_advances, snap.steals, snap.shards),
+        (2, 3, 12, 2, 8)
+    );
+
+    let doc = rec.report().to_json();
+    let text = doc.to_string_pretty();
+    let reparsed = json::parse(&text).expect("report parses");
+    assert_eq!(reparsed, doc);
+
+    let fanout = match &reparsed {
+        Json::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == "fanout")
+            .map(|(_, v)| v)
+            .expect("report carries a fanout object"),
+        other => panic!("report root must be an object, got {other:?}"),
+    };
+    let get = |key: &str| match fanout {
+        Json::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| panic!("fanout field {key} missing")),
+        other => panic!("fanout must be an object, got {other:?}"),
+    };
+    assert_eq!(get("batches"), Json::num(2.0));
+    assert_eq!(get("applies"), Json::num(3.0));
+    assert_eq!(get("free_advances"), Json::num(12.0));
+    assert_eq!(get("steals"), Json::num(2.0));
+    assert_eq!(get("shards"), Json::num(8.0));
+}
+
+#[test]
+fn old_shape_reports_without_fanout_still_parse() {
+    // Reports emitted before the sharded match pipeline carry neither a
+    // "fanout" object nor a "match_apply" histogram. Consumers parse the
+    // generic Json tree, so the old shape must stay readable.
+    let old = r#"{
+  "schema": "dps-obs-report-v1",
+  "commits": 3,
+  "aborts": 1,
+  "phases": {
+    "lock_wait": { "count": 4, "p50_ns": 100, "p95_ns": 200, "p99_ns": 200, "max_ns": 230 }
+  },
+  "events": [],
+  "rules": [ { "rule": "bump", "fired": 3, "aborted": 1 } ]
+}"#;
+    let doc = json::parse(old).expect("pre-fanout reports must keep parsing");
+    let Json::Obj(fields) = &doc else {
+        panic!("report root must be an object");
+    };
+    assert!(fields.iter().all(|(k, _)| k != "fanout"));
+    // And the absence is distinguishable from an empty fanout object.
+    let rec = Recorder::with_capacity(1, 16);
+    let new_doc = rec.report().to_json();
+    let Json::Obj(new_fields) = &new_doc else {
+        panic!("report root must be an object");
+    };
+    assert!(new_fields.iter().any(|(k, _)| k == "fanout"));
 }
 
 #[test]
