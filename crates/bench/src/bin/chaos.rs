@@ -5,17 +5,24 @@
 //! (corrupted commit sequence → the checker **must** reject) and the
 //! governor A/B on the doom-storm plan (experiment XS.3).
 //!
-//! Usage: `chaos [--quick] [--json] [--workers N] [--seed S]`. With
-//! `--json` the `dps-chaos-report-v1` document goes to stdout (human
-//! summary to stderr); `obs_check` shape-checks it in CI. Exit 0 iff
-//! every surviving run passes *and* the corrupted run is rejected.
+//! The sweep covers all three conflict policies — `AbortReaders`,
+//! `Revalidate`, and `MvccSnapshot` — so the MVCC read path survives
+//! the same storms the lock-based modes do.
+//!
+//! Usage: `chaos [--quick] [--json] [--workers N] [--seed S]
+//! [--bench-out PATH]`. With `--json` the `dps-chaos-report-v1`
+//! document goes to stdout (human summary to stderr); `--bench-out`
+//! additionally snapshots it to a file. `obs_check` shape-checks it in
+//! CI. Exit 0 iff every surviving run passes *and* the corrupted run
+//! is rejected.
 
 use std::process::ExitCode;
 
 use dps_bench::chaos::{
     chaos_document, chaos_run, policy_name, sweep_governor, ChaosRun, ChaosSpec,
-    GovernorComparison,
+    GovernorComparison, SWEEP_POLICIES,
 };
+use dps_bench::write_bench_out;
 use dps_lock::{ConflictPolicy, FaultPlan};
 use dps_obs::Verdict;
 
@@ -35,16 +42,17 @@ fn main() -> ExitCode {
     let (tasks, resources, work_us) = if quick { (24, 3, 100) } else { (48, 4, 150) };
 
     eprintln!(
-        "chaos gate: {} plans x 2 policies x {:?} workers, {tasks} tasks over \
+        "chaos gate: {} plans x {} policies x {:?} workers, {tasks} tasks over \
          {resources} tallies, {work_us}us RHS, seed {seed:#x}",
         FaultPlan::NAMED.len(),
+        SWEEP_POLICIES.len(),
         worker_counts
     );
 
     // ---- the sweep ----
     let mut runs: Vec<ChaosRun> = Vec::new();
     for (plan_name, ctor) in FaultPlan::NAMED {
-        for policy in [ConflictPolicy::AbortReaders, ConflictPolicy::Revalidate] {
+        for policy in SWEEP_POLICIES {
             for &w in &worker_counts {
                 let run = chaos_run(ChaosSpec {
                     plan: plan_name,
@@ -161,12 +169,11 @@ fn main() -> ExitCode {
     // A/B legs must themselves be consistent runs.
     let ab_ok = comparison.off.passes() && comparison.on.passes();
 
+    let doc = chaos_document(seed, &runs, &corrupted, &comparison);
     if json {
-        println!(
-            "{}",
-            chaos_document(seed, &runs, &corrupted, &comparison).to_string_pretty()
-        );
+        println!("{}", doc.to_string_pretty());
     }
+    write_bench_out(&args, &doc);
 
     let all_pass = runs.iter().all(ChaosRun::passes);
     if all_pass && rejected && ab_ok {

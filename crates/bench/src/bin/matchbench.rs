@@ -26,15 +26,21 @@
 //!
 //! With `--json`, a machine-readable `dps-match-report-v1` document goes
 //! to **stdout** (human tables move to stderr): the sweep samples with
-//! per-run fan-out counters, the computed speed-ups, and the embedded
-//! `dps-obs-report-v1` document from the instrumented run. CI
-//! shape-checks it with the `obs_check` binary.
+//! per-run fan-out counters, the computed speed-ups, the embedded
+//! `dps-obs-report-v1` document from the instrumented run, and an
+//! `mvcc` comparison leg (max shards under `ConflictPolicy::
+//! MvccSnapshot` — the snapshot read path must keep the pipeline
+//! abort-free and within throughput range of the stock locks on this
+//! conflict-free workload). `--bench-out PATH` additionally snapshots
+//! the document to a file. CI shape-checks it with the `obs_check`
+//! binary.
 
 use std::time::Instant;
 
-use dps_bench::workloads;
+use dps_bench::{workloads, write_bench_out};
 use dps_core::semantics::validate_trace;
 use dps_core::{ParallelConfig, ParallelEngine};
+use dps_lock::ConflictPolicy;
 use dps_obs::json::Json;
 use dps_obs::{FanoutStats, ObsReport, Phase};
 
@@ -55,6 +61,7 @@ fn one_run(
     shards: usize,
     workers: usize,
     observe: bool,
+    policy: ConflictPolicy,
 ) -> (Sample, Option<ObsReport>) {
     let (rules, wm) = workloads::match_heavy(groups, pairs);
     let initial = wm.clone();
@@ -62,6 +69,7 @@ fn one_run(
         workers,
         match_shards: shards,
         observe,
+        policy,
         ..Default::default()
     };
     let mut engine = ParallelEngine::new(&rules, wm, cfg);
@@ -91,9 +99,16 @@ fn one_run(
     (sample, obs)
 }
 
-fn best_of(groups: usize, pairs: usize, shards: usize, workers: usize, reps: usize) -> Sample {
+fn best_of(
+    groups: usize,
+    pairs: usize,
+    shards: usize,
+    workers: usize,
+    reps: usize,
+    policy: ConflictPolicy,
+) -> Sample {
     (0..reps)
-        .map(|_| one_run(groups, pairs, shards, workers, false).0)
+        .map(|_| one_run(groups, pairs, shards, workers, false, policy).0)
         .min_by(|a, b| a.secs.total_cmp(&b.secs))
         .expect("reps >= 1")
 }
@@ -113,8 +128,9 @@ fn sample_json(s: &Sample) -> Json {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let (groups, pairs, reps) = if quick { (32, 32, 1) } else { (64, 64, 2) };
     let workers = 8;
     let shard_counts = [1usize, 2, 4, 8];
@@ -129,7 +145,7 @@ fn main() {
 
     let mut sweep: Vec<Sample> = Vec::new();
     for &shards in &shard_counts {
-        let s = best_of(groups, pairs, shards, workers, reps);
+        let s = best_of(groups, pairs, shards, workers, reps, ConflictPolicy::AbortReaders);
         let rate = s.commits as f64 / s.secs;
         let base = sweep
             .first()
@@ -149,7 +165,15 @@ fn main() {
 
     // Instrumented run at max shards: the match_apply histogram and the
     // fan-out counters must be internally consistent.
-    let (observed, obs) = one_run(groups, pairs, *shard_counts.last().unwrap(), workers, true);
+    let max_shards = *shard_counts.last().unwrap();
+    let (observed, obs) = one_run(
+        groups,
+        pairs,
+        max_shards,
+        workers,
+        true,
+        ConflictPolicy::AbortReaders,
+    );
     let obs = obs.expect("observe = true");
     assert_eq!(
         observed.fanout.batches, observed.commits as u64,
@@ -168,12 +192,31 @@ fn main() {
     );
     eprintln!("\nobservability (instrumented, {} shards):\n{obs}", observed.fanout.shards);
 
+    // MVCC comparison leg at max shards: the snapshot read path must
+    // leave this conflict-free workload exactly as abort-free as the
+    // stock locks do (one_run asserts zero aborts and oracle replay),
+    // with the match-cost story unchanged.
+    let mvcc_leg = best_of(
+        groups,
+        pairs,
+        max_shards,
+        workers,
+        reps,
+        ConflictPolicy::MvccSnapshot,
+    );
     let rate = |s: &Sample| s.commits as f64 / s.secs;
+    eprintln!(
+        "\nmvcc leg ({max_shards} shards): {:.0} commits/s vs stock {:.0} ({:.2}x), 0 aborts",
+        rate(&mvcc_leg),
+        rate(sweep.last().unwrap()),
+        rate(&mvcc_leg) / rate(sweep.last().unwrap()),
+    );
+
     let r1 = rate(&sweep[0]);
     let r2 = rate(&sweep[1]);
     let rmax = rate(sweep.last().unwrap());
 
-    if json {
+    {
         let doc = Json::Obj(vec![
             ("schema".into(), Json::str("dps-match-report-v1")),
             (
@@ -197,8 +240,22 @@ fn main() {
                 ]),
             ),
             ("observability".into(), obs.to_json()),
+            (
+                "mvcc".into(),
+                Json::Obj(vec![
+                    ("policy".into(), Json::str("mvcc_snapshot")),
+                    ("sample".into(), sample_json(&mvcc_leg)),
+                    (
+                        "vs_stock_max_shards".into(),
+                        Json::num(rate(&mvcc_leg) / rmax),
+                    ),
+                ]),
+            ),
         ]);
-        println!("{}", doc.to_string_pretty());
+        if json {
+            println!("{}", doc.to_string_pretty());
+        }
+        write_bench_out(&args, &doc);
     }
 
     // Gate 1: the first sharding step must pay.

@@ -1,8 +1,9 @@
 //! Shape-checks a `dps-scaling-report-v1` JSON document (as emitted by
 //! `scaling --json`), a standalone `dps-analysis-report-v1` document
 //! (as emitted by `analyze --json`), a `dps-chaos-report-v1` document
-//! (as emitted by `chaos --json`), **or** a `dps-match-report-v1`
-//! document (as emitted by `matchbench --json`), so CI can validate the
+//! (as emitted by `chaos --json`), a `dps-match-report-v1` document
+//! (as emitted by `matchbench --json`), **or** a `dps-mvcc-report-v1`
+//! document (as emitted by `mvcc --json`), so CI can validate the
 //! observability pipeline end-to-end without `serde` or external
 //! tooling. Dispatch is on the top-level `schema` tag.
 //!
@@ -44,6 +45,15 @@
 //!   corrupted commit sequence proves nothing);
 //! * the governor A/B block carries both legs with sane throughput;
 //! * the overall verdict is `consistent`.
+//!
+//! Mvcc-report checks (the abort-free `R_c` gate):
+//! * both A/B legs drained, replayed `consistent` through the §3
+//!   oracle, with per-cause abort counts summing to their totals;
+//! * the MVCC leg recorded **zero** condition-read aborts, a strictly
+//!   lower wasted-work fraction than stock, and an SI polygraph
+//!   verdict of `consistent`;
+//! * both falsifiability probes (write skew, swapped version order)
+//!   were rejected, and every gate boolean is true.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -192,7 +202,7 @@ fn check_chaos(doc: &Json) -> Result<(), String> {
             .get("policy")
             .and_then(Json::as_str)
             .ok_or_else(|| format!("{at}: missing policy"))?;
-        if !matches!(policy, "abort_readers" | "revalidate") {
+        if !matches!(policy, "abort_readers" | "revalidate" | "mvcc_snapshot") {
             return Err(format!("{at}: unknown policy {policy:?}"));
         }
         let mut vals = Vec::new();
@@ -221,6 +231,20 @@ fn check_chaos(doc: &Json) -> Result<(), String> {
                 .and_then(Json::as_f64)
                 .filter(|v| v.is_finite() && *v >= 0.0)
                 .ok_or_else(|| format!("{at}: missing or insane {key}"))?;
+        }
+        // A `mvcc_snapshot` run is new-shape by definition and must be
+        // abort-free on the condition-read channel — the tentpole
+        // property, enforced wherever the policy shows up.
+        if policy == "mvcc_snapshot" {
+            let readers = run
+                .get("reader_aborts")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{at}: mvcc_snapshot run missing reader_aborts"))?;
+            if readers != 0 {
+                return Err(format!(
+                    "{at}: {readers} condition-read aborts under mvcc_snapshot"
+                ));
+            }
         }
         // Checker gate: counts here, not sample strings (the samples
         // live on stderr).
@@ -409,6 +433,178 @@ fn check_match(doc: &Json) -> Result<(), String> {
     if need_u64(&["observability", "events", "anomalies"])? != 0 {
         return Err("match: events.anomalies is non-zero".into());
     }
+
+    // ---- MVCC comparison leg ----
+    // Joined the report with the MVCC read path; reports written before
+    // it carry no key (old shape still passes). When present: the
+    // snapshot read path must keep the conflict-free workload abort-free
+    // and within throughput range of the stock locks.
+    if let Some(mvcc) = doc.get("mvcc") {
+        let policy = mvcc
+            .get("policy")
+            .and_then(Json::as_str)
+            .ok_or("match.mvcc: missing policy")?;
+        if policy != "mvcc_snapshot" {
+            return Err(format!("match.mvcc: unexpected policy {policy:?}"));
+        }
+        let aborts = mvcc
+            .at(&["sample", "aborts"])
+            .and_then(Json::as_u64)
+            .ok_or("match.mvcc: missing sample.aborts")?;
+        if aborts != 0 {
+            return Err(format!("match.mvcc: {aborts} aborts on the conflict-free workload"));
+        }
+        let ratio = mvcc
+            .get("vs_stock_max_shards")
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or("match.mvcc: missing vs_stock_max_shards")?;
+        if ratio < 0.5 {
+            return Err(format!(
+                "match.mvcc: snapshot reads at {ratio:.2}x of stock — version-store \
+                 overhead is eating the pipeline"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `dps-mvcc-report-v1` document (from `mvcc --json`) — the
+/// abort-free `R_c` gate.
+fn check_mvcc(doc: &Json) -> Result<(), String> {
+    doc.get("seed").and_then(Json::as_u64).ok_or("mvcc: missing seed")?;
+    doc.get("plan").and_then(Json::as_str).ok_or("mvcc: missing plan")?;
+    doc.at(&["workload", "name"])
+        .and_then(Json::as_str)
+        .ok_or("mvcc: missing workload.name")?;
+    for key in ["guards", "producers", "work_us", "workers"] {
+        doc.at(&["workload", key])
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("mvcc.workload: missing {key}"))?;
+    }
+
+    // ---- the two legs ----
+    let mut fractions = Vec::new();
+    for (leg, want_policy) in [("stock", "abort_readers"), ("mvcc", "mvcc_snapshot")] {
+        let at = format!("mvcc.{leg}");
+        let run = doc.get(leg).ok_or_else(|| format!("{at}: missing leg"))?;
+        let policy = run
+            .get("policy")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}: missing policy"))?;
+        if policy != want_policy {
+            return Err(format!("{at}: policy is {policy:?}, not {want_policy:?}"));
+        }
+        let commits = run
+            .get("commits")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{at}: missing commits"))?;
+        let expected = run
+            .get("expected_commits")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{at}: missing expected_commits"))?;
+        if commits != expected {
+            return Err(format!("{at}: drained {commits}/{expected}"));
+        }
+        // Per-cause abort accounting must sum to the reported total.
+        let cause = |key: &str| -> Result<u64, String> {
+            run.at(&["aborts", key])
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{at}.aborts: missing {key}"))
+        };
+        let sum = cause("doomed")?
+            + cause("deadlock")?
+            + cause("stale")?
+            + cause("revalidation")?
+            + cause("eval_error")?
+            + cause("timeout")?
+            + cause("injected")?
+            + cause("snapshot_stale")?;
+        let total = cause("total")?;
+        if sum != total {
+            return Err(format!("{at}.aborts: causes sum to {sum} but total is {total}"));
+        }
+        let readers = cause("reader_aborts")?;
+        if readers != cause("doomed")? + cause("revalidation")? {
+            return Err(format!("{at}.aborts: reader_aborts {readers} != doomed + revalidation"));
+        }
+        let f = run
+            .get("wasted_fraction")
+            .and_then(Json::as_f64)
+            .filter(|v| (0.0..=1.0).contains(v))
+            .ok_or_else(|| format!("{at}: wasted_fraction missing or outside [0, 1]"))?;
+        fractions.push(f);
+        if run
+            .at(&["checker", "structural_errors"])
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{at}.checker: missing structural_errors"))?
+            != 0
+        {
+            return Err(format!("{at}.checker: structural errors"));
+        }
+        for (key, want) in [("replay", "consistent"), ("verdict", "consistent")] {
+            let got = run
+                .at(&["checker", key])
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{at}.checker: missing {key}"))?;
+            if got != want {
+                return Err(format!("{at}.checker: {key} is {got:?}"));
+            }
+        }
+        if leg == "mvcc" {
+            if readers != 0 {
+                return Err(format!("{at}: {readers} condition-read aborts — the tentpole gate"));
+            }
+            let si = run
+                .at(&["checker", "si"])
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{at}.checker: missing si verdict"))?;
+            if si != "consistent" {
+                return Err(format!("{at}.checker: si is {si:?}"));
+            }
+            let pins = run
+                .get("snapshot_pins")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{at}: missing snapshot_pins"))?;
+            if pins < commits {
+                return Err(format!(
+                    "{at}: {pins} snapshot pins for {commits} commits — claim \
+                     validation is not pinning"
+                ));
+            }
+        }
+    }
+    if fractions[1] >= fractions[0] {
+        return Err(format!(
+            "mvcc: wasted-work f {:.3} (mvcc) not strictly below {:.3} (stock)",
+            fractions[1], fractions[0]
+        ));
+    }
+
+    // ---- probes and gates ----
+    for key in ["write_skew_rejected", "version_order_rejected"] {
+        if doc.at(&["probes", key]) != Some(&Json::Bool(true)) {
+            return Err(format!("mvcc.probes: {key} is not true — the polygraph is a rubber stamp"));
+        }
+    }
+    for key in [
+        "reader_aborts_zero",
+        "wasted_work_improved",
+        "oracle",
+        "si_checker",
+        "probes_rejected",
+    ] {
+        if doc.at(&["gates", key]) != Some(&Json::Bool(true)) {
+            return Err(format!("mvcc.gates: {key} is not true"));
+        }
+    }
+    let verdict = doc
+        .get("verdict")
+        .and_then(Json::as_str)
+        .ok_or("mvcc: missing verdict")?;
+    if verdict != "consistent" {
+        return Err(format!("mvcc: verdict is {verdict:?}"));
+    }
     Ok(())
 }
 
@@ -438,6 +634,10 @@ fn check(doc: &Json) -> Result<(), String> {
     if schema == "dps-match-report-v1" {
         // Sharded-match-pipeline document (from `matchbench --json`).
         return check_match(doc);
+    }
+    if schema == "dps-mvcc-report-v1" {
+        // Abort-free `R_c` gate document (from `mvcc --json`).
+        return check_mvcc(doc);
     }
     if schema != "dps-scaling-report-v1" {
         return Err(format!("unexpected schema {schema:?}"));
@@ -510,13 +710,16 @@ fn check(doc: &Json) -> Result<(), String> {
     for cause in causes {
         cause_sum += need_u64(&["observability", "abort_causes", cause])?;
     }
-    // "injected" joined the taxonomy with the chaos layer; reports
-    // written before it carry no key, which reads as zero (and a
-    // fault-free scaling run must report zero anyway).
-    cause_sum += doc
-        .at(&["observability", "abort_causes", "injected"])
-        .and_then(Json::as_u64)
-        .unwrap_or(0);
+    // "injected" joined the taxonomy with the chaos layer and
+    // "snapshot_stale" with the MVCC read path; reports written before
+    // them carry no key, which reads as zero (and a fault-free,
+    // lock-based scaling run must report zero for both anyway).
+    for newer in ["injected", "snapshot_stale"] {
+        cause_sum += doc
+            .at(&["observability", "abort_causes", newer])
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+    }
     let aborts = need_u64(&["observability", "events", "aborts"])?;
     if cause_sum != aborts {
         return Err(format!(

@@ -35,7 +35,8 @@
 //! observability overhead, and a `dps-analysis-report-v1` document for
 //! the instrumented run (per-resource contention attribution, critical
 //! path / wasted-work `f`, and the §3-Theorem-2 checker verdict). CI
-//! shape-checks all of it with the `obs_check` binary.
+//! shape-checks all of it with the `obs_check` binary. `--bench-out
+//! PATH` additionally snapshots the document to a file.
 //!
 //! Two gates (exit 1 on failure):
 //! * throughput is monotonic over 1 → 2 → 4 workers (partitioned);
@@ -46,7 +47,7 @@
 use std::time::Instant;
 
 use dps_bench::analysis::{analysis_document, analyzed_run};
-use dps_bench::workloads;
+use dps_bench::{workloads, write_bench_out};
 use dps_core::semantics::validate_trace;
 use dps_core::{ParallelConfig, ParallelEngine, ParallelReport, WorkModel};
 use dps_lock::{ConflictPolicy, Protocol};
@@ -226,8 +227,9 @@ fn observed_contended(tasks: usize, work_us: u64) -> (ObsReport, Json) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let (tasks, mut work_us, reps) = if quick { (64, 100, 1) } else { (192, 200, 3) };
     // Override the simulated RHS cost (µs). `DPS_SCALING_WORK_US=0` makes
     // the run lock-bound, isolating the lock-table + engine-state overhead
@@ -295,7 +297,7 @@ fn main() {
 
     let (obs, analysis) = observed_contended(tasks, work_us);
 
-    if json {
+    {
         let doc = Json::Obj(vec![
             ("schema".into(), Json::str("dps-scaling-report-v1")),
             (
@@ -327,21 +329,24 @@ fn main() {
             ("observability".into(), obs.to_json()),
             ("analysis".into(), analysis),
         ]);
-        println!("{}", doc.to_string_pretty());
-    } else {
-        // Headline latency lines for the human report.
-        for phase in [Phase::LockWait, Phase::Commit] {
-            if let Some(h) = obs.phase(phase) {
-                eprintln!(
-                    "contended {}: p50 {} ns, p95 {} ns, p99 {} ns over {} samples",
-                    phase.name(),
-                    h.p50(),
-                    h.p95(),
-                    h.p99(),
-                    h.count
-                );
+        if json {
+            println!("{}", doc.to_string_pretty());
+        } else {
+            // Headline latency lines for the human report.
+            for phase in [Phase::LockWait, Phase::Commit] {
+                if let Some(h) = obs.phase(phase) {
+                    eprintln!(
+                        "contended {}: p50 {} ns, p95 {} ns, p99 {} ns over {} samples",
+                        phase.name(),
+                        h.p50(),
+                        h.p95(),
+                        h.p99(),
+                        h.count
+                    );
+                }
             }
         }
+        write_bench_out(&args, &doc);
     }
 
     // Gate 1: monotonic 1 → 4 improvement on the partitioned workload.

@@ -37,8 +37,17 @@ pub fn policy_name(p: ConflictPolicy) -> &'static str {
     match p {
         ConflictPolicy::AbortReaders => "abort_readers",
         ConflictPolicy::Revalidate => "revalidate",
+        ConflictPolicy::MvccSnapshot => "mvcc_snapshot",
     }
 }
+
+/// The policies the chaos sweep crosses with every fault plan: both
+/// lock-based commit rules plus the MVCC snapshot read path.
+pub const SWEEP_POLICIES: [ConflictPolicy; 3] = [
+    ConflictPolicy::AbortReaders,
+    ConflictPolicy::Revalidate,
+    ConflictPolicy::MvccSnapshot,
+];
 
 /// Shape of one chaos run.
 #[derive(Clone, Debug)]
@@ -77,6 +86,12 @@ pub struct ChaosRun {
     pub aborts: u64,
     /// Aborts with the injected cause (must equal forced-abort count).
     pub injected_aborts: u64,
+    /// Condition-reader aborts (dooms + revalidation failures) — the
+    /// channel [`ConflictPolicy::MvccSnapshot`] eliminates.
+    pub reader_aborts: u64,
+    /// MVCC commit-time self-validation failures (zero outside
+    /// `mvcc_snapshot` runs).
+    pub snapshot_stale: u64,
     /// Wall-clock seconds.
     pub secs: f64,
     /// Wasted (aborted) simulated work, milliseconds.
@@ -89,6 +104,9 @@ pub struct ChaosRun {
     pub structural_errors: Vec<String>,
     /// Replay result label: "consistent" / "violation" / "not-run".
     pub replay: &'static str,
+    /// SI/serializability polygraph verdict, when the history carried
+    /// snapshot events (`None` on lock-based runs — nothing to check).
+    pub si: Option<Verdict>,
     /// Overall checker verdict.
     pub verdict: Verdict,
     /// `true` iff the run drained every task (liveness).
@@ -123,6 +141,8 @@ impl ChaosRun {
             ),
             ("aborts".into(), Json::u64(self.aborts)),
             ("injected_aborts".into(), Json::u64(self.injected_aborts)),
+            ("reader_aborts".into(), Json::u64(self.reader_aborts)),
+            ("snapshot_stale_aborts".into(), Json::u64(self.snapshot_stale)),
             ("faults_injected".into(), Json::u64(self.faults.total())),
             ("secs".into(), Json::num(self.secs)),
             ("wasted_ms".into(), Json::num(self.wasted_ms)),
@@ -135,6 +155,13 @@ impl ChaosRun {
                         Json::u64(self.structural_errors.len() as u64),
                     ),
                     ("replay".into(), Json::str(self.replay)),
+                    (
+                        "si".into(),
+                        match self.si {
+                            Some(v) => Json::str(v.name()),
+                            None => Json::Null,
+                        },
+                    ),
                     ("verdict".into(), Json::str(self.verdict.name())),
                 ]),
             ),
@@ -215,6 +242,9 @@ pub fn chaos_run(spec: ChaosSpec) -> ChaosRun {
         commits: report.commits,
         aborts: report.aborts.total(),
         injected_aborts: report.aborts.injected,
+        reader_aborts: report.aborts.reader_aborts(),
+        snapshot_stale: report.aborts.snapshot_stale,
+        si: analysis.si.as_ref().map(|s| s.verdict()),
         secs,
         wasted_ms: report.wasted_work.as_secs_f64() * 1e3,
         faults: report.fault_stats.unwrap_or_default(),

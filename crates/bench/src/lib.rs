@@ -14,4 +14,28 @@
 pub mod analysis;
 pub mod chaos;
 pub mod harness;
+pub mod mvcc;
 pub mod workloads;
+
+/// Value of a `--bench-out PATH` flag, shared by the gate binaries:
+/// when present, the binary writes its JSON report document to `PATH`
+/// (in addition to the usual `--json` stdout behaviour), so CI and
+/// local runs can snapshot `BENCH_*.json` artifacts without shell
+/// redirection.
+pub fn bench_out_path(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--bench-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Writes a report document to the `--bench-out` target, if one was
+/// given. Failures are fatal: a gate that silently drops its artifact
+/// would let CI pass on a missing report.
+pub fn write_bench_out(args: &[String], doc: &dps_obs::json::Json) {
+    if let Some(path) = bench_out_path(args) {
+        std::fs::write(&path, format!("{}\n", doc.to_string_pretty()))
+            .unwrap_or_else(|e| panic!("writing --bench-out {path}: {e}"));
+        eprintln!("bench-out: wrote {path}");
+    }
+}

@@ -1,0 +1,450 @@
+//! MVCC A/B gate: stock lock-based `R_c` versus snapshot condition
+//! reads, under the doom-storm chaos plan.
+//!
+//! The gate's claim is the tentpole property of the MVCC read path:
+//! on the workload *built* to maximise reader dooms — relation-level
+//! false conflicts under [`FaultPlan::doom_storm`] — the
+//! [`ConflictPolicy::MvccSnapshot`] engine
+//!
+//! * records **zero condition-read aborts** (no dooms, no revalidation
+//!   failures: nobody holds a condition lock, so a committing writer
+//!   has nobody to kill), and
+//! * throws away **strictly less work** than stock `AbortReaders`
+//!   (the §5 wasted-work fraction `f`), while
+//! * every surviving run still replays through the §3 single-thread
+//!   oracle *and* its recorded snapshot/version events reconstruct into
+//!   a consistent SI/serializability polygraph
+//!   ([`dps_obs::analysis::si_checker`]).
+//!
+//! The workload is [`workloads::false_conflict_stream`]: guards count
+//! down while watching for the *absence* of alarms in their own zone
+//! (negated CE → relation-level `Rc`), producers stream alarms into a
+//! zone nobody watches. Both sides advance by `modify`, so fresh
+//! recency keeps their claims interleaved for the whole run. Under
+//! `AbortReaders` every overlapping producer commit dooms the live
+//! guards — pure waste, since no guard's condition is actually
+//! invalidated; under MVCC the guards take no locks, their commit-time
+//! self-validation finds them intact, and they commit untouched.
+//! Injection parity holds: the MVCC leg draws the *same* seeded
+//! forced-abort decisions on its would-be condition resources (via the
+//! lock manager's chaos seam) that the stock leg draws when locking
+//! them, so the A/B compares protocols, not injection surface areas.
+//!
+//! Two **falsifiability probes** keep the SI checker honest: a
+//! hand-built write-skew history and a swapped version order must both
+//! be *rejected* — a polygraph that accepts anything proves nothing.
+//! The `mvcc` binary drives this module and emits the
+//! `dps-mvcc-report-v1` document `obs_check` shape-checks in CI.
+
+use std::time::Instant;
+
+use dps_core::semantics::validate_trace;
+use dps_core::{AbortStats, ParallelConfig, ParallelEngine, WorkModel};
+use dps_lock::{ConflictPolicy, FaultPlan, Protocol};
+use dps_obs::analysis::si_checker::{self, SiReport, SiTxn};
+use dps_obs::analysis::{analyze, Verdict};
+use dps_obs::json::Json;
+use dps_obs::validate_history;
+
+use crate::chaos::policy_name;
+use crate::workloads;
+
+/// Shape of the A/B measurement (both legs share it).
+#[derive(Clone, Debug)]
+pub struct MvccSpec {
+    /// Seed for the doom-storm fault plan.
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Guards in [`workloads::false_conflict_stream`].
+    pub guards: usize,
+    /// Countdown steps per guard.
+    pub g_steps: i64,
+    /// Alarm producers in the workload.
+    pub producers: usize,
+    /// Countdown steps (= alarms) per producer.
+    pub p_steps: i64,
+    /// Simulated RHS cost, microseconds ([`WorkModel::BusyMicros`] —
+    /// aborted work burns real processor time, so `f` is honest).
+    pub work_us: u64,
+}
+
+impl MvccSpec {
+    /// Expected commits: every guard and every producer counts all the
+    /// way down.
+    pub fn expected_commits(&self) -> usize {
+        self.guards * self.g_steps as usize + self.producers * self.p_steps as usize
+    }
+}
+
+/// One leg of the A/B: everything the gate and the report need.
+#[derive(Clone, Debug)]
+pub struct MvccLeg {
+    /// The conflict policy this leg ran under.
+    pub policy: ConflictPolicy,
+    /// Committed transactions.
+    pub commits: usize,
+    /// Expected commits (drain target).
+    pub expected: usize,
+    /// Full abort breakdown.
+    pub aborts: AbortStats,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Wasted (aborted) simulated work, milliseconds.
+    pub wasted_ms: f64,
+    /// The §5 wasted-work fraction `f` = wasted / (useful + wasted),
+    /// with useful = commits × RHS cost.
+    pub wasted_fraction: f64,
+    /// Snapshot pins recorded (zero on the stock leg).
+    pub snapshot_pins: u64,
+    /// Structural errors from history validation + §3 recovery.
+    pub structural_errors: Vec<String>,
+    /// §3 replay result label: "consistent" / "violation" / "not-run".
+    pub replay: &'static str,
+    /// SI polygraph verdict (`None` when the history carries no
+    /// snapshot events — the stock leg).
+    pub si: Option<Verdict>,
+    /// Folded verdict: structural + replay + SI.
+    pub verdict: Verdict,
+}
+
+impl MvccLeg {
+    /// `true` iff the leg drained and every checker accepted it.
+    pub fn passes(&self) -> bool {
+        self.commits == self.expected && self.verdict == Verdict::Consistent
+    }
+
+    /// JSON block for the report.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("policy".into(), Json::str(policy_name(self.policy))),
+            ("commits".into(), Json::u64(self.commits as u64)),
+            ("expected_commits".into(), Json::u64(self.expected as u64)),
+            (
+                "throughput".into(),
+                Json::num(self.commits as f64 / self.secs.max(1e-9)),
+            ),
+            ("secs".into(), Json::num(self.secs)),
+            (
+                "aborts".into(),
+                Json::Obj(vec![
+                    ("doomed".into(), Json::u64(self.aborts.doomed)),
+                    ("deadlock".into(), Json::u64(self.aborts.deadlock)),
+                    ("stale".into(), Json::u64(self.aborts.stale)),
+                    ("revalidation".into(), Json::u64(self.aborts.revalidation)),
+                    ("eval_error".into(), Json::u64(self.aborts.eval_error)),
+                    ("timeout".into(), Json::u64(self.aborts.timeout)),
+                    ("injected".into(), Json::u64(self.aborts.injected)),
+                    (
+                        "snapshot_stale".into(),
+                        Json::u64(self.aborts.snapshot_stale),
+                    ),
+                    ("total".into(), Json::u64(self.aborts.total())),
+                    (
+                        "reader_aborts".into(),
+                        Json::u64(self.aborts.reader_aborts()),
+                    ),
+                ]),
+            ),
+            ("wasted_ms".into(), Json::num(self.wasted_ms)),
+            ("wasted_fraction".into(), Json::num(self.wasted_fraction)),
+            ("snapshot_pins".into(), Json::u64(self.snapshot_pins)),
+            (
+                "checker".into(),
+                Json::Obj(vec![
+                    (
+                        "structural_errors".into(),
+                        Json::u64(self.structural_errors.len() as u64),
+                    ),
+                    ("replay".into(), Json::str(self.replay)),
+                    (
+                        "si".into(),
+                        match self.si {
+                            Some(v) => Json::str(v.name()),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("verdict".into(), Json::str(self.verdict.name())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Runs one leg end-to-end: engine → history validation → §3 recovery
+/// and replay → SI polygraph. Mirrors [`crate::chaos::chaos_run`] but
+/// keeps the full abort breakdown and the SI verdict the gate needs.
+pub fn mvcc_leg(spec: &MvccSpec, policy: ConflictPolicy) -> MvccLeg {
+    let (rules, wm) =
+        workloads::false_conflict_stream(spec.guards, spec.g_steps, spec.producers, spec.p_steps);
+    let initial = wm.clone();
+    let mut engine = ParallelEngine::new(
+        &rules,
+        wm,
+        ParallelConfig {
+            protocol: Protocol::RcRaWa,
+            policy,
+            workers: spec.workers,
+            work: WorkModel::BusyMicros(spec.work_us),
+            observe: true,
+            fault: Some(FaultPlan::doom_storm(spec.seed)),
+            ..Default::default()
+        },
+    );
+    let t0 = Instant::now();
+    let report = engine.run();
+    let secs = t0.elapsed().as_secs_f64();
+
+    let rec = engine.observer().expect("observe: true attaches a recorder");
+    let history = rec.history();
+    let mut structural_errors: Vec<String> = Vec::new();
+    if let Err(e) = validate_history(&history) {
+        structural_errors.push(format!("history: {e}"));
+    }
+    let mut analysis = analyze(&history);
+    analysis.set_replay_result(
+        validate_trace(&rules, &initial, &report.trace).map_err(|v| v.to_string()),
+    );
+    structural_errors.extend(analysis.checker.structural_errors.iter().cloned());
+    let replay = match &analysis.checker.replay_result {
+        None => "not-run",
+        Some(Ok(())) => "consistent",
+        Some(Err(_)) => "violation",
+    };
+    let verdict = if structural_errors.is_empty() && analysis.verdict() == Verdict::Consistent {
+        Verdict::Consistent
+    } else {
+        Verdict::Inconsistent
+    };
+
+    let wasted_ms = report.wasted_work.as_secs_f64() * 1e3;
+    let useful_ms = report.commits as f64 * spec.work_us as f64 / 1e3;
+    MvccLeg {
+        policy,
+        commits: report.commits,
+        expected: spec.expected_commits(),
+        aborts: report.aborts,
+        secs,
+        wasted_ms,
+        wasted_fraction: wasted_ms / (useful_ms + wasted_ms).max(1e-9),
+        snapshot_pins: rec.report().snapshot_pins,
+        structural_errors,
+        replay,
+        si: analysis.si.as_ref().map(|s| s.verdict()),
+        verdict,
+    }
+}
+
+/// Falsifiability probe 1: a textbook **write skew** — two snapshot
+/// transactions read each other's write and commit blind. SI admits
+/// it; the serializability polygraph must find the `rw`/`rw` cycle
+/// and reject.
+pub fn probe_write_skew() -> SiReport {
+    let txns = vec![
+        SiTxn {
+            txn: 1,
+            snapshot: 0,
+            commit_seq: Some(1),
+            fire_seq: Some(0),
+            reads: vec![(10, 0), (20, 0)],
+            writes: vec![10],
+        },
+        SiTxn {
+            txn: 2,
+            snapshot: 0,
+            commit_seq: Some(2),
+            fire_seq: Some(1),
+            reads: vec![(10, 0), (20, 0)],
+            writes: vec![20],
+        },
+    ];
+    si_checker::check(&txns)
+}
+
+/// Falsifiability probe 2: a **swapped version order** — the version
+/// store claims installation sequences that disagree with the commit
+/// slots (as if two commits' versions were interchanged). The checker
+/// must flag the disagreement.
+pub fn probe_version_order() -> SiReport {
+    let txns = vec![
+        SiTxn {
+            txn: 1,
+            snapshot: 0,
+            commit_seq: Some(2),
+            fire_seq: Some(0),
+            reads: vec![(10, 0)],
+            writes: vec![10],
+        },
+        SiTxn {
+            txn: 2,
+            snapshot: 2,
+            commit_seq: Some(1),
+            fire_seq: Some(1),
+            reads: vec![(10, 2)],
+            writes: vec![10],
+        },
+    ];
+    si_checker::check(&txns)
+}
+
+/// Gate booleans, computed once and shared by the document and the
+/// binary's exit code.
+#[derive(Clone, Copy, Debug)]
+pub struct MvccGates {
+    /// MVCC leg recorded zero condition-read aborts.
+    pub reader_aborts_zero: bool,
+    /// `f_mvcc < f_stock`, strictly.
+    pub wasted_work_improved: bool,
+    /// Both legs drained and replayed through the §3 oracle.
+    pub oracle: bool,
+    /// The MVCC leg's history passed the SI polygraph.
+    pub si_checker: bool,
+    /// Both hand-built inconsistent histories were rejected.
+    pub probes_rejected: bool,
+}
+
+impl MvccGates {
+    /// Evaluates the gates over the two legs and the probes.
+    pub fn evaluate(stock: &MvccLeg, mvcc: &MvccLeg, skew: &SiReport, order: &SiReport) -> Self {
+        MvccGates {
+            reader_aborts_zero: mvcc.aborts.reader_aborts() == 0,
+            wasted_work_improved: mvcc.wasted_fraction < stock.wasted_fraction,
+            oracle: stock.passes() && mvcc.passes(),
+            si_checker: mvcc.si == Some(Verdict::Consistent),
+            probes_rejected: skew.verdict() == Verdict::Inconsistent
+                && order.verdict() == Verdict::Inconsistent,
+        }
+    }
+
+    /// All gates green.
+    pub fn all(&self) -> bool {
+        self.reader_aborts_zero
+            && self.wasted_work_improved
+            && self.oracle
+            && self.si_checker
+            && self.probes_rejected
+    }
+}
+
+/// Assembles the `dps-mvcc-report-v1` document.
+pub fn mvcc_document(
+    spec: &MvccSpec,
+    stock: &MvccLeg,
+    mvcc: &MvccLeg,
+    skew: &SiReport,
+    order: &SiReport,
+    gates: &MvccGates,
+) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::str("dps-mvcc-report-v1")),
+        ("seed".into(), Json::u64(spec.seed)),
+        ("plan".into(), Json::str("doom_storm")),
+        (
+            "workload".into(),
+            Json::Obj(vec![
+                ("name".into(), Json::str("false_conflict_stream")),
+                ("guards".into(), Json::u64(spec.guards as u64)),
+                ("guard_steps".into(), Json::u64(spec.g_steps as u64)),
+                ("producers".into(), Json::u64(spec.producers as u64)),
+                ("producer_steps".into(), Json::u64(spec.p_steps as u64)),
+                ("work_us".into(), Json::u64(spec.work_us)),
+                ("workers".into(), Json::u64(spec.workers as u64)),
+            ]),
+        ),
+        ("stock".into(), stock.to_json()),
+        ("mvcc".into(), mvcc.to_json()),
+        (
+            "probes".into(),
+            Json::Obj(vec![
+                (
+                    "write_skew_rejected".into(),
+                    Json::Bool(skew.verdict() == Verdict::Inconsistent),
+                ),
+                (
+                    "version_order_rejected".into(),
+                    Json::Bool(order.verdict() == Verdict::Inconsistent),
+                ),
+            ]),
+        ),
+        (
+            "gates".into(),
+            Json::Obj(vec![
+                (
+                    "reader_aborts_zero".into(),
+                    Json::Bool(gates.reader_aborts_zero),
+                ),
+                (
+                    "wasted_work_improved".into(),
+                    Json::Bool(gates.wasted_work_improved),
+                ),
+                ("oracle".into(), Json::Bool(gates.oracle)),
+                ("si_checker".into(), Json::Bool(gates.si_checker)),
+                ("probes_rejected".into(), Json::Bool(gates.probes_rejected)),
+            ]),
+        ),
+        (
+            "verdict".into(),
+            Json::str(if gates.all() { "consistent" } else { "inconsistent" }),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_skew_probe_is_rejected() {
+        let rep = probe_write_skew();
+        assert_eq!(rep.verdict(), Verdict::Inconsistent);
+        assert!(rep.cycle.is_some(), "write skew must surface as a cycle");
+    }
+
+    #[test]
+    fn version_order_probe_is_rejected() {
+        let rep = probe_version_order();
+        assert_eq!(rep.verdict(), Verdict::Inconsistent);
+        assert!(
+            !rep.violations.is_empty(),
+            "swapped version order must surface as violations"
+        );
+    }
+
+    #[test]
+    fn quick_ab_clears_every_gate() {
+        // A scaled-down version of what the `mvcc` binary runs in CI:
+        // the false-conflict storm, both legs, all five gates.
+        let spec = MvccSpec {
+            seed: 0xAB,
+            workers: 4,
+            guards: 4,
+            g_steps: 3,
+            producers: 4,
+            p_steps: 3,
+            work_us: 300,
+        };
+        let stock = mvcc_leg(&spec, ConflictPolicy::AbortReaders);
+        let mv = mvcc_leg(&spec, ConflictPolicy::MvccSnapshot);
+        let (skew, order) = (probe_write_skew(), probe_version_order());
+        let gates = MvccGates::evaluate(&stock, &mv, &skew, &order);
+        assert!(gates.oracle, "both legs drain + replay");
+        assert!(
+            gates.reader_aborts_zero,
+            "MVCC leg doomed {} / revalidated {}",
+            mv.aborts.doomed, mv.aborts.revalidation
+        );
+        assert!(gates.si_checker, "MVCC history passes the polygraph");
+        assert!(gates.probes_rejected);
+        // Every commit pinned exactly one snapshot at claim validation;
+        // aborted attempts pin at most one (injected aborts drawn at
+        // the condition phase die before reaching the pin).
+        assert!(
+            mv.snapshot_pins >= mv.commits as u64
+                && mv.snapshot_pins <= mv.commits as u64 + mv.aborts.total(),
+            "pins {} outside [commits {}, commits + aborts {}]",
+            mv.snapshot_pins,
+            mv.commits,
+            mv.commits as u64 + mv.aborts.total()
+        );
+    }
+}

@@ -117,6 +117,51 @@ pub fn false_conflicts(guards: usize, events: usize) -> (RuleSet, WorkingMemory)
     (rules, wm)
 }
 
+/// The streaming variant of [`false_conflicts`]: the same relation-level
+/// false-conflict channel, kept *live* for the whole run. Each guard
+/// counts its `watch` tuple down `g_steps` times (still under a negated
+/// `alarm` CE, so its `Rc` escalates to the whole `alarm` relation);
+/// each producer counts a `feed` tuple down `p_steps` times, making one
+/// zone-999 alarm per step that no guard watches. Because both sides
+/// advance by `modify` — remove + reinsert with *fresh recency* — their
+/// instantiations keep leap-frogging each other in the conflict order,
+/// so guard claims and producer commits genuinely overlap instead of
+/// draining as two recency-sorted batches the way the one-shot workload
+/// does. Under `AbortReaders` every overlapping producer commit dooms
+/// the live guards (who redo their work); under MVCC the guards hold no
+/// `Rc` at all and nothing is doomed. Total commits =
+/// `guards * g_steps + producers * p_steps`, deterministically.
+pub fn false_conflict_stream(
+    guards: usize,
+    g_steps: i64,
+    producers: usize,
+    p_steps: i64,
+) -> (RuleSet, WorkingMemory) {
+    let rules = RuleSet::parse(
+        "(p guard (watch ^id <w> ^n { > 0 <n> }) -(alarm ^zone <w>)
+           --> (modify 1 ^n (- <n> 1)))
+         (p produce (feed ^id <f> ^n { > 0 <n> })
+           --> (modify 1 ^n (- <n> 1)) (make alarm ^zone 999 ^src <f> ^step <n>))",
+    )
+    .expect("static workload parses");
+    let mut wm = WorkingMemory::new();
+    for w in 0..guards {
+        wm.insert(
+            WmeData::new("watch")
+                .with("id", w as i64)
+                .with("n", g_steps),
+        );
+    }
+    for f in 0..producers {
+        wm.insert(
+            WmeData::new("feed")
+                .with("id", f as i64)
+                .with("n", p_steps),
+        );
+    }
+    (rules, wm)
+}
+
 /// A match-dominated workload: `groups` independent rule families, each
 /// a wide fan-out join of one `cfg-g` tuple against `pairs` `item-g`
 /// tuples, firing a cheap `make`-only RHS. Nothing is ever removed or
@@ -332,5 +377,17 @@ mod tests {
         // match no guard's negated CE.
         assert_eq!(r.commits, 5);
         assert_eq!(e.wm().class_iter("alarm").count(), 3);
+    }
+
+    #[test]
+    fn false_conflict_stream_counts() {
+        let (rules, wm) = false_conflict_stream(2, 3, 2, 4);
+        let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+        let r = e.run();
+        assert_eq!(r.commits, 2 * 3 + 2 * 4);
+        assert_eq!(e.wm().class_iter("alarm").count(), 8);
+        for w in e.wm().class_iter("watch").chain(e.wm().class_iter("feed")) {
+            assert_eq!(w.get("n"), Some(&dps_wm::Value::Int(0)));
+        }
     }
 }

@@ -22,6 +22,28 @@
 //!    reader's instantiation against the new conflict set and dooms only
 //!    those actually invalidated — the paper's cheaper-abort alternative.
 //!
+//! ## MVCC condition reads
+//!
+//! Under [`ConflictPolicy::MvccSnapshot`] phase 2 changes shape
+//! entirely: the condition read set takes **no locks**. Claim
+//! validation instead pins a *snapshot* — the newest fully published
+//! commit sequence — and validates the matched WMEs against the
+//! pipeline's versioned store ([`dps_wm::VersionedStore`], fed by the
+//! same delta log that drives the match shards). Because a production's
+//! RHS only ever reads its own instantiation (bindings + matched WMEs,
+//! never live WM), nothing after validation depends on current state,
+//! so a committing writer has nobody to doom: the Figure 4.3 commit
+//! rule degenerates to a no-op and *reader aborts vanish structurally*.
+//! The price is paid at commit: under the base mutex the committer
+//! re-validates its own read set (latest versions still carry the
+//! matched timestamps; no negated class written past the snapshot —
+//! with an exact conflict-set membership fallback), aborting itself
+//! with [`AbortStats::snapshot_stale`] on genuine overlap. Validity at
+//! the commit point is exactly what the §3 serial-replay oracle needs,
+//! so MVCC traces replay unchanged; the recorded snapshot-pin /
+//! version-read / version-write events additionally feed the SI &
+//! serializability polygraph checker in `dps-obs`.
+//!
 //! ## Shared-state decomposition
 //!
 //! The engine's mutable state was formerly one `Mutex<Shared>`, then a
@@ -238,6 +260,15 @@ pub struct AbortStats {
     /// ([`ParallelConfig::fault`]). Always zero outside fault-injected
     /// runs — injected failures never masquerade as organic causes.
     pub injected: u64,
+    /// Commit-time snapshot validation failed
+    /// ([`ConflictPolicy::MvccSnapshot`] only): a concurrent commit
+    /// overwrote this transaction's read set between its pinned
+    /// snapshot and its commit point. The MVCC analogue of a write
+    /// conflict — *not* a reader abort (no committing writer ever dooms
+    /// an MVCC reader), and deliberately distinct from
+    /// [`AbortStats::stale`] (pre-execution claim invalidation) so
+    /// legacy reader aborts can never be silently folded into it.
+    pub snapshot_stale: u64,
 }
 
 impl AbortStats {
@@ -250,6 +281,15 @@ impl AbortStats {
             + self.eval_error
             + self.timeout
             + self.injected
+            + self.snapshot_stale
+    }
+
+    /// Aborts of *condition readers* — productions killed because of
+    /// what they read, not what they wrote: Figure 4.3(b) dooms plus
+    /// engine-level revalidation failures. The counters the MVCC read
+    /// path is designed to drive to zero.
+    pub fn reader_aborts(&self) -> u64 {
+        self.doomed + self.revalidation
     }
 }
 
@@ -309,6 +349,7 @@ struct Metrics {
     eval_error: AtomicU64,
     timeout: AtomicU64,
     injected: AtomicU64,
+    snapshot_stale: AtomicU64,
     wasted_nanos: AtomicU64,
 }
 
@@ -322,6 +363,7 @@ impl Metrics {
             eval_error: self.eval_error.load(Relaxed),
             timeout: self.timeout.load(Relaxed),
             injected: self.injected.load(Relaxed),
+            snapshot_stale: self.snapshot_stale.load(Relaxed),
         }
     }
 
@@ -334,6 +376,7 @@ impl Metrics {
             AbortCause::EvalError => self.eval_error.fetch_add(1, Relaxed),
             AbortCause::Timeout => self.timeout.fetch_add(1, Relaxed),
             AbortCause::Injected => self.injected.fetch_add(1, Relaxed),
+            AbortCause::SnapshotStale => self.snapshot_stale.fetch_add(1, Relaxed),
         };
     }
 }
@@ -696,6 +739,7 @@ impl ParallelEngine {
     ) -> Result<(), AbortCause> {
         let key = inst.key();
         let proto = self.config.protocol;
+        let mvcc = matches!(self.config.policy, ConflictPolicy::MvccSnapshot);
         // Phase clocks (None when observability is off). Samples are
         // recorded only when a phase completes; the lock-wait histogram
         // (recorded inside the lock manager) covers the blocked tails of
@@ -704,7 +748,9 @@ impl ParallelEngine {
 
         // ---- condition (LHS) locks ----
         // Per-class tuple groups, so Rc escalation can promote a group
-        // to one relation-level lock.
+        // to one relation-level lock. The set is computed in every
+        // mode; under MVCC it is not locked — it is the injection and
+        // attribution surface only.
         let mut cond_resources: Vec<ResourceId> = Vec::new();
         let mut by_class: HashMap<&Atom, Vec<ResourceId>> = HashMap::new();
         for w in &inst.wmes {
@@ -728,23 +774,62 @@ impl ParallelEngine {
         cond_resources.dedup();
         // Contention attribution for the governor: the condition-read
         // set is the doom channel (`Rc` holders are who a committing
-        // `Wa` kills), so these are the keys a storm escalates.
+        // `Wa` kills) — and under MVCC the blame set of snapshot-stale
+        // aborts — so these are the keys a storm escalates.
         touched.extend(cond_resources.iter().map(|r| res_key(*r)));
-        for res in &cond_resources {
-            let mode = self.governed_mode(*res, proto.condition_read(), LockMode::S);
-            self.lm.lock(txn, *res, mode).map_err(classify)?;
+        if !mvcc {
+            for res in &cond_resources {
+                let mode = self.governed_mode(*res, proto.condition_read(), LockMode::S);
+                self.lm.lock(txn, *res, mode).map_err(classify)?;
+            }
+        } else {
+            // No locks — but the chaos seam a lock request would have
+            // passed through still fires, per resource, so fault-
+            // injected A/B runs compare protocols rather than
+            // injection surface areas.
+            for res in &cond_resources {
+                self.lm.inject_read(txn, *res).map_err(classify)?;
+            }
         }
 
-        // ---- re-validate the claim under the read locks ----
-        // The watermark is read under the base mutex, so every publish
-        // ≤ `w` is complete; the shard is pinned to at least `w` before
-        // the membership check. Any *later* commit that could
-        // invalidate this claim necessarily conflicts with the `Rc`
-        // locks just acquired (tuple `Wa`, or relation `Wa` vs our
-        // negated-class relation `Rc`), so the lock manager dooms us —
-        // a stale shard view can never carry a claim to commit.
-        {
-            let w = self.pipeline.base.lock().unwrap().next_seq - 1;
+        // ---- re-validate the claim ----
+        //
+        // Lock-based modes: under the read locks. The watermark is read
+        // under the base mutex, so every publish ≤ `w` is complete; the
+        // shard is pinned to at least `w` before the membership check.
+        // Any *later* commit that could invalidate this claim
+        // necessarily conflicts with the `Rc` locks just acquired
+        // (tuple `Wa`, or relation `Wa` vs our negated-class relation
+        // `Rc`), so the lock manager dooms us — a stale shard view can
+        // never carry a claim to commit.
+        //
+        // MVCC: pin a snapshot `w` instead (under the base mutex, so
+        // `w` is a fully published prefix and the pin is registered
+        // before any later GC floor computation can pass it). The
+        // membership check at `w` plays the same role, but nothing
+        // prevents later commits from invalidating the claim — that is
+        // caught by commit-time self-validation, not here. The pin
+        // floors version GC for the duration of the attempt; each
+        // matched WME's version-at-snapshot is recorded for the SI
+        // checker.
+        let (_pin, snapshot) = {
+            let w = if mvcc {
+                let base = self.pipeline.base.lock().unwrap();
+                let w = base.next_seq - 1;
+                self.pipeline.pin_snapshot(w);
+                w
+            } else {
+                self.pipeline.base.lock().unwrap().next_seq - 1
+            };
+            let pin = mvcc.then(|| PinGuard {
+                pipeline: &self.pipeline,
+                snap: w,
+            });
+            if mvcc {
+                if let Some(obs) = &self.obs {
+                    obs.record(txn.0, ObsEvent::SnapshotPin { seq: w });
+                }
+            }
             let s = self.pipeline.plan().shard_of(key.rule);
             let mut state = self.pipeline.shard_state(s);
             self.pipeline
@@ -753,11 +838,41 @@ impl ParallelEngine {
                 return Err(AbortCause::Stale);
             }
             drop(state);
+            if mvcc {
+                // Snapshot reads: every matched WME must be live at `w`
+                // with exactly the matched timestamp (instantiation
+                // identity includes timestamps, so a version mismatch
+                // means the claim refers to a different era of the
+                // tuple). Record the version sequence each read
+                // observed — the reads-from edges of the SI polygraph.
+                let versions = self.pipeline.versions();
+                for wme in &inst.wmes {
+                    match versions.version_at(wme.id, w) {
+                        Some(v)
+                            if v.state
+                                .as_ref()
+                                .is_some_and(|s| s.timestamp == wme.timestamp) =>
+                        {
+                            if let Some(obs) = &self.obs {
+                                obs.record(
+                                    txn.0,
+                                    ObsEvent::VersionRead {
+                                        resource: res_key(ResourceId::Tuple(wme.id.0)),
+                                        seq: v.seq,
+                                    },
+                                );
+                            }
+                        }
+                        _ => return Err(AbortCause::SnapshotStale),
+                    }
+                }
+            }
             let ledger = self.ledger.lock().unwrap();
             if ledger.engine_doomed.contains(&txn) {
                 return Err(AbortCause::Revalidation);
             }
-        }
+            (pin, w)
+        };
         let t_rhs = match (&self.obs, t_lhs) {
             (Some(obs), Some(t)) => {
                 obs.phase(Phase::LhsEval, t.elapsed());
@@ -880,6 +995,41 @@ impl ParallelEngine {
                 return Err(AbortCause::Revalidation);
             }
         }
+        // MVCC commit-time self-validation: with no condition locks
+        // held, nothing stopped concurrent commits from overwriting
+        // this transaction's read set between its snapshot and now —
+        // so the committer validates itself under the base mutex (the
+        // same critical section every conflicting commit serialised
+        // through). Fast path, against the version store alone: every
+        // matched WME's *latest* version still carries the matched
+        // timestamp, and no negated class was written past the
+        // snapshot. If any check fails, fall back to the exact test —
+        // catch the own shard up to the current published prefix and
+        // ask whether the instantiation is (still / again) in the
+        // conflict set; membership implies validity *at this commit
+        // point*, which is precisely what the §3 serial-replay oracle
+        // requires of the trace slot this commit is about to take.
+        if mvcc {
+            let fast_ok = {
+                let versions = self.pipeline.versions();
+                inst.wmes.iter().all(|w| {
+                    versions
+                        .latest(w.id)
+                        .is_some_and(|s| s.timestamp == w.timestamp)
+                }) && Footprint::negated_classes(rule)
+                    .into_iter()
+                    .all(|class| versions.class_write_seq(class) <= snapshot)
+            };
+            if !fast_ok {
+                let cur = base.next_seq - 1;
+                let s = self.pipeline.plan().shard_of(key.rule);
+                let mut state = self.pipeline.shard_state(s);
+                self.pipeline.catch_up(s, cur, &mut state, false, obs);
+                if !state.rete.conflict_set().contains(&key) {
+                    return Err(AbortCause::SnapshotStale);
+                }
+            }
+        }
         let outcome = self.lm.commit(txn).map_err(classify)?;
         // Past this point the commit is irrevocable.
         let changes = base
@@ -888,6 +1038,20 @@ impl ParallelEngine {
             .expect("committed firing only touches live WMEs");
         let seq = base.next_seq;
         base.next_seq += 1;
+        // Version-write footprint for the SI polygraph, captured before
+        // `publish` consumes the batch (one entry per written tuple,
+        // the installing sequence is this commit's).
+        let written: Vec<u64> = if mvcc && obs.is_some() {
+            let mut ids: Vec<u64> = changes
+                .iter()
+                .map(|c| res_key(ResourceId::Tuple(c.wme().id.0)))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        } else {
+            Vec::new()
+        };
         let affected = self.pipeline.publish(seq, changes, obs);
         // Own shard: catch up to the pre-commit state — where the
         // instantiation cannot have vanished (its read set was
@@ -943,6 +1107,13 @@ impl ParallelEngine {
                         seq: fire_seq,
                     },
                 );
+                // MVCC: the versions this commit installed. Trails the
+                // Commit terminal like Fire (the sequence number only
+                // exists now); the SI checker cross-checks `seq` against
+                // the Fire slot (`seq == fire_seq + 1`).
+                for res in &written {
+                    obs.record(txn.0, ObsEvent::VersionWrite { resource: *res, seq });
+                }
             }
         }
         // Engine-level revalidation (policy `Revalidate`): doom only the
@@ -998,6 +1169,19 @@ impl ParallelEngine {
     }
 }
 
+/// Unpins an MVCC read snapshot when the execution attempt ends
+/// (commit or abort on any path), releasing its version-GC floor.
+struct PinGuard<'a> {
+    pipeline: &'a MatchPipeline,
+    snap: u64,
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.pipeline.unpin_snapshot(self.snap);
+    }
+}
+
 enum AbortCause {
     Doomed,
     Deadlock,
@@ -1006,6 +1190,9 @@ enum AbortCause {
     EvalError,
     Timeout,
     Injected,
+    /// MVCC commit-time self-validation failed (read set overwritten
+    /// since the pinned snapshot).
+    SnapshotStale,
 }
 
 impl AbortCause {
@@ -1019,13 +1206,18 @@ impl AbortCause {
             AbortCause::EvalError => dps_obs::AbortCause::EvalError,
             AbortCause::Timeout => dps_obs::AbortCause::Timeout,
             AbortCause::Injected => dps_obs::AbortCause::Injected,
+            AbortCause::SnapshotStale => dps_obs::AbortCause::SnapshotStale,
         }
     }
 
     /// `true` for causes that mean "concurrent productions collided"
     /// (or chaos made them appear to) — the ones the governor's storm
     /// detector and backoff should react to. Stale claims and RHS
-    /// evaluation errors are not contention.
+    /// evaluation errors are not contention. Snapshot-stale aborts
+    /// *are*: under MVCC they are the only remaining signal of genuine
+    /// write overlap, so the governor's backoff/escalation reacts to
+    /// them exactly as it did to dooms (the reader-abort channels it
+    /// used to watch are structurally zero in that mode).
     fn is_contention(&self) -> bool {
         matches!(
             self,
@@ -1034,6 +1226,7 @@ impl AbortCause {
                 | AbortCause::Revalidation
                 | AbortCause::Timeout
                 | AbortCause::Injected
+                | AbortCause::SnapshotStale
         )
     }
 }
@@ -1383,6 +1576,123 @@ mod tests {
         }
         let gov = report.governor.unwrap();
         assert_eq!(gov.escalations + gov.serializations, 0, "no storm, no action");
+    }
+
+    fn mvcc(cfg: ParallelConfig) -> ParallelConfig {
+        ParallelConfig {
+            policy: ConflictPolicy::MvccSnapshot,
+            ..cfg
+        }
+    }
+
+    #[test]
+    fn mvcc_counters_drain_correctly() {
+        let (rules, wm) = counters(6, 3);
+        let (report, final_wm) = run_with(&rules, wm, mvcc(ParallelConfig::default()));
+        assert_eq!(report.commits, 18);
+        for cell in final_wm.class_iter("cell") {
+            assert_eq!(cell.get("n"), Some(&Value::Int(0)));
+        }
+        assert_eq!(report.aborts.reader_aborts(), 0, "MVCC readers are never doomed");
+    }
+
+    #[test]
+    fn mvcc_contended_writes_serialize_correctly() {
+        // The hot-accumulator workload: every firing reads + modifies
+        // one shared tuple, the worst case for snapshot staleness. The
+        // total must still equal the serial result, with conflicts
+        // surfacing (if at all) as snapshot_stale — never as dooms.
+        let rules = RuleSet::parse(
+            "(p apply (delta ^v <d>) (acc ^total <t>)
+               --> (remove 1) (modify 2 ^total (+ <t> <d>)))",
+        )
+        .unwrap();
+        let mut wm = WorkingMemory::new();
+        let mut expected = 0i64;
+        for i in 1..=10i64 {
+            wm.insert(WmeData::new("delta").with("v", i));
+            expected += i;
+        }
+        wm.insert(WmeData::new("acc").with("total", 0i64));
+        let cfg = mvcc(ParallelConfig {
+            workers: 4,
+            work: WorkModel::FixedMicros(200),
+            ..Default::default()
+        });
+        let (report, final_wm) = run_with(&rules, wm, cfg);
+        assert_eq!(report.commits, 10);
+        let acc = final_wm.class_iter("acc").next().unwrap();
+        assert_eq!(acc.get("total"), Some(&Value::Int(expected)));
+        assert_eq!(report.aborts.doomed, 0);
+        assert_eq!(report.aborts.revalidation, 0);
+    }
+
+    #[test]
+    fn mvcc_negated_conditions_stay_sound() {
+        // Negated CEs have no lock to escalate under MVCC — soundness
+        // rests on the commit-time class-write check. Same invariants
+        // as the lock-based variant of this test.
+        let rules = RuleSet::parse(
+            "(p quiet (go) -(alarm) --> (remove 1) (make calm))
+             (p raise (trigger) --> (remove 1) (make alarm))",
+        )
+        .unwrap();
+        let mut wm = WorkingMemory::new();
+        wm.insert(WmeData::new("go"));
+        wm.insert(WmeData::new("trigger"));
+        let (report, final_wm) = run_with(&rules, wm, mvcc(ParallelConfig::default()));
+        assert!(report.commits >= 1 && report.commits <= 2);
+        assert_eq!(final_wm.class_iter("alarm").count(), 1);
+        let calm = final_wm.class_iter("calm").count();
+        let quiet_fired = report.trace.names().contains(&"quiet");
+        assert_eq!(calm, usize::from(quiet_fired));
+    }
+
+    #[test]
+    fn mvcc_under_doom_storm_has_zero_reader_aborts() {
+        // The headline property: the chaos plan built to maximise dooms
+        // cannot doom anyone when nobody holds condition locks. Only
+        // injected aborts and snapshot staleness remain.
+        let (rules, wm) = counters(6, 3);
+        let cfg = mvcc(ParallelConfig {
+            workers: 4,
+            observe: true,
+            fault: Some(FaultPlan::doom_storm(42)),
+            work: WorkModel::FixedMicros(100),
+            ..Default::default()
+        });
+        let (report, final_wm) = run_with(&rules, wm, cfg);
+        assert_eq!(report.commits, 18);
+        for cell in final_wm.class_iter("cell") {
+            assert_eq!(cell.get("n"), Some(&Value::Int(0)));
+        }
+        assert_eq!(report.aborts.reader_aborts(), 0);
+    }
+
+    #[test]
+    fn mvcc_history_passes_si_checker() {
+        // The recorded snapshot/version events must reconstruct into a
+        // consistent SI polygraph (and the analysis verdict must fold
+        // it in).
+        let (rules, wm) = counters(4, 2);
+        let cfg = mvcc(ParallelConfig {
+            workers: 4,
+            observe: true,
+            ..Default::default()
+        });
+        let initial = wm.clone();
+        let mut e = ParallelEngine::new(&rules, wm, cfg);
+        let report = e.run();
+        validate_trace(&rules, &initial, &report.trace).expect("oracle");
+        assert_eq!(report.commits, 8);
+        let history = e.observer().unwrap().history();
+        let si = dps_obs::analysis::si_checker::check_history(&history);
+        assert_eq!(si.committed, 8, "every commit pinned a snapshot");
+        assert!(
+            si.violations.is_empty() && si.cycle.is_none(),
+            "SI checker must accept a genuine MVCC run: {:?}",
+            si.violations
+        );
     }
 
     #[test]

@@ -40,20 +40,29 @@
 //! `w`; later invalidations are the lock manager's problem, exactly as
 //! in the monolithic design. See DESIGN.md §12.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 use std::time::Instant;
 
 use dps_match::{InstKey, Matcher, Rete, ShardPlan};
 use dps_obs::{FanoutStats, Phase, Recorder};
 use dps_rules::RuleSet;
-use dps_wm::{Change, WorkingMemory};
+use dps_wm::{Change, VersionedStore, WorkingMemory};
 
 /// Log entries older than the slowest shard are pruned opportunistically;
 /// past this length the committer force-drains lagging shards so an
 /// unlucky (never-affected, never-scanned) shard cannot pin the log.
 const LOG_DRAIN_THRESHOLD: usize = 64;
+
+/// Soft per-element bound on retained MVCC versions (see
+/// [`VersionedStore::new`]); versions above the GC floor are never
+/// capped, so pinned snapshots stay readable.
+const VERSION_CHAIN_CAP: usize = 16;
+
+/// Version-store GC cadence, in commits. GC walks every chain, so it is
+/// amortised rather than run per publish.
+const VERSION_GC_INTERVAL: u64 = 64;
 
 /// The commit critical section's state: authoritative WM + sequencing.
 #[derive(Debug)]
@@ -131,6 +140,16 @@ pub(crate) struct MatchPipeline {
     log: Mutex<VecDeque<LogEntry>>,
     watermark: AtomicU64,
     stats: PipelineStats,
+    /// The MVCC version chains, mirroring every published batch. The
+    /// delta log above *is* the version log in transit; this store is
+    /// its queryable, bounded materialisation (`as_of` reads for
+    /// snapshot claim validation and commit-time self-validation).
+    /// Writers only run under the base mutex (lock order: base →
+    /// versions), so a write lock is never contended by another writer.
+    versions: RwLock<VersionedStore>,
+    /// Active read-snapshot pins: snapshot seq → pin count. The oldest
+    /// pinned snapshot floors version GC. Lock order: base → pins.
+    pins: Mutex<BTreeMap<u64, usize>>,
 }
 
 impl MatchPipeline {
@@ -151,6 +170,8 @@ impl MatchPipeline {
                 applied: AtomicU64::new(0),
             })
             .collect();
+        let mut versions = VersionedStore::new(VERSION_CHAIN_CAP);
+        versions.seed(&wm);
         MatchPipeline {
             base: Mutex::new(WmBase { wm, next_seq: 1 }),
             plan,
@@ -158,6 +179,8 @@ impl MatchPipeline {
             log: Mutex::new(VecDeque::new()),
             watermark: AtomicU64::new(0),
             stats: PipelineStats::default(),
+            versions: RwLock::new(versions),
+            pins: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -197,6 +220,18 @@ impl MatchPipeline {
     /// Returns the affected shard list for the caller's fan-out.
     pub fn publish(&self, seq: u64, changes: Vec<Change>, obs: Option<&Recorder>) -> Vec<usize> {
         let affected = self.plan.affected(&changes);
+        {
+            // Mirror the batch into the version chains (we hold the
+            // base mutex, so records arrive in sequence order), and
+            // amortise watermark-driven GC: prune everything below the
+            // oldest active snapshot pin (or the watermark when no
+            // snapshot is pinned).
+            let mut versions = self.versions.write().unwrap();
+            versions.record(seq, &changes);
+            if seq.is_multiple_of(VERSION_GC_INTERVAL) {
+                versions.gc(self.oldest_pin().unwrap_or(seq).min(seq));
+            }
+        }
         self.log.lock().unwrap().push_back(LogEntry {
             seq,
             changes: Arc::new(changes),
@@ -316,6 +351,35 @@ impl MatchPipeline {
         while log.front().is_some_and(|e| e.seq <= min) {
             log.pop_front();
         }
+    }
+
+    /// Read access to the MVCC version chains.
+    pub fn versions(&self) -> RwLockReadGuard<'_, VersionedStore> {
+        self.versions.read().unwrap()
+    }
+
+    /// Registers a read-snapshot pin at `snap`, flooring version GC.
+    /// Pair with [`MatchPipeline::unpin_snapshot`].
+    pub fn pin_snapshot(&self, snap: u64) {
+        *self.pins.lock().unwrap().entry(snap).or_insert(0) += 1;
+    }
+
+    /// Releases one pin at `snap`.
+    pub fn unpin_snapshot(&self, snap: u64) {
+        let mut pins = self.pins.lock().unwrap();
+        if let Some(n) = pins.get_mut(&snap) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&snap);
+            }
+        } else {
+            debug_assert!(false, "unpin without a matching pin at {snap}");
+        }
+    }
+
+    /// The oldest active snapshot pin, if any (the version-GC floor).
+    pub fn oldest_pin(&self) -> Option<u64> {
+        self.pins.lock().unwrap().keys().next().copied()
     }
 
     /// Point-in-time fan-out tallies.

@@ -60,6 +60,15 @@ pub enum ConflictPolicy {
     /// lists the affected readers and the *engine* re-evaluates their
     /// conditions, aborting only those whose LHS no longer holds.
     Revalidate,
+    /// MVCC snapshot reads: condition reads take **no locks at all** —
+    /// the engine evaluates conditions against a versioned working
+    /// memory pinned at a commit sequence number and self-validates at
+    /// its own commit point, so there are no live `Rc` holders to doom
+    /// or revalidate. The commit rule degenerates to a no-op (only
+    /// `R_a`/`W_a` action locks pass through the manager); the `Rc`
+    /// machinery stays intact behind the other two policies so
+    /// stock-vs-MVCC runs remain A/B-comparable.
+    MvccSnapshot,
 }
 
 /// Result of a successful commit.
@@ -387,6 +396,27 @@ impl LockManager {
             Some(ts) => self.check_doomed(txn, &ts),
             None => Ok(()),
         }
+    }
+
+    /// Chaos seam for lock-free read paths: draws exactly the
+    /// forced-abort decision a lock request on `res` would draw —
+    /// same site, same `(seed, txn, resource)` inputs — without
+    /// acquiring anything. [`ConflictPolicy::MvccSnapshot`] condition
+    /// reads call this per matched resource, so fault-injected A/B
+    /// comparisons against the lock-based modes stay honest: skipping
+    /// the `R_c` locks must not also skip the chaos the locks would
+    /// have been exposed to. A no-op without an attached injector.
+    pub fn inject_read(&self, txn: TxnId, res: ResourceId) -> Result<(), LockError> {
+        let Some(inj) = &self.fault else {
+            return Ok(());
+        };
+        let Some(ts) = self.txn_state(txn) else {
+            return Err(LockError::NotActive(txn));
+        };
+        if inj.forced_abort(txn, res_key(res)) {
+            self.force_abort_injected(txn, &ts, inj)?;
+        }
+        Ok(())
     }
 
     /// Acquires `mode` on `res` for `txn`, blocking until granted.
@@ -726,6 +756,12 @@ impl LockManager {
                     }
                 }
             }
+            // MVCC: nobody holds Rc (condition reads are snapshot
+            // reads), so there is nothing to doom or revalidate. If a
+            // misconfigured caller *did* take Rc under this policy, the
+            // reader is left alone — commit-time self-validation in the
+            // engine is the correctness backstop.
+            ConflictPolicy::MvccSnapshot => {}
         }
         self.release_held(txn, held, waiting);
         self.stats.commits.fetch_add(1, Relaxed);

@@ -194,7 +194,10 @@ pub fn build(history: &[Event]) -> BlockingGraph {
             EventKind::Begin
             | EventKind::Anomaly { .. }
             | EventKind::Fault { .. }
-            | EventKind::Escalate { .. } => {}
+            | EventKind::Escalate { .. }
+            | EventKind::SnapshotPin { .. }
+            | EventKind::VersionRead { .. }
+            | EventKind::VersionWrite { .. } => {}
         }
     }
     // Any wait still open at end-of-history (ring drop or hung run):

@@ -16,20 +16,28 @@
 //! * [`checker`] — §3's Theorem 2 (`ES_M ⊆ ES_single`) as an
 //!   executable assertion: recover the commit sequence from `Fire`
 //!   records, verify it structurally, and let the caller replay it
-//!   through the single-thread oracle.
+//!   through the single-thread oracle;
+//! * [`si_checker`] — the polygraph-based snapshot-isolation /
+//!   serializability checker over MVCC histories (`SnapshotPin` /
+//!   `VersionRead` / `VersionWrite` events): reads-from, version-order
+//!   and anti-dependency edges, cycle search, first-committer-wins.
+//!   Runs only when a history carries MVCC events; lock-era histories
+//!   leave it silent.
 //!
-//! [`analyze`] runs all four and [`RunAnalysis::to_json`] emits the
+//! [`analyze`] runs all of them and [`RunAnalysis::to_json`] emits the
 //! per-run body of a `dps-analysis-report-v1` document.
 
 pub mod attribution;
 pub mod checker;
 pub mod critical_path;
 pub mod graph;
+pub mod si_checker;
 
 pub use attribution::{contention_table, ResourceContention};
 pub use checker::{check, CheckerReport, CommitRecord, Verdict};
 pub use critical_path::{critical_path, CriticalPathReport};
 pub use graph::{build, BlockingGraph, EdgeKind, TxnSpan, WaitEdge};
+pub use si_checker::{SiReport, SiTxn};
 
 use crate::event::Event;
 use crate::json::Json;
@@ -46,6 +54,9 @@ pub struct RunAnalysis {
     /// Commit-sequence recovery + structural checks (+ replay verdict
     /// once the caller attaches it).
     pub checker: CheckerReport,
+    /// SI/serializability polygraph findings; `None` when the history
+    /// carries no MVCC events (lock-era runs).
+    pub si: Option<SiReport>,
 }
 
 /// Runs the full analysis pipeline on a merged history.
@@ -54,11 +65,18 @@ pub fn analyze(history: &[Event]) -> RunAnalysis {
     let contention = contention_table(&graph);
     let critical = critical_path(&graph);
     let checker = check(history, &graph);
+    let si_txns = si_checker::extract(history);
+    let si = if si_txns.is_empty() {
+        None
+    } else {
+        Some(si_checker::check(&si_txns))
+    };
     RunAnalysis {
         graph,
         contention,
         critical,
         checker,
+        si,
     }
 }
 
@@ -69,9 +87,18 @@ impl RunAnalysis {
         self.checker.set_replay_result(result);
     }
 
-    /// Combined checker verdict.
+    /// Combined verdict: the §3 checker AND (when the history is an
+    /// MVCC one) the SI/serializability polygraph.
     pub fn verdict(&self) -> Verdict {
-        self.checker.verdict()
+        let si_ok = self
+            .si
+            .as_ref()
+            .is_none_or(|s| s.verdict() == Verdict::Consistent);
+        if self.checker.verdict() == Verdict::Consistent && si_ok {
+            Verdict::Consistent
+        } else {
+            Verdict::Inconsistent
+        }
     }
 
     /// Serializes the analysis as the per-run body of a
@@ -159,12 +186,36 @@ impl RunAnalysis {
             ),
             ("verdict".into(), Json::str(self.verdict().name())),
         ]);
-        Json::Obj(vec![
+        let mut doc = vec![
             ("txns".into(), txns),
             ("contention".into(), contention),
             ("critical_path".into(), critical),
             ("checker".into(), checker),
-        ])
+        ];
+        if let Some(si) = &self.si {
+            doc.push((
+                "si_checker".into(),
+                Json::Obj(vec![
+                    ("committed".into(), Json::u64(si.committed as u64)),
+                    ("edges".into(), Json::u64(si.edges as u64)),
+                    (
+                        "violations".into(),
+                        Json::Arr(si.violations.iter().map(|v| Json::str(v.clone())).collect()),
+                    ),
+                    (
+                        "cycle".into(),
+                        match &si.cycle {
+                            Some(path) => {
+                                Json::Arr(path.iter().map(|&t| Json::u64(t)).collect())
+                            }
+                            None => Json::Null,
+                        },
+                    ),
+                    ("verdict".into(), Json::str(si.verdict().name())),
+                ]),
+            ));
+        }
+        Json::Obj(doc)
     }
 }
 

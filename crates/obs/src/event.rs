@@ -33,11 +33,19 @@ pub enum AbortCause {
     /// in production runs; kept separate so injected failures cannot
     /// masquerade as — or pollute the statistics of — organic causes).
     Injected,
+    /// MVCC commit-time self-validation failed: the snapshot the claim
+    /// was pinned against is no longer current and the instantiation
+    /// has left the conflict set. Distinct from [`AbortCause::Stale`]
+    /// (pre-execution claim invalidation) and from the legacy
+    /// reader-abort causes ([`AbortCause::Doomed`] /
+    /// [`AbortCause::Revalidation`]) so stock-vs-MVCC comparisons
+    /// cannot silently fold one into the other.
+    SnapshotStale,
 }
 
 impl AbortCause {
     /// Every cause, in display order.
-    pub const ALL: [AbortCause; 7] = [
+    pub const ALL: [AbortCause; 8] = [
         AbortCause::Doomed,
         AbortCause::Deadlock,
         AbortCause::Stale,
@@ -45,6 +53,7 @@ impl AbortCause {
         AbortCause::EvalError,
         AbortCause::Timeout,
         AbortCause::Injected,
+        AbortCause::SnapshotStale,
     ];
 
     /// Stable machine-readable name (used as the JSON key).
@@ -57,6 +66,7 @@ impl AbortCause {
             AbortCause::EvalError => "eval_error",
             AbortCause::Timeout => "timeout",
             AbortCause::Injected => "injected",
+            AbortCause::SnapshotStale => "snapshot_stale",
         }
     }
 
@@ -69,6 +79,7 @@ impl AbortCause {
             AbortCause::EvalError => 4,
             AbortCause::Timeout => 5,
             AbortCause::Injected => 6,
+            AbortCause::SnapshotStale => 7,
         }
     }
 }
@@ -158,6 +169,35 @@ pub enum EventKind {
         /// Short static action name (one of
         /// [`crate::event::ESCALATE_ACTIONS`]).
         action: &'static str,
+    },
+    /// MVCC: the transaction pinned its read snapshot at this commit
+    /// sequence number. All of its condition reads observe the
+    /// versioned working memory `as_of(seq)`; no `Rc` locks are taken.
+    SnapshotPin {
+        /// The pinned commit sequence number.
+        seq: u64,
+    },
+    /// MVCC: a condition read of one versioned element. `seq` is the
+    /// commit sequence that *created* the version observed — the
+    /// reads-from edge (`wr`) raw material for the SI/serializability
+    /// polygraph checker.
+    VersionRead {
+        /// Opaque resource key (see module docs).
+        resource: u64,
+        /// Commit sequence of the version read (0 = initial WM).
+        seq: u64,
+    },
+    /// MVCC: the committed transaction installed a new version of this
+    /// element. `seq` is the installing commit sequence (equal to the
+    /// transaction's `Fire` seq + 1; the version-order / `ww` raw
+    /// material). Like `Fire`, it trails the `Commit` terminal because
+    /// the sequence number only exists after the commit critical
+    /// section.
+    VersionWrite {
+        /// Opaque resource key (see module docs).
+        resource: u64,
+        /// Installing commit sequence.
+        seq: u64,
     },
 }
 

@@ -101,6 +101,20 @@ pub fn event_to_json(ev: &Event) -> Json {
             fields.push(("action".into(), Json::str(action)));
             "escalate"
         }
+        EventKind::SnapshotPin { seq } => {
+            fields.push(("seq".into(), Json::u64(seq)));
+            "snapshot"
+        }
+        EventKind::VersionRead { resource, seq } => {
+            fields.push(("resource".into(), Json::u64(resource)));
+            fields.push(("seq".into(), Json::u64(seq)));
+            "vread"
+        }
+        EventKind::VersionWrite { resource, seq } => {
+            fields.push(("resource".into(), Json::u64(resource)));
+            fields.push(("seq".into(), Json::u64(seq)));
+            "vwrite"
+        }
     };
     fields.insert(2, ("kind".into(), Json::str(kind)));
     Json::Obj(fields)
@@ -189,6 +203,17 @@ pub fn event_from_json(j: &Json) -> Result<Event, String> {
                     .ok_or_else(|| format!("unknown escalate action {a:?}"))?,
             }
         }
+        "snapshot" => EventKind::SnapshotPin {
+            seq: need_u64("seq")?,
+        },
+        "vread" => EventKind::VersionRead {
+            resource: need_u64("resource")?,
+            seq: need_u64("seq")?,
+        },
+        "vwrite" => EventKind::VersionWrite {
+            resource: need_u64("resource")?,
+            seq: need_u64("seq")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(Event { ts, txn, kind })
@@ -294,6 +319,21 @@ mod tests {
                     resource: 8,
                     action: "escalate",
                 },
+            },
+            Event {
+                ts: 10,
+                txn: 3,
+                kind: EventKind::SnapshotPin { seq: 4 },
+            },
+            Event {
+                ts: 11,
+                txn: 3,
+                kind: EventKind::VersionRead { resource: 8, seq: 2 },
+            },
+            Event {
+                ts: 12,
+                txn: 3,
+                kind: EventKind::VersionWrite { resource: 8, seq: 5 },
             },
         ]
     }

@@ -44,6 +44,9 @@ struct Counters {
     anomalies: AtomicU64,
     faults: AtomicU64,
     escalations: AtomicU64,
+    snapshot_pins: AtomicU64,
+    version_reads: AtomicU64,
+    version_writes: AtomicU64,
 }
 
 /// Sharded-match fan-out tallies (relaxed atomics). All zero unless the
@@ -73,7 +76,7 @@ pub struct Recorder {
     epoch: Instant,
     rings: Box<[Mutex<Ring>]>,
     hists: [Histogram; 5],
-    abort_causes: [AtomicU64; 7],
+    abort_causes: [AtomicU64; 8],
     counters: Counters,
     fanout: Fanout,
     dropped: AtomicU64,
@@ -157,6 +160,9 @@ impl Recorder {
             EventKind::Anomaly { .. } => self.counters.anomalies.fetch_add(1, Relaxed),
             EventKind::Fault { .. } => self.counters.faults.fetch_add(1, Relaxed),
             EventKind::Escalate { .. } => self.counters.escalations.fetch_add(1, Relaxed),
+            EventKind::SnapshotPin { .. } => self.counters.snapshot_pins.fetch_add(1, Relaxed),
+            EventKind::VersionRead { .. } => self.counters.version_reads.fetch_add(1, Relaxed),
+            EventKind::VersionWrite { .. } => self.counters.version_writes.fetch_add(1, Relaxed),
         };
         let slot = thread_slot() % self.rings.len();
         let overwrote = self.rings[slot].lock().unwrap().push(Event { ts, txn, kind });
@@ -294,6 +300,9 @@ impl Recorder {
             anomalies: self.counters.anomalies.load(Relaxed),
             faults: self.counters.faults.load(Relaxed),
             escalations: self.counters.escalations.load(Relaxed),
+            snapshot_pins: self.counters.snapshot_pins.load(Relaxed),
+            version_reads: self.counters.version_reads.load(Relaxed),
+            version_writes: self.counters.version_writes.load(Relaxed),
             dropped_events: self.dropped.load(Relaxed),
             fanout: self.fanout_snapshot(),
             rules: rules
@@ -360,16 +369,20 @@ pub fn validate_history(events: &[Event]) -> Result<(), String> {
             // concurrently with the victim's own terminal, so it may
             // land on either side of it in the merged order).
             EventKind::Anomaly { .. } | EventKind::Fault { .. } | EventKind::Escalate { .. } => {}
-            EventKind::Fire { .. } => {
-                // Fire trails the Commit it describes (the sequence
+            EventKind::Fire { .. } | EventKind::VersionWrite { .. } => {
+                // Fire (and the MVCC VersionWrite records that share its
+                // timing) trails the Commit it describes (the sequence
                 // number only exists after the commit critical
                 // section), so it is exempt from the after-terminal
                 // rule — but never legal before Begin or on an abort.
                 if !t.begun {
-                    return Err(format!("txn {}: Fire before Begin", ev.txn));
+                    return Err(format!("txn {}: {:?} before Begin", ev.txn, ev.kind));
                 }
                 if t.aborted {
-                    return Err(format!("txn {}: Fire on an aborted transaction", ev.txn));
+                    return Err(format!(
+                        "txn {}: {:?} on an aborted transaction",
+                        ev.txn, ev.kind
+                    ));
                 }
             }
             kind => {

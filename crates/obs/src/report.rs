@@ -78,6 +78,13 @@ pub struct ObsReport {
     /// `Escalate` markers from the adaptive governor's degradation
     /// state machine (0 when the governor is off or never triggered).
     pub escalations: u64,
+    /// `SnapshotPin` events (MVCC read-snapshot pins; 0 outside MVCC
+    /// runs).
+    pub snapshot_pins: u64,
+    /// `VersionRead` events (MVCC versioned condition reads).
+    pub version_reads: u64,
+    /// `VersionWrite` events (MVCC version installs at commit).
+    pub version_writes: u64,
     /// Events lost to ring overwrites (history incomplete if non-zero).
     pub dropped_events: u64,
     /// Sharded-match fan-out tallies (all zero when the sharded
@@ -139,6 +146,9 @@ impl ObsReport {
             ("anomalies".into(), Json::u64(self.anomalies)),
             ("faults".into(), Json::u64(self.faults)),
             ("escalations".into(), Json::u64(self.escalations)),
+            ("snapshot_pins".into(), Json::u64(self.snapshot_pins)),
+            ("version_reads".into(), Json::u64(self.version_reads)),
+            ("version_writes".into(), Json::u64(self.version_writes)),
             ("dropped".into(), Json::u64(self.dropped_events)),
         ]);
         let rules = Json::Arr(
@@ -200,6 +210,13 @@ impl fmt::Display for ObsReport {
                 f,
                 "  chaos: {} injected fault(s), {} governor escalation event(s)",
                 self.faults, self.escalations
+            )?;
+        }
+        if self.snapshot_pins > 0 {
+            writeln!(
+                f,
+                "  mvcc: {} snapshot pin(s), {} version read(s), {} version write(s)",
+                self.snapshot_pins, self.version_reads, self.version_writes
             )?;
         }
         writeln!(f, "  latency (per phase):")?;

@@ -49,6 +49,7 @@ mod relation;
 pub mod rng;
 mod store;
 mod value;
+mod version;
 mod wme;
 
 pub use atom::Atom;
@@ -59,4 +60,5 @@ pub use persist::{CodecError, RedoLog};
 pub use relation::Relation;
 pub use store::WorkingMemory;
 pub use value::Value;
+pub use version::{Version, VersionStats, VersionedStore};
 pub use wme::{Timestamp, Wme, WmeData, WmeId};
