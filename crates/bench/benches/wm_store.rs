@@ -59,9 +59,9 @@ fn persistence(c: &mut Criterion) {
     let mut g = c.benchmark_group("wm_persistence");
     for &n in &[100i64, 10_000] {
         let wm = populated(n);
-        let snap = wm.encode_snapshot();
+        let snap = wm.encode_snapshot().unwrap();
         g.bench_with_input(BenchmarkId::new("encode_snapshot", n), &n, |b, _| {
-            b.iter(|| wm.encode_snapshot().len())
+            b.iter(|| wm.encode_snapshot().unwrap().len())
         });
         g.bench_with_input(BenchmarkId::new("decode_snapshot", n), &n, |b, _| {
             b.iter(|| {
@@ -73,14 +73,14 @@ fn persistence(c: &mut Criterion) {
     }
     g.bench_function("redo_log_append_replay_100", |b| {
         let base = populated(100);
-        let snap = base.encode_snapshot();
+        let snap = base.encode_snapshot().unwrap();
         b.iter(|| {
             let mut wm = WorkingMemory::decode_snapshot(&snap).unwrap();
             let mut log = RedoLog::new();
             for i in 0..100i64 {
                 let mut d = DeltaSet::new();
                 d.create(WmeData::new("log").with("i", i));
-                log.append(&wm.apply(&d).unwrap());
+                log.append(&wm.apply(&d).unwrap()).unwrap();
             }
             let mut recovered = WorkingMemory::decode_snapshot(&snap).unwrap();
             log.replay(&mut recovered).unwrap();

@@ -2,10 +2,12 @@
 //! `scaling --json`), a standalone `dps-analysis-report-v1` document
 //! (as emitted by `analyze --json`), a `dps-chaos-report-v1` document
 //! (as emitted by `chaos --json`), a `dps-match-report-v1` document
-//! (as emitted by `matchbench --json`), **or** a `dps-mvcc-report-v1`
-//! document (as emitted by `mvcc --json`), so CI can validate the
-//! observability pipeline end-to-end without `serde` or external
-//! tooling. Dispatch is on the top-level `schema` tag.
+//! (as emitted by `matchbench --json`), a `dps-mvcc-report-v1`
+//! document (as emitted by `mvcc --json`), **or** a
+//! `dps-recovery-report-v1` document (as emitted by `recovery --json`),
+//! so CI can validate the observability pipeline end-to-end without
+//! `serde` or external tooling. Dispatch is on the top-level `schema`
+//! tag.
 //!
 //! Usage: `obs_check <report.json>` (or `-` / no argument for stdin).
 //! Exit 0 if the document is well-formed, 1 with a diagnostic otherwise.
@@ -54,6 +56,19 @@
 //!   verdict of `consistent`;
 //! * both falsifiability probes (write skew, swapped version order)
 //!   were rejected, and every gate boolean is true.
+//!
+//! Recovery-report checks (the crash-recovery gate):
+//! * every kill-point run drained in memory, recovered to a durable
+//!   horizon consistent with its kill site (strictly before the killed
+//!   commit for dropped/torn tails, *at* it after the fsync; torn
+//!   kills actually truncated a torn tail), with `checkpoint + redo ==
+//!   horizon` accounting, an oracle-validated prefix, and a resumed
+//!   drain — verdict `consistent` on every run;
+//! * the corrupted mid-log record was rejected (the torn-tail rule
+//!   only forgives the final frame);
+//! * the group-commit A/B shows durability-on within the 1.25×
+//!   budget, with fewer fsyncs than appends and piggybacked syncs
+//!   observed — and every gate boolean true.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -608,6 +623,181 @@ fn check_mvcc(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `dps-recovery-report-v1` document (from `recovery
+/// --json`) — the crash-recovery gate.
+fn check_recovery(doc: &Json) -> Result<(), String> {
+    doc.get("seed").and_then(Json::as_u64).ok_or("recovery: missing seed")?;
+    doc.get("workers")
+        .and_then(Json::as_u64)
+        .filter(|w| *w > 0)
+        .ok_or("recovery: missing or zero workers")?;
+
+    // ---- kill-point sweep runs ----
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("recovery: missing runs array")?;
+    if runs.is_empty() {
+        return Err("recovery: runs is empty".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let at = format!("recovery.runs[{i}]");
+        run.get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}: missing workload"))?;
+        let policy = run
+            .get("policy")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}: missing policy"))?;
+        if !matches!(policy, "abort_readers" | "revalidate" | "mvcc_snapshot") {
+            return Err(format!("{at}: unknown policy {policy:?}"));
+        }
+        let site = run
+            .get("kill_site")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}: missing kill_site"))?;
+        if !matches!(site, "after_publish" | "torn_tail" | "after_sync") {
+            return Err(format!("{at}: unknown kill_site {site:?}"));
+        }
+        let mut vals = Vec::new();
+        for key in [
+            "kill_commit",
+            "commits",
+            "expected_commits",
+            "durable_seq",
+            "checkpoint_seq",
+            "replayed",
+        ] {
+            vals.push(
+                run.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{at}: missing {key}"))?,
+            );
+        }
+        let (kill, commits, expected, durable, ckpt, replayed) =
+            (vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]);
+        if commits != expected {
+            return Err(format!(
+                "{at}: drained {commits}/{expected} — the in-memory run must finish"
+            ));
+        }
+        // The durable horizon must sit where the kill site puts it:
+        // strictly before the killed commit for dropped/torn tails, at
+        // it when the death came after the fsync. And it must be the
+        // checkpoint base plus the records actually replayed.
+        match site {
+            "after_sync" => {
+                if durable != kill {
+                    return Err(format!(
+                        "{at}: died after fsync but durable_seq {durable} != kill {kill}"
+                    ));
+                }
+            }
+            _ => {
+                if durable >= kill {
+                    return Err(format!(
+                        "{at}: durable_seq {durable} at/past the killed commit {kill}"
+                    ));
+                }
+            }
+        }
+        if site == "torn_tail" && run.get("torn_tail") != Some(&Json::Bool(true)) {
+            return Err(format!("{at}: torn-tail kill but no torn tail was truncated"));
+        }
+        if ckpt + replayed != durable {
+            return Err(format!(
+                "{at}: checkpoint {ckpt} + {replayed} redo != durable horizon {durable}"
+            ));
+        }
+        for key in ["recovered", "site_ok", "prefix_oracle", "resumed"] {
+            if run.get(key) != Some(&Json::Bool(true)) {
+                return Err(format!("{at}: {key} is not true"));
+            }
+        }
+        let verdict = run
+            .get("verdict")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}: missing verdict"))?;
+        if verdict != "consistent" {
+            return Err(format!("{at}: verdict is {verdict:?}"));
+        }
+    }
+
+    // ---- falsifiability probe ----
+    if doc.at(&["probe", "corrupt_record_rejected"]) != Some(&Json::Bool(true)) {
+        return Err(
+            "recovery.probe: the corrupted mid-log record was not rejected — the \
+             torn-tail rule is forgiving damage it must not"
+                .into(),
+        );
+    }
+
+    // ---- group-commit overhead A/B ----
+    let at = "recovery.overhead";
+    doc.at(&["overhead", "commits"])
+        .and_then(Json::as_u64)
+        .filter(|c| *c > 0)
+        .ok_or_else(|| format!("{at}: missing or zero commits"))?;
+    for key in ["off_secs", "on_secs", "off_throughput", "on_throughput"] {
+        doc.at(&["overhead", key])
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("{at}: missing or non-positive {key}"))?;
+    }
+    let ratio = doc
+        .at(&["overhead", "ratio"])
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .ok_or_else(|| format!("{at}: missing ratio"))?;
+    if ratio > 1.25 {
+        return Err(format!("{at}: durability-on ratio {ratio:.3} exceeds the 1.25 budget"));
+    }
+    let wal = |key: &str| -> Result<u64, String> {
+        doc.at(&["overhead", "wal", key])
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{at}.wal: missing {key}"))
+    };
+    let appends = wal("appends")?;
+    let fsyncs = wal("fsyncs")?;
+    let piggybacked = wal("piggybacked")?;
+    wal("synced_records")?;
+    wal("checkpoints")?;
+    wal("bytes_written")?;
+    if appends == 0 {
+        return Err(format!("{at}.wal: zero appends on the durability leg"));
+    }
+    if fsyncs >= appends {
+        return Err(format!(
+            "{at}.wal: {fsyncs} fsyncs for {appends} appends — group commit is not grouping"
+        ));
+    }
+    if piggybacked == 0 {
+        return Err(format!("{at}.wal: zero piggybacked syncs at workers > 1"));
+    }
+
+    // ---- gates and verdict ----
+    for key in [
+        "all_recovered",
+        "sites_consistent",
+        "prefix_oracle",
+        "resume_drains",
+        "probe_rejected",
+        "overhead_ok",
+    ] {
+        if doc.at(&["gates", key]) != Some(&Json::Bool(true)) {
+            return Err(format!("recovery.gates: {key} is not true"));
+        }
+    }
+    let verdict = doc
+        .get("verdict")
+        .and_then(Json::as_str)
+        .ok_or("recovery: missing verdict")?;
+    if verdict != "consistent" {
+        return Err(format!("recovery: verdict is {verdict:?}"));
+    }
+    Ok(())
+}
+
 fn check(doc: &Json) -> Result<(), String> {
     let need_str = |path: &[&str]| -> Result<String, String> {
         doc.at(path)
@@ -638,6 +828,10 @@ fn check(doc: &Json) -> Result<(), String> {
     if schema == "dps-mvcc-report-v1" {
         // Abort-free `R_c` gate document (from `mvcc --json`).
         return check_mvcc(doc);
+    }
+    if schema == "dps-recovery-report-v1" {
+        // Crash-recovery gate document (from `recovery --json`).
+        return check_recovery(doc);
     }
     if schema != "dps-scaling-report-v1" {
         return Err(format!("unexpected schema {schema:?}"));

@@ -15,6 +15,7 @@ pub mod analysis;
 pub mod chaos;
 pub mod harness;
 pub mod mvcc;
+pub mod recovery;
 pub mod workloads;
 
 /// Value of a `--bench-out PATH` flag, shared by the gate binaries:

@@ -1,0 +1,687 @@
+//! Crash-recovery gate: kill-point × policy sweep over the durable
+//! engine, every recovered state replayed through the §3 oracle.
+//!
+//! The gate's claim is the tentpole property of the durability layer:
+//! whatever commit the process dies at — record dropped before the
+//! fsync, record torn mid-frame on disk, record durable and *then*
+//! death — [`dps_wm::recover`] reconstructs **exactly the durable
+//! commit prefix** of the run, never a half-applied batch and never a
+//! panic. Concretely, for every swept run:
+//!
+//! * recovery succeeds and reports a durable horizon `w ≤` the
+//!   in-memory commit count, positioned consistently with the kill
+//!   site (`w == kill` after an after-fsync death, `w < kill`
+//!   otherwise, torn tail reported iff the tear was injected);
+//! * the recovered working memory is **byte-identical** (via
+//!   `encode_snapshot`) to a single-thread replay of the run's first
+//!   `w` trace firings, and that truncated trace passes
+//!   [`validate_trace`] — the §3 Theorem 2 condition applied to the
+//!   durable prefix;
+//! * a **resumed** engine over the recovered state drains the rest of
+//!   the workload (`w + resumed commits == expected`), its trace
+//!   replays from the recovered state, and a *second* recovery of the
+//!   resumed incarnation's log lands on the drained fixpoint.
+//!
+//! A **falsifiability probe** keeps the recovery path honest: flipping
+//! one byte inside a mid-log record must make recovery *fail* with a
+//! corruption error (a torn-tail rule that silently truncates interior
+//! damage would "recover" garbage). And an **overhead leg** prices the
+//! whole thing: `match_heavy` with durability on must stay within 25%
+//! of durability off — the group-commit promise that one fsync covers
+//! many committers.
+//!
+//! The `recovery` binary drives this module and emits the
+//! `dps-recovery-report-v1` document `obs_check` shape-checks in CI.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use dps_core::semantics::validate_trace;
+use dps_core::{DurabilityConfig, ParallelConfig, ParallelEngine, Trace};
+use dps_lock::{ConflictPolicy, FaultPlan, Protocol, WalKillSite};
+use dps_obs::json::Json;
+use dps_rules::RuleSet;
+use dps_wm::{recover, WalStats, WorkingMemory};
+
+use crate::chaos::policy_name;
+use crate::workloads;
+
+/// Shape of the sweep.
+#[derive(Clone, Debug)]
+pub struct RecoverySpec {
+    /// Seed for the fault plans (the kill point itself is
+    /// deterministic; the seed feeds any companion injection).
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Scaled-down sweep for `--quick` / tests.
+    pub quick: bool,
+}
+
+/// One workload leg of the sweep.
+struct WorkloadSpec {
+    name: &'static str,
+    build: fn(bool) -> (RuleSet, WorkingMemory),
+    expected: fn(bool) -> usize,
+    /// Checkpoint cadence for this leg (0 = never) — one leg runs with
+    /// checkpoints so recovery exercises the snapshot + log-suffix
+    /// path, one without so it replays the whole log.
+    checkpoint_interval: u64,
+}
+
+const WORKLOADS: [WorkloadSpec; 2] = [
+    WorkloadSpec {
+        name: "counters",
+        build: |quick| {
+            if quick {
+                workloads::counters(3, 3)
+            } else {
+                workloads::counters(4, 3)
+            }
+        },
+        expected: |quick| if quick { 9 } else { 12 },
+        checkpoint_interval: 4,
+    },
+    WorkloadSpec {
+        name: "shared_resources",
+        build: |quick| {
+            if quick {
+                workloads::shared_resources(6, 2)
+            } else {
+                workloads::shared_resources(8, 2)
+            }
+        },
+        expected: |quick| if quick { 6 } else { 8 },
+        checkpoint_interval: 0,
+    },
+];
+
+/// The policies the sweep crosses with every kill site: the stock
+/// lock-based read path and the MVCC snapshot read path (their commit
+/// critical sections stage WAL records identically; the sweep proves
+/// recovery is policy-agnostic).
+pub const POLICIES: [ConflictPolicy; 2] =
+    [ConflictPolicy::AbortReaders, ConflictPolicy::MvccSnapshot];
+
+/// One kill-point run, everything the gate and the report need.
+#[derive(Clone, Debug)]
+pub struct RecoveryRun {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Conflict policy of both incarnations.
+    pub policy: ConflictPolicy,
+    /// Where the process "died".
+    pub site: WalKillSite,
+    /// The commit sequence number the kill fired at.
+    pub kill_commit: u64,
+    /// In-memory commits of the first incarnation (it drains: the dead
+    /// WAL never blocks the run).
+    pub commits: usize,
+    /// Expected total commits of the workload.
+    pub expected: usize,
+    /// Durable horizon recovery landed on.
+    pub durable_seq: u64,
+    /// Checkpoint the recovery started from (0 = genesis).
+    pub checkpoint_seq: u64,
+    /// Redo records replayed on top of the checkpoint.
+    pub replayed: u64,
+    /// Recovery found (and truncated) a torn tail.
+    pub torn_tail: bool,
+    /// Recovery succeeded.
+    pub recovered: bool,
+    /// Durable horizon is consistent with the kill site.
+    pub site_ok: bool,
+    /// Truncated trace passed §3 *and* its serial replay is
+    /// byte-identical to the recovered working memory.
+    pub prefix_oracle: bool,
+    /// Resumed engine drained the remainder, replayed consistently,
+    /// and re-recovered to the fixpoint.
+    pub resumed: bool,
+    /// First failure diagnostic, if any.
+    pub error: Option<String>,
+}
+
+impl RecoveryRun {
+    /// `true` iff every per-run check held.
+    pub fn passes(&self) -> bool {
+        self.commits == self.expected
+            && self.recovered
+            && self.site_ok
+            && self.prefix_oracle
+            && self.resumed
+    }
+
+    /// JSON block for the report.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("workload".into(), Json::str(self.workload)),
+            ("policy".into(), Json::str(policy_name(self.policy))),
+            ("kill_site".into(), Json::str(self.site.name())),
+            ("kill_commit".into(), Json::u64(self.kill_commit)),
+            ("commits".into(), Json::u64(self.commits as u64)),
+            ("expected_commits".into(), Json::u64(self.expected as u64)),
+            ("durable_seq".into(), Json::u64(self.durable_seq)),
+            ("checkpoint_seq".into(), Json::u64(self.checkpoint_seq)),
+            ("replayed".into(), Json::u64(self.replayed)),
+            ("torn_tail".into(), Json::Bool(self.torn_tail)),
+            ("recovered".into(), Json::Bool(self.recovered)),
+            ("site_ok".into(), Json::Bool(self.site_ok)),
+            ("prefix_oracle".into(), Json::Bool(self.prefix_oracle)),
+            ("resumed".into(), Json::Bool(self.resumed)),
+            (
+                "verdict".into(),
+                Json::str(if self.passes() { "consistent" } else { "inconsistent" }),
+            ),
+            (
+                "error".into(),
+                match &self.error {
+                    Some(e) => Json::str(e.as_str()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Serially replays the first `w` firings of `trace` from `initial`,
+/// checking §3 selectability of every step (Theorem 2 on the durable
+/// prefix), and returns the replayed state.
+fn serial_prefix(
+    rules: &RuleSet,
+    initial: &WorkingMemory,
+    trace: &Trace,
+    w: usize,
+) -> Result<WorkingMemory, String> {
+    if w > trace.len() {
+        return Err(format!("durable horizon {w} exceeds trace length {}", trace.len()));
+    }
+    let prefix = Trace { firings: trace.firings[..w].to_vec() };
+    validate_trace(rules, initial, &prefix).map_err(|v| format!("prefix oracle: {v}"))?;
+    let mut wm = initial.clone();
+    for (i, firing) in prefix.firings.iter().enumerate() {
+        wm.apply(&firing.delta)
+            .map_err(|e| format!("prefix replay at commit #{i}: {e}"))?;
+    }
+    Ok(wm)
+}
+
+fn snapshot_bytes(wm: &WorkingMemory) -> Result<Vec<u8>, String> {
+    wm.encode_snapshot().map_err(|e| format!("snapshot encode: {e}"))
+}
+
+/// One kill-point run end-to-end: run → die → recover → oracle the
+/// prefix → resume → drain → re-recover. `dir` is created fresh and
+/// removed on success (left behind for post-mortems on failure).
+fn kill_point_run(
+    spec: &RecoverySpec,
+    workload: &WorkloadSpec,
+    policy: ConflictPolicy,
+    site: WalKillSite,
+    kill_commit: u64,
+    dir: PathBuf,
+) -> RecoveryRun {
+    let _ = fs::remove_dir_all(&dir);
+    let (rules, wm) = (workload.build)(spec.quick);
+    let expected = (workload.expected)(spec.quick);
+    let initial = wm.clone();
+    let mut run = RecoveryRun {
+        workload: workload.name,
+        policy,
+        site,
+        kill_commit,
+        commits: 0,
+        expected,
+        durable_seq: 0,
+        checkpoint_seq: 0,
+        replayed: 0,
+        torn_tail: false,
+        recovered: false,
+        site_ok: false,
+        prefix_oracle: false,
+        resumed: false,
+        error: None,
+    };
+    let fail = |run: &mut RecoveryRun, msg: String| {
+        if run.error.is_none() {
+            run.error = Some(msg);
+        }
+    };
+
+    // ---- first incarnation: run into the kill point ----
+    let durability = DurabilityConfig {
+        dir: dir.clone(),
+        checkpoint_interval: workload.checkpoint_interval,
+    };
+    let mut engine = ParallelEngine::new(
+        &rules,
+        wm,
+        ParallelConfig {
+            protocol: Protocol::RcRaWa,
+            policy,
+            workers: spec.workers,
+            durability: Some(durability.clone()),
+            fault: Some(FaultPlan {
+                seed: spec.seed,
+                wal_kill_commit: kill_commit,
+                wal_kill_site: site,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    );
+    let report = engine.run();
+    run.commits = report.commits;
+    if report.commits != expected {
+        fail(&mut run, format!("first run drained {}/{expected}", report.commits));
+    }
+    if let Err(v) = validate_trace(&rules, &initial, &report.trace) {
+        fail(&mut run, format!("first-run oracle: {v}"));
+    }
+
+    // ---- recovery ----
+    let rec = match recover(&dir) {
+        Ok(rec) => rec,
+        Err(e) => {
+            fail(&mut run, format!("recover: {e}"));
+            return run;
+        }
+    };
+    run.recovered = true;
+    run.durable_seq = rec.last_seq;
+    run.checkpoint_seq = rec.checkpoint_seq;
+    run.replayed = rec.replayed;
+    run.torn_tail = rec.torn_tail;
+
+    // The durable horizon must sit where the kill semantics put it:
+    // after-fsync death keeps exactly the killed commit; both
+    // pre-fsync deaths lose it (and the torn variant must be *seen*
+    // as torn — the tear lands in the final segment by construction).
+    run.site_ok = match site {
+        WalKillSite::AfterSync => rec.last_seq == kill_commit,
+        WalKillSite::AfterPublish => rec.last_seq < kill_commit,
+        WalKillSite::TornTail => rec.last_seq < kill_commit && rec.torn_tail,
+    };
+    if !run.site_ok {
+        fail(
+            &mut run,
+            format!(
+                "site {}: durable_seq {} vs kill {kill_commit}, torn {}",
+                site.name(),
+                rec.last_seq,
+                rec.torn_tail
+            ),
+        );
+    }
+
+    // ---- §3 oracle on the durable prefix + byte-identity ----
+    match serial_prefix(&rules, &initial, &report.trace, rec.last_seq as usize) {
+        Ok(serial) => match (snapshot_bytes(&serial), snapshot_bytes(&rec.wm)) {
+            (Ok(a), Ok(b)) if a == b => run.prefix_oracle = true,
+            (Ok(_), Ok(_)) => fail(
+                &mut run,
+                format!(
+                    "recovered state diverges from the serial replay of the first {} firings",
+                    rec.last_seq
+                ),
+            ),
+            (Err(e), _) | (_, Err(e)) => fail(&mut run, e),
+        },
+        Err(e) => fail(&mut run, e),
+    }
+
+    // ---- resume: drain the remainder over the recovered state ----
+    let mut resumed = ParallelEngine::resume(
+        &rules,
+        rec.wm.clone(),
+        rec.last_seq,
+        ParallelConfig {
+            protocol: Protocol::RcRaWa,
+            policy,
+            workers: spec.workers,
+            durability: Some(durability),
+            ..Default::default()
+        },
+    );
+    let report2 = resumed.run();
+    let total = rec.last_seq + report2.commits as u64;
+    if total != expected as u64 {
+        fail(
+            &mut run,
+            format!(
+                "resume drained {} on top of {} (total {total} != {expected})",
+                report2.commits, rec.last_seq
+            ),
+        );
+    } else if let Err(v) = validate_trace(&rules, &rec.wm, &report2.trace) {
+        fail(&mut run, format!("resumed-run oracle: {v}"));
+    } else {
+        // The second incarnation's log must recover to the fixpoint.
+        match recover(&dir) {
+            Ok(rec2) => match (snapshot_bytes(&resumed.final_wm()), snapshot_bytes(&rec2.wm)) {
+                (Ok(a), Ok(b)) if a == b && rec2.last_seq == expected as u64 => {
+                    run.resumed = true;
+                }
+                (Ok(_), Ok(_)) => fail(
+                    &mut run,
+                    format!(
+                        "re-recovery landed on seq {} / diverging state (want {expected})",
+                        rec2.last_seq
+                    ),
+                ),
+                (Err(e), _) | (_, Err(e)) => fail(&mut run, e),
+            },
+            Err(e) => fail(&mut run, format!("re-recover: {e}")),
+        }
+    }
+
+    if run.passes() {
+        let _ = fs::remove_dir_all(&dir);
+    }
+    run
+}
+
+/// The full sweep: workloads × policies × kill sites × kill commits.
+pub fn sweep(spec: &RecoverySpec, scratch: &Path) -> Vec<RecoveryRun> {
+    let mut runs = Vec::new();
+    let mut idx = 0usize;
+    for workload in &WORKLOADS {
+        let expected = (workload.expected)(spec.quick) as u64;
+        let kills: Vec<u64> = if spec.quick {
+            vec![2, expected - 1]
+        } else {
+            vec![2, expected / 2, expected - 1]
+        };
+        for policy in POLICIES {
+            for site in WalKillSite::ALL {
+                for &kill in &kills {
+                    let dir = scratch.join(format!("run-{idx}"));
+                    idx += 1;
+                    runs.push(kill_point_run(spec, workload, policy, site, kill, dir));
+                }
+            }
+        }
+    }
+    runs
+}
+
+/// Falsifiability probe: a clean durable run whose log then suffers a
+/// one-byte flip in a **mid-log** record. The torn-tail rule only
+/// forgives damage at the very end of the final segment; interior
+/// corruption must make recovery fail. Returns `Ok(true)` iff recovery
+/// rejected the mangled log.
+pub fn probe_corrupt_record(scratch: &Path) -> Result<bool, String> {
+    let dir = scratch.join("probe-corrupt");
+    let _ = fs::remove_dir_all(&dir);
+    let (rules, wm) = workloads::counters(2, 3);
+    let mut engine = ParallelEngine::new(
+        &rules,
+        wm,
+        ParallelConfig {
+            // No checkpoints: one segment holds the whole log.
+            durability: Some(DurabilityConfig { dir: dir.clone(), checkpoint_interval: 0 }),
+            ..Default::default()
+        },
+    );
+    let report = engine.run();
+    if report.commits != 6 {
+        return Err(format!("probe run drained {}/6", report.commits));
+    }
+    recover(&dir).map_err(|e| format!("probe pre-recovery failed: {e}"))?;
+    let segment = fs::read_dir(&dir)
+        .map_err(|e| format!("probe readdir: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|x| x == "log"))
+        .ok_or("probe: no wal segment found")?;
+    let mut bytes = fs::read(&segment).map_err(|e| format!("probe read: {e}"))?;
+    // Segment header is 13 bytes, each frame is [len u32][crc u32]
+    // [payload]; flip a byte inside the *first* record's payload —
+    // with 6 records behind it, this is interior damage, not a tail.
+    let at = 13 + 8 + 2;
+    if bytes.len() <= at + 16 {
+        return Err(format!("probe: segment unexpectedly small ({} bytes)", bytes.len()));
+    }
+    bytes[at] ^= 0xFF;
+    fs::write(&segment, &bytes).map_err(|e| format!("probe write: {e}"))?;
+    let rejected = recover(&dir).is_err();
+    let _ = fs::remove_dir_all(&dir);
+    Ok(rejected)
+}
+
+/// One leg of the fsync-overhead A/B.
+#[derive(Clone, Copy, Debug)]
+pub struct OverheadLeg {
+    /// Commits (both legs must drain the same workload).
+    pub commits: usize,
+    /// Best-of-reps wall seconds.
+    pub secs: f64,
+}
+
+impl OverheadLeg {
+    /// Commits per second.
+    pub fn throughput(&self) -> f64 {
+        self.commits as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// The fsync-overhead measurement: `match_heavy` with durability off
+/// vs on, same workers, best of `reps`.
+#[derive(Clone, Debug)]
+pub struct Overhead {
+    /// Durability off.
+    pub off: OverheadLeg,
+    /// Durability on (WAL + group commit, no kill points).
+    pub on: OverheadLeg,
+    /// `on.secs / off.secs` — the gate wants ≤ 1.25.
+    pub ratio: f64,
+    /// WAL counters from the on leg (the group-commit evidence:
+    /// `fsyncs` well below `appends`).
+    pub wal: WalStats,
+}
+
+/// Runs the overhead A/B. The on-leg's recovered state must also match
+/// its in-memory final state (a throughput run is still a correctness
+/// run).
+pub fn overhead(spec: &RecoverySpec, scratch: &Path) -> Result<Overhead, String> {
+    let (groups, pairs, reps) = if spec.quick { (16, 16, 2) } else { (48, 32, 4) };
+    let expected = groups * pairs;
+    let on_dir = scratch.join("overhead");
+    let run_leg = |durability: Option<DurabilityConfig>| -> Result<(f64, Option<WalStats>), String> {
+        if let Some(d) = &durability {
+            let _ = fs::remove_dir_all(&d.dir);
+        }
+        let (rules, wm) = workloads::match_heavy(groups, pairs);
+        let mut engine = ParallelEngine::new(
+            &rules,
+            wm,
+            ParallelConfig {
+                workers: spec.workers,
+                durability: durability.clone(),
+                ..Default::default()
+            },
+        );
+        let t0 = Instant::now();
+        let report = engine.run();
+        let secs = t0.elapsed().as_secs_f64();
+        if report.commits != expected {
+            return Err(format!("overhead leg drained {}/{expected}", report.commits));
+        }
+        if durability.is_some() {
+            let rec = recover(&on_dir).map_err(|e| format!("overhead recovery: {e}"))?;
+            let (a, b) = (snapshot_bytes(&rec.wm)?, snapshot_bytes(&engine.final_wm())?);
+            if a != b || rec.last_seq != expected as u64 {
+                return Err("overhead on-leg recovery diverged from the final state".into());
+            }
+        }
+        Ok((secs, report.wal))
+    };
+    // One untimed warm-up run primes the allocator, the Rete network
+    // and the scheduler so the cold start lands on neither timed leg;
+    // then the legs alternate, so disk and scheduler drift over the
+    // measurement window hits both fairly instead of whichever leg
+    // happens to run last. Best-of-N per leg.
+    run_leg(None)?;
+    let durability = DurabilityConfig { dir: on_dir.clone(), checkpoint_interval: 0 };
+    let (mut off_best, mut on_best, mut wal) = (f64::INFINITY, f64::INFINITY, None);
+    for _ in 0..reps {
+        let (secs, _) = run_leg(None)?;
+        off_best = off_best.min(secs);
+        let (secs, w) = run_leg(Some(durability.clone()))?;
+        on_best = on_best.min(secs);
+        wal = w;
+    }
+    let _ = fs::remove_dir_all(&on_dir);
+    let wal = wal.ok_or("overhead on-leg reported no wal stats")?;
+    let off = OverheadLeg { commits: expected, secs: off_best };
+    let on = OverheadLeg { commits: expected, secs: on_best };
+    Ok(Overhead { off, on, ratio: on.secs / off.secs.max(1e-9), wal })
+}
+
+/// Gate booleans, computed once and shared by the document and the
+/// binary's exit code.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryGates {
+    /// Every kill-point run recovered (no panic, no half-applied state).
+    pub all_recovered: bool,
+    /// Every durable horizon sat where its kill site put it.
+    pub sites_consistent: bool,
+    /// Every recovered state equalled the §3-validated serial replay of
+    /// its durable commit prefix, byte for byte.
+    pub prefix_oracle: bool,
+    /// Every resumed engine drained, replayed, and re-recovered.
+    pub resume_drains: bool,
+    /// The corrupted mid-log record was rejected.
+    pub probe_rejected: bool,
+    /// `on/off ≤ 1.25` on the `match_heavy` overhead A/B.
+    pub overhead_ok: bool,
+}
+
+impl RecoveryGates {
+    /// Evaluates the gates over the sweep, the probe and the A/B.
+    pub fn evaluate(runs: &[RecoveryRun], probe_rejected: bool, overhead: &Overhead) -> Self {
+        RecoveryGates {
+            all_recovered: runs.iter().all(|r| r.recovered && r.commits == r.expected),
+            sites_consistent: runs.iter().all(|r| r.site_ok),
+            prefix_oracle: runs.iter().all(|r| r.prefix_oracle),
+            resume_drains: runs.iter().all(|r| r.resumed),
+            probe_rejected,
+            overhead_ok: overhead.ratio <= 1.25,
+        }
+    }
+
+    /// All gates green.
+    pub fn all(&self) -> bool {
+        self.all_recovered
+            && self.sites_consistent
+            && self.prefix_oracle
+            && self.resume_drains
+            && self.probe_rejected
+            && self.overhead_ok
+    }
+}
+
+/// Assembles the `dps-recovery-report-v1` document.
+pub fn recovery_document(
+    spec: &RecoverySpec,
+    runs: &[RecoveryRun],
+    probe_rejected: bool,
+    overhead: &Overhead,
+    gates: &RecoveryGates,
+) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::str("dps-recovery-report-v1")),
+        ("seed".into(), Json::u64(spec.seed)),
+        ("workers".into(), Json::u64(spec.workers as u64)),
+        (
+            "runs".into(),
+            Json::Arr(runs.iter().map(RecoveryRun::to_json).collect()),
+        ),
+        (
+            "probe".into(),
+            Json::Obj(vec![(
+                "corrupt_record_rejected".into(),
+                Json::Bool(probe_rejected),
+            )]),
+        ),
+        (
+            "overhead".into(),
+            Json::Obj(vec![
+                ("workload".into(), Json::str("match_heavy")),
+                ("commits".into(), Json::u64(overhead.on.commits as u64)),
+                ("off_secs".into(), Json::num(overhead.off.secs)),
+                ("on_secs".into(), Json::num(overhead.on.secs)),
+                ("off_throughput".into(), Json::num(overhead.off.throughput())),
+                ("on_throughput".into(), Json::num(overhead.on.throughput())),
+                ("ratio".into(), Json::num(overhead.ratio)),
+                (
+                    "wal".into(),
+                    Json::Obj(vec![
+                        ("appends".into(), Json::u64(overhead.wal.appends)),
+                        ("fsyncs".into(), Json::u64(overhead.wal.fsyncs)),
+                        ("synced_records".into(), Json::u64(overhead.wal.synced_records)),
+                        ("piggybacked".into(), Json::u64(overhead.wal.piggybacked)),
+                        ("checkpoints".into(), Json::u64(overhead.wal.checkpoints)),
+                        ("bytes_written".into(), Json::u64(overhead.wal.bytes_written)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "gates".into(),
+            Json::Obj(vec![
+                ("all_recovered".into(), Json::Bool(gates.all_recovered)),
+                ("sites_consistent".into(), Json::Bool(gates.sites_consistent)),
+                ("prefix_oracle".into(), Json::Bool(gates.prefix_oracle)),
+                ("resume_drains".into(), Json::Bool(gates.resume_drains)),
+                ("probe_rejected".into(), Json::Bool(gates.probe_rejected)),
+                ("overhead_ok".into(), Json::Bool(gates.overhead_ok)),
+            ]),
+        ),
+        (
+            "verdict".into(),
+            Json::str(if gates.all() { "consistent" } else { "inconsistent" }),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dps-recovery-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn quick_sweep_clears_every_per_run_check() {
+        let spec = RecoverySpec { seed: 0x7E57, workers: 4, quick: true };
+        let dir = scratch("sweep");
+        let runs = sweep(&spec, &dir);
+        assert_eq!(runs.len(), 2 * 2 * 3 * 2, "workloads x policies x sites x kills");
+        for r in &runs {
+            assert!(
+                r.passes(),
+                "{} / {} / {} @ {}: {:?}",
+                r.workload,
+                policy_name(r.policy),
+                r.site.name(),
+                r.kill_commit,
+                r.error
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_mid_log_record_is_rejected() {
+        let dir = scratch("probe");
+        assert_eq!(probe_corrupt_record(&dir), Ok(true));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -57,6 +57,8 @@ mod world;
 
 pub use firing::{Firing, Footprint, Trace};
 pub use governor::{Governor, GovernorConfig, GovernorStats};
-pub use parallel::{AbortStats, ParallelConfig, ParallelEngine, ParallelReport, WorkModel};
+pub use parallel::{
+    AbortStats, DurabilityConfig, ParallelConfig, ParallelEngine, ParallelReport, WorkModel,
+};
 pub use single::{EngineConfig, RunReport, SingleThreadEngine, StepOutcome};
 pub use static_parallel::{SelectionMode, StaticConfig, StaticParallelEngine, StaticReport};

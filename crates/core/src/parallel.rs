@@ -82,12 +82,13 @@ use std::time::{Duration, Instant};
 
 use dps_lock::{
     res_key, ConflictPolicy, FaultInjector, FaultPlan, FaultStats, LockManager, LockMode, Protocol,
-    ResourceId, TxnId,
+    ResourceId, TxnId, WalKillSite,
 };
 use dps_match::{InstKey, Instantiation, Matcher, DEFAULT_MATCH_SHARDS};
 use dps_obs::{EventKind as ObsEvent, FanoutStats, Phase, Recorder};
 use dps_rules::{instantiate_actions, RuleSet};
-use dps_wm::{Atom, WorkingMemory};
+use dps_wm::wal::KillMode;
+use dps_wm::{Atom, DurableWm, WalError, WalStats, WorkingMemory};
 
 use crate::governor::{Governor, GovernorConfig, GovernorStats};
 use crate::pipeline::MatchPipeline;
@@ -215,6 +216,33 @@ pub struct ParallelConfig {
     /// monolithic pre-pipeline layout — the recovery knob `matchbench`
     /// measures). See [`crate::pipeline`].
     pub match_shards: usize,
+    /// Durability: when set, every commit's change batch is staged
+    /// into a file-backed group-commit WAL under the base mutex and
+    /// fsynced (piggybacked) before the worker moves on, with periodic
+    /// checkpoint snapshots; [`dps_wm::recover`] +
+    /// [`ParallelEngine::resume`] rebuild and continue after a crash.
+    /// `None` (the default) keeps the commit path free of any
+    /// durability cost — one branch on a `None`, like `observe` and
+    /// `fault`.
+    pub durability: Option<DurabilityConfig>,
+}
+
+/// Configuration of the durability layer ([`ParallelConfig::durability`]).
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding the checkpoints and WAL segments.
+    pub dir: std::path::PathBuf,
+    /// Take a checkpoint (snapshot + log rotation + prune) every this
+    /// many commits. `0` = never checkpoint (one segment grows
+    /// forever); useful for tests that want the whole log.
+    pub checkpoint_interval: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with the default checkpoint cadence.
+    pub fn at(dir: impl Into<std::path::PathBuf>) -> Self {
+        DurabilityConfig { dir: dir.into(), checkpoint_interval: 4096 }
+    }
 }
 
 impl Default for ParallelConfig {
@@ -232,6 +260,7 @@ impl Default for ParallelConfig {
             fault: None,
             governor: None,
             match_shards: DEFAULT_MATCH_SHARDS,
+            durability: None,
         }
     }
 }
@@ -321,6 +350,9 @@ pub struct ParallelReport {
     /// applies, free epoch advances, stolen catch-ups; maintained with
     /// or without [`ParallelConfig::observe`]).
     pub fanout: FanoutStats,
+    /// WAL counters, when [`ParallelConfig::durability`] was attached
+    /// (appends/fsyncs/piggybacks — the group-commit evidence).
+    pub wal: Option<WalStats>,
 }
 
 /// Scheduler state: who has claimed what, who is doomed at engine
@@ -406,6 +438,9 @@ pub struct ParallelEngine {
     injector: Option<Arc<FaultInjector>>,
     /// Adaptive retry governor ([`ParallelConfig::governor`]).
     governor: Option<Governor>,
+    /// Durability layer ([`ParallelConfig::durability`]): checkpoint +
+    /// group-commit WAL. `None` ⇒ the commit path pays one branch.
+    durable: Option<Arc<DurableWm>>,
 }
 
 enum WorkerStep {
@@ -416,7 +451,34 @@ enum WorkerStep {
 impl ParallelEngine {
     /// Creates the engine over an initial working memory.
     pub fn new(rules: &RuleSet, wm: WorkingMemory, config: ParallelConfig) -> Self {
-        let pipeline = MatchPipeline::new(rules, wm, config.match_shards);
+        Self::build(rules, wm, 0, config)
+    }
+
+    /// Creates the engine over a **recovered** working memory, resuming
+    /// the commit sequence at `last_seq + 1` (see [`dps_wm::recover`]).
+    /// With [`ParallelConfig::durability`] set, a fresh checkpoint is
+    /// cut at `last_seq` so the new log suffix starts clean (this also
+    /// retires any torn tail left by the crash).
+    pub fn resume(
+        rules: &RuleSet,
+        wm: WorkingMemory,
+        last_seq: u64,
+        config: ParallelConfig,
+    ) -> Self {
+        Self::build(rules, wm, last_seq, config)
+    }
+
+    fn build(rules: &RuleSet, wm: WorkingMemory, base_seq: u64, config: ParallelConfig) -> Self {
+        // The durability layer snapshots `wm` before the pipeline takes
+        // ownership of it (checkpoint-at-base: recovery never needs log
+        // records older than `base_seq`).
+        let durable = config.durability.as_ref().map(|d| {
+            Arc::new(
+                DurableWm::create(&d.dir, &wm, base_seq)
+                    .expect("durability dir initialises"),
+            )
+        });
+        let pipeline = MatchPipeline::new_at(rules, wm, config.match_shards, base_seq);
         let mut class_ids = HashMap::new();
         for (_, rule) in rules.iter() {
             for cond in &rule.conditions {
@@ -458,6 +520,7 @@ impl ParallelEngine {
             obs,
             injector,
             governor,
+            durable,
         }
     }
 
@@ -488,6 +551,14 @@ impl ParallelEngine {
                 scope.spawn(move || this.worker_loop(idx));
             }
         });
+        // Quiescence flush: the baton flusher only guarantees eventual
+        // durability while commits keep arriving; make the final tail
+        // durable here so a clean shutdown recovers completely.
+        if let Some(durable) = &self.durable {
+            if !durable.writer().is_dead() {
+                let _ = durable.writer().flush();
+            }
+        }
         let wall = start.elapsed();
         let halted = self.ledger.lock().unwrap().halted;
         ParallelReport {
@@ -501,7 +572,14 @@ impl ParallelEngine {
             fault_stats: self.injector.as_ref().map(|inj| inj.stats()),
             governor: self.governor.as_ref().map(|g| g.stats()),
             fanout: self.pipeline.fanout_stats(),
+            wal: self.durable.as_ref().map(|d| d.writer().stats()),
         }
+    }
+
+    /// The durability layer, when [`ParallelConfig::durability`] is set
+    /// (checkpoint directory + group-commit WAL writer).
+    pub fn durable(&self) -> Option<&Arc<DurableWm>> {
+        self.durable.as_ref()
     }
 
     /// A snapshot of the current working memory (after `run`, the final
@@ -1038,6 +1116,69 @@ impl ParallelEngine {
             .expect("committed firing only touches live WMEs");
         let seq = base.next_seq;
         base.next_seq += 1;
+        // Durability: stage this commit's redo record *before* `publish`
+        // consumes the batch. Staging runs under the base mutex, so
+        // records enter the WAL in sequence order; the fsync (group
+        // commit) waits until the critical section is over. A dead
+        // writer (a kill point already fired) is ignored — the
+        // in-memory run keeps going, and the chaos harness measures
+        // what survived on disk.
+        let mut checkpoint_snap: Option<Vec<u8>> = None;
+        if let Some(durable) = &self.durable {
+            let writer = durable.writer();
+            // Kill-point seam: simulate process death at this commit.
+            // The record's fate depends on the site — dropped on the
+            // floor (died before the fsync), torn mid-frame, or made
+            // durable first (died right after the fsync). Dropped and
+            // torn stage + kill under one WAL-file lock acquisition
+            // (`append_then_kill`): a concurrent group-commit flusher
+            // must not slip between the two and make the doomed record
+            // durable, or the site's horizon would be nondeterministic.
+            let kill_site = self.injector.as_ref().and_then(|inj| inj.wal_kill(seq));
+            let staged = match kill_site {
+                None => writer.append(seq, &changes),
+                Some(WalKillSite::AfterPublish) => {
+                    writer.append_then_kill(seq, &changes, KillMode::Clean)
+                }
+                Some(WalKillSite::TornTail) => {
+                    writer.append_then_kill(seq, &changes, KillMode::Torn)
+                }
+                Some(WalKillSite::AfterSync) => writer
+                    .append(seq, &changes)
+                    .and_then(|()| writer.flush().map(drop))
+                    .and_then(|()| writer.kill(KillMode::Clean)),
+            };
+            match staged {
+                Ok(()) => {
+                    if kill_site.is_some() {
+                        if let Some(inj) = &self.injector {
+                            inj.count_wal_kill(txn, obs);
+                        }
+                    }
+                }
+                Err(WalError::Dead) => {}
+                Err(e) => panic!("wal append at seq {seq}: {e}"),
+            }
+            // Checkpoint cadence: rotate the log under the base mutex
+            // (cheap — flush + reopen), encode the snapshot under the
+            // same mutex (it must capture exactly seq's state), and
+            // defer the slow snapshot write to after the critical
+            // section.
+            let interval = self
+                .config
+                .durability
+                .as_ref()
+                .map_or(0, |d| d.checkpoint_interval);
+            if interval > 0 && seq.is_multiple_of(interval) && !writer.is_dead() {
+                let snap = base
+                    .wm
+                    .encode_snapshot()
+                    .expect("checkpoint snapshot encodes");
+                if durable.rotate(seq).is_ok() {
+                    checkpoint_snap = Some(snap);
+                }
+            }
+        }
         // Version-write footprint for the SI polygraph, captured before
         // `publish` consumes the batch (one entry per written tuple,
         // the installing sequence is this commit's).
@@ -1165,6 +1306,31 @@ impl ParallelEngine {
         // the commit critical section — the pipeline half of the
         // design: match work overlaps the next commit.
         self.pipeline.fan_out(&affected, seq, obs);
+        // Durability tail, with no engine lock held: the deferred
+        // checkpoint-snapshot install, then the group-commit request
+        // for this sequence number. `request_sync` is non-blocking for
+        // piggybackers — one committer at a time holds the flush baton
+        // and fsyncs for everyone, so workers keep firing while the
+        // disk catches up (the durable horizon trails the published one
+        // by at most the in-flight batch, exactly the prefix-loss the
+        // recovery gate sweeps). A dead writer means a kill point
+        // fired — the commit stays visible in memory and simply never
+        // becomes durable, which is the condition recovery is tested
+        // against.
+        if let Some(durable) = &self.durable {
+            if let Some(snap) = &checkpoint_snap {
+                if durable.install_checkpoint(seq, snap).is_ok() {
+                    if let Some(obs) = obs {
+                        obs.record(txn.0, ObsEvent::Checkpoint { seq });
+                    }
+                }
+            }
+            if let Ok(Some(horizon)) = durable.writer().request_sync(seq) {
+                if let Some(obs) = obs {
+                    obs.record(txn.0, ObsEvent::WalSync { seq: horizon });
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -1717,5 +1883,116 @@ mod tests {
         // engine's, which must equal the injector's forced-abort count.
         let stats = report.fault_stats.unwrap();
         assert_eq!(report.aborts.injected, stats.forced_aborts);
+    }
+
+    fn durability_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dps-engine-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_run_recovers_to_final_state() {
+        let dir = durability_dir("final-state");
+        let (rules, wm) = counters(5, 3);
+        let cfg = ParallelConfig {
+            durability: Some(DurabilityConfig {
+                dir: dir.clone(),
+                checkpoint_interval: 4,
+            }),
+            ..Default::default()
+        };
+        let (report, final_wm) = run_with(&rules, wm, cfg);
+        assert_eq!(report.commits, 15);
+        let wal = report.wal.expect("durability attached");
+        assert_eq!(wal.appends, 15, "one redo record per commit");
+        assert!(wal.fsyncs >= 1, "at least one group-commit fsync");
+        assert!(wal.checkpoints >= 1, "interval 4 over 15 commits checkpoints");
+        let rec = dps_wm::recover(&dir).expect("clean shutdown recovers");
+        assert_eq!(rec.last_seq, 15);
+        assert!(!rec.torn_tail);
+        assert_eq!(
+            rec.wm.encode_snapshot().unwrap(),
+            final_wm.encode_snapshot().unwrap(),
+            "recovered WM must be byte-identical to the final in-memory WM"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_point_loses_tail_then_resume_drains() {
+        let dir = durability_dir("kill-resume");
+        let (rules, wm) = counters(4, 3);
+        let cfg = ParallelConfig {
+            durability: Some(DurabilityConfig::at(&dir)),
+            fault: Some(FaultPlan {
+                wal_kill_commit: 5,
+                wal_kill_site: WalKillSite::TornTail,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let (report, _) = run_with(&rules, wm, cfg);
+        assert_eq!(report.commits, 12, "in-memory run drains despite the dead WAL");
+        let stats = report.fault_stats.expect("fault plan attached");
+        assert_eq!(stats.wal_kills, 1);
+        // Recovery sees the durable prefix only: the torn record (and
+        // everything after the kill) is gone.
+        let rec = dps_wm::recover(&dir).expect("torn tail truncates cleanly");
+        assert!(rec.last_seq < 12, "the tail after the kill must be lost");
+        // A resumed engine continues the sequence space and drains the
+        // recovered state to the same fixpoint.
+        let mut resumed = ParallelEngine::resume(
+            &rules,
+            rec.wm.clone(),
+            rec.last_seq,
+            ParallelConfig {
+                durability: Some(DurabilityConfig::at(&dir)),
+                ..Default::default()
+            },
+        );
+        let initial = rec.wm;
+        let report2 = resumed.run();
+        validate_trace(&rules, &initial, &report2.trace).expect("resumed run is consistent");
+        assert_eq!(
+            report2.commits as u64,
+            12 - rec.last_seq,
+            "exactly the lost work re-runs"
+        );
+        for cell in resumed.final_wm().class_iter("cell") {
+            assert_eq!(cell.get("n"), Some(&Value::Int(0)));
+        }
+        // And the second incarnation's log recovers to the fixpoint.
+        let rec2 = dps_wm::recover(&dir).expect("second incarnation recovers");
+        assert_eq!(rec2.last_seq, 12);
+        assert_eq!(
+            rec2.wm.encode_snapshot().unwrap(),
+            resumed.final_wm().encode_snapshot().unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn after_sync_kill_keeps_the_killed_commit() {
+        let dir = durability_dir("after-sync");
+        let (rules, wm) = counters(2, 3);
+        let cfg = ParallelConfig {
+            workers: 1,
+            durability: Some(DurabilityConfig::at(&dir)),
+            fault: Some(FaultPlan {
+                wal_kill_commit: 4,
+                wal_kill_site: WalKillSite::AfterSync,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let (report, _) = run_with(&rules, wm, cfg);
+        assert_eq!(report.commits, 6);
+        let rec = dps_wm::recover(&dir).expect("recovers");
+        assert_eq!(
+            rec.last_seq, 4,
+            "died right after the fsync: commit 4 is durable, 5.. are not"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

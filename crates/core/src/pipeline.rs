@@ -154,9 +154,15 @@ pub(crate) struct MatchPipeline {
 
 impl MatchPipeline {
     /// Partitions `rules` onto at most `shards` shards (clamped to the
-    /// class-connected component count) and loads `wm` into every shard
-    /// network.
-    pub fn new(rules: &RuleSet, wm: WorkingMemory, shards: usize) -> Self {
+    /// class-connected component count), loads `wm` into every shard
+    /// network, and starts the sequence space at `base_seq` — the last
+    /// committed sequence number, as recovered from a durable log (`0`
+    /// = a fresh system). `wm` must be the state *as of* commit
+    /// `base_seq`; the watermark and every shard cursor start there,
+    /// and the next commit takes `base_seq + 1`, so a resumed engine's
+    /// WAL records continue the same sequence the crashed incarnation
+    /// was writing.
+    pub fn new_at(rules: &RuleSet, wm: WorkingMemory, shards: usize, base_seq: u64) -> Self {
         let plan = ShardPlan::new(rules, shards);
         let shard_states = plan
             .build(rules, &wm)
@@ -167,17 +173,17 @@ impl MatchPipeline {
                     refracted: HashSet::new(),
                     gc_at: 1024,
                 }),
-                applied: AtomicU64::new(0),
+                applied: AtomicU64::new(base_seq),
             })
             .collect();
         let mut versions = VersionedStore::new(VERSION_CHAIN_CAP);
         versions.seed(&wm);
         MatchPipeline {
-            base: Mutex::new(WmBase { wm, next_seq: 1 }),
+            base: Mutex::new(WmBase { wm, next_seq: base_seq + 1 }),
             plan,
             shards: shard_states,
             log: Mutex::new(VecDeque::new()),
-            watermark: AtomicU64::new(0),
+            watermark: AtomicU64::new(base_seq),
             stats: PipelineStats::default(),
             versions: RwLock::new(versions),
             pins: Mutex::new(BTreeMap::new()),
@@ -411,7 +417,7 @@ mod tests {
         wm.insert(WmeData::new("a").with("k", 1i64));
         wm.insert(WmeData::new("b").with("k", 1i64));
         wm.insert(WmeData::new("e").with("k", 2i64));
-        let p = MatchPipeline::new(&rules, wm, shards);
+        let p = MatchPipeline::new_at(&rules, wm, shards, 0);
         (rules, p)
     }
 

@@ -104,6 +104,47 @@ pub struct FaultPlan {
     /// **must** be rejected by the §3 checker, proving the chaos gate
     /// can actually fail.
     pub corrupt_fire_seq: bool,
+    /// Kill the WAL writer at exactly this commit sequence number
+    /// (0 = off). Deterministic rather than probabilistic: a crash
+    /// point is a *place*, and the recovery gate sweeps places.
+    pub wal_kill_commit: u64,
+    /// Where, relative to the doomed commit, the "process" dies.
+    pub wal_kill_site: WalKillSite,
+}
+
+/// Kill-point placement for [`FaultPlan::wal_kill_commit`] — which
+/// durability seam the simulated process death lands on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WalKillSite {
+    /// Die after the commit publishes to the delta log but before its
+    /// WAL record is fsynced — the batch is visible to the run but
+    /// must NOT survive recovery (it was never durable).
+    #[default]
+    AfterPublish,
+    /// Die mid-write: the tail WAL record reaches disk torn (a strict
+    /// prefix of its frame), exercising the torn-tail truncation rule.
+    TornTail,
+    /// Die right after the commit's fsync — the batch is durable and
+    /// recovery must reproduce exactly this prefix.
+    AfterSync,
+}
+
+impl WalKillSite {
+    /// Short static label (report vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            WalKillSite::AfterPublish => "after_publish",
+            WalKillSite::TornTail => "torn_tail",
+            WalKillSite::AfterSync => "after_sync",
+        }
+    }
+
+    /// Every kill site, for sweeps.
+    pub const ALL: [WalKillSite; 3] = [
+        WalKillSite::AfterPublish,
+        WalKillSite::TornTail,
+        WalKillSite::AfterSync,
+    ];
 }
 
 impl FaultPlan {
@@ -198,6 +239,7 @@ struct FaultCounters {
     rhs_stalls: AtomicU64,
     timeout_storms: AtomicU64,
     timeout_race_stalls: AtomicU64,
+    wal_kills: AtomicU64,
 }
 
 /// Point-in-time snapshot of every injection counter.
@@ -215,6 +257,9 @@ pub struct FaultStats {
     pub timeout_storms: u64,
     /// Deterministic timeout-race stalls taken.
     pub timeout_race_stalls: u64,
+    /// WAL kill points that fired (at most 1 per run — the process is
+    /// dead afterwards).
+    pub wal_kills: u64,
 }
 
 impl FaultStats {
@@ -226,6 +271,7 @@ impl FaultStats {
             + self.rhs_stalls
             + self.timeout_storms
             + self.timeout_race_stalls
+            + self.wal_kills
     }
 }
 
@@ -258,6 +304,7 @@ impl FaultInjector {
             rhs_stalls: self.counters.rhs_stalls.load(Relaxed),
             timeout_storms: self.counters.timeout_storms.load(Relaxed),
             timeout_race_stalls: self.counters.timeout_race_stalls.load(Relaxed),
+            wal_kills: self.counters.wal_kills.load(Relaxed),
         }
     }
 
@@ -369,6 +416,27 @@ impl FaultInjector {
         }
     }
 
+    /// Durability seam: does the WAL kill point fire at this commit
+    /// sequence number? Deterministic — exactly the configured commit,
+    /// independent of thread interleaving (seq numbers are allocated
+    /// under the engine's base mutex). The engine performs the actual
+    /// kill; this just decides and tells it where to die. Public
+    /// because the engine (not the lock manager) owns the commit path.
+    pub fn wal_kill(&self, seq: u64) -> Option<WalKillSite> {
+        if self.plan.wal_kill_commit != 0 && seq == self.plan.wal_kill_commit {
+            Some(self.plan.wal_kill_site)
+        } else {
+            None
+        }
+    }
+
+    /// Counts a WAL kill the engine actually carried out, with its
+    /// first-class fault event.
+    pub fn count_wal_kill(&self, txn: TxnId, obs: Option<&Recorder>) {
+        self.counters.wal_kills.fetch_add(1, Relaxed);
+        Self::emit(obs, txn, "wal_kill");
+    }
+
     /// Falsifiability seam: corrupt a commit-sequence number. The §3
     /// checker must reject the resulting trace — `chaos` and
     /// `tests/chaos.rs` prove the oracle can actually fail.
@@ -462,6 +530,33 @@ mod tests {
         }
         assert!(FaultPlan::by_name("nope", 0).is_none());
         assert_eq!(FaultPlan::by_name("quiet", 5), Some(FaultPlan::quiet(5)));
+    }
+
+    #[test]
+    fn wal_kill_fires_exactly_at_its_commit() {
+        let quiet = FaultInjector::new(FaultPlan::quiet(1));
+        for seq in 0..100 {
+            assert!(quiet.wal_kill(seq).is_none(), "quiet plan kills nothing");
+        }
+        let inj = FaultInjector::new(FaultPlan {
+            wal_kill_commit: 7,
+            wal_kill_site: WalKillSite::TornTail,
+            ..Default::default()
+        });
+        for seq in 0..100 {
+            let hit = inj.wal_kill(seq);
+            if seq == 7 {
+                assert_eq!(hit, Some(WalKillSite::TornTail));
+            } else {
+                assert!(hit.is_none(), "seq {seq}");
+            }
+        }
+        inj.count_wal_kill(TxnId(3), None);
+        assert_eq!(inj.stats().wal_kills, 1);
+        assert_eq!(inj.stats().total(), 1);
+        for site in WalKillSite::ALL {
+            assert!(!site.name().is_empty());
+        }
     }
 
     #[test]

@@ -55,7 +55,7 @@ mod sharding;
 mod txn;
 
 pub use error::LockError;
-pub use fault::{FaultInjector, FaultPlan, FaultStats};
+pub use fault::{FaultInjector, FaultPlan, FaultStats, WalKillSite};
 pub use manager::{
     res_key, res_of_key, CommitOutcome, ConflictPolicy, LockEvent, LockManager,
     LockManagerBuilder, LockStats, TxnId,

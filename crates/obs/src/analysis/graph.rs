@@ -123,7 +123,11 @@ pub fn build(history: &[Event]) -> BlockingGraph {
         // extend the span.
         if !matches!(
             ev.kind,
-            EventKind::Fire { .. } | EventKind::Fault { .. } | EventKind::Escalate { .. }
+            EventKind::Fire { .. }
+                | EventKind::Fault { .. }
+                | EventKind::Escalate { .. }
+                | EventKind::WalSync { .. }
+                | EventKind::Checkpoint { .. }
         ) {
             span.end_ts = span.end_ts.max(ev.ts);
         }
@@ -197,7 +201,9 @@ pub fn build(history: &[Event]) -> BlockingGraph {
             | EventKind::Escalate { .. }
             | EventKind::SnapshotPin { .. }
             | EventKind::VersionRead { .. }
-            | EventKind::VersionWrite { .. } => {}
+            | EventKind::VersionWrite { .. }
+            | EventKind::WalSync { .. }
+            | EventKind::Checkpoint { .. } => {}
         }
     }
     // Any wait still open at end-of-history (ring drop or hung run):

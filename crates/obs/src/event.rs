@@ -199,18 +199,34 @@ pub enum EventKind {
         /// Installing commit sequence.
         seq: u64,
     },
+    /// Durability: the WAL group-commit fsync that made this
+    /// transaction's commit durable completed; `seq` is the durable
+    /// horizon the flush published. Emitted after the commit critical
+    /// section, so it trails the `Commit` terminal like `Fire` does.
+    WalSync {
+        /// Durable horizon (highest commit seq covered by the fsync).
+        seq: u64,
+    },
+    /// Durability: a checkpoint snapshot was installed at this commit
+    /// sequence number (log segments before it become prunable). Also
+    /// trails the emitting transaction's terminal.
+    Checkpoint {
+        /// The checkpointed commit sequence number.
+        seq: u64,
+    },
 }
 
 /// Closed vocabulary of [`EventKind::Fault`] kinds — the JSON
 /// round-trip interns against this table, so fault names survive the
 /// `&'static str` representation.
-pub const FAULT_KINDS: [&str; 6] = [
+pub const FAULT_KINDS: [&str; 7] = [
     "grant_delay",
     "spurious_wakeup",
     "forced_abort",
     "rhs_stall",
     "timeout_storm",
     "timeout_race_stall",
+    "wal_kill",
 ];
 
 /// Closed vocabulary of [`EventKind::Escalate`] actions (the governor's

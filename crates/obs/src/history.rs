@@ -115,6 +115,14 @@ pub fn event_to_json(ev: &Event) -> Json {
             fields.push(("seq".into(), Json::u64(seq)));
             "vwrite"
         }
+        EventKind::WalSync { seq } => {
+            fields.push(("seq".into(), Json::u64(seq)));
+            "wal_sync"
+        }
+        EventKind::Checkpoint { seq } => {
+            fields.push(("seq".into(), Json::u64(seq)));
+            "checkpoint"
+        }
     };
     fields.insert(2, ("kind".into(), Json::str(kind)));
     Json::Obj(fields)
@@ -212,6 +220,12 @@ pub fn event_from_json(j: &Json) -> Result<Event, String> {
         },
         "vwrite" => EventKind::VersionWrite {
             resource: need_u64("resource")?,
+            seq: need_u64("seq")?,
+        },
+        "wal_sync" => EventKind::WalSync {
+            seq: need_u64("seq")?,
+        },
+        "checkpoint" => EventKind::Checkpoint {
             seq: need_u64("seq")?,
         },
         other => return Err(format!("unknown event kind {other:?}")),
@@ -334,6 +348,16 @@ mod tests {
                 ts: 12,
                 txn: 3,
                 kind: EventKind::VersionWrite { resource: 8, seq: 5 },
+            },
+            Event {
+                ts: 13,
+                txn: 3,
+                kind: EventKind::WalSync { seq: 5 },
+            },
+            Event {
+                ts: 14,
+                txn: 3,
+                kind: EventKind::Checkpoint { seq: 5 },
             },
         ]
     }

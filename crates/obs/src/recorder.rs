@@ -47,6 +47,8 @@ struct Counters {
     snapshot_pins: AtomicU64,
     version_reads: AtomicU64,
     version_writes: AtomicU64,
+    wal_syncs: AtomicU64,
+    checkpoints: AtomicU64,
 }
 
 /// Sharded-match fan-out tallies (relaxed atomics). All zero unless the
@@ -163,6 +165,8 @@ impl Recorder {
             EventKind::SnapshotPin { .. } => self.counters.snapshot_pins.fetch_add(1, Relaxed),
             EventKind::VersionRead { .. } => self.counters.version_reads.fetch_add(1, Relaxed),
             EventKind::VersionWrite { .. } => self.counters.version_writes.fetch_add(1, Relaxed),
+            EventKind::WalSync { .. } => self.counters.wal_syncs.fetch_add(1, Relaxed),
+            EventKind::Checkpoint { .. } => self.counters.checkpoints.fetch_add(1, Relaxed),
         };
         let slot = thread_slot() % self.rings.len();
         let overwrote = self.rings[slot].lock().unwrap().push(Event { ts, txn, kind });
@@ -303,6 +307,8 @@ impl Recorder {
             snapshot_pins: self.counters.snapshot_pins.load(Relaxed),
             version_reads: self.counters.version_reads.load(Relaxed),
             version_writes: self.counters.version_writes.load(Relaxed),
+            wal_syncs: self.counters.wal_syncs.load(Relaxed),
+            checkpoints: self.counters.checkpoints.load(Relaxed),
             dropped_events: self.dropped.load(Relaxed),
             fanout: self.fanout_snapshot(),
             rules: rules
@@ -369,12 +375,16 @@ pub fn validate_history(events: &[Event]) -> Result<(), String> {
             // concurrently with the victim's own terminal, so it may
             // land on either side of it in the merged order).
             EventKind::Anomaly { .. } | EventKind::Fault { .. } | EventKind::Escalate { .. } => {}
-            EventKind::Fire { .. } | EventKind::VersionWrite { .. } => {
-                // Fire (and the MVCC VersionWrite records that share its
-                // timing) trails the Commit it describes (the sequence
-                // number only exists after the commit critical
-                // section), so it is exempt from the after-terminal
-                // rule — but never legal before Begin or on an abort.
+            EventKind::Fire { .. }
+            | EventKind::VersionWrite { .. }
+            | EventKind::WalSync { .. }
+            | EventKind::Checkpoint { .. } => {
+                // Fire (and the MVCC VersionWrite / durability WalSync
+                // / Checkpoint records that share its timing) trails
+                // the Commit it describes (the sequence number only
+                // exists after the commit critical section), so it is
+                // exempt from the after-terminal rule — but never
+                // legal before Begin or on an abort.
                 if !t.begun {
                     return Err(format!("txn {}: {:?} before Begin", ev.txn, ev.kind));
                 }

@@ -85,6 +85,11 @@ pub struct ObsReport {
     pub version_reads: u64,
     /// `VersionWrite` events (MVCC version installs at commit).
     pub version_writes: u64,
+    /// `WalSync` events (durability fsync completions; 0 when
+    /// durability is off).
+    pub wal_syncs: u64,
+    /// `Checkpoint` events (durability checkpoint installs).
+    pub checkpoints: u64,
     /// Events lost to ring overwrites (history incomplete if non-zero).
     pub dropped_events: u64,
     /// Sharded-match fan-out tallies (all zero when the sharded
@@ -149,6 +154,8 @@ impl ObsReport {
             ("snapshot_pins".into(), Json::u64(self.snapshot_pins)),
             ("version_reads".into(), Json::u64(self.version_reads)),
             ("version_writes".into(), Json::u64(self.version_writes)),
+            ("wal_syncs".into(), Json::u64(self.wal_syncs)),
+            ("checkpoints".into(), Json::u64(self.checkpoints)),
             ("dropped".into(), Json::u64(self.dropped_events)),
         ]);
         let rules = Json::Arr(
@@ -217,6 +224,13 @@ impl fmt::Display for ObsReport {
                 f,
                 "  mvcc: {} snapshot pin(s), {} version read(s), {} version write(s)",
                 self.snapshot_pins, self.version_reads, self.version_writes
+            )?;
+        }
+        if self.wal_syncs > 0 || self.checkpoints > 0 {
+            writeln!(
+                f,
+                "  durability: {} wal sync(s), {} checkpoint(s)",
+                self.wal_syncs, self.checkpoints
             )?;
         }
         writeln!(f, "  latency (per phase):")?;

@@ -50,13 +50,15 @@ pub mod rng;
 mod store;
 mod value;
 mod version;
+pub mod wal;
 mod wme;
 
 pub use atom::Atom;
 pub use catalog::{Catalog, ClassStats};
 pub use delta::{Change, Delta, DeltaSet};
 pub use error::WmError;
-pub use persist::{CodecError, RedoLog};
+pub use persist::{apply_changes_atomic, CodecError, RedoLog};
+pub use wal::{recover, DurableWm, KillMode, Recovered, WalError, WalStats, WalWriter};
 pub use relation::Relation;
 pub use store::WorkingMemory;
 pub use value::Value;

@@ -13,6 +13,13 @@
 //!   commit), replayable on top of a snapshot to recover the
 //!   post-crash state.
 //!
+//! The file-backed, group-committed WAL built on the same record
+//! grammar lives in [`crate::wal`]; this module owns the codec and the
+//! **replay atomicity rule**: a batch is the paper's §4.2 atomic commit
+//! unit, so recovery applies it all-or-nothing too
+//! ([`apply_changes_atomic`] stages and validates the whole batch
+//! before the first mutation).
+//!
 //! The format is hand-rolled (little-endian, length-prefixed) rather
 //! than a serde format so the crate stays self-contained; a format
 //! version byte guards evolution.
@@ -28,7 +35,7 @@ const LOG_MAGIC: &[u8; 4] = b"DPSL";
 /// Current format version.
 const VERSION: u8 = 1;
 
-/// Errors raised while decoding persisted state.
+/// Errors raised while encoding or decoding persisted state.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CodecError {
     /// Input ended prematurely.
@@ -39,8 +46,28 @@ pub enum CodecError {
     BadTag(u8),
     /// Embedded string is not UTF-8.
     BadString,
-    /// A replayed removal referenced a dead element.
+    /// Well-formed prefix followed by bytes that are not part of the
+    /// document — distinct from [`CodecError::BadHeader`] so "your
+    /// snapshot has garbage appended" never reads as "your magic bytes
+    /// are wrong".
+    TrailingBytes {
+        /// Offset of the first unconsumed byte.
+        at: usize,
+    },
+    /// A length field would not fit its on-disk width (`u32`); encoding
+    /// refuses rather than silently truncating the count and corrupting
+    /// the stream.
+    TooLarge,
+    /// A replayed batch conflicts with the state it is applied to (a
+    /// removal of a dead element, or an insertion of a live id). The
+    /// batch is rejected *whole*: working memory is left untouched.
     ReplayConflict(WmeId),
+    /// A CRC-framed record failed its checksum with valid data after it
+    /// — genuine corruption, not a torn tail (see [`crate::wal`]).
+    Corrupt {
+        /// Byte offset of the corrupt record.
+        at: usize,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -50,11 +77,20 @@ impl fmt::Display for CodecError {
             CodecError::BadHeader => write!(f, "bad magic bytes or unsupported version"),
             CodecError::BadTag(t) => write!(f, "unknown tag byte {t:#x}"),
             CodecError::BadString => write!(f, "embedded string is not valid UTF-8"),
+            CodecError::TrailingBytes { at } => {
+                write!(f, "trailing bytes after a well-formed document (offset {at})")
+            }
+            CodecError::TooLarge => {
+                write!(f, "length field exceeds the on-disk u32 width")
+            }
             CodecError::ReplayConflict(id) => {
                 write!(
                     f,
-                    "redo log removal of {id} does not match the base snapshot"
+                    "redo batch conflicts with the base state at {id}; batch not applied"
                 )
+            }
+            CodecError::Corrupt { at } => {
+                write!(f, "corrupt log record at byte offset {at}")
             }
         }
     }
@@ -66,34 +102,34 @@ impl std::error::Error for CodecError {}
 // Primitive readers/writers
 // ---------------------------------------------------------------------
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
         let slice = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
         self.pos = end;
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, CodecError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, CodecError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, CodecError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64(&mut self) -> Result<u64, CodecError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, CodecError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
@@ -111,25 +147,37 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadString)
     }
 
-    fn at_end(&self) -> bool {
+    pub(crate) fn at_end(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
     }
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+/// Checked `usize → u32` narrowing for on-disk length fields. The cast
+/// this replaces (`as u32`) silently truncated oversized counts into a
+/// decodable-but-wrong stream.
+fn checked_len(n: usize) -> Result<u32, CodecError> {
+    u32::try_from(n).map_err(|_| CodecError::TooLarge)
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), CodecError> {
+    put_u32(out, checked_len(s.len())?);
     out.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
-fn put_value(out: &mut Vec<u8>, v: &Value) {
+fn put_value(out: &mut Vec<u8>, v: &Value) -> Result<(), CodecError> {
     match v {
         Value::Nil => out.push(0),
         Value::Bool(b) => {
@@ -146,13 +194,14 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
         }
         Value::Sym(a) => {
             out.push(4);
-            put_str(out, a.as_str());
+            put_str(out, a.as_str())?;
         }
         Value::Str(a) => {
             out.push(5);
-            put_str(out, a.as_str());
+            put_str(out, a.as_str())?;
         }
     }
+    Ok(())
 }
 
 fn read_value(r: &mut Reader<'_>) -> Result<Value, CodecError> {
@@ -167,15 +216,16 @@ fn read_value(r: &mut Reader<'_>) -> Result<Value, CodecError> {
     })
 }
 
-fn put_wme(out: &mut Vec<u8>, w: &Wme) {
+fn put_wme(out: &mut Vec<u8>, w: &Wme) -> Result<(), CodecError> {
     put_u64(out, w.id.0);
     put_u64(out, w.timestamp);
-    put_str(out, w.data.class.as_str());
-    put_u32(out, w.data.attrs.len() as u32);
+    put_str(out, w.data.class.as_str())?;
+    put_u32(out, checked_len(w.data.attrs.len())?);
     for (attr, value) in &w.data.attrs {
-        put_str(out, attr.as_str());
-        put_value(out, value);
+        put_str(out, attr.as_str())?;
+        put_value(out, value)?;
     }
+    Ok(())
 }
 
 fn read_wme(r: &mut Reader<'_>) -> Result<Wme, CodecError> {
@@ -197,13 +247,104 @@ fn read_wme(r: &mut Reader<'_>) -> Result<Wme, CodecError> {
 }
 
 // ---------------------------------------------------------------------
+// Change-batch bodies (shared by the redo log and the file WAL)
+// ---------------------------------------------------------------------
+
+/// Serialises one committed change batch: `[count: u32][tag, wme]*`.
+pub(crate) fn encode_batch_body(
+    out: &mut Vec<u8>,
+    changes: &[Change],
+) -> Result<(), CodecError> {
+    put_u32(out, checked_len(changes.len())?);
+    for change in changes {
+        match change {
+            Change::Added(w) => {
+                out.push(0);
+                put_wme(out, w)?;
+            }
+            Change::Removed(w) => {
+                out.push(1);
+                put_wme(out, w)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one change batch (the inverse of [`encode_batch_body`]).
+pub(crate) fn decode_batch_body(r: &mut Reader<'_>) -> Result<Vec<Change>, CodecError> {
+    let n = r.u32()? as usize;
+    let mut changes = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let tag = r.u8()?;
+        let wme = read_wme(r)?;
+        changes.push(match tag {
+            0 => Change::Added(wme),
+            1 => Change::Removed(wme),
+            t => return Err(CodecError::BadTag(t)),
+        });
+    }
+    Ok(changes)
+}
+
+/// Replays one committed change batch onto `wm` **all-or-nothing** —
+/// the batch is the paper's §4.2 atomic commit unit, and recovery must
+/// honour that too. The whole batch is validated against the current
+/// state (tracking liveness *through* the batch: a modify is
+/// `Removed` + `Added` of the same id) before the first mutation, so an
+/// `Err` leaves working memory byte-identical.
+pub fn apply_changes_atomic(
+    wm: &mut WorkingMemory,
+    changes: &[Change],
+) -> Result<(), CodecError> {
+    // Stage: liveness overlay for ids the batch itself touches.
+    let mut overlay: std::collections::HashMap<WmeId, bool> = std::collections::HashMap::new();
+    for change in changes {
+        match change {
+            Change::Removed(w) => {
+                let live = overlay
+                    .get(&w.id)
+                    .copied()
+                    .unwrap_or_else(|| wm.contains(w.id));
+                if !live {
+                    return Err(CodecError::ReplayConflict(w.id));
+                }
+                overlay.insert(w.id, false);
+            }
+            Change::Added(w) => {
+                let live = overlay
+                    .get(&w.id)
+                    .copied()
+                    .unwrap_or_else(|| wm.contains(w.id));
+                if live {
+                    return Err(CodecError::ReplayConflict(w.id));
+                }
+                overlay.insert(w.id, true);
+            }
+        }
+    }
+    // Apply: every operation validated above.
+    for change in changes {
+        match change {
+            Change::Added(w) => wm.restore_raw(w.clone()),
+            Change::Removed(w) => {
+                wm.remove(w.id).expect("validated above");
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Snapshots
 // ---------------------------------------------------------------------
 
 impl WorkingMemory {
     /// Serialises the complete working memory into a self-contained
-    /// binary snapshot.
-    pub fn encode_snapshot(&self) -> Vec<u8> {
+    /// binary snapshot. Fails with [`CodecError::TooLarge`] if any
+    /// length field would overflow its on-disk width (rather than
+    /// silently truncating it).
+    pub fn encode_snapshot(&self) -> Result<Vec<u8>, CodecError> {
         let mut out = Vec::with_capacity(64 + self.len() * 32);
         out.extend_from_slice(SNAPSHOT_MAGIC);
         out.push(VERSION);
@@ -211,21 +352,21 @@ impl WorkingMemory {
         put_u64(&mut out, self.clock());
         put_u64(&mut out, self.len() as u64);
         for wme in self.iter() {
-            put_wme(&mut out, wme);
+            put_wme(&mut out, wme)?;
         }
         // Catalogue lifetime statistics (cardinality is recomputed).
         let classes: Vec<&Atom> = self.catalog().classes().collect();
-        put_u32(&mut out, classes.len() as u32);
+        put_u32(&mut out, checked_len(classes.len())?);
         for class in classes {
             let stats = self
                 .catalog()
                 .stats(class.as_str())
                 .expect("registered class");
-            put_str(&mut out, class.as_str());
+            put_str(&mut out, class.as_str())?;
             put_u64(&mut out, stats.inserts);
             put_u64(&mut out, stats.removes);
         }
-        out
+        Ok(out)
     }
 
     /// Reconstructs a working memory from a snapshot. The result is
@@ -253,7 +394,7 @@ impl WorkingMemory {
         }
         wm.set_counters_raw(next_id, clock);
         if !r.at_end() {
-            return Err(CodecError::BadHeader);
+            return Err(CodecError::TrailingBytes { at: r.pos() });
         }
         Ok(wm)
     }
@@ -290,22 +431,16 @@ impl RedoLog {
         RedoLog { buf, batches: 0 }
     }
 
-    /// Appends one committed batch.
-    pub fn append(&mut self, changes: &[Change]) {
-        put_u32(&mut self.buf, changes.len() as u32);
-        for change in changes {
-            match change {
-                Change::Added(w) => {
-                    self.buf.push(0);
-                    put_wme(&mut self.buf, w);
-                }
-                Change::Removed(w) => {
-                    self.buf.push(1);
-                    put_wme(&mut self.buf, w);
-                }
-            }
-        }
+    /// Appends one committed batch. Encoding failures
+    /// ([`CodecError::TooLarge`]) leave the log untouched — the batch
+    /// is staged into a scratch buffer first, so a mid-batch error can
+    /// never leave half a record in the stream.
+    pub fn append(&mut self, changes: &[Change]) -> Result<(), CodecError> {
+        let mut scratch = Vec::with_capacity(changes.len() * 32 + 8);
+        encode_batch_body(&mut scratch, changes)?;
+        self.buf.extend_from_slice(&scratch);
         self.batches += 1;
+        Ok(())
     }
 
     /// Number of appended batches (committed productions).
@@ -326,15 +461,7 @@ impl RedoLog {
         }
         let mut batches = 0;
         while !r.at_end() {
-            let n = r.u32()? as usize;
-            for _ in 0..n {
-                match r.u8()? {
-                    0 | 1 => {
-                        read_wme(&mut r)?;
-                    }
-                    t => return Err(CodecError::BadTag(t)),
-                }
-            }
+            decode_batch_body(&mut r)?;
             batches += 1;
         }
         Ok(RedoLog {
@@ -345,25 +472,21 @@ impl RedoLog {
 
     /// Replays the log onto `wm` (a working memory restored from the
     /// matching base snapshot). Returns the number of batches applied.
+    ///
+    /// Each batch applies **atomically**: it is decoded and validated
+    /// whole before the first mutation, so a conflicting batch
+    /// (`CodecError::ReplayConflict`) leaves `wm` exactly as it was
+    /// before that batch — a mid-batch conflict can never leave working
+    /// memory half-mutated. Batches before the failing one stay
+    /// applied (they committed; the log is a redo prefix).
     pub fn replay(&self, wm: &mut WorkingMemory) -> Result<u64, CodecError> {
         let mut r = Reader::new(&self.buf);
         r.take(4)?;
         r.u8()?;
         let mut applied = 0;
         while !r.at_end() {
-            let n = r.u32()? as usize;
-            for _ in 0..n {
-                let tag = r.u8()?;
-                let wme = read_wme(&mut r)?;
-                match tag {
-                    0 => wm.restore_raw(wme),
-                    1 => {
-                        wm.remove(wme.id)
-                            .map_err(|_| CodecError::ReplayConflict(wme.id))?;
-                    }
-                    t => return Err(CodecError::BadTag(t)),
-                }
-            }
+            let batch = decode_batch_body(&mut r)?;
+            apply_changes_atomic(wm, &batch)?;
             applied += 1;
         }
         Ok(applied)
@@ -407,7 +530,7 @@ mod tests {
     #[test]
     fn snapshot_roundtrip_preserves_everything() {
         let wm = populated();
-        let snap = wm.encode_snapshot();
+        let snap = wm.encode_snapshot().unwrap();
         let back = WorkingMemory::decode_snapshot(&snap).unwrap();
         assert_same(&wm, &back);
         // Catalogue statistics survive too.
@@ -420,7 +543,7 @@ mod tests {
     #[test]
     fn restored_memory_allocates_fresh_ids() {
         let wm = populated();
-        let mut back = WorkingMemory::decode_snapshot(&wm.encode_snapshot()).unwrap();
+        let mut back = WorkingMemory::decode_snapshot(&wm.encode_snapshot().unwrap()).unwrap();
         let existing: Vec<WmeId> = back.iter().map(|w| w.id).collect();
         let fresh = back.insert(WmeData::new("job"));
         assert!(
@@ -434,7 +557,7 @@ mod tests {
     #[test]
     fn snapshot_rejects_corruption() {
         let wm = populated();
-        let mut snap = wm.encode_snapshot();
+        let mut snap = wm.encode_snapshot().unwrap();
         assert!(matches!(
             WorkingMemory::decode_snapshot(&snap[..10]),
             Err(CodecError::Truncated)
@@ -449,25 +572,64 @@ mod tests {
     }
 
     #[test]
+    fn trailing_garbage_is_reported_as_trailing_bytes() {
+        // Misleading-taxonomy regression: appended garbage used to be
+        // reported as BadHeader ("bad magic bytes"), hiding what
+        // actually went wrong.
+        let wm = populated();
+        let mut snap = wm.encode_snapshot().unwrap();
+        let clean = snap.len();
+        snap.extend_from_slice(b"junk");
+        match WorkingMemory::decode_snapshot(&snap) {
+            Err(CodecError::TrailingBytes { at }) => assert_eq!(at, clean),
+            other => panic!("expected TrailingBytes, got {other:?}"),
+        }
+        // Genuinely bad magic still reads as BadHeader.
+        snap[0] = b'X';
+        assert!(matches!(
+            WorkingMemory::decode_snapshot(&snap),
+            Err(CodecError::BadHeader)
+        ));
+        // The new variant has a Display.
+        let msg = CodecError::TrailingBytes { at: clean }.to_string();
+        assert!(msg.contains("trailing"), "{msg}");
+    }
+
+    #[test]
+    fn oversized_length_fields_are_rejected_not_truncated() {
+        // `checked_len` is the chokepoint every count/string-length
+        // encoding goes through; a usize above u32::MAX must surface
+        // TooLarge instead of wrapping (the old `as u32` corruption).
+        assert_eq!(checked_len(0), Ok(0));
+        assert_eq!(checked_len(u32::MAX as usize), Ok(u32::MAX));
+        assert_eq!(
+            checked_len(u32::MAX as usize + 1),
+            Err(CodecError::TooLarge)
+        );
+        assert_eq!(checked_len(usize::MAX), Err(CodecError::TooLarge));
+        assert!(CodecError::TooLarge.to_string().contains("u32"));
+    }
+
+    #[test]
     fn redo_log_recovers_post_snapshot_commits() {
         let mut wm = populated();
-        let snap = wm.encode_snapshot();
+        let snap = wm.encode_snapshot().unwrap();
         let mut log = RedoLog::new();
 
         // Three "commits" after the checkpoint.
         let id = wm.iter().next().unwrap().id;
         let mut d1 = DeltaSet::new();
         d1.modify(id, [(Atom::from("cost"), Value::Float(9.75))]);
-        log.append(&wm.apply(&d1).unwrap());
+        log.append(&wm.apply(&d1).unwrap()).unwrap();
 
         let mut d2 = DeltaSet::new();
         d2.create(WmeData::new("audit").with("of", 1i64));
-        log.append(&wm.apply(&d2).unwrap());
+        log.append(&wm.apply(&d2).unwrap()).unwrap();
 
         let victim = wm.class_iter("job").nth(1).unwrap().id;
         let mut d3 = DeltaSet::new();
         d3.remove(victim);
-        log.append(&wm.apply(&d3).unwrap());
+        log.append(&wm.apply(&d3).unwrap()).unwrap();
 
         assert_eq!(log.batches(), 3);
 
@@ -488,7 +650,7 @@ mod tests {
         let mut wm = WorkingMemory::new();
         let mut d = DeltaSet::new();
         d.create(WmeData::new("x"));
-        log.append(&wm.apply(&d).unwrap());
+        log.append(&wm.apply(&d).unwrap()).unwrap();
         let mut bytes = log.as_bytes().to_vec();
         bytes.truncate(bytes.len() - 2);
         assert_eq!(RedoLog::from_bytes(&bytes), Err(CodecError::Truncated));
@@ -501,16 +663,77 @@ mod tests {
         let id = wm.insert(WmeData::new("x"));
         let mut log = RedoLog::new();
         let removed = wm.remove(id).unwrap();
-        log.append(&[Change::Removed(removed)]);
+        log.append(&[Change::Removed(removed)]).unwrap();
         // Replaying onto an EMPTY memory (wrong base) fails cleanly.
         let mut empty = WorkingMemory::new();
         assert_eq!(log.replay(&mut empty), Err(CodecError::ReplayConflict(id)));
     }
 
     #[test]
+    fn conflicting_batch_applies_nothing_at_all() {
+        // Replay-atomicity regression: a batch whose *last* operation
+        // conflicts must not leave the earlier operations applied. The
+        // batch is the §4.2 atomic commit unit — all-or-nothing on
+        // recovery too.
+        let mut wm = populated();
+        let snap_before = wm.encode_snapshot().unwrap();
+        let live = wm.iter().next().unwrap().clone();
+
+        // Batch: create a new element (valid), then remove an id that
+        // was never in this base (conflict).
+        let ghost_id = WmeId(9001);
+        let ghost = Wme {
+            id: ghost_id,
+            timestamp: live.timestamp + 50,
+            data: WmeData::new("ghost"),
+        };
+        let created = Wme {
+            id: WmeId(9000),
+            timestamp: live.timestamp + 100,
+            data: WmeData::new("audit").with("of", 1i64),
+        };
+        let mut log = RedoLog::new();
+        log.append(&[Change::Added(created), Change::Removed(ghost)])
+            .unwrap();
+
+        let err = log.replay(&mut wm).unwrap_err();
+        assert_eq!(err, CodecError::ReplayConflict(ghost_id));
+        // Byte-identical: the valid prefix of the batch was rolled
+        // back (never applied), counters and catalogue included.
+        assert_eq!(wm.encode_snapshot().unwrap(), snap_before);
+    }
+
+    #[test]
+    fn batch_internal_liveness_is_tracked_through_the_batch() {
+        // A modify is Removed + Added of the same id inside one batch;
+        // staging must track liveness *through* the batch or every
+        // modify would read as an add-conflict.
+        let mut wm = WorkingMemory::new();
+        let id = wm.insert(WmeData::new("cell").with("n", 1i64));
+        let snap = wm.encode_snapshot().unwrap();
+        let mut d = DeltaSet::new();
+        d.modify(id, [(Atom::from("n"), Value::Int(2))]);
+        let changes = wm.apply(&d).unwrap();
+
+        let mut recovered = WorkingMemory::decode_snapshot(&snap).unwrap();
+        apply_changes_atomic(&mut recovered, &changes).unwrap();
+        assert_same(&wm, &recovered);
+
+        // And a double-remove inside one batch is a conflict.
+        let wme = wm.get(id).unwrap().clone();
+        let bad = vec![Change::Removed(wme.clone()), Change::Removed(wme)];
+        let before = wm.encode_snapshot().unwrap();
+        assert_eq!(
+            apply_changes_atomic(&mut wm, &bad),
+            Err(CodecError::ReplayConflict(id))
+        );
+        assert_eq!(wm.encode_snapshot().unwrap(), before);
+    }
+
+    #[test]
     fn empty_structures_roundtrip() {
         let wm = WorkingMemory::new();
-        let back = WorkingMemory::decode_snapshot(&wm.encode_snapshot()).unwrap();
+        let back = WorkingMemory::decode_snapshot(&wm.encode_snapshot().unwrap()).unwrap();
         assert!(back.is_empty());
         let log = RedoLog::new();
         assert_eq!(RedoLog::from_bytes(log.as_bytes()).unwrap().batches(), 0);

@@ -26,7 +26,7 @@ fn main() {
     }
 
     // --- checkpoint ---
-    let snapshot = wm.encode_snapshot();
+    let snapshot = wm.encode_snapshot().expect("snapshot encodes");
     println!(
         "checkpoint: {} bytes for {} tuples",
         snapshot.len(),
@@ -40,7 +40,7 @@ fn main() {
     let mut shipper = WorkingMemory::decode_snapshot(&snapshot).expect("snapshot decodes");
     for firing in &report.trace.firings {
         let changes = shipper.apply(&firing.delta).expect("trace replays");
-        log.append(&changes);
+        log.append(&changes).expect("batch encodes");
     }
     println!(
         "ran {} productions; redo log: {} batches, {} bytes",

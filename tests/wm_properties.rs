@@ -157,7 +157,7 @@ fn persistence_roundtrip_under_random_ops() {
     for seed in 0..CASES {
         let mut wm = WorkingMemory::new();
         apply_ops(&mut wm, &random_ops(seed, 25));
-        let snap = wm.encode_snapshot();
+        let snap = wm.encode_snapshot().unwrap();
         let restored = WorkingMemory::decode_snapshot(&snap).unwrap();
         let a: Vec<Wme> = wm.iter().cloned().collect();
         let b: Vec<Wme> = restored.iter().cloned().collect();
@@ -178,14 +178,14 @@ fn persistence_roundtrip_under_random_ops() {
                         d.create(WmeData::new(format!("c{class}")).with("k", *k));
                         let ch = shadow.apply(&d).unwrap();
                         live.extend(ch.iter().map(|c| c.wme().id));
-                        log.append(&ch);
+                        log.append(&ch).unwrap();
                     }
                     Op::Remove { pick } if !live.is_empty() => {
                         let id = live.swap_remove(pick % live.len());
                         if shadow.contains(id) {
                             let mut d = DeltaSet::new();
                             d.remove(id);
-                            log.append(&shadow.apply(&d).unwrap());
+                            log.append(&shadow.apply(&d).unwrap()).unwrap();
                         }
                     }
                     Op::Modify { pick, k } if !live.is_empty() => {
@@ -193,7 +193,7 @@ fn persistence_roundtrip_under_random_ops() {
                         if shadow.contains(id) {
                             let mut d = DeltaSet::new();
                             d.modify(id, [(Atom::from("k"), Value::Int(*k))]);
-                            log.append(&shadow.apply(&d).unwrap());
+                            log.append(&shadow.apply(&d).unwrap()).unwrap();
                         }
                     }
                     _ => {}
