@@ -1,0 +1,118 @@
+//! Perf-trajectory regression gate over committed bench reports.
+//!
+//! Usage: `benchdiff [--json] REPORT... ` — two or more `BENCH_*.json`
+//! paths (or fresh `--bench-out` artifacts), oldest first. Each report
+//! is reduced to its comparable legs keyed by `(workload, policy,
+//! shards, workers)` (see [`dps_bench::diff`]); every consecutive pair
+//! is diffed and printed, so a chain of snapshots reads as the
+//! repository's performance trajectory.
+//!
+//! The **gate** applies to the newest pair only — the last committed
+//! baseline vs the candidate: exit 1 iff a matched leg drops more than
+//! 15% throughput or gains more than 25% commit-path p99 latency.
+//! Earlier pairs are informational (history already shipped). Keys
+//! present on only one side are noted, never failed — report schemas
+//! grow legs over time, and cross-schema pairs (e.g. an mvcc report vs
+//! a recovery report) legitimately share no keys: an empty
+//! intersection passes, it does not vacuously fail.
+//!
+//! With `--json` a `dps-benchdiff-report-v1` document per pair goes to
+//! stdout (one JSON array); the human table always goes to stderr.
+
+use std::process::ExitCode;
+
+use dps_bench::diff::{diff, extract_legs, DiffReport, Leg};
+use dps_obs::json::{self, Json};
+
+fn load_legs(path: &str) -> Result<Vec<Leg>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("benchdiff: reading {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("benchdiff: parsing {path}: {e}"))?;
+    let legs = extract_legs(&doc).map_err(|e| format!("benchdiff: {path}: {e}"))?;
+    if legs.is_empty() {
+        return Err(format!("benchdiff: {path}: no comparable legs extracted"));
+    }
+    Ok(legs)
+}
+
+fn print_pair(rep: &DiffReport, gating: bool) {
+    eprintln!(
+        "\n{} -> {}{}",
+        rep.base_label,
+        rep.new_label,
+        if gating { "  [gate]" } else { "" }
+    );
+    if rep.deltas.is_empty() {
+        eprintln!("  no shared legs (different report schemas) — nothing to compare");
+    }
+    for d in &rep.deltas {
+        let p99 = match (d.base_p99_ns, d.new_p99_ns, d.p99_ratio) {
+            (Some(b), Some(n), Some(r)) => format!(", p99 {b} -> {n} ns ({:+.1}%)", (r - 1.0) * 1e2),
+            _ => String::new(),
+        };
+        eprintln!(
+            "  [{}] {:<58} {:>10.1} -> {:>10.1} commits/s ({:+.1}%){}",
+            if d.regressed() { "XX" } else { "ok" },
+            d.key,
+            d.base_throughput,
+            d.new_throughput,
+            (d.throughput_ratio - 1.0) * 1e2,
+            p99,
+        );
+    }
+    for k in &rep.only_base {
+        eprintln!("  [--] {k} only in baseline");
+    }
+    for k in &rep.only_new {
+        eprintln!("  [++] {k} only in candidate");
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = argv.iter().any(|a| a == "--json");
+    let paths: Vec<&String> = argv.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.len() < 2 {
+        eprintln!("usage: benchdiff [--json] BASELINE.json [...] CANDIDATE.json");
+        return ExitCode::FAILURE;
+    }
+
+    let mut all = Vec::new();
+    for path in &paths {
+        match load_legs(path) {
+            Ok(legs) => all.push((path.as_str(), legs)),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut docs = Vec::new();
+    let mut gate_regressions = 0usize;
+    for window in 0..all.len() - 1 {
+        let (base_label, base) = &all[window];
+        let (new_label, new) = &all[window + 1];
+        let gating = window + 2 == all.len();
+        let rep = diff(base_label, base, new_label, new);
+        print_pair(&rep, gating);
+        if gating {
+            gate_regressions = rep.regressions().len();
+        }
+        docs.push(rep.to_json());
+    }
+    if json_out {
+        println!("{}", Json::Arr(docs).to_string_pretty());
+    }
+
+    if gate_regressions == 0 {
+        eprintln!("\nbenchdiff: GATE PASSED (no regression outside tolerance bands)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nbenchdiff: GATE FAILED ({gate_regressions} leg(s) outside tolerance: \
+             >15% throughput drop or >25% p99 rise)"
+        );
+        ExitCode::FAILURE
+    }
+}

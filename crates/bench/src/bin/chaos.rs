@@ -22,22 +22,15 @@ use dps_bench::chaos::{
     chaos_document, chaos_run, policy_name, sweep_governor, ChaosRun, ChaosSpec,
     GovernorComparison, SWEEP_POLICIES,
 };
-use dps_bench::write_bench_out;
+use dps_bench::harness::ReportArgs;
 use dps_lock::{ConflictPolicy, FaultPlan};
 use dps_obs::Verdict;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
-    let flag = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse::<u64>().ok())
-    };
-    let workers = flag("--workers").unwrap_or(8) as usize;
-    let seed = flag("--seed").unwrap_or(0xD1CE_2026);
+    let args = ReportArgs::parse();
+    let (quick, json) = (args.quick(), args.json());
+    let workers = args.flag_u64("--workers").unwrap_or(8) as usize;
+    let seed = args.flag_u64("--seed").unwrap_or(0xD1CE_2026);
     let worker_counts: Vec<usize> = if quick { vec![workers] } else { vec![2, workers] };
     let (tasks, resources, work_us) = if quick { (24, 3, 100) } else { (48, 4, 150) };
 
@@ -64,6 +57,7 @@ fn main() -> ExitCode {
                     work_us,
                     busy: false,
                     governor: Some(sweep_governor(seed)),
+                    telemetry: false,
                 });
                 eprintln!(
                     "  [{plan_name:>13} / {:<13} / {w} workers] {}/{} commits, {} aborts \
@@ -101,6 +95,7 @@ fn main() -> ExitCode {
         work_us: 0,
         busy: false,
         governor: None,
+        telemetry: false,
     });
     let rejected = corrupted.verdict == Verdict::Inconsistent;
     eprintln!(
@@ -138,7 +133,10 @@ fn main() -> ExitCode {
         cooldown_commits: 64,
         seed,
     };
-    let leg = |governor| {
+    // The governor-ON leg carries the live-telemetry sampler: its
+    // timeline (escalations, serial-fallback occupancy, backoff level
+    // against the commit/abort rates) is embedded in the report.
+    let leg = |governor, telemetry| {
         chaos_run(ChaosSpec {
             plan: "doom_storm",
             fault: FaultPlan::doom_storm(seed),
@@ -149,11 +147,12 @@ fn main() -> ExitCode {
             work_us: ab_work_us,
             busy: true,
             governor,
+            telemetry,
         })
     };
     let comparison = GovernorComparison {
-        off: leg(None),
-        on: leg(Some(ab_governor)),
+        off: leg(None, false),
+        on: leg(Some(ab_governor), true),
     };
     eprintln!(
         "  governor A/B (doom_storm, {workers} workers): off {:.1} commits/s \
@@ -173,7 +172,7 @@ fn main() -> ExitCode {
     if json {
         println!("{}", doc.to_string_pretty());
     }
-    write_bench_out(&args, &doc);
+    args.write_bench_out(&doc);
 
     let all_pass = runs.iter().all(ChaosRun::passes);
     if all_pass && rejected && ab_ok {

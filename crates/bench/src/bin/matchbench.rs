@@ -37,12 +37,13 @@
 
 use std::time::Instant;
 
-use dps_bench::{workloads, write_bench_out};
+use dps_bench::harness::ReportArgs;
+use dps_bench::workloads;
 use dps_core::semantics::validate_trace;
 use dps_core::{ParallelConfig, ParallelEngine};
 use dps_lock::ConflictPolicy;
 use dps_obs::json::Json;
-use dps_obs::{FanoutStats, ObsReport, Phase};
+use dps_obs::{FanoutStats, ObsReport, Phase, TelemetryConfig, TimelineDoc};
 
 struct Sample {
     /// Requested shard count (the plan may clamp to component count).
@@ -54,7 +55,9 @@ struct Sample {
 }
 
 /// One timed, trace-validated run; `observe` additionally returns the
-/// obs report (with the `match_apply` histogram and fan-out counters).
+/// obs report (with the `match_apply` histogram and fan-out counters),
+/// and it also attaches the live-telemetry sampler so the instrumented
+/// run carries a `dps-timeline-v1` document.
 fn one_run(
     groups: usize,
     pairs: usize,
@@ -62,7 +65,7 @@ fn one_run(
     workers: usize,
     observe: bool,
     policy: ConflictPolicy,
-) -> (Sample, Option<ObsReport>) {
+) -> (Sample, Option<ObsReport>, Option<TimelineDoc>) {
     let (rules, wm) = workloads::match_heavy(groups, pairs);
     let initial = wm.clone();
     let cfg = ParallelConfig {
@@ -70,6 +73,7 @@ fn one_run(
         match_shards: shards,
         observe,
         policy,
+        telemetry: observe.then(TelemetryConfig::default),
         ..Default::default()
     };
     let mut engine = ParallelEngine::new(&rules, wm, cfg);
@@ -89,6 +93,7 @@ fn one_run(
     validate_trace(&rules, &initial, &report.trace)
         .expect("sharded run must replay single-threadedly (Theorem 2)");
     let obs = engine.observer().map(|rec| rec.report());
+    let timeline = engine.telemetry().map(|t| t.doc());
     let sample = Sample {
         shards,
         commits: report.commits,
@@ -96,7 +101,7 @@ fn one_run(
         aborts: report.aborts.total(),
         fanout: report.fanout,
     };
-    (sample, obs)
+    (sample, obs, timeline)
 }
 
 fn best_of(
@@ -128,9 +133,8 @@ fn sample_json(s: &Sample) -> Json {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
+    let args = ReportArgs::parse();
+    let (quick, json) = (args.quick(), args.json());
     let (groups, pairs, reps) = if quick { (32, 32, 1) } else { (64, 64, 2) };
     let workers = 8;
     let shard_counts = [1usize, 2, 4, 8];
@@ -166,7 +170,7 @@ fn main() {
     // Instrumented run at max shards: the match_apply histogram and the
     // fan-out counters must be internally consistent.
     let max_shards = *shard_counts.last().unwrap();
-    let (observed, obs) = one_run(
+    let (observed, obs, timeline) = one_run(
         groups,
         pairs,
         max_shards,
@@ -175,6 +179,10 @@ fn main() {
         ConflictPolicy::AbortReaders,
     );
     let obs = obs.expect("observe = true");
+    let timeline = timeline.expect("instrumented run attaches telemetry");
+    timeline
+        .validate()
+        .expect("sampled timeline must be internally consistent");
     assert_eq!(
         observed.fanout.batches, observed.commits as u64,
         "every commit publishes exactly one batch"
@@ -240,6 +248,7 @@ fn main() {
                 ]),
             ),
             ("observability".into(), obs.to_json()),
+            ("timeline".into(), timeline.to_json()),
             (
                 "mvcc".into(),
                 Json::Obj(vec![
@@ -255,7 +264,7 @@ fn main() {
         if json {
             println!("{}", doc.to_string_pretty());
         }
-        write_bench_out(&args, &doc);
+        args.write_bench_out(&doc);
     }
 
     // Gate 1: the first sharding step must pay.

@@ -17,22 +17,15 @@
 
 use std::process::ExitCode;
 
+use dps_bench::harness::ReportArgs;
 use dps_bench::mvcc::{mvcc_document, mvcc_leg, probe_version_order, probe_write_skew, MvccGates, MvccSpec};
-use dps_bench::write_bench_out;
 use dps_lock::ConflictPolicy;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
-    let flag = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse::<u64>().ok())
-    };
-    let workers = flag("--workers").unwrap_or(8) as usize;
-    let seed = flag("--seed").unwrap_or(0x51AB_2026);
+    let args = ReportArgs::parse();
+    let (quick, json) = (args.quick(), args.json());
+    let workers = args.flag_u64("--workers").unwrap_or(8) as usize;
+    let seed = args.flag_u64("--seed").unwrap_or(0x51AB_2026);
     let (guards, g_steps, producers, p_steps, work_us) = if quick {
         (6, 4, 6, 4, 300)
     } else {
@@ -96,7 +89,7 @@ fn main() -> ExitCode {
     if json {
         println!("{}", doc.to_string_pretty());
     }
-    write_bench_out(&args, &doc);
+    args.write_bench_out(&doc);
 
     eprintln!(
         "\nmvcc gates: reader-aborts-zero {} | f {:.3} -> {:.3} improved {} | \

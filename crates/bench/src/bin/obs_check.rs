@@ -57,6 +57,13 @@
 //! * both falsifiability probes (write skew, swapped version order)
 //!   were rejected, and every gate boolean is true.
 //!
+//! Every report kind may also embed a `dps-timeline-v1` document under
+//! a `timeline` key (the live-telemetry sampler's series). When
+//! present it must parse, validate (monotone counters, equal-length
+//! rings) and carry the engine's core series; reports written before
+//! the telemetry layer carry no key and still pass. The scaling report
+//! additionally gates `telemetry_overhead.ratio` below 1.05.
+//!
 //! Recovery-report checks (the crash-recovery gate):
 //! * every kill-point run drained in memory, recovered to a durable
 //!   horizon consistent with its kill site (strictly before the killed
@@ -74,6 +81,44 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use dps_obs::json::{self, Json};
+use dps_obs::{TimelineDoc, TIMELINE_SCHEMA};
+
+/// Validates an embedded `dps-timeline-v1` document, when present.
+/// Reports written before the live-telemetry layer carry no `timeline`
+/// key (or a null one — legs that ran without the sampler); both read
+/// as "nothing to check", so the old shapes still pass.
+fn check_timeline(doc: &Json, at: &str) -> Result<(), String> {
+    let tl = match doc.get("timeline") {
+        None | Some(Json::Null) => return Ok(()),
+        Some(tl) => tl,
+    };
+    let schema = tl
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{at}.timeline: missing schema"))?;
+    if schema != TIMELINE_SCHEMA {
+        return Err(format!("{at}.timeline: unexpected schema {schema:?}"));
+    }
+    let parsed = TimelineDoc::from_json(tl)
+        .map_err(|e| format!("{at}.timeline: does not parse: {e}"))?;
+    parsed
+        .validate()
+        .map_err(|e| format!("{at}.timeline: invalid: {e}"))?;
+    if parsed.ticks == 0 {
+        return Err(format!("{at}.timeline: zero ticks — the sampler never ran"));
+    }
+    if parsed.series.is_empty() {
+        return Err(format!("{at}.timeline: no series — no probes registered"));
+    }
+    // The engine registers these on every run, whatever the workload;
+    // a missing one means probe registration drifted.
+    for name in ["engine.commits", "lock.grants", "pipeline.batches"] {
+        if parsed.series(name).is_none() {
+            return Err(format!("{at}.timeline: core series {name:?} missing"));
+        }
+    }
+    Ok(())
+}
 
 /// Validates a `dps-analysis-report-v1` document (`where` prefixes
 /// diagnostics so embedded and standalone uses read naturally).
@@ -317,6 +362,9 @@ fn check_chaos(doc: &Json) -> Result<(), String> {
             .ok_or_else(|| format!("{at}: missing wasted_ms"))?;
     }
 
+    // ---- embedded timeline (governor-ON doom-storm leg) ----
+    check_timeline(doc, "chaos")?;
+
     // ---- overall verdict ----
     let verdict = doc
         .get("verdict")
@@ -481,6 +529,9 @@ fn check_match(doc: &Json) -> Result<(), String> {
             ));
         }
     }
+
+    // ---- embedded timeline (instrumented max-shards run) ----
+    check_timeline(doc, "match")?;
     Ok(())
 }
 
@@ -620,6 +671,9 @@ fn check_mvcc(doc: &Json) -> Result<(), String> {
     if verdict != "consistent" {
         return Err(format!("mvcc: verdict is {verdict:?}"));
     }
+
+    // ---- embedded timeline (MVCC leg) ----
+    check_timeline(doc, "mvcc")?;
     Ok(())
 }
 
@@ -795,6 +849,9 @@ fn check_recovery(doc: &Json) -> Result<(), String> {
     if verdict != "consistent" {
         return Err(format!("recovery: verdict is {verdict:?}"));
     }
+
+    // ---- embedded timeline (durable overhead leg) ----
+    check_timeline(doc, "recovery")?;
     Ok(())
 }
 
@@ -932,6 +989,18 @@ fn check(doc: &Json) -> Result<(), String> {
     if !(ratio.is_finite() && ratio < 1.05) {
         return Err(format!("obs overhead ratio {ratio:.4} exceeds the 1.05 budget"));
     }
+
+    // ---- telemetry budget + timeline ----
+    // Both joined the report with the live-telemetry layer; reports
+    // written before it carry neither key (old shape still passes).
+    if let Some(ratio) = doc.at(&["telemetry_overhead", "ratio"]).and_then(Json::as_f64) {
+        if !(ratio.is_finite() && ratio < 1.05) {
+            return Err(format!(
+                "telemetry overhead ratio {ratio:.4} exceeds the 1.05 budget"
+            ));
+        }
+    }
+    check_timeline(doc, "scaling")?;
 
     // ---- embedded analysis document ----
     // Reports written before the analysis layer existed don't carry the

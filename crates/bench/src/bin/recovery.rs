@@ -21,23 +21,16 @@
 
 use std::process::ExitCode;
 
+use dps_bench::harness::ReportArgs;
 use dps_bench::recovery::{
     overhead, probe_corrupt_record, recovery_document, sweep, RecoveryGates, RecoverySpec,
 };
-use dps_bench::write_bench_out;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
-    let flag = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse::<u64>().ok())
-    };
-    let workers = flag("--workers").unwrap_or(8) as usize;
-    let seed = flag("--seed").unwrap_or(0xD0_2026);
+    let args = ReportArgs::parse();
+    let (quick, json) = (args.quick(), args.json());
+    let workers = args.flag_u64("--workers").unwrap_or(8) as usize;
+    let seed = args.flag_u64("--seed").unwrap_or(0xD0_2026);
     let spec = RecoverySpec { seed, workers, quick };
     let scratch = std::env::temp_dir().join(format!("dps-recovery-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
@@ -115,7 +108,7 @@ fn main() -> ExitCode {
     if json {
         println!("{}", doc.to_string_pretty());
     }
-    write_bench_out(&args, &doc);
+    args.write_bench_out(&doc);
     let _ = std::fs::remove_dir_all(&scratch);
 
     eprintln!(

@@ -38,21 +38,26 @@
 //! shape-checks all of it with the `obs_check` binary. `--bench-out
 //! PATH` additionally snapshots the document to a file.
 //!
-//! Two gates (exit 1 on failure):
+//! Three gates (exit 1 on failure):
 //! * throughput is monotonic over 1 → 2 → 4 workers (partitioned);
 //! * the observe-ON 4-worker partitioned run costs < 5% over observe-OFF
 //!   (so the observe-OFF instrumentation — one branch per site — is
-//!   certainly below the 5% budget too).
+//!   certainly below the 5% budget too);
+//! * the live-telemetry sampler (`ParallelConfig::telemetry`, 10 ms
+//!   tick) costs < 5% on `match_heavy` at 8 workers. The telemetry-ON
+//!   run's sampled series are embedded in the JSON report as a
+//!   `dps-timeline-v1` document under the `timeline` key.
 
 use std::time::Instant;
 
 use dps_bench::analysis::{analysis_document, analyzed_run};
-use dps_bench::{workloads, write_bench_out};
+use dps_bench::harness::ReportArgs;
+use dps_bench::workloads;
 use dps_core::semantics::validate_trace;
 use dps_core::{ParallelConfig, ParallelEngine, ParallelReport, WorkModel};
 use dps_lock::{ConflictPolicy, Protocol};
 use dps_obs::json::Json;
-use dps_obs::{ObsReport, Phase};
+use dps_obs::{ObsReport, Phase, TelemetryConfig, TimelineDoc};
 
 struct Sample {
     workers: usize,
@@ -125,6 +130,33 @@ fn run_sweep(
     out
 }
 
+/// One trace-validated `match_heavy` run, optionally with the live
+/// telemetry sampler attached; returns the wall-clock seconds and the
+/// sampled timeline (when telemetry was on).
+fn match_heavy_run(
+    groups: usize,
+    pairs: usize,
+    workers: usize,
+    telemetry: bool,
+) -> (f64, u64, Option<TimelineDoc>) {
+    let (rules, wm) = workloads::match_heavy(groups, pairs);
+    let initial = wm.clone();
+    let cfg = ParallelConfig {
+        workers,
+        telemetry: telemetry.then(TelemetryConfig::default),
+        ..Default::default()
+    };
+    let mut engine = ParallelEngine::new(&rules, wm, cfg);
+    let t0 = Instant::now();
+    let report = engine.run();
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(report.commits, groups * pairs, "match-heavy: lost commits");
+    validate_trace(&rules, &initial, &report.trace)
+        .expect("trace must replay single-threadedly (Theorem 2)");
+    let aborts = report.aborts.total();
+    (secs, aborts, engine.telemetry().map(|t| t.doc()))
+}
+
 /// The match-bound sweep: `match_heavy` under the default shard plan,
 /// trace-validated like every other run.
 fn run_match_heavy_sweep(groups: usize, pairs: usize, reps: usize) -> Vec<Sample> {
@@ -132,24 +164,12 @@ fn run_match_heavy_sweep(groups: usize, pairs: usize, reps: usize) -> Vec<Sample
     for &workers in &[1usize, 2, 4, 8] {
         let mut best: Option<Sample> = None;
         for _ in 0..reps {
-            let (rules, wm) = workloads::match_heavy(groups, pairs);
-            let initial = wm.clone();
-            let cfg = ParallelConfig {
-                workers,
-                ..Default::default()
-            };
-            let mut engine = ParallelEngine::new(&rules, wm, cfg);
-            let t0 = Instant::now();
-            let report = engine.run();
-            let secs = t0.elapsed().as_secs_f64();
-            assert_eq!(report.commits, groups * pairs, "match-heavy: lost commits");
-            validate_trace(&rules, &initial, &report.trace)
-                .expect("trace must replay single-threadedly (Theorem 2)");
+            let (secs, aborts, _) = match_heavy_run(groups, pairs, workers, false);
             let s = Sample {
                 workers,
-                commits: report.commits,
+                commits: groups * pairs,
                 secs,
-                aborts: report.aborts.total(),
+                aborts,
             };
             if best.as_ref().is_none_or(|b| s.secs < b.secs) {
                 best = Some(s);
@@ -227,9 +247,8 @@ fn observed_contended(tasks: usize, work_us: u64) -> (ObsReport, Json) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
+    let args = ReportArgs::parse();
+    let (quick, json) = (args.quick(), args.json());
     let (tasks, mut work_us, reps) = if quick { (64, 100, 1) } else { (192, 200, 3) };
     // Override the simulated RHS cost (µs). `DPS_SCALING_WORK_US=0` makes
     // the run lock-bound, isolating the lock-table + engine-state overhead
@@ -295,6 +314,47 @@ fn main() {
         overhead * 1e2
     );
 
+    // Live-telemetry overhead: match_heavy at 8 workers, sampler OFF vs
+    // ON (default 10 ms tick), best of `tel_reps`. This A/B gets its own
+    // larger instance: a 5% band needs a run long enough (~100 ms, not
+    // ~20 ms) that sampler-thread spawn/join and timer granularity
+    // don't dominate the ratio — and long enough to collect a
+    // multi-tick timeline. The ON run's timeline is the
+    // `dps-timeline-v1` document embedded in the report below.
+    let (tel_groups, tel_pairs, tel_reps) = if quick {
+        (mh_groups, mh_pairs, 1)
+    } else {
+        (64, 64, reps.max(5))
+    };
+    // Interleaved OFF/ON reps (after one untimed warm-up) so both legs
+    // sample the same cache/frequency conditions — running all OFF
+    // then all ON hands the second leg a warmer machine and biases the
+    // ratio.
+    let _ = match_heavy_run(tel_groups, tel_pairs, 8, false);
+    let (mut tel_off_secs, mut tel_on_secs) = (f64::INFINITY, f64::INFINITY);
+    let mut timeline = None;
+    for _ in 0..tel_reps {
+        let (off, _, _) = match_heavy_run(tel_groups, tel_pairs, 8, false);
+        tel_off_secs = tel_off_secs.min(off);
+        let (on, _, d) = match_heavy_run(tel_groups, tel_pairs, 8, true);
+        if on < tel_on_secs {
+            tel_on_secs = on;
+            timeline = d;
+        }
+    }
+    let timeline = timeline.expect("telemetry-on run produced a timeline");
+    timeline
+        .validate()
+        .expect("sampled timeline must be internally consistent");
+    let tel_overhead = tel_on_secs / tel_off_secs - 1.0;
+    eprintln!(
+        "telemetry overhead (match_heavy, 8 workers): off {:.1}ms, on {:.1}ms ({:+.2}%), {} ticks",
+        tel_off_secs * 1e3,
+        tel_on_secs * 1e3,
+        tel_overhead * 1e2,
+        timeline.ticks
+    );
+
     let (obs, analysis) = observed_contended(tasks, work_us);
 
     {
@@ -326,8 +386,17 @@ fn main() {
                     ("ratio".into(), Json::num(on_secs / off_secs)),
                 ]),
             ),
+            (
+                "telemetry_overhead".into(),
+                Json::Obj(vec![
+                    ("off_secs".into(), Json::num(tel_off_secs)),
+                    ("on_secs".into(), Json::num(tel_on_secs)),
+                    ("ratio".into(), Json::num(tel_on_secs / tel_off_secs)),
+                ]),
+            ),
             ("observability".into(), obs.to_json()),
             ("analysis".into(), analysis),
+            ("timeline".into(), timeline.to_json()),
         ]);
         if json {
             println!("{}", doc.to_string_pretty());
@@ -346,7 +415,7 @@ fn main() {
                 }
             }
         }
-        write_bench_out(&args, &doc);
+        args.write_bench_out(&doc);
     }
 
     // Gate 1: monotonic 1 → 4 improvement on the partitioned workload.
@@ -373,6 +442,17 @@ fn main() {
         eprintln!(
             "WARN: observability overhead {:.2}% >= 5% (noisy machine?)",
             overhead * 1e2
+        );
+        failed = true;
+    }
+    // Gate 3: the live-telemetry sampler must stay within the same 5%
+    // budget on the match-bound workload at full width.
+    if tel_overhead < 0.05 {
+        eprintln!("PASS: telemetry overhead {:.2}% < 5%", tel_overhead * 1e2);
+    } else {
+        eprintln!(
+            "WARN: telemetry overhead {:.2}% >= 5% (noisy machine?)",
+            tel_overhead * 1e2
         );
         failed = true;
     }

@@ -28,7 +28,7 @@ use dps_core::{GovernorConfig, GovernorStats, ParallelConfig, ParallelEngine, Wo
 use dps_lock::{ConflictPolicy, FaultPlan, FaultStats, Protocol};
 use dps_obs::analysis::{analyze, Verdict};
 use dps_obs::json::Json;
-use dps_obs::validate_history;
+use dps_obs::{validate_history, TelemetryConfig, TimelineDoc};
 
 use crate::workloads;
 
@@ -73,6 +73,9 @@ pub struct ChaosSpec {
     pub busy: bool,
     /// Adaptive retry governor (`None`: off).
     pub governor: Option<GovernorConfig>,
+    /// Attach the live-telemetry sampler (default tick) and carry its
+    /// `dps-timeline-v1` document in [`ChaosRun::timeline`].
+    pub telemetry: bool,
 }
 
 /// Outcome of one chaos run, everything the gate and the report need.
@@ -111,6 +114,8 @@ pub struct ChaosRun {
     pub verdict: Verdict,
     /// `true` iff the run drained every task (liveness).
     pub drained: bool,
+    /// Sampled timeline, when [`ChaosSpec::telemetry`] was set.
+    pub timeline: Option<TimelineDoc>,
 }
 
 impl ChaosRun {
@@ -191,6 +196,7 @@ pub fn chaos_run(spec: ChaosSpec) -> ChaosRun {
             observe: true,
             fault: Some(spec.fault.clone()),
             governor: spec.governor.clone(),
+            telemetry: spec.telemetry.then(TelemetryConfig::default),
             ..Default::default()
         },
     );
@@ -253,6 +259,7 @@ pub fn chaos_run(spec: ChaosSpec) -> ChaosRun {
         replay,
         verdict,
         drained: report.commits == spec.tasks,
+        timeline: engine.telemetry().map(|t| t.doc()),
         spec,
     }
 }
@@ -337,6 +344,17 @@ pub fn chaos_document(
             ]),
         ),
         ("governor_comparison".into(), comparison.to_json()),
+        // The governor-ON doom-storm leg's sampled series: the
+        // annotated escalation/serialization timeline behind
+        // EXPERIMENTS.md §XS.7.
+        (
+            "timeline".into(),
+            comparison
+                .on
+                .timeline
+                .as_ref()
+                .map_or(Json::Null, TimelineDoc::to_json),
+        ),
         (
             "verdict".into(),
             Json::str(if all_pass && rejected {

@@ -1,0 +1,525 @@
+//! Perf-trajectory diffing over committed bench reports.
+//!
+//! Every gate binary snapshots its JSON document with `--bench-out`,
+//! and the repo commits one `BENCH_<n>.json` per PR — so the history
+//! of the codebase carries its own performance trajectory. This module
+//! turns any two (or more) of those snapshots into a comparable form:
+//!
+//! * [`extract_legs`] reduces a report of **any** known schema
+//!   (`dps-scaling-report-v1`, `dps-match-report-v1`,
+//!   `dps-chaos-report-v1`, `dps-mvcc-report-v1`,
+//!   `dps-recovery-report-v1`) to a flat list of [`Leg`]s keyed by
+//!   `(workload, policy, shards, workers)` — the identity of a
+//!   measurement, stable across report shapes;
+//! * [`diff`] matches legs by key between a baseline and a candidate
+//!   and computes per-metric deltas with tolerance bands: throughput
+//!   may drop at most [`THROUGHPUT_DROP_TOLERANCE`], commit-path p99
+//!   latency may rise at most [`P99_RISE_TOLERANCE`]. Unmatched keys
+//!   are reported, never failed — schemas grow legs over time.
+//!
+//! The `benchdiff` binary drives this as the CI perf-regression gate:
+//! exit 1 iff the newest pair of reports shows a regression outside
+//! the bands. Tolerances are deliberately wide — CI boxes are noisy —
+//! so only a structural regression (a lost optimisation, an
+//! accidentally serialised path) trips the gate, not scheduler jitter.
+
+use dps_obs::json::Json;
+
+/// Throughput may drop by at most this fraction before the gate fails
+/// (0.15 = the candidate must keep ≥ 85% of the baseline's rate).
+pub const THROUGHPUT_DROP_TOLERANCE: f64 = 0.15;
+
+/// p99 latency may rise by at most this fraction before the gate
+/// fails (0.25 = the candidate must stay ≤ 125% of the baseline).
+pub const P99_RISE_TOLERANCE: f64 = 0.25;
+
+/// One comparable measurement extracted from a bench report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Leg {
+    /// Workload label, qualified by the measurement context (e.g.
+    /// `scaling.partitioned`, `match_heavy.durability_on`).
+    pub workload: String,
+    /// Conflict policy the leg ran under.
+    pub policy: String,
+    /// Shard count (lock or match shards, whichever the sweep varied;
+    /// 0 = the report does not parameterise shards for this leg).
+    pub shards: u64,
+    /// Worker threads.
+    pub workers: u64,
+    /// Commits per second.
+    pub throughput: f64,
+    /// p99 latency in nanoseconds, when the report carries a histogram
+    /// for this leg (commit path on scaling, `match_apply` on match).
+    pub p99_ns: Option<u64>,
+}
+
+impl Leg {
+    /// The match key: two legs compare iff their keys are equal.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/shards={}/workers={}",
+            self.workload, self.policy, self.shards, self.workers
+        )
+    }
+}
+
+fn need_str(doc: &Json, path: &[&str]) -> Result<String, String> {
+    doc.at(path)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string at {}", path.join(".")))
+}
+
+fn need_u64(doc: &Json, path: &[&str]) -> Result<u64, String> {
+    doc.at(path)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer at {}", path.join(".")))
+}
+
+fn need_f64(doc: &Json, path: &[&str]) -> Result<f64, String> {
+    doc.at(path)
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| format!("missing number at {}", path.join(".")))
+}
+
+/// Throughput from a `{commits, secs}` row.
+fn row_throughput(row: &Json, at: &str) -> Result<f64, String> {
+    let commits = row
+        .get("commits")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{at}: missing commits"))?;
+    let secs = row
+        .get("secs")
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .ok_or_else(|| format!("{at}: missing or non-positive secs"))?;
+    Ok(commits as f64 / secs)
+}
+
+fn scaling_legs(doc: &Json) -> Result<Vec<Leg>, String> {
+    let lock_shards = need_u64(doc, &["config", "lock_shards"])?;
+    let mut legs = Vec::new();
+    // (sweep key, workload label, shard count for the key)
+    let sweeps = [
+        ("partitioned", "scaling.partitioned", lock_shards),
+        ("partitioned_1shard", "scaling.partitioned", 1),
+        ("contended", "scaling.contended", lock_shards),
+        ("match_heavy", "scaling.match_heavy", 0),
+    ];
+    for (key, workload, shards) in sweeps {
+        // `match_heavy` joined the sweeps later; its absence is an old
+        // shape, not an error.
+        let Some(rows) = doc.at(&["sweeps", key]).and_then(Json::as_arr) else {
+            continue;
+        };
+        for (i, row) in rows.iter().enumerate() {
+            let at = format!("scaling.sweeps.{key}[{i}]");
+            legs.push(Leg {
+                workload: workload.into(),
+                policy: "abort_readers".into(),
+                shards,
+                workers: need_u64(row, &["workers"])?,
+                throughput: row_throughput(row, &at)?,
+                p99_ns: None,
+            });
+        }
+    }
+    // The instrumented contended run (4 workers) carries the commit
+    // histogram: attach its p99 to the matching sweep leg.
+    if let Some(p99) = doc
+        .at(&["observability", "phases", "commit", "p99_ns"])
+        .and_then(Json::as_u64)
+    {
+        if let Some(leg) = legs.iter_mut().find(|l| {
+            l.workload == "scaling.contended" && l.workers == 4 && l.shards == lock_shards
+        }) {
+            leg.p99_ns = Some(p99);
+        }
+    }
+    Ok(legs)
+}
+
+fn match_legs(doc: &Json) -> Result<Vec<Leg>, String> {
+    let workers = need_u64(doc, &["config", "workers"])?;
+    let mut legs = Vec::new();
+    let rows = doc
+        .get("sweep")
+        .and_then(Json::as_arr)
+        .ok_or("match: missing sweep array")?;
+    for (i, row) in rows.iter().enumerate() {
+        let at = format!("match.sweep[{i}]");
+        legs.push(Leg {
+            workload: "match_heavy".into(),
+            policy: "abort_readers".into(),
+            shards: need_u64(row, &["shards"])?,
+            workers,
+            throughput: row_throughput(row, &at)?,
+            p99_ns: None,
+        });
+    }
+    // The instrumented run (max shards) carries the match_apply
+    // histogram: attach its p99 to the max-shards leg.
+    if let Some(p99) = doc
+        .at(&["observability", "phases", "match_apply", "p99_ns"])
+        .and_then(Json::as_u64)
+    {
+        if let Some(leg) = legs.iter_mut().max_by_key(|l| l.shards) {
+            leg.p99_ns = Some(p99);
+        }
+    }
+    // The MVCC comparison leg (joined later — optional).
+    if let Some(sample) = doc.at(&["mvcc", "sample"]) {
+        legs.push(Leg {
+            workload: "match_heavy".into(),
+            policy: "mvcc_snapshot".into(),
+            shards: need_u64(sample, &["shards"])?,
+            workers,
+            throughput: row_throughput(sample, "match.mvcc.sample")?,
+            p99_ns: None,
+        });
+    }
+    Ok(legs)
+}
+
+fn chaos_legs(doc: &Json) -> Result<Vec<Leg>, String> {
+    // Only the governor A/B is a *measurement* (hot spot, expensive
+    // RHS, best-effort throughput); the sweep runs are correctness
+    // probes with tiny task counts, not comparable perf signals.
+    let workers = need_u64(doc, &["governor_comparison", "workers"])?;
+    let mut legs = Vec::new();
+    for leg in ["off", "on"] {
+        legs.push(Leg {
+            workload: format!("doom_storm.governor_{leg}"),
+            policy: "abort_readers".into(),
+            shards: 0,
+            workers,
+            throughput: need_f64(doc, &["governor_comparison", leg, "throughput"])?,
+            p99_ns: None,
+        });
+    }
+    Ok(legs)
+}
+
+fn mvcc_legs(doc: &Json) -> Result<Vec<Leg>, String> {
+    let workers = need_u64(doc, &["workload", "workers"])?;
+    let mut legs = Vec::new();
+    for leg in ["stock", "mvcc"] {
+        legs.push(Leg {
+            workload: "false_conflict_stream".into(),
+            policy: need_str(doc, &[leg, "policy"])?,
+            shards: 0,
+            workers,
+            throughput: need_f64(doc, &[leg, "throughput"])?,
+            p99_ns: None,
+        });
+    }
+    Ok(legs)
+}
+
+fn recovery_legs(doc: &Json) -> Result<Vec<Leg>, String> {
+    let workers = need_u64(doc, &["workers"])?;
+    let mut legs = Vec::new();
+    for (leg, key) in [("durability_off", "off_throughput"), ("durability_on", "on_throughput")] {
+        legs.push(Leg {
+            workload: format!("match_heavy.{leg}"),
+            policy: "abort_readers".into(),
+            shards: 0,
+            workers,
+            throughput: need_f64(doc, &["overhead", key])?,
+            p99_ns: None,
+        });
+    }
+    Ok(legs)
+}
+
+/// Reduces a bench report of any known schema to its comparable legs.
+pub fn extract_legs(doc: &Json) -> Result<Vec<Leg>, String> {
+    match need_str(doc, &["schema"])?.as_str() {
+        "dps-scaling-report-v1" => scaling_legs(doc),
+        "dps-match-report-v1" => match_legs(doc),
+        "dps-chaos-report-v1" => chaos_legs(doc),
+        "dps-mvcc-report-v1" => mvcc_legs(doc),
+        "dps-recovery-report-v1" => recovery_legs(doc),
+        other => Err(format!("benchdiff: unknown schema {other:?}")),
+    }
+}
+
+/// One matched key's per-metric deltas.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// The shared [`Leg::key`].
+    pub key: String,
+    /// Baseline commits/second.
+    pub base_throughput: f64,
+    /// Candidate commits/second.
+    pub new_throughput: f64,
+    /// `new / base` (> 1 is an improvement).
+    pub throughput_ratio: f64,
+    /// Baseline p99 (ns), when both sides carry one.
+    pub base_p99_ns: Option<u64>,
+    /// Candidate p99 (ns), when both sides carry one.
+    pub new_p99_ns: Option<u64>,
+    /// `new / base` p99 (< 1 is an improvement), when both sides
+    /// carry one.
+    pub p99_ratio: Option<f64>,
+}
+
+impl Delta {
+    /// Throughput fell outside the tolerance band.
+    pub fn throughput_regressed(&self) -> bool {
+        self.throughput_ratio < 1.0 - THROUGHPUT_DROP_TOLERANCE
+    }
+
+    /// p99 rose outside the tolerance band (never fires without a p99
+    /// on both sides).
+    pub fn p99_regressed(&self) -> bool {
+        self.p99_ratio.is_some_and(|r| r > 1.0 + P99_RISE_TOLERANCE)
+    }
+
+    /// Either metric regressed.
+    pub fn regressed(&self) -> bool {
+        self.throughput_regressed() || self.p99_regressed()
+    }
+
+    /// JSON row for the `dps-benchdiff-report-v1` document.
+    pub fn to_json(&self) -> Json {
+        let opt = |v: Option<u64>| v.map_or(Json::Null, Json::u64);
+        Json::Obj(vec![
+            ("key".into(), Json::str(self.key.clone())),
+            ("base_throughput".into(), Json::num(self.base_throughput)),
+            ("new_throughput".into(), Json::num(self.new_throughput)),
+            ("throughput_ratio".into(), Json::num(self.throughput_ratio)),
+            ("base_p99_ns".into(), opt(self.base_p99_ns)),
+            ("new_p99_ns".into(), opt(self.new_p99_ns)),
+            (
+                "p99_ratio".into(),
+                self.p99_ratio.map_or(Json::Null, Json::num),
+            ),
+            ("regressed".into(), Json::Bool(self.regressed())),
+        ])
+    }
+}
+
+/// The comparison of one (baseline, candidate) report pair.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Label of the baseline report (its path).
+    pub base_label: String,
+    /// Label of the candidate report (its path).
+    pub new_label: String,
+    /// Per-key deltas, in baseline order.
+    pub deltas: Vec<Delta>,
+    /// Keys only the baseline carries (an old report shape — noted,
+    /// never failed).
+    pub only_base: Vec<String>,
+    /// Keys only the candidate carries (a grown report — noted, never
+    /// failed).
+    pub only_new: Vec<String>,
+}
+
+impl DiffReport {
+    /// Every delta outside its tolerance band.
+    pub fn regressions(&self) -> Vec<&Delta> {
+        self.deltas.iter().filter(|d| d.regressed()).collect()
+    }
+
+    /// The `dps-benchdiff-report-v1` document for this pair.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::str("dps-benchdiff-report-v1")),
+            ("base".into(), Json::str(self.base_label.clone())),
+            ("candidate".into(), Json::str(self.new_label.clone())),
+            (
+                "tolerances".into(),
+                Json::Obj(vec![
+                    (
+                        "throughput_drop".into(),
+                        Json::num(THROUGHPUT_DROP_TOLERANCE),
+                    ),
+                    ("p99_rise".into(), Json::num(P99_RISE_TOLERANCE)),
+                ]),
+            ),
+            (
+                "deltas".into(),
+                Json::Arr(self.deltas.iter().map(Delta::to_json).collect()),
+            ),
+            (
+                "only_base".into(),
+                Json::Arr(self.only_base.iter().map(|k| Json::str(k.clone())).collect()),
+            ),
+            (
+                "only_candidate".into(),
+                Json::Arr(self.only_new.iter().map(|k| Json::str(k.clone())).collect()),
+            ),
+            (
+                "regressions".into(),
+                Json::u64(self.regressions().len() as u64),
+            ),
+        ])
+    }
+}
+
+/// Matches `new` against `base` by [`Leg::key`] and computes deltas.
+pub fn diff(base_label: &str, base: &[Leg], new_label: &str, new: &[Leg]) -> DiffReport {
+    let mut deltas = Vec::new();
+    let mut only_base = Vec::new();
+    let find = |legs: &[Leg], key: &str| legs.iter().find(|l| l.key() == key).cloned();
+    for b in base {
+        let key = b.key();
+        match find(new, &key) {
+            Some(n) => {
+                let p99 = match (b.p99_ns, n.p99_ns) {
+                    (Some(bp), Some(np)) if bp > 0 => {
+                        (Some(bp), Some(np), Some(np as f64 / bp as f64))
+                    }
+                    _ => (None, None, None),
+                };
+                deltas.push(Delta {
+                    key,
+                    base_throughput: b.throughput,
+                    new_throughput: n.throughput,
+                    throughput_ratio: n.throughput / b.throughput.max(1e-12),
+                    base_p99_ns: p99.0,
+                    new_p99_ns: p99.1,
+                    p99_ratio: p99.2,
+                });
+            }
+            None => only_base.push(key),
+        }
+    }
+    let only_new = new
+        .iter()
+        .map(Leg::key)
+        .filter(|k| !base.iter().any(|b| &b.key() == k))
+        .collect();
+    DiffReport {
+        base_label: base_label.into(),
+        new_label: new_label.into(),
+        deltas,
+        only_base,
+        only_new,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dps_obs::json;
+
+    fn leg(workload: &str, workers: u64, tput: f64, p99: Option<u64>) -> Leg {
+        Leg {
+            workload: workload.into(),
+            policy: "abort_readers".into(),
+            shards: 0,
+            workers,
+            throughput: tput,
+            p99_ns: p99,
+        }
+    }
+
+    #[test]
+    fn matched_legs_produce_deltas_and_band_edges_hold() {
+        let base = vec![leg("a", 4, 1000.0, Some(100)), leg("b", 8, 500.0, None)];
+        // "a" drops exactly to the band edge (ratio 0.85 is NOT a
+        // regression — the band is open), "b" improves.
+        let new = vec![leg("a", 4, 850.0, Some(100)), leg("b", 8, 700.0, None)];
+        let rep = diff("base", &base, "new", &new);
+        assert_eq!(rep.deltas.len(), 2);
+        assert!(rep.regressions().is_empty(), "band edges must pass");
+        // One tick below the edge fails.
+        let worse = vec![leg("a", 4, 849.0, Some(100)), leg("b", 8, 700.0, None)];
+        let rep = diff("base", &base, "new", &worse);
+        assert_eq!(rep.regressions().len(), 1);
+        assert_eq!(rep.regressions()[0].key, base[0].key());
+    }
+
+    #[test]
+    fn p99_band_fires_only_when_both_sides_carry_one() {
+        let base = vec![leg("a", 4, 1000.0, Some(1000))];
+        // Throughput fine, p99 blown.
+        let new = vec![leg("a", 4, 1000.0, Some(1251))];
+        let rep = diff("b", &base, "n", &new);
+        assert!(rep.deltas[0].p99_regressed());
+        assert!(rep.deltas[0].regressed());
+        // Candidate lost its histogram (old shape on one side): the
+        // p99 gate cannot fire.
+        let new = vec![leg("a", 4, 1000.0, None)];
+        let rep = diff("b", &base, "n", &new);
+        assert!(rep.deltas[0].p99_ratio.is_none());
+        assert!(!rep.deltas[0].regressed());
+    }
+
+    #[test]
+    fn unmatched_keys_are_noted_never_failed() {
+        let base = vec![leg("old_only", 4, 100.0, None), leg("both", 4, 100.0, None)];
+        let new = vec![leg("both", 4, 100.0, None), leg("new_only", 4, 100.0, None)];
+        let rep = diff("b", &base, "n", &new);
+        assert_eq!(rep.deltas.len(), 1);
+        assert_eq!(rep.only_base, vec![base[0].key()]);
+        assert_eq!(rep.only_new, vec![new[1].key()]);
+        assert!(rep.regressions().is_empty());
+    }
+
+    #[test]
+    fn recovery_reports_extract_overhead_legs() {
+        let doc = json::parse(
+            r#"{
+              "schema": "dps-recovery-report-v1",
+              "workers": 8,
+              "overhead": { "off_throughput": 2000.0, "on_throughput": 1800.0 }
+            }"#,
+        )
+        .unwrap();
+        let legs = extract_legs(&doc).unwrap();
+        assert_eq!(legs.len(), 2);
+        assert_eq!(legs[0].key(), "match_heavy.durability_off/abort_readers/shards=0/workers=8");
+        assert_eq!(legs[0].throughput, 2000.0);
+        assert_eq!(legs[1].throughput, 1800.0);
+    }
+
+    #[test]
+    fn match_reports_extract_sweep_and_attach_p99_to_max_shards() {
+        let doc = json::parse(
+            r#"{
+              "schema": "dps-match-report-v1",
+              "config": { "workers": 8 },
+              "sweep": [
+                { "shards": 1, "commits": 100, "secs": 1.0 },
+                { "shards": 8, "commits": 100, "secs": 0.2 }
+              ],
+              "observability": { "phases": { "match_apply": { "p99_ns": 4200 } } },
+              "mvcc": { "sample": { "shards": 8, "commits": 100, "secs": 0.25 } }
+            }"#,
+        )
+        .unwrap();
+        let legs = extract_legs(&doc).unwrap();
+        assert_eq!(legs.len(), 3);
+        assert_eq!(legs[0].p99_ns, None);
+        assert_eq!(legs[1].p99_ns, Some(4200), "p99 attaches to the max-shards leg");
+        assert_eq!(legs[2].policy, "mvcc_snapshot");
+        // Distinct shard counts are distinct keys.
+        assert_ne!(legs[0].key(), legs[1].key());
+    }
+
+    #[test]
+    fn diff_report_serializes_with_tolerances() {
+        let base = vec![leg("a", 4, 1000.0, Some(100))];
+        let new = vec![leg("a", 4, 100.0, Some(500))];
+        let doc = diff("BENCH_7.json", &base, "candidate.json", &new).to_json();
+        let text = doc.to_string_pretty();
+        let back = json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.get("regressions").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            back.at(&["deltas"]).and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn unknown_schema_is_an_error() {
+        let doc = json::parse(r#"{ "schema": "dps-mystery-v9" }"#).unwrap();
+        assert!(extract_legs(&doc).is_err());
+    }
+}

@@ -194,6 +194,67 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Shared CLI plumbing for the gate binaries (`scaling`, `matchbench`,
+/// `chaos`, `mvcc`, `recovery`): every one of them speaks
+/// `[--quick] [--json] [--bench-out PATH]` plus a few `--name VALUE`
+/// integer flags. Each bin used to hand-roll this scan; they now all
+/// parse through here, so a new flag (or a parsing fix) lands in one
+/// place.
+#[derive(Clone, Debug)]
+pub struct ReportArgs {
+    args: Vec<String>,
+}
+
+impl ReportArgs {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        ReportArgs {
+            args: std::env::args().collect(),
+        }
+    }
+
+    /// Builds from an explicit argument vector (tests).
+    pub fn from_vec(args: Vec<String>) -> Self {
+        ReportArgs { args }
+    }
+
+    /// `--quick`: the faster, noisier variant of the sweep.
+    pub fn quick(&self) -> bool {
+        self.has("--quick")
+    }
+
+    /// `--json`: emit the machine-readable report on stdout.
+    pub fn json(&self) -> bool {
+        self.has("--json")
+    }
+
+    /// Presence of a bare flag.
+    pub fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// Value of an integer `--name VALUE` flag, when present and
+    /// parseable.
+    pub fn flag_u64(&self, name: &str) -> Option<u64> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// The `--bench-out PATH` target, if one was given.
+    pub fn bench_out(&self) -> Option<String> {
+        crate::bench_out_path(&self.args)
+    }
+
+    /// Writes `doc` to the `--bench-out` target, if one was given
+    /// (fatal on I/O failure — see [`crate::write_bench_out`]).
+    pub fn write_bench_out(&self, doc: &dps_obs::json::Json) {
+        crate::write_bench_out(&self.args, doc);
+    }
+}
+
 /// Declares a bench group function, Criterion-style: expands to a
 /// `pub fn $name()` that runs each registered benchmark function.
 #[macro_export]
@@ -234,6 +295,23 @@ mod tests {
     #[test]
     fn id_formats_like_criterion() {
         assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+    }
+
+    #[test]
+    fn report_args_parse_the_shared_surface() {
+        let a = ReportArgs::from_vec(
+            ["bin", "--quick", "--json", "--workers", "12", "--seed", "7", "--bench-out", "x.json"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        assert!(a.quick() && a.json());
+        assert_eq!(a.flag_u64("--workers"), Some(12));
+        assert_eq!(a.flag_u64("--seed"), Some(7));
+        assert_eq!(a.flag_u64("--missing"), None);
+        assert_eq!(a.bench_out().as_deref(), Some("x.json"));
+        let empty = ReportArgs::from_vec(vec!["bin".into()]);
+        assert!(!empty.quick() && !empty.json() && empty.bench_out().is_none());
     }
 
     #[test]

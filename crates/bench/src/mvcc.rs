@@ -44,7 +44,7 @@ use dps_lock::{ConflictPolicy, FaultPlan, Protocol};
 use dps_obs::analysis::si_checker::{self, SiReport, SiTxn};
 use dps_obs::analysis::{analyze, Verdict};
 use dps_obs::json::Json;
-use dps_obs::validate_history;
+use dps_obs::{validate_history, TelemetryConfig, TimelineDoc};
 
 use crate::chaos::policy_name;
 use crate::workloads;
@@ -106,6 +106,9 @@ pub struct MvccLeg {
     pub si: Option<Verdict>,
     /// Folded verdict: structural + replay + SI.
     pub verdict: Verdict,
+    /// Live-telemetry timeline (both legs carry the sampler, so the
+    /// snapshot-pin gauges can be compared policy-to-policy).
+    pub timeline: Option<TimelineDoc>,
 }
 
 impl MvccLeg {
@@ -188,6 +191,7 @@ pub fn mvcc_leg(spec: &MvccSpec, policy: ConflictPolicy) -> MvccLeg {
             work: WorkModel::BusyMicros(spec.work_us),
             observe: true,
             fault: Some(FaultPlan::doom_storm(spec.seed)),
+            telemetry: Some(TelemetryConfig::default()),
             ..Default::default()
         },
     );
@@ -232,6 +236,7 @@ pub fn mvcc_leg(spec: &MvccSpec, policy: ConflictPolicy) -> MvccLeg {
         replay,
         si: analysis.si.as_ref().map(|s| s.verdict()),
         verdict,
+        timeline: engine.telemetry().map(|t| t.doc()),
     }
 }
 
@@ -353,6 +358,14 @@ pub fn mvcc_document(
         ),
         ("stock".into(), stock.to_json()),
         ("mvcc".into(), mvcc.to_json()),
+        // The MVCC leg's sampled series: snapshot-pin occupancy and
+        // pin lag are only non-trivial on this leg.
+        (
+            "timeline".into(),
+            mvcc.timeline
+                .as_ref()
+                .map_or(Json::Null, TimelineDoc::to_json),
+        ),
         (
             "probes".into(),
             Json::Obj(vec![

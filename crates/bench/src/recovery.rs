@@ -41,6 +41,7 @@ use dps_core::semantics::validate_trace;
 use dps_core::{DurabilityConfig, ParallelConfig, ParallelEngine, Trace};
 use dps_lock::{ConflictPolicy, FaultPlan, Protocol, WalKillSite};
 use dps_obs::json::Json;
+use dps_obs::{TelemetryConfig, TimelineDoc};
 use dps_rules::RuleSet;
 use dps_wm::{recover, WalStats, WorkingMemory};
 
@@ -477,6 +478,9 @@ pub struct Overhead {
     /// WAL counters from the on leg (the group-commit evidence:
     /// `fsyncs` well below `appends`).
     pub wal: WalStats,
+    /// Live-telemetry timeline from the last on leg: the `wal.*`
+    /// series (pending bytes, fsync count, piggyback ratio) over time.
+    pub timeline: Option<TimelineDoc>,
 }
 
 /// Runs the overhead A/B. The on-leg's recovered state must also match
@@ -486,7 +490,15 @@ pub fn overhead(spec: &RecoverySpec, scratch: &Path) -> Result<Overhead, String>
     let (groups, pairs, reps) = if spec.quick { (16, 16, 2) } else { (48, 32, 4) };
     let expected = groups * pairs;
     let on_dir = scratch.join("overhead");
-    let run_leg = |durability: Option<DurabilityConfig>| -> Result<(f64, Option<WalStats>), String> {
+    // The durable leg also carries the live-telemetry sampler, so the
+    // report's timeline shows the `wal.*` series under load. Telemetry
+    // stays off the off leg: the measured ratio is the cost of
+    // durability alone (the sampler's own cost has its own gate in the
+    // `scaling` binary).
+    let run_leg = |durability: Option<DurabilityConfig>| -> Result<
+        (f64, Option<WalStats>, Option<TimelineDoc>),
+        String,
+    > {
         if let Some(d) = &durability {
             let _ = fs::remove_dir_all(&d.dir);
         }
@@ -497,6 +509,7 @@ pub fn overhead(spec: &RecoverySpec, scratch: &Path) -> Result<Overhead, String>
             ParallelConfig {
                 workers: spec.workers,
                 durability: durability.clone(),
+                telemetry: durability.as_ref().map(|_| TelemetryConfig::default()),
                 ..Default::default()
             },
         );
@@ -513,7 +526,8 @@ pub fn overhead(spec: &RecoverySpec, scratch: &Path) -> Result<Overhead, String>
                 return Err("overhead on-leg recovery diverged from the final state".into());
             }
         }
-        Ok((secs, report.wal))
+        let timeline = engine.telemetry().map(|t| t.doc());
+        Ok((secs, report.wal, timeline))
     };
     // One untimed warm-up run primes the allocator, the Rete network
     // and the scheduler so the cold start lands on neither timed leg;
@@ -522,19 +536,21 @@ pub fn overhead(spec: &RecoverySpec, scratch: &Path) -> Result<Overhead, String>
     // happens to run last. Best-of-N per leg.
     run_leg(None)?;
     let durability = DurabilityConfig { dir: on_dir.clone(), checkpoint_interval: 0 };
-    let (mut off_best, mut on_best, mut wal) = (f64::INFINITY, f64::INFINITY, None);
+    let (mut off_best, mut on_best, mut wal, mut timeline) =
+        (f64::INFINITY, f64::INFINITY, None, None);
     for _ in 0..reps {
-        let (secs, _) = run_leg(None)?;
+        let (secs, _, _) = run_leg(None)?;
         off_best = off_best.min(secs);
-        let (secs, w) = run_leg(Some(durability.clone()))?;
+        let (secs, w, t) = run_leg(Some(durability.clone()))?;
         on_best = on_best.min(secs);
         wal = w;
+        timeline = t;
     }
     let _ = fs::remove_dir_all(&on_dir);
     let wal = wal.ok_or("overhead on-leg reported no wal stats")?;
     let off = OverheadLeg { commits: expected, secs: off_best };
     let on = OverheadLeg { commits: expected, secs: on_best };
-    Ok(Overhead { off, on, ratio: on.secs / off.secs.max(1e-9), wal })
+    Ok(Overhead { off, on, ratio: on.secs / off.secs.max(1e-9), wal, timeline })
 }
 
 /// Gate booleans, computed once and shared by the document and the
@@ -625,6 +641,15 @@ pub fn recovery_document(
                     ]),
                 ),
             ]),
+        ),
+        // The durable overhead leg's sampled series: WAL pending
+        // bytes, fsync counts and the piggyback ratio over time.
+        (
+            "timeline".into(),
+            overhead
+                .timeline
+                .as_ref()
+                .map_or(Json::Null, TimelineDoc::to_json),
         ),
         (
             "gates".into(),

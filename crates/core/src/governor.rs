@@ -175,6 +175,13 @@ pub struct Governor {
     serializations: AtomicU64,
     deescalations: AtomicU64,
     backoffs: AtomicU64,
+    /// Live-telemetry mirrors of the mutexed sets' sizes and the last
+    /// imposed backoff, updated at every mutation site (while the state
+    /// lock is held, so they are always exact) — sampling never takes
+    /// the governor mutex.
+    escalated_now: AtomicU64,
+    serialized_now: AtomicU64,
+    last_backoff_us: AtomicU64,
 }
 
 impl Governor {
@@ -190,6 +197,9 @@ impl Governor {
             serializations: AtomicU64::new(0),
             deescalations: AtomicU64::new(0),
             backoffs: AtomicU64::new(0),
+            escalated_now: AtomicU64::new(0),
+            serialized_now: AtomicU64::new(0),
+            last_backoff_us: AtomicU64::new(0),
         }
     }
 
@@ -253,6 +263,8 @@ impl Governor {
             st.calm_commits = 0;
             self.any_escalated.store(false, Relaxed);
             self.any_serialized.store(false, Relaxed);
+            self.escalated_now.store(0, Relaxed);
+            self.serialized_now.store(0, Relaxed);
             self.deescalations.fetch_add(1, Relaxed);
             drop(st);
             if let Some(obs) = obs {
@@ -308,12 +320,14 @@ impl Governor {
             self.any_escalated.store(true, Relaxed);
             self.escalations
                 .fetch_add(newly_escalated.len() as u64, Relaxed);
+            self.escalated_now.store(st.escalated.len() as u64, Relaxed);
         }
         // Starvation bound → serialize the rule.
         let mut serialized_now = false;
         if streak >= self.config.starvation_bound && st.serialized.insert(rule.to_owned()) {
             self.any_serialized.store(true, Relaxed);
             self.serializations.fetch_add(1, Relaxed);
+            self.serialized_now.store(st.serialized.len() as u64, Relaxed);
             serialized_now = true;
         }
         drop(st);
@@ -351,7 +365,37 @@ impl Governor {
         let shift = u64::from(streak.saturating_sub(1).min(16));
         let exp = base.saturating_mul(1u64 << shift).min(self.config.backoff_cap_us);
         let jitter = mix(self.config.seed ^ mix(slot).rotate_left(17) ^ u64::from(streak)) % base;
+        self.last_backoff_us.store(exp + jitter, Relaxed);
         Duration::from_micros(exp + jitter)
+    }
+
+    /// Resources currently under pessimistic modes (lock-free mirror;
+    /// the `governor.escalated_now` telemetry gauge).
+    pub fn escalated_now(&self) -> u64 {
+        self.escalated_now.load(Relaxed)
+    }
+
+    /// Rules currently routed through the serial fallback (lock-free
+    /// mirror; the `governor.serialized_now` telemetry gauge).
+    pub fn serialized_now(&self) -> u64 {
+        self.serialized_now.load(Relaxed)
+    }
+
+    /// The last backoff imposed, microseconds (the `governor.backoff_us`
+    /// telemetry gauge — the storm's current severity dial).
+    pub fn last_backoff_us(&self) -> u64 {
+        self.last_backoff_us.load(Relaxed)
+    }
+
+    /// Cumulative counters as bare numbers, for telemetry probes
+    /// (`escalations`, `serializations`, `deescalations`, `backoffs`).
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.escalations.load(Relaxed),
+            self.serializations.load(Relaxed),
+            self.deescalations.load(Relaxed),
+            self.backoffs.load(Relaxed),
+        )
     }
 }
 

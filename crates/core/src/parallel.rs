@@ -85,7 +85,9 @@ use dps_lock::{
     ResourceId, TxnId, WalKillSite,
 };
 use dps_match::{InstKey, Instantiation, Matcher, DEFAULT_MATCH_SHARDS};
-use dps_obs::{EventKind as ObsEvent, FanoutStats, Phase, Recorder};
+use dps_obs::{
+    EventKind as ObsEvent, FanoutStats, Phase, Recorder, Telemetry, TelemetryConfig, TickHist,
+};
 use dps_rules::{instantiate_actions, RuleSet};
 use dps_wm::wal::KillMode;
 use dps_wm::{Atom, DurableWm, WalError, WalStats, WorkingMemory};
@@ -225,6 +227,16 @@ pub struct ParallelConfig {
     /// durability cost — one branch on a `None`, like `observe` and
     /// `fault`.
     pub durability: Option<DurabilityConfig>,
+    /// Live telemetry: when set, the engine registers atomic probes for
+    /// every subsystem (commit/abort rates, lock waits, delta-log
+    /// depth, WAL backlog, governor state) on a
+    /// [`dps_obs::Telemetry`] registry and runs its background sampler
+    /// for the duration of [`ParallelEngine::run`] (retrieve via
+    /// [`ParallelEngine::telemetry`]). Same zero-cost seam as
+    /// `observe`: the hot path pays nothing — probes read the same
+    /// atomics the end-of-run report reads; only the sampler thread
+    /// works.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 /// Configuration of the durability layer ([`ParallelConfig::durability`]).
@@ -261,6 +273,7 @@ impl Default for ParallelConfig {
             governor: None,
             match_shards: DEFAULT_MATCH_SHARDS,
             durability: None,
+            telemetry: None,
         }
     }
 }
@@ -422,14 +435,17 @@ pub struct ParallelEngine {
     class_ids: HashMap<Atom, u32>,
     /// Piece (b): the authoritative WM (commit critical section) plus
     /// the per-shard match networks and the delta log between them.
-    pipeline: MatchPipeline,
+    /// `Arc`'d (like `metrics`, `lm` and the governor) so telemetry
+    /// probes — `'static` closures on the sampler thread — can read
+    /// its atomics after borrowing rules forbid a plain reference.
+    pipeline: Arc<MatchPipeline>,
     /// Piece (a): claims + termination; condvar lives here.
     ledger: Mutex<Ledger>,
     cv: Condvar,
     /// Piece (c): commit log and counters.
     trace: Mutex<Trace>,
-    metrics: Metrics,
-    lm: LockManager,
+    metrics: Arc<Metrics>,
+    lm: Arc<LockManager>,
     /// Observability sink ([`ParallelConfig::observe`]); shared with the
     /// lock manager. `None` ⇒ every instrumentation site is one branch.
     obs: Option<Arc<Recorder>>,
@@ -437,10 +453,12 @@ pub struct ParallelEngine {
     /// manager. `None` ⇒ every seam is one branch.
     injector: Option<Arc<FaultInjector>>,
     /// Adaptive retry governor ([`ParallelConfig::governor`]).
-    governor: Option<Governor>,
+    governor: Option<Arc<Governor>>,
     /// Durability layer ([`ParallelConfig::durability`]): checkpoint +
     /// group-commit WAL. `None` ⇒ the commit path pays one branch.
     durable: Option<Arc<DurableWm>>,
+    /// Live-telemetry registry + sampler ([`ParallelConfig::telemetry`]).
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 enum WorkerStep {
@@ -500,27 +518,171 @@ impl ParallelEngine {
             .fault
             .clone()
             .map(|plan| Arc::new(FaultInjector::new(plan)));
-        let governor = config.governor.clone().map(Governor::new);
-        ParallelEngine {
-            rules: rules.clone(),
-            class_ids,
-            lm: LockManager::builder()
+        let governor = config
+            .governor
+            .clone()
+            .map(|cfg| Arc::new(Governor::new(cfg)));
+        let pipeline = Arc::new(pipeline);
+        let metrics = Arc::new(Metrics::default());
+        let telemetry = config.telemetry.clone().map(|t| Arc::new(Telemetry::new(t)));
+        let wait_hist = telemetry.as_ref().map(|_| Arc::new(TickHist::default()));
+        let lm = Arc::new(
+            LockManager::builder()
                 .policy(config.policy)
                 .shards(config.lock_shards)
                 .timeout(config.lock_timeout)
                 .obs(obs.clone())
                 .fault(injector.clone())
+                .wait_hist(wait_hist.clone())
                 .build(),
+        );
+        if let Some(tel) = &telemetry {
+            Self::register_probes(
+                tel,
+                &metrics,
+                &lm,
+                &pipeline,
+                governor.as_ref(),
+                durable.as_ref(),
+                wait_hist,
+            );
+        }
+        ParallelEngine {
+            rules: rules.clone(),
+            class_ids,
+            lm,
             config,
             pipeline,
             ledger: Mutex::new(Ledger::default()),
             cv: Condvar::new(),
             trace: Mutex::new(Trace::default()),
-            metrics: Metrics::default(),
+            metrics,
             obs,
             injector,
             governor,
             durable,
+            telemetry,
+        }
+    }
+
+    /// Registers every engine series on the telemetry registry. Each
+    /// probe is a lock-free read over `Arc`'d atomics — the same cells
+    /// the end-of-run [`ParallelReport`] reads, which is what makes
+    /// tick-integrated totals reconcile exactly with the event-ring
+    /// aggregates. No probe ever takes an engine lock (see the
+    /// lock-order note in [`dps_obs::timeline`]).
+    // The `[(&str, fn(..) -> u64); N]` annotations are what coerce the
+    // per-series closures to plain fn pointers so each loop body stays
+    // monomorphic; aliasing them per component would obscure, not help.
+    #[allow(clippy::type_complexity)]
+    fn register_probes(
+        tel: &Arc<Telemetry>,
+        metrics: &Arc<Metrics>,
+        lm: &Arc<LockManager>,
+        pipeline: &Arc<MatchPipeline>,
+        governor: Option<&Arc<Governor>>,
+        durable: Option<&Arc<DurableWm>>,
+        wait_hist: Option<Arc<TickHist>>,
+    ) {
+        // Engine: commit + abort-by-cause counters (per-tick first
+        // differences are the rates) and wasted work.
+        let m = Arc::clone(metrics);
+        tel.counter("engine.commits", move || m.commits.load(Relaxed) as u64);
+        let causes: [(&str, fn(&Metrics) -> u64); 9] = [
+            ("engine.aborts.doomed", |m| m.doomed.load(Relaxed)),
+            ("engine.aborts.deadlock", |m| m.deadlock.load(Relaxed)),
+            ("engine.aborts.stale", |m| m.stale.load(Relaxed)),
+            ("engine.aborts.revalidation", |m| m.revalidation.load(Relaxed)),
+            ("engine.aborts.eval_error", |m| m.eval_error.load(Relaxed)),
+            ("engine.aborts.timeout", |m| m.timeout.load(Relaxed)),
+            ("engine.aborts.injected", |m| m.injected.load(Relaxed)),
+            ("engine.aborts.snapshot_stale", |m| {
+                m.snapshot_stale.load(Relaxed)
+            }),
+            ("engine.wasted_ns", |m| m.wasted_nanos.load(Relaxed)),
+        ];
+        for (name, read) in causes {
+            let m = Arc::clone(metrics);
+            tel.counter(name, move || read(&m));
+        }
+        // Lock manager: counter snapshot is pure atomic loads; the wait
+        // histogram drains into lock.wait.{count,p50_ns,p99_ns,max_ns}.
+        let stats: [(&str, fn(dps_lock::LockStats) -> u64); 4] = [
+            ("lock.grants", |s| s.grants),
+            ("lock.blocks", |s| s.blocks),
+            ("lock.dooms", |s| s.dooms),
+            ("lock.deadlocks", |s| s.deadlocks),
+        ];
+        for (name, read) in stats {
+            let l = Arc::clone(lm);
+            tel.counter(name, move || read(l.stats()));
+        }
+        if let Some(hist) = wait_hist {
+            tel.hist("lock.wait", hist);
+        }
+        // Match pipeline: fan-out counters plus the backlog gauges.
+        let fanout: [(&str, fn(FanoutStats) -> u64); 4] = [
+            ("pipeline.batches", |s| s.batches),
+            ("pipeline.applies", |s| s.applies),
+            ("pipeline.free_advances", |s| s.free_advances),
+            ("pipeline.steals", |s| s.steals),
+        ];
+        for (name, read) in fanout {
+            let p = Arc::clone(pipeline);
+            tel.counter(name, move || read(p.fanout_stats()));
+        }
+        let gauges: [(&str, fn(&MatchPipeline) -> u64); 6] = [
+            ("pipeline.log_depth", MatchPipeline::log_depth),
+            ("pipeline.cursor_lag", MatchPipeline::max_cursor_lag),
+            ("pipeline.version_records", MatchPipeline::version_records),
+            ("pipeline.gc_floor_lag", MatchPipeline::gc_floor_lag),
+            ("pipeline.snapshot_pins", MatchPipeline::pin_count),
+            ("pipeline.pin_lag", MatchPipeline::oldest_pin_lag),
+        ];
+        for (name, read) in gauges {
+            let p = Arc::clone(pipeline);
+            tel.gauge(name, move || read(&p));
+        }
+        // Governor: cumulative transitions plus the current regime.
+        if let Some(g) = governor {
+            let counters: [(&str, fn((u64, u64, u64, u64)) -> u64); 4] = [
+                ("governor.escalations", |c| c.0),
+                ("governor.serializations", |c| c.1),
+                ("governor.deescalations", |c| c.2),
+                ("governor.backoffs", |c| c.3),
+            ];
+            for (name, read) in counters {
+                let g = Arc::clone(g);
+                tel.counter(name, move || read(g.counters()));
+            }
+            let gauges: [(&str, fn(&Governor) -> u64); 3] = [
+                ("governor.escalated_now", Governor::escalated_now),
+                ("governor.serialized_now", Governor::serialized_now),
+                ("governor.backoff_us", Governor::last_backoff_us),
+            ];
+            for (name, read) in gauges {
+                let g = Arc::clone(g);
+                tel.gauge(name, move || read(&g));
+            }
+        }
+        // WAL: group-commit evidence (pending backlog, fsync count +
+        // cumulative latency, piggyback numerator/denominator).
+        if let Some(d) = durable {
+            let counters: [(&str, fn(WalStats) -> u64); 5] = [
+                ("wal.appends", |s| s.appends),
+                ("wal.fsyncs", |s| s.fsyncs),
+                ("wal.synced_records", |s| s.synced_records),
+                ("wal.piggybacked", |s| s.piggybacked),
+                ("wal.checkpoints", |s| s.checkpoints),
+            ];
+            for (name, read) in counters {
+                let d = Arc::clone(d);
+                tel.counter(name, move || read(d.writer().stats()));
+            }
+            let d2 = Arc::clone(d);
+            tel.counter("wal.fsync_ns", move || d2.writer().fsync_nanos());
+            let d3 = Arc::clone(d);
+            tel.gauge("wal.pending_bytes", move || d3.writer().pending_bytes());
         }
     }
 
@@ -544,6 +706,9 @@ impl ParallelEngine {
     /// Runs the system to quiescence with `config.workers` threads.
     pub fn run(&mut self) -> ParallelReport {
         let start = Instant::now();
+        if let Some(tel) = &self.telemetry {
+            tel.start();
+        }
         let workers = self.config.workers.max(1);
         let this = &*self;
         std::thread::scope(|scope| {
@@ -558,6 +723,12 @@ impl ParallelEngine {
             if !durable.writer().is_dead() {
                 let _ = durable.writer().flush();
             }
+        }
+        // Stop the sampler after the flush: its forced final sample
+        // anchors every counter series at the run total, which is the
+        // reconciliation invariant the cross-validation tests check.
+        if let Some(tel) = &self.telemetry {
+            tel.stop();
         }
         let wall = start.elapsed();
         let halted = self.ledger.lock().unwrap().halted;
@@ -580,6 +751,14 @@ impl ParallelEngine {
     /// (checkpoint directory + group-commit WAL writer).
     pub fn durable(&self) -> Option<&Arc<DurableWm>> {
         self.durable.as_ref()
+    }
+
+    /// The live-telemetry registry, when [`ParallelConfig::telemetry`]
+    /// is set. After [`ParallelEngine::run`] the sampler has stopped
+    /// and [`Telemetry::doc`] yields the run's `dps-timeline-v1`
+    /// document.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// A snapshot of the current working memory (after `run`, the final

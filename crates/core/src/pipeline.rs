@@ -125,6 +125,14 @@ struct PipelineStats {
     applies: AtomicU64,
     free_advances: AtomicU64,
     steals: AtomicU64,
+    /// Live-telemetry mirrors, maintained at the mutation sites (under
+    /// the respective mutexes, so exact) — sampling probes read these
+    /// instead of taking the log / pins / versions locks.
+    log_len: AtomicU64,
+    version_records: AtomicU64,
+    gc_floor: AtomicU64,
+    pin_count: AtomicU64,
+    oldest_pin: AtomicU64,
 }
 
 /// The sharded match pipeline. See the module docs for the protocol;
@@ -235,14 +243,26 @@ impl MatchPipeline {
             let mut versions = self.versions.write().unwrap();
             versions.record(seq, &changes);
             if seq.is_multiple_of(VERSION_GC_INTERVAL) {
-                versions.gc(self.oldest_pin().unwrap_or(seq).min(seq));
+                let floor = self.oldest_pin().unwrap_or(seq).min(seq);
+                versions.gc(floor);
+                // Amortised telemetry mirrors: chain-length totals are
+                // O(chains) to compute, so refresh them on the GC
+                // cadence rather than per publish.
+                self.stats.gc_floor.store(floor, Ordering::Relaxed);
+                self.stats
+                    .version_records
+                    .store(versions.stats().versions as u64, Ordering::Relaxed);
             }
         }
-        self.log.lock().unwrap().push_back(LogEntry {
-            seq,
-            changes: Arc::new(changes),
-            affected: affected.clone(),
-        });
+        {
+            let mut log = self.log.lock().unwrap();
+            log.push_back(LogEntry {
+                seq,
+                changes: Arc::new(changes),
+                affected: affected.clone(),
+            });
+            self.stats.log_len.store(log.len() as u64, Ordering::Relaxed);
+        }
         // Watermark before free advances: `applied ≤ watermark` stays
         // invariant (a cursor only reaches `seq` once `watermark` has).
         self.watermark.store(seq, Ordering::Release);
@@ -357,6 +377,7 @@ impl MatchPipeline {
         while log.front().is_some_and(|e| e.seq <= min) {
             log.pop_front();
         }
+        self.stats.log_len.store(log.len() as u64, Ordering::Relaxed);
     }
 
     /// Read access to the MVCC version chains.
@@ -367,7 +388,9 @@ impl MatchPipeline {
     /// Registers a read-snapshot pin at `snap`, flooring version GC.
     /// Pair with [`MatchPipeline::unpin_snapshot`].
     pub fn pin_snapshot(&self, snap: u64) {
-        *self.pins.lock().unwrap().entry(snap).or_insert(0) += 1;
+        let mut pins = self.pins.lock().unwrap();
+        *pins.entry(snap).or_insert(0) += 1;
+        self.mirror_pins(&pins);
     }
 
     /// Releases one pin at `snap`.
@@ -381,11 +404,70 @@ impl MatchPipeline {
         } else {
             debug_assert!(false, "unpin without a matching pin at {snap}");
         }
+        self.mirror_pins(&pins);
+    }
+
+    /// Refreshes the pin telemetry mirrors (call with the pins mutex
+    /// held, so the two stores are mutually consistent).
+    fn mirror_pins(&self, pins: &BTreeMap<u64, usize>) {
+        let count: usize = pins.values().sum();
+        self.stats.pin_count.store(count as u64, Ordering::Relaxed);
+        self.stats
+            .oldest_pin
+            .store(pins.keys().next().copied().unwrap_or(0), Ordering::Relaxed);
     }
 
     /// The oldest active snapshot pin, if any (the version-GC floor).
     pub fn oldest_pin(&self) -> Option<u64> {
         self.pins.lock().unwrap().keys().next().copied()
+    }
+
+    /// Delta-log depth (live telemetry gauge; a lock-free mirror of the
+    /// log length, maintained under the log mutex at publish/prune).
+    pub fn log_depth(&self) -> u64 {
+        self.stats.log_len.load(Ordering::Relaxed)
+    }
+
+    /// How far the slowest shard's applied cursor trails the watermark
+    /// (live telemetry gauge; pure atomic reads).
+    pub fn max_cursor_lag(&self) -> u64 {
+        let w = self.watermark.load(Ordering::Acquire);
+        let min = self
+            .shards
+            .iter()
+            .map(|s| s.applied.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(w);
+        w.saturating_sub(min)
+    }
+
+    /// Retained MVCC version records (live telemetry gauge; refreshed
+    /// on the version-GC cadence, so it trails by at most
+    /// [`VERSION_GC_INTERVAL`] commits).
+    pub fn version_records(&self) -> u64 {
+        self.stats.version_records.load(Ordering::Relaxed)
+    }
+
+    /// How far the version-GC floor trails the watermark (live
+    /// telemetry gauge; the floor mirror is refreshed at each GC).
+    pub fn gc_floor_lag(&self) -> u64 {
+        let w = self.watermark.load(Ordering::Acquire);
+        w.saturating_sub(self.stats.gc_floor.load(Ordering::Relaxed))
+    }
+
+    /// Active snapshot pins (live telemetry gauge).
+    pub fn pin_count(&self) -> u64 {
+        self.stats.pin_count.load(Ordering::Relaxed)
+    }
+
+    /// How far the oldest pinned snapshot trails the watermark (live
+    /// telemetry gauge; 0 when nothing is pinned).
+    pub fn oldest_pin_lag(&self) -> u64 {
+        if self.stats.pin_count.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        let w = self.watermark.load(Ordering::Acquire);
+        w.saturating_sub(self.stats.oldest_pin.load(Ordering::Relaxed))
     }
 
     /// Point-in-time fan-out tallies.

@@ -36,7 +36,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use dps_obs::{EventKind as ObsEvent, Phase, Recorder};
+use dps_obs::{EventKind as ObsEvent, Phase, Recorder, TickHist};
 
 use crate::deadlock::find_cycle;
 use crate::fault::FaultInjector;
@@ -181,6 +181,7 @@ pub struct LockManagerBuilder {
     timeout: Option<Duration>,
     obs: Option<Arc<Recorder>>,
     fault: Option<Arc<FaultInjector>>,
+    wait_hist: Option<Arc<TickHist>>,
 }
 
 impl LockManagerBuilder {
@@ -220,6 +221,15 @@ impl LockManagerBuilder {
         self
     }
 
+    /// Attaches a live-telemetry per-tick histogram fed with every lock
+    /// wait's total blocked duration (the `lock.wait.*` series). Absent
+    /// by default — one branch on a `None` per wait, nothing per
+    /// uncontended grant.
+    pub fn wait_hist(mut self, hist: impl Into<Option<Arc<TickHist>>>) -> Self {
+        self.wait_hist = hist.into();
+        self
+    }
+
     /// Builds the manager.
     pub fn build(self) -> LockManager {
         let n = self.shards.unwrap_or(DEFAULT_SHARDS).max(1);
@@ -234,6 +244,7 @@ impl LockManagerBuilder {
             timeout: self.timeout,
             obs: self.obs,
             fault: self.fault,
+            wait_hist: self.wait_hist,
         }
     }
 }
@@ -265,6 +276,7 @@ pub struct LockManager {
     timeout: Option<Duration>,
     obs: Option<Arc<Recorder>>,
     fault: Option<Arc<FaultInjector>>,
+    wait_hist: Option<Arc<TickHist>>,
 }
 
 impl LockManager {
@@ -423,8 +435,14 @@ impl LockManager {
     pub fn lock(&self, txn: TxnId, res: ResourceId, mode: LockMode) -> Result<(), LockError> {
         let mut wait_from: Option<Instant> = None;
         let result = self.lock_inner(txn, res, mode, &mut wait_from);
-        if let (Some(obs), Some(from)) = (&self.obs, wait_from) {
-            obs.phase(Phase::LockWait, from.elapsed());
+        if let Some(from) = wait_from {
+            let waited = from.elapsed();
+            if let Some(obs) = &self.obs {
+                obs.phase(Phase::LockWait, waited);
+            }
+            if let Some(hist) = &self.wait_hist {
+                hist.record(waited);
+            }
         }
         result
     }

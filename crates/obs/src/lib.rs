@@ -60,6 +60,7 @@ pub mod history;
 pub mod json;
 mod recorder;
 mod report;
+pub mod timeline;
 
 pub use analysis::{analyze, RunAnalysis, Verdict};
 pub use event::{AbortCause, Event, EventKind, ESCALATE_ACTIONS, FAULT_KINDS};
@@ -67,3 +68,6 @@ pub use hist::{HistSnapshot, Histogram, Phase};
 pub use history::{history_from_json, history_to_json};
 pub use recorder::{validate_history, Recorder, RuleStat, DEFAULT_RING_CAPACITY, DEFAULT_SLOTS};
 pub use report::{FanoutStats, ObsReport, RuleRow};
+pub use timeline::{
+    Series, SeriesKind, Telemetry, TelemetryConfig, TickHist, TimelineDoc, TIMELINE_SCHEMA,
+};

@@ -334,7 +334,16 @@ impl Recorder {
 ///   only learns the sequence number after the commit critical
 ///   section);
 /// * `Fire` never appears on a transaction that aborted;
-/// * per-transaction timestamps are monotonically non-decreasing.
+/// * per-transaction timestamps are monotonically non-decreasing;
+/// * durability sequencing: `Checkpoint` sequence numbers never go
+///   backwards across the merged history, no `WalSync{seq}` reports a
+///   durable horizon below the last installed `Checkpoint{seq}` (the
+///   checkpoint's rotation already forced durability through its
+///   sequence), and one commit records at most one of each;
+/// * MVCC sequencing: at most one `SnapshotPin` per transaction, every
+///   `VersionRead` follows its transaction's pin and reads at or below
+///   the pinned sequence, and every `VersionWrite` installs *above*
+///   the pin (a commit's sequence postdates its snapshot).
 ///
 /// Call only when [`Recorder::dropped`] is zero — a wrapped ring loses
 /// prefixes, which legitimately breaks these invariants.
@@ -346,8 +355,15 @@ pub fn validate_history(events: &[Event]) -> Result<(), String> {
         aborted: bool,
         last_ts: u64,
         events: u32,
+        pin: Option<u64>,
+        wal_syncs: u32,
+        checkpoint: Option<u64>,
     }
     let mut txns: BTreeMap<u64, TxnCheck> = BTreeMap::new();
+    // The durable floor: the highest checkpoint installed so far in
+    // merged order. Checkpoints only move forward, and no later sync
+    // may report a horizon below one.
+    let mut last_checkpoint: Option<u64> = None;
     for ev in events {
         let t = txns.entry(ev.txn).or_default();
         if ev.ts < t.last_ts {
@@ -393,6 +409,81 @@ pub fn validate_history(events: &[Event]) -> Result<(), String> {
                         "txn {}: {:?} on an aborted transaction",
                         ev.txn, ev.kind
                     ));
+                }
+                match ev.kind {
+                    EventKind::Checkpoint { seq } => {
+                        if t.checkpoint.is_some() {
+                            return Err(format!("txn {}: duplicate Checkpoint", ev.txn));
+                        }
+                        if last_checkpoint.is_some_and(|c| seq < c) {
+                            return Err(format!(
+                                "txn {}: Checkpoint seq went backwards ({} -> {seq})",
+                                ev.txn,
+                                last_checkpoint.unwrap_or(0)
+                            ));
+                        }
+                        last_checkpoint = Some(seq);
+                        t.checkpoint = Some(seq);
+                    }
+                    EventKind::WalSync { seq } => {
+                        if t.wal_syncs > 0 {
+                            return Err(format!("txn {}: duplicate WalSync", ev.txn));
+                        }
+                        t.wal_syncs += 1;
+                        // A checkpoint's log rotation forces durability
+                        // through its sequence, so no later sync can
+                        // report a horizon below it.
+                        if last_checkpoint.is_some_and(|c| seq < c) {
+                            return Err(format!(
+                                "txn {}: WalSync horizon {seq} below the last Checkpoint {}",
+                                ev.txn,
+                                last_checkpoint.unwrap_or(0)
+                            ));
+                        }
+                    }
+                    EventKind::VersionWrite { seq, .. } if t.pin.is_some_and(|p| seq <= p) => {
+                        return Err(format!(
+                            "txn {}: VersionWrite seq {seq} not above the pinned snapshot {}",
+                            ev.txn,
+                            t.pin.unwrap_or(0)
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            EventKind::SnapshotPin { seq } => {
+                if !t.begun {
+                    return Err(format!("txn {}: SnapshotPin before Begin", ev.txn));
+                }
+                if t.terminals > 0 {
+                    return Err(format!("txn {}: SnapshotPin after a terminal event", ev.txn));
+                }
+                if t.pin.is_some() {
+                    return Err(format!("txn {}: duplicate SnapshotPin", ev.txn));
+                }
+                t.pin = Some(seq);
+            }
+            EventKind::VersionRead { seq, .. } => {
+                if !t.begun {
+                    return Err(format!("txn {}: VersionRead before Begin", ev.txn));
+                }
+                if t.terminals > 0 {
+                    return Err(format!("txn {}: VersionRead after a terminal event", ev.txn));
+                }
+                match t.pin {
+                    None => {
+                        return Err(format!(
+                            "txn {}: VersionRead without a SnapshotPin",
+                            ev.txn
+                        ))
+                    }
+                    Some(p) if seq > p => {
+                        return Err(format!(
+                            "txn {}: VersionRead at seq {seq} above the pinned snapshot {p}",
+                            ev.txn
+                        ))
+                    }
+                    Some(_) => {}
                 }
             }
             kind => {
@@ -635,6 +726,101 @@ mod tests {
             e(2, 1, EventKind::Anomaly { what: "late" }),
         ];
         validate_history(&h).unwrap();
+    }
+
+    #[test]
+    fn wal_sequencing_rules_hold_and_falsify() {
+        // A healthy durable history: checkpoint at 8, then syncs at and
+        // above the checkpoint.
+        let good = vec![
+            e(0, 1, EventKind::Begin),
+            e(1, 1, EventKind::Commit),
+            e(2, 1, EventKind::Checkpoint { seq: 8 }),
+            e(3, 1, EventKind::WalSync { seq: 8 }),
+            e(4, 2, EventKind::Begin),
+            e(5, 2, EventKind::Commit),
+            e(6, 2, EventKind::WalSync { seq: 9 }),
+        ];
+        validate_history(&good).unwrap();
+        // Corruption 1: a sync horizon below the installed checkpoint.
+        let mut bad = good.clone();
+        bad[6] = e(6, 2, EventKind::WalSync { seq: 7 });
+        let err = validate_history(&bad).unwrap_err();
+        assert!(err.contains("below the last Checkpoint"), "{err}");
+        // Corruption 2: checkpoints going backwards.
+        let bad = vec![
+            e(0, 1, EventKind::Begin),
+            e(1, 1, EventKind::Commit),
+            e(2, 1, EventKind::Checkpoint { seq: 16 }),
+            e(3, 2, EventKind::Begin),
+            e(4, 2, EventKind::Commit),
+            e(5, 2, EventKind::Checkpoint { seq: 8 }),
+        ];
+        let err = validate_history(&bad).unwrap_err();
+        assert!(err.contains("Checkpoint seq went backwards"), "{err}");
+        // Corruption 3: one commit claiming two syncs (or checkpoints).
+        let bad = vec![
+            e(0, 1, EventKind::Begin),
+            e(1, 1, EventKind::Commit),
+            e(2, 1, EventKind::WalSync { seq: 1 }),
+            e(3, 1, EventKind::WalSync { seq: 2 }),
+        ];
+        assert!(validate_history(&bad).unwrap_err().contains("duplicate WalSync"));
+        let bad = vec![
+            e(0, 1, EventKind::Begin),
+            e(1, 1, EventKind::Commit),
+            e(2, 1, EventKind::Checkpoint { seq: 4 }),
+            e(3, 1, EventKind::Checkpoint { seq: 8 }),
+        ];
+        assert!(validate_history(&bad).unwrap_err().contains("duplicate Checkpoint"));
+    }
+
+    #[test]
+    fn snapshot_sequencing_rules_hold_and_falsify() {
+        // A healthy MVCC attempt: pin at 5, read at/below 5, install
+        // above 5.
+        let good = vec![
+            e(0, 1, EventKind::Begin),
+            e(1, 1, EventKind::SnapshotPin { seq: 5 }),
+            e(2, 1, EventKind::VersionRead { resource: 9, seq: 5 }),
+            e(3, 1, EventKind::VersionRead { resource: 10, seq: 3 }),
+            e(4, 1, EventKind::Commit),
+            e(5, 1, EventKind::VersionWrite { resource: 9, seq: 6 }),
+        ];
+        validate_history(&good).unwrap();
+        // Corruption 1: a read above the pinned snapshot.
+        let mut bad = good.clone();
+        bad[2] = e(2, 1, EventKind::VersionRead { resource: 9, seq: 6 });
+        let err = validate_history(&bad).unwrap_err();
+        assert!(err.contains("above the pinned snapshot"), "{err}");
+        // Corruption 2: a read with no pin at all.
+        let bad = vec![
+            e(0, 1, EventKind::Begin),
+            e(1, 1, EventKind::VersionRead { resource: 9, seq: 5 }),
+            e(2, 1, EventKind::Commit),
+        ];
+        let err = validate_history(&bad).unwrap_err();
+        assert!(err.contains("without a SnapshotPin"), "{err}");
+        // Corruption 3: two pins on one transaction.
+        let bad = vec![
+            e(0, 1, EventKind::Begin),
+            e(1, 1, EventKind::SnapshotPin { seq: 5 }),
+            e(2, 1, EventKind::SnapshotPin { seq: 6 }),
+            e(3, 1, EventKind::Commit),
+        ];
+        assert!(validate_history(&bad).unwrap_err().contains("duplicate SnapshotPin"));
+        // Corruption 4: the installed version does not postdate the pin.
+        let mut bad = good;
+        bad[5] = e(5, 1, EventKind::VersionWrite { resource: 9, seq: 5 });
+        let err = validate_history(&bad).unwrap_err();
+        assert!(err.contains("not above the pinned snapshot"), "{err}");
+        // And a pin after the terminal is still rejected.
+        let bad = vec![
+            e(0, 1, EventKind::Begin),
+            e(1, 1, EventKind::Commit),
+            e(2, 1, EventKind::SnapshotPin { seq: 5 }),
+        ];
+        assert!(validate_history(&bad).unwrap_err().contains("after a terminal"));
     }
 
     #[test]

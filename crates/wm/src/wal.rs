@@ -256,6 +256,13 @@ struct StatCells {
     piggybacked: AtomicU64,
     checkpoints: AtomicU64,
     bytes_written: AtomicU64,
+    /// Gauge mirror of the pending (staged-but-unsynced) buffer length,
+    /// maintained at every site that mutates it so telemetry probes can
+    /// read the backlog without touching the file lock.
+    pending_bytes: AtomicU64,
+    /// Cumulative nanoseconds spent inside `write_all` + `sync_all` —
+    /// per-tick first differences give the live fsync latency series.
+    fsync_nanos: AtomicU64,
 }
 
 // ---------------------------------------------------------------------
@@ -343,6 +350,9 @@ impl WalWriter {
         f.appended_seq = seq;
         f.pending_records += 1;
         self.stats.appends.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .pending_bytes
+            .store(f.pending.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -452,15 +462,21 @@ impl WalWriter {
             if f.pending.is_empty() {
                 return Ok(horizon);
             }
-            (
+            let captured = (
                 Arc::clone(&f.file),
                 std::mem::take(&mut f.pending),
                 std::mem::take(&mut f.pending_records),
                 horizon,
-            )
+            );
+            self.stats.pending_bytes.store(0, Ordering::Relaxed);
+            captured
         };
+        let t0 = std::time::Instant::now();
         (&*file).write_all(&pending)?;
         file.sync_all()?;
+        self.stats
+            .fsync_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
         self.stats
             .synced_records
@@ -481,6 +497,18 @@ impl WalWriter {
         }
         self.cond.notify_all();
         Ok(horizon)
+    }
+
+    /// Bytes staged but not yet fsynced (live telemetry gauge; a
+    /// lock-free mirror of the pending buffer length).
+    pub fn pending_bytes(&self) -> u64 {
+        self.stats.pending_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative nanoseconds spent in fsync (live telemetry counter;
+    /// per-tick first differences are the fsync latency series).
+    pub fn fsync_nanos(&self) -> u64 {
+        self.stats.fsync_nanos.load(Ordering::Relaxed)
     }
 
     /// Highest sequence number known durable.
@@ -556,6 +584,7 @@ impl WalWriter {
         f.dead = true;
         let pending = std::mem::take(&mut f.pending);
         f.pending_records = 0;
+        self.stats.pending_bytes.store(0, Ordering::Relaxed);
         match mode {
             KillMode::Clean => {}
             KillMode::Torn => {

@@ -31,6 +31,7 @@ fn every_fault_plan_and_seed_replays_consistently() {
                     work_us: 50,
                     busy: false,
                     governor: Some(sweep_governor(seed)),
+                    telemetry: false,
                 });
                 assert!(
                     run.passes(),
@@ -71,6 +72,7 @@ fn corrupted_commit_sequence_is_rejected() {
         work_us: 0,
         busy: false,
         governor: None,
+        telemetry: false,
     });
     assert_eq!(run.verdict, Verdict::Inconsistent);
     assert!(

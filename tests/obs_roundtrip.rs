@@ -7,7 +7,10 @@
 //!    (`to_json` → text → parse → `Json` tree equality);
 //! 3. recorder-produced histories from random but *lifecycle-valid*
 //!    transaction schedules (which must also pass `validate_history`
-//!    before and after the round trip).
+//!    before and after the round trip);
+//! 4. randomized `dps-timeline-v1` documents (the live-telemetry
+//!    series), which must survive the writer↔parser round trip exactly
+//!    and stay `validate`-clean on both sides.
 //!
 //! Randomness comes from the workspace's internal deterministic PRNG
 //! (`dps_wm::rng::SmallRng`); each property runs over a fixed sweep of
@@ -19,7 +22,7 @@ use dbps::obs::history::{ANOMALIES, MODES};
 use dbps::obs::json::{self, Json};
 use dbps::obs::{
     history_from_json, history_to_json, validate_history, AbortCause, Event, EventKind, Phase,
-    Recorder,
+    Recorder, Series, SeriesKind, TimelineDoc,
 };
 use dbps::wm::rng::SmallRng;
 
@@ -253,6 +256,103 @@ fn old_shape_reports_without_fanout_still_parse() {
         panic!("report root must be an object");
     };
     assert!(new_fields.iter().any(|(k, _)| k == "fanout"));
+}
+
+/// A structurally valid random timeline: positive tick, per-series
+/// sample counts bounded by the tick count, counter series built as
+/// non-decreasing prefix sums, unique dotted names.
+fn random_timeline(rng: &mut SmallRng) -> TimelineDoc {
+    let ticks = rng.range_u64(0, 40);
+    let n = rng.index(12);
+    let series = (0..n)
+        .map(|i| {
+            let kind = if rng.random_bool(0.5) {
+                SeriesKind::Counter
+            } else {
+                SeriesKind::Gauge
+            };
+            let len = rng.range_u64(0, ticks) as usize;
+            let mut samples: Vec<u64> =
+                (0..len).map(|_| rng.range_u64(0, 1 << 32)).collect();
+            if kind == SeriesKind::Counter {
+                // Prefix-sum into a monotone counter trace.
+                let mut acc = 0u64;
+                for s in &mut samples {
+                    acc += *s >> 16; // keep the sum comfortably in range
+                    *s = acc;
+                }
+            }
+            Series {
+                name: format!("sub{}.metric{i}", rng.index(4)),
+                kind,
+                samples,
+            }
+        })
+        .collect();
+    TimelineDoc {
+        tick_ns: rng.range_u64(1, 1 << 40),
+        ticks,
+        dropped: rng.range_u64(0, 1 << 20),
+        series,
+    }
+}
+
+#[test]
+fn random_timelines_round_trip_exactly_and_stay_valid() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let doc = random_timeline(&mut rng);
+        doc.validate().unwrap_or_else(|e| panic!("seed {seed}: generator broke: {e}"));
+
+        // Pretty form.
+        let pretty = doc.to_json().to_string_pretty();
+        let parsed = TimelineDoc::from_json(&json::parse(&pretty).expect("pretty parses"))
+            .expect("pretty timeline decodes");
+        assert_eq!(parsed, doc, "seed {seed}: pretty round trip");
+
+        // Compact form, and validity is serialization-invariant.
+        let compact = doc.to_json().to_string_compact();
+        let parsed = TimelineDoc::from_json(&json::parse(&compact).expect("compact parses"))
+            .expect("compact timeline decodes");
+        assert_eq!(parsed, doc, "seed {seed}: compact round trip");
+        parsed
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed} (reparsed): {e}"));
+    }
+}
+
+#[test]
+fn timeline_parser_rejects_what_the_writer_never_emits() {
+    // Falsifiability for the shape checks: a parser that accepts
+    // anything would make the round-trip property vacuous.
+    let bad_schema = r#"{ "schema": "dps-timeline-v2", "tick_ns": 1, "ticks": 0, "dropped": 0, "series": [] }"#;
+    assert!(TimelineDoc::from_json(&json::parse(bad_schema).unwrap()).is_err());
+    let bad_kind = r#"{ "schema": "dps-timeline-v1", "tick_ns": 1, "ticks": 1, "dropped": 0,
+        "series": [ { "name": "x", "kind": "derivative", "samples": [1] } ] }"#;
+    assert!(TimelineDoc::from_json(&json::parse(bad_kind).unwrap()).is_err());
+    // And validate() catches a decreasing counter that parsed fine.
+    let decreasing = r#"{ "schema": "dps-timeline-v1", "tick_ns": 1, "ticks": 2, "dropped": 0,
+        "series": [ { "name": "x", "kind": "counter", "samples": [5, 3] } ] }"#;
+    let doc = TimelineDoc::from_json(&json::parse(decreasing).unwrap()).expect("shape is fine");
+    assert!(doc.validate().is_err(), "decreasing counter must not validate");
+}
+
+#[test]
+fn old_shape_reports_without_timeline_still_parse() {
+    // Bench reports written before the live-telemetry layer carry no
+    // "timeline" key; consumers (and obs_check) must treat the absence
+    // — and an explicit null, as emitted for sampler-less legs — as
+    // "nothing to check", not an error.
+    let old = r#"{
+  "schema": "dps-scaling-report-v1",
+  "config": { "tasks": 8 },
+  "sweeps": { "partitioned": [] }
+}"#;
+    let doc = json::parse(old).expect("pre-telemetry reports must keep parsing");
+    assert!(doc.get("timeline").is_none());
+    let nulled = r#"{ "schema": "dps-chaos-report-v1", "timeline": null }"#;
+    let doc = json::parse(nulled).expect("null timeline parses");
+    assert_eq!(doc.get("timeline"), Some(&Json::Null));
 }
 
 #[test]
