@@ -76,6 +76,7 @@ pub fn analyzed_run(
             workers,
             work: WorkModel::FixedMicros(work_us),
             observe: true,
+            stop: dps_server::shutdown::installed(),
             ..Default::default()
         },
     );

@@ -25,6 +25,7 @@ use dps_lock::Protocol;
 use dps_obs::Verdict;
 
 fn main() -> ExitCode {
+    dps_server::shutdown::install();
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");

@@ -27,6 +27,7 @@ use dps_lock::{ConflictPolicy, FaultPlan};
 use dps_obs::Verdict;
 
 fn main() -> ExitCode {
+    dps_server::shutdown::install();
     let args = ReportArgs::parse();
     let (quick, json) = (args.quick(), args.json());
     let workers = args.flag_u64("--workers").unwrap_or(8) as usize;

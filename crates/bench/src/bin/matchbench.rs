@@ -74,6 +74,7 @@ fn one_run(
         observe,
         policy,
         telemetry: observe.then(TelemetryConfig::default),
+        stop: dps_server::shutdown::installed(),
         ..Default::default()
     };
     let mut engine = ParallelEngine::new(&rules, wm, cfg);
@@ -133,6 +134,7 @@ fn sample_json(s: &Sample) -> Json {
 }
 
 fn main() {
+    dps_server::shutdown::install();
     let args = ReportArgs::parse();
     let (quick, json) = (args.quick(), args.json());
     let (groups, pairs, reps) = if quick { (32, 32, 1) } else { (64, 64, 2) };

@@ -22,6 +22,7 @@ use dps_bench::mvcc::{mvcc_document, mvcc_leg, probe_version_order, probe_write_
 use dps_lock::ConflictPolicy;
 
 fn main() -> ExitCode {
+    dps_server::shutdown::install();
     let args = ReportArgs::parse();
     let (quick, json) = (args.quick(), args.json());
     let workers = args.flag_u64("--workers").unwrap_or(8) as usize;

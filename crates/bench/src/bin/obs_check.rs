@@ -3,8 +3,9 @@
 //! (as emitted by `analyze --json`), a `dps-chaos-report-v1` document
 //! (as emitted by `chaos --json`), a `dps-match-report-v1` document
 //! (as emitted by `matchbench --json`), a `dps-mvcc-report-v1`
-//! document (as emitted by `mvcc --json`), **or** a
-//! `dps-recovery-report-v1` document (as emitted by `recovery --json`),
+//! document (as emitted by `mvcc --json`), a `dps-recovery-report-v1`
+//! document (as emitted by `recovery --json`), **or** a
+//! `dps-server-report-v1` document (as emitted by `loadgen --json`),
 //! so CI can validate the observability pipeline end-to-end without
 //! `serde` or external tooling. Dispatch is on the top-level `schema`
 //! tag.
@@ -63,6 +64,18 @@
 //! rings) and carry the engine's core series; reports written before
 //! the telemetry layer carry no key and still pass. The scaling report
 //! additionally gates `telemetry_overhead.ratio` below 1.05.
+//!
+//! Server-report checks (the multi-session front-door gate):
+//! * every leg's client-side cause sum closes (committed + shed +
+//!   aborted + failed == offered) and its server-side books balance
+//!   (admitted == commits + aborts, typed timeout/disconnect causes
+//!   within the abort total);
+//! * per-session counters sum to the globals — a session whose books
+//!   vanish on disconnect would hide a leaked transaction;
+//! * every leg (including the disconnect-chaos leg) drained with zero
+//!   held locks and snapshot pins and a `consistent` §3 replay;
+//! * the chaos leg actually disconnected, and every gate boolean
+//!   (shed p99 improvement, goodput floor, disconnect minimum) is true.
 //!
 //! Recovery-report checks (the crash-recovery gate):
 //! * every kill-point run drained in memory, recovered to a durable
@@ -855,6 +868,190 @@ fn check_recovery(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `dps-server-report-v1` document (the `loadgen` gate).
+fn check_server(doc: &Json) -> Result<(), String> {
+    // ---- workload block ----
+    for key in ["sessions", "chaos_sessions", "txns_per_session", "keys", "workers"] {
+        doc.at(&["workload", key])
+            .and_then(Json::as_u64)
+            .filter(|v| *v > 0)
+            .ok_or_else(|| format!("server.workload: missing or zero {key}"))?;
+    }
+    doc.at(&["workload", "name"])
+        .and_then(Json::as_str)
+        .ok_or("server.workload: missing name")?;
+    doc.get("capacity_tps")
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .ok_or("server: missing or non-positive capacity_tps")?;
+
+    // ---- legs (overload sweep + the chaos leg) ----
+    let legs = doc
+        .get("legs")
+        .and_then(Json::as_arr)
+        .ok_or("server: missing legs array")?;
+    if legs.is_empty() {
+        return Err("server: legs is empty".into());
+    }
+    let chaos = doc.get("chaos_leg").ok_or("server: missing chaos_leg")?;
+    let all: Vec<(String, &Json)> = legs
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (format!("server.legs[{i}]"), l))
+        .chain(std::iter::once(("server.chaos_leg".to_string(), chaos)))
+        .collect();
+    for (at, leg) in &all {
+        let field = |key: &str| -> Result<u64, String> {
+            leg.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{at}: missing {key}"))
+        };
+        let (offered, committed) = (field("offered")?, field("committed")?);
+        let (shed, aborted, failed) = (field("shed_txns")?, field("aborted")?, field("failed")?);
+        // Client-side cause sum: every offered transaction resolved
+        // exactly one way.
+        if committed + shed + aborted + failed != offered {
+            return Err(format!(
+                "{at}: {committed} committed + {shed} shed + {aborted} aborted + \
+                 {failed} failed != {offered} offered"
+            ));
+        }
+        leg.get("secs")
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("{at}: missing or non-positive secs"))?;
+        leg.get("goodput_tps")
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or_else(|| format!("{at}: missing goodput_tps"))?;
+        // Percentiles must be ordered whenever anything committed.
+        if committed > 0 {
+            let lat = |key: &str| -> Result<u64, String> {
+                leg.at(&["latency_us", key])
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{at}.latency_us: missing {key}"))
+            };
+            let (p50, p99, p999, max) = (lat("p50")?, lat("p99")?, lat("p999")?, lat("max")?);
+            if !(p50 <= p99 && p99 <= p999 && p999 <= max) {
+                return Err(format!(
+                    "{at}.latency_us: percentiles not ordered: {p50}/{p99}/{p999}/{max}"
+                ));
+            }
+        }
+        // Server-side cause sum: every admitted transaction resolved
+        // exactly once, and the typed shed/timeout/disconnect causes
+        // stay within their totals.
+        let srv = |key: &str| -> Result<u64, String> {
+            leg.at(&["server", key])
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{at}.server: missing {key}"))
+        };
+        let (admitted, s_commits, s_aborts) = (srv("admitted")?, srv("commits")?, srv("aborts")?);
+        if admitted != s_commits + s_aborts {
+            return Err(format!(
+                "{at}.server: {admitted} admitted != {s_commits} commits + {s_aborts} aborts"
+            ));
+        }
+        if committed != s_commits {
+            return Err(format!(
+                "{at}: client committed {committed} != server commits {s_commits}"
+            ));
+        }
+        let (timeouts, disconnects) = (srv("timeouts")?, srv("disconnects")?);
+        if timeouts + disconnects > s_aborts {
+            return Err(format!(
+                "{at}.server: {timeouts} timeouts + {disconnects} disconnects exceed \
+                 {s_aborts} aborts"
+            ));
+        }
+        let shed_causes = srv("shed_rate")? + srv("shed_inflight")? + srv("shed_storm")?;
+        // Per-session reconciliation: the session counters must sum to
+        // the globals — a session whose books vanish on disconnect
+        // would hide a leaked transaction.
+        let sessions = leg
+            .get("per_session")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{at}: missing per_session"))?;
+        let mut sums = [0u64; 5]; // commits, aborts, shed, timeouts, disconnects
+        for (j, s) in sessions.iter().enumerate() {
+            for (k, key) in ["commits", "aborts", "shed", "timeouts", "disconnects"]
+                .iter()
+                .enumerate()
+            {
+                sums[k] += s
+                    .get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{at}.per_session[{j}]: missing {key}"))?;
+            }
+        }
+        let expect = [s_commits, s_aborts, shed_causes, timeouts, disconnects];
+        for (k, key) in ["commits", "aborts", "shed", "timeouts", "disconnects"]
+            .iter()
+            .enumerate()
+        {
+            if sums[k] != expect[k] {
+                return Err(format!(
+                    "{at}: per-session {key} sum {} != global {}",
+                    sums[k], expect[k]
+                ));
+            }
+        }
+        // Leak probes and the §3 oracle, per leg.
+        for key in ["held_locks", "snapshot_pins"] {
+            let v = leg
+                .at(&["engine", key])
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{at}.engine: missing {key}"))?;
+            if v != 0 {
+                return Err(format!("{at}.engine: {v} leaked {key} after drain"));
+            }
+        }
+        let replay = leg
+            .get("replay")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}: missing replay"))?;
+        if replay != "consistent" {
+            return Err(format!("{at}: replay is {replay:?}"));
+        }
+        if leg.get("reconciled") != Some(&Json::Bool(true)) {
+            return Err(format!("{at}: reconciled is not true"));
+        }
+    }
+
+    // ---- the disconnect-chaos leg must have actually disconnected ----
+    let disc = chaos
+        .at(&["server", "disconnects"])
+        .and_then(Json::as_u64)
+        .ok_or("server.chaos_leg.server: missing disconnects")?;
+    if disc == 0 {
+        return Err("server.chaos_leg: zero injected disconnects — the chaos plan never fired".into());
+    }
+
+    // ---- gates and verdict ----
+    for key in [
+        "oracle",
+        "shed_p99_improved",
+        "goodput_maintained",
+        "disconnects_min",
+        "disconnect_leaks_zero",
+    ] {
+        if doc.at(&["gates", key]) != Some(&Json::Bool(true)) {
+            return Err(format!("server.gates: {key} is not true"));
+        }
+    }
+    let verdict = doc
+        .get("verdict")
+        .and_then(Json::as_str)
+        .ok_or("server: missing verdict")?;
+    if verdict != "consistent" {
+        return Err(format!("server: verdict is {verdict:?}"));
+    }
+
+    // ---- embedded timeline (the 2x shed-on leg) ----
+    check_timeline(doc, "server")?;
+    Ok(())
+}
+
 fn check(doc: &Json) -> Result<(), String> {
     let need_str = |path: &[&str]| -> Result<String, String> {
         doc.at(path)
@@ -889,6 +1086,10 @@ fn check(doc: &Json) -> Result<(), String> {
     if schema == "dps-recovery-report-v1" {
         // Crash-recovery gate document (from `recovery --json`).
         return check_recovery(doc);
+    }
+    if schema == "dps-server-report-v1" {
+        // Multi-session front-door gate document (from `loadgen --json`).
+        return check_server(doc);
     }
     if schema != "dps-scaling-report-v1" {
         return Err(format!("unexpected schema {schema:?}"));

@@ -74,6 +74,8 @@ fn config(workers: usize, work_us: u64, lock_shards: usize, observe: bool) -> Pa
         work: WorkModel::FixedMicros(work_us),
         lock_shards,
         observe,
+        // Ctrl-C / SIGTERM exits through the graceful drain.
+        stop: dps_server::shutdown::installed(),
         ..Default::default()
     }
 }
@@ -247,6 +249,7 @@ fn observed_contended(tasks: usize, work_us: u64) -> (ObsReport, Json) {
 }
 
 fn main() {
+    dps_server::shutdown::install();
     let args = ReportArgs::parse();
     let (quick, json) = (args.quick(), args.json());
     let (tasks, mut work_us, reps) = if quick { (64, 100, 1) } else { (192, 200, 3) };

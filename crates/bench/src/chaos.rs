@@ -197,6 +197,7 @@ pub fn chaos_run(spec: ChaosSpec) -> ChaosRun {
             fault: Some(spec.fault.clone()),
             governor: spec.governor.clone(),
             telemetry: spec.telemetry.then(TelemetryConfig::default),
+            stop: dps_server::shutdown::installed(),
             ..Default::default()
         },
     );

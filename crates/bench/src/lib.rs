@@ -17,6 +17,7 @@ pub mod diff;
 pub mod harness;
 pub mod mvcc;
 pub mod recovery;
+pub mod server_load;
 pub mod workloads;
 
 /// Value of a `--bench-out PATH` flag, shared by the gate binaries:

@@ -192,6 +192,7 @@ pub fn mvcc_leg(spec: &MvccSpec, policy: ConflictPolicy) -> MvccLeg {
             observe: true,
             fault: Some(FaultPlan::doom_storm(spec.seed)),
             telemetry: Some(TelemetryConfig::default()),
+            stop: dps_server::shutdown::installed(),
             ..Default::default()
         },
     );

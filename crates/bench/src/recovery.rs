@@ -262,6 +262,7 @@ fn kill_point_run(
             policy,
             workers: spec.workers,
             durability: Some(durability.clone()),
+            stop: dps_server::shutdown::installed(),
             fault: Some(FaultPlan {
                 seed: spec.seed,
                 wal_kill_commit: kill_commit,
@@ -341,6 +342,7 @@ fn kill_point_run(
             policy,
             workers: spec.workers,
             durability: Some(durability),
+            stop: dps_server::shutdown::installed(),
             ..Default::default()
         },
     );
@@ -510,6 +512,7 @@ pub fn overhead(spec: &RecoverySpec, scratch: &Path) -> Result<Overhead, String>
                 workers: spec.workers,
                 durability: durability.clone(),
                 telemetry: durability.as_ref().map(|_| TelemetryConfig::default()),
+                stop: dps_server::shutdown::installed(),
                 ..Default::default()
             },
         );

@@ -22,6 +22,12 @@ pub struct Firing {
     pub delta: DeltaSet,
     /// Whether the RHS contained `halt`.
     pub halt: bool,
+    /// `true` for commits that did not originate from a rule firing —
+    /// external working-memory transactions submitted through a server
+    /// session. The oracle replay applies their delta verbatim instead
+    /// of requiring conflict-set membership (there is no instantiation
+    /// to be a member).
+    pub external: bool,
 }
 
 /// The commit sequence of one engine run.
@@ -237,6 +243,7 @@ mod tests {
             },
             delta: DeltaSet::new(),
             halt: false,
+            external: false,
         });
         assert_eq!(t.names(), ["a"]);
         assert_eq!(t.len(), 1);

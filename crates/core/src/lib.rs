@@ -51,6 +51,7 @@ pub mod governor;
 mod parallel;
 mod pipeline;
 pub mod semantics;
+pub mod session;
 mod single;
 mod static_parallel;
 mod world;
@@ -60,5 +61,6 @@ pub use governor::{Governor, GovernorConfig, GovernorStats};
 pub use parallel::{
     AbortStats, DurabilityConfig, ParallelConfig, ParallelEngine, ParallelReport, WorkModel,
 };
+pub use session::{ExternalTxn, EXTERNAL_RULE, EXTERNAL_RULE_NAME};
 pub use single::{EngineConfig, RunReport, SingleThreadEngine, StepOutcome};
 pub use static_parallel::{SelectionMode, StaticConfig, StaticParallelEngine, StaticReport};

@@ -76,8 +76,8 @@
 //! extends to the improved scheme in §4.3).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 use dps_lock::{
@@ -237,6 +237,20 @@ pub struct ParallelConfig {
     /// atomics the end-of-run report reads; only the sampler thread
     /// works.
     pub telemetry: Option<TelemetryConfig>,
+    /// Cooperative stop flag for graceful drain: when the flag flips to
+    /// `true` (a signal handler, a server shutdown, a watchdog) workers
+    /// stop claiming new work, finish their in-flight commits, and
+    /// [`ParallelEngine::run`] exits through the normal quiescence path
+    /// — final WAL flush, telemetry stop — so an interrupted run never
+    /// leaves a torn WAL tail. `None` (the default) costs one branch.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Service mode: at quiescence, workers *park* on the engine
+    /// condvar instead of terminating, waiting for external session
+    /// commits ([`ParallelEngine::external_commit`]) to feed new WM
+    /// changes — the multi-session server's front-door mode. The run
+    /// then only ends via [`ParallelEngine::request_stop`] (or the
+    /// [`ParallelConfig::stop`] flag, or halt / the commit cap).
+    pub service: bool,
 }
 
 /// Configuration of the durability layer ([`ParallelConfig::durability`]).
@@ -274,6 +288,8 @@ impl Default for ParallelConfig {
             match_shards: DEFAULT_MATCH_SHARDS,
             durability: None,
             telemetry: None,
+            stop: None,
+            service: false,
         }
     }
 }
@@ -373,19 +389,19 @@ pub struct ParallelReport {
 /// to this mutex. (Refraction lives on the match shards — it is a
 /// per-shard slice now, not global scheduler state.)
 #[derive(Debug, Default)]
-struct Ledger {
+pub(crate) struct Ledger {
     claimed: HashSet<InstKey>,
-    claims_by_txn: HashMap<TxnId, InstKey>,
+    pub(crate) claims_by_txn: HashMap<TxnId, InstKey>,
     /// Readers doomed by engine-level revalidation.
-    engine_doomed: HashSet<TxnId>,
-    inflight: usize,
+    pub(crate) engine_doomed: HashSet<TxnId>,
+    pub(crate) inflight: usize,
     halted: bool,
-    done: bool,
+    pub(crate) done: bool,
 }
 
 /// Run counters, updated lock-free.
 #[derive(Debug, Default)]
-struct Metrics {
+pub(crate) struct Metrics {
     commits: AtomicUsize,
     doomed: AtomicU64,
     deadlock: AtomicU64,
@@ -412,7 +428,7 @@ impl Metrics {
         }
     }
 
-    fn count_abort(&self, cause: &AbortCause) {
+    pub(crate) fn count_abort(&self, cause: &AbortCause) {
         match cause {
             AbortCause::Doomed => self.doomed.fetch_add(1, Relaxed),
             AbortCause::Deadlock => self.deadlock.fetch_add(1, Relaxed),
@@ -427,38 +443,50 @@ impl Metrics {
 }
 
 /// The dynamic-approach parallel engine. See the module docs.
+///
+/// Field visibility: `pub(crate)` where the external-session layer
+/// ([`crate::session`]) shares the commit machinery.
 pub struct ParallelEngine {
     rules: RuleSet,
-    config: ParallelConfig,
-    /// Stable class → relation-resource id mapping (covers every class
-    /// any rule mentions).
-    class_ids: HashMap<Atom, u32>,
+    pub(crate) config: ParallelConfig,
+    /// Class → relation-resource id mapping. Seeded at build with every
+    /// class any rule mentions; external session inserts may introduce
+    /// *new* classes at run time, so the map allocates ids on demand
+    /// behind an `RwLock` (reads stay a shared lock on the hot path).
+    class_ids: RwLock<HashMap<Atom, u32>>,
     /// Piece (b): the authoritative WM (commit critical section) plus
     /// the per-shard match networks and the delta log between them.
     /// `Arc`'d (like `metrics`, `lm` and the governor) so telemetry
     /// probes — `'static` closures on the sampler thread — can read
     /// its atomics after borrowing rules forbid a plain reference.
-    pipeline: Arc<MatchPipeline>,
+    pub(crate) pipeline: Arc<MatchPipeline>,
     /// Piece (a): claims + termination; condvar lives here.
-    ledger: Mutex<Ledger>,
-    cv: Condvar,
+    pub(crate) ledger: Mutex<Ledger>,
+    pub(crate) cv: Condvar,
     /// Piece (c): commit log and counters.
-    trace: Mutex<Trace>,
-    metrics: Arc<Metrics>,
-    lm: Arc<LockManager>,
+    pub(crate) trace: Mutex<Trace>,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) lm: Arc<LockManager>,
     /// Observability sink ([`ParallelConfig::observe`]); shared with the
     /// lock manager. `None` ⇒ every instrumentation site is one branch.
-    obs: Option<Arc<Recorder>>,
+    pub(crate) obs: Option<Arc<Recorder>>,
     /// Chaos injector ([`ParallelConfig::fault`]); shared with the lock
     /// manager. `None` ⇒ every seam is one branch.
-    injector: Option<Arc<FaultInjector>>,
+    pub(crate) injector: Option<Arc<FaultInjector>>,
     /// Adaptive retry governor ([`ParallelConfig::governor`]).
     governor: Option<Arc<Governor>>,
     /// Durability layer ([`ParallelConfig::durability`]): checkpoint +
     /// group-commit WAL. `None` ⇒ the commit path pays one branch.
-    durable: Option<Arc<DurableWm>>,
+    pub(crate) durable: Option<Arc<DurableWm>>,
     /// Live-telemetry registry + sampler ([`ParallelConfig::telemetry`]).
     telemetry: Option<Arc<Telemetry>>,
+    /// Internal stop latch ([`ParallelEngine::request_stop`]); OR'd with
+    /// the external [`ParallelConfig::stop`] flag in [`Self::capped`].
+    stop: AtomicBool,
+    /// External session commits threaded through the engine (kept out
+    /// of [`Metrics::commits`], which counts rule firings and gates the
+    /// commit cap).
+    pub(crate) external_commits: AtomicU64,
 }
 
 enum WorkerStep {
@@ -549,7 +577,7 @@ impl ParallelEngine {
         }
         ParallelEngine {
             rules: rules.clone(),
-            class_ids,
+            class_ids: RwLock::new(class_ids),
             lm,
             config,
             pipeline,
@@ -562,6 +590,8 @@ impl ParallelEngine {
             governor,
             durable,
             telemetry,
+            stop: AtomicBool::new(false),
+            external_commits: AtomicU64::new(0),
         }
     }
 
@@ -694,26 +724,37 @@ impl ParallelEngine {
         self.obs.as_ref()
     }
 
-    fn relation_resource(&self, class: &Atom) -> ResourceId {
-        ResourceId::Relation(
-            *self
-                .class_ids
-                .get(class)
-                .expect("class registered at build"),
-        )
+    pub(crate) fn relation_resource(&self, class: &Atom) -> ResourceId {
+        if let Some(id) = self.class_ids.read().unwrap().get(class) {
+            return ResourceId::Relation(*id);
+        }
+        // New class (an external session insert): allocate an id on
+        // demand. `entry` re-checks under the write lock, so two racing
+        // allocators agree.
+        let mut map = self.class_ids.write().unwrap();
+        let next = map.len() as u32;
+        ResourceId::Relation(*map.entry(class.clone()).or_insert(next))
     }
 
     /// Runs the system to quiescence with `config.workers` threads.
     pub fn run(&mut self) -> ParallelReport {
+        self.run_shared()
+    }
+
+    /// [`Self::run`] through a shared reference, for callers that keep
+    /// using the engine concurrently while it runs — the server holds
+    /// `&self` on its session-handler threads (external transactions)
+    /// while one scoped thread sits in `run_shared`. Not re-entrant:
+    /// one run at a time.
+    pub fn run_shared(&self) -> ParallelReport {
         let start = Instant::now();
         if let Some(tel) = &self.telemetry {
             tel.start();
         }
         let workers = self.config.workers.max(1);
-        let this = &*self;
         std::thread::scope(|scope| {
             for idx in 0..workers {
-                scope.spawn(move || this.worker_loop(idx));
+                scope.spawn(move || self.worker_loop(idx));
             }
         });
         // Quiescence flush: the baton flusher only guarantees eventual
@@ -730,6 +771,13 @@ impl ParallelEngine {
         if let Some(tel) = &self.telemetry {
             tel.stop();
         }
+        // Leak audit: a drained run holds nothing. Every lock-release
+        // and pin-release path is a drop-guard precisely so these hold
+        // even through panicking RHSs and severed sessions (external
+        // transactions are resolved by the server before it stops the
+        // engine).
+        debug_assert_eq!(self.pipeline.pin_count(), 0, "snapshot pins leaked");
+        debug_assert_eq!(self.lm.held_locks(), 0, "locks leaked past drain");
         let wall = start.elapsed();
         let halted = self.ledger.lock().unwrap().halted;
         ParallelReport {
@@ -767,6 +815,37 @@ impl ParallelEngine {
         self.pipeline.base.lock().unwrap().wm.clone()
     }
 
+    /// Locks currently held in the engine's lock table (see
+    /// [`LockManager::held_locks`]) — the disconnect-chaos gate's leak
+    /// probe: zero after every drain.
+    pub fn held_locks(&self) -> u64 {
+        self.lm.held_locks()
+    }
+
+    /// Snapshot pins currently registered on the match pipeline — the
+    /// other half of the leak probe.
+    pub fn snapshot_pins(&self) -> u64 {
+        self.pipeline.pin_count()
+    }
+
+    /// The chaos injector, when [`ParallelConfig::fault`] is set. The
+    /// server consults it for the session-level disconnect sites
+    /// (`drop_mid_claim` / `drop_mid_rhs` / `slowloris`).
+    pub fn injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// External session commits threaded through this engine so far.
+    pub fn external_commit_count(&self) -> u64 {
+        self.external_commits.load(Relaxed)
+    }
+
+    /// Rule-firing commits so far — the running total a service-mode
+    /// `Invoke` reports once the engine has quiesced.
+    pub fn rule_commit_count(&self) -> u64 {
+        self.metrics.commits.load(Relaxed) as u64
+    }
+
     fn worker_loop(&self, worker: usize) {
         loop {
             match self.worker_step(worker) {
@@ -776,11 +855,44 @@ impl ParallelEngine {
         }
     }
 
-    /// `true` when the run may not claim more work (halt seen or the
-    /// commit cap reached). `commits` only changes under the ledger
-    /// lock, so reads under that lock are exact.
+    /// `true` when the run may not claim more work (halt seen, the
+    /// commit cap reached, or a stop was requested). `commits` only
+    /// changes under the ledger lock, so reads under that lock are
+    /// exact.
     fn capped(&self, ledger: &Ledger) -> bool {
-        ledger.halted || self.metrics.commits.load(Relaxed) >= self.config.max_commits
+        ledger.halted
+            || self.metrics.commits.load(Relaxed) >= self.config.max_commits
+            || self.stop_requested()
+    }
+
+    /// `true` once a graceful drain has been requested — via
+    /// [`Self::request_stop`] or the external [`ParallelConfig::stop`]
+    /// flag (typically flipped by a signal handler).
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Relaxed)
+            || self
+                .config
+                .stop
+                .as_ref()
+                .is_some_and(|s| s.load(Relaxed))
+    }
+
+    /// Requests a graceful drain: workers stop claiming, finish their
+    /// in-flight work, and [`Self::run`] exits through the final WAL
+    /// flush. Safe from any thread (the server's shutdown path, a
+    /// signal handler's helper thread).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Relaxed);
+        self.kick();
+    }
+
+    /// Wakes every parked worker to re-examine the world — used after
+    /// flipping an external stop flag the engine cannot observe flip.
+    /// Locking the ledger (empty critical section) before the notify
+    /// orders the wake against the claim gate's check-then-wait.
+    pub fn kick(&self) {
+        drop(self.ledger.lock().unwrap());
+        self.cv.notify_all();
     }
 
     /// One claim→execute→commit attempt (or a wait / exit decision).
@@ -863,6 +975,19 @@ impl ParallelEngine {
                         && ledger.inflight == 0
                         && self.pipeline.watermark() == w
                     {
+                        if self.config.service {
+                            // Service mode: quiescence is idleness, not
+                            // termination — park until an external
+                            // session commit publishes new WM state (or
+                            // a stop request arrives). The timeout is a
+                            // lost-wakeup safety net only.
+                            let (g, _) = self
+                                .cv
+                                .wait_timeout(ledger, Duration::from_millis(10))
+                                .unwrap();
+                            drop(g);
+                            continue;
+                        }
                         ledger.done = true;
                         drop(ledger);
                         self.cv.notify_all();
@@ -899,9 +1024,20 @@ impl ParallelEngine {
             .unwrap()
             .claims_by_txn
             .insert(txn, key.clone());
+        // Unwind guard: if anything below panics (an injected RHS
+        // panic, a bug in an action evaluator), the transaction's locks
+        // are released and its claim unclaimed as the unwind passes
+        // through — a panicking worker must never leak locks, pins
+        // (PinGuard handles those) or a wedged claim that deadlocks the
+        // survivors. Disarmed on both ordinary exits, which do their
+        // own (fuller) bookkeeping.
+        let mut guard = ClaimGuard { engine: self, txn, key: key.clone(), armed: true };
         let mut worked = Duration::ZERO;
         let mut touched: Vec<u64> = Vec::new();
-        match self.try_execute(txn, &inst, &rule, &mut worked, &mut touched) {
+        let outcome = self.try_execute(txn, &inst, &rule, &mut worked, &mut touched);
+        guard.armed = false;
+        drop(guard);
+        match outcome {
             Ok(()) => {
                 if let Some(obs) = &self.obs {
                     obs.rule_fired(rule.name.as_str());
@@ -979,10 +1115,51 @@ impl ParallelEngine {
     /// instead of the optimistic production mode — the cross-protocol
     /// rows of [`dps_lock::compatible`] make any read/write mix
     /// incompatible, so escalated resources block instead of dooming.
-    fn governed_mode(&self, res: ResourceId, optimistic: LockMode, pessimistic: LockMode) -> LockMode {
+    pub(crate) fn governed_mode(
+        &self,
+        res: ResourceId,
+        optimistic: LockMode,
+        pessimistic: LockMode,
+    ) -> LockMode {
         match &self.governor {
             Some(g) if g.is_escalated(res_key(res)) => pessimistic,
             _ => optimistic,
+        }
+    }
+
+    /// Engine-level revalidation (policy `Revalidate`): doom only the
+    /// affected readers whose claimed instantiation the commit at `seq`
+    /// actually invalidated. Claims are snapshotted under the ledger,
+    /// checked against caught-up shards, and dooms re-verified against
+    /// the *same* claim (shard → ledger order throughout; the caller
+    /// holds the base mutex, so a doomed reader cannot be mid-commit).
+    /// Shared by the rule commit path and external session commits.
+    pub(crate) fn revalidate_readers(
+        &self,
+        readers: &[TxnId],
+        seq: u64,
+        obs: Option<&Recorder>,
+    ) {
+        let claims: Vec<(TxnId, InstKey)> = {
+            let ledger = self.ledger.lock().unwrap();
+            readers
+                .iter()
+                .filter_map(|r| ledger.claims_by_txn.get(r).map(|k| (*r, k.clone())))
+                .collect()
+        };
+        for (reader, k) in claims {
+            let s = self.pipeline.plan().shard_of(k.rule);
+            let still_valid = {
+                let mut state = self.pipeline.shard_state(s);
+                self.pipeline.catch_up(s, seq, &mut state, false, obs);
+                state.rete.conflict_set().contains(&k)
+            };
+            if !still_valid {
+                let mut ledger = self.ledger.lock().unwrap();
+                if ledger.claims_by_txn.get(&reader) == Some(&k) {
+                    ledger.engine_doomed.insert(reader);
+                }
+            }
         }
     }
 
@@ -1188,6 +1365,15 @@ impl ParallelEngine {
         }
 
         // ---- compute the delta ----
+        // Chaos seam: an injected RHS *panic* — unlike a stall or a
+        // forced abort, the unwind must pass through the PinGuard and
+        // ClaimGuard, which the leak-regression tests verify releases
+        // every lock and snapshot pin.
+        if let Some(inj) = &self.injector {
+            if inj.rhs_panic(txn, 0, self.obs.as_deref()) {
+                panic!("injected RHS panic (chaos plan rhs_panic_pm)");
+            }
+        }
         let (delta, halt) = instantiate_actions(rule, &inst.bindings, &inst.wmes)
             .map_err(|_| AbortCause::EvalError)?;
 
@@ -1403,6 +1589,7 @@ impl ParallelEngine {
                 key: key.clone(),
                 delta,
                 halt,
+                external: false,
             });
             // Commit-sequence record for the semantic checker (§3
             // Theorem 2): this firing's 0-based slot in the global
@@ -1443,28 +1630,7 @@ impl ParallelEngine {
         // claim (shard → ledger order throughout; still under base, so
         // the doomed reader cannot be mid-commit).
         if !outcome.needs_revalidation.is_empty() {
-            let claims: Vec<(TxnId, InstKey)> = {
-                let ledger = self.ledger.lock().unwrap();
-                outcome
-                    .needs_revalidation
-                    .iter()
-                    .filter_map(|r| ledger.claims_by_txn.get(r).map(|k| (*r, k.clone())))
-                    .collect()
-            };
-            for (reader, k) in claims {
-                let s = self.pipeline.plan().shard_of(k.rule);
-                let still_valid = {
-                    let mut state = self.pipeline.shard_state(s);
-                    self.pipeline.catch_up(s, seq, &mut state, false, obs);
-                    state.rete.conflict_set().contains(&k)
-                };
-                if !still_valid {
-                    let mut ledger = self.ledger.lock().unwrap();
-                    if ledger.claims_by_txn.get(&reader) == Some(&k) {
-                        ledger.engine_doomed.insert(reader);
-                    }
-                }
-            }
+            self.revalidate_readers(&outcome.needs_revalidation, seq, obs);
         }
         {
             let mut ledger = self.ledger.lock().unwrap();
@@ -1516,9 +1682,9 @@ impl ParallelEngine {
 
 /// Unpins an MVCC read snapshot when the execution attempt ends
 /// (commit or abort on any path), releasing its version-GC floor.
-struct PinGuard<'a> {
-    pipeline: &'a MatchPipeline,
-    snap: u64,
+pub(crate) struct PinGuard<'a> {
+    pub(crate) pipeline: &'a MatchPipeline,
+    pub(crate) snap: u64,
 }
 
 impl Drop for PinGuard<'_> {
@@ -1527,7 +1693,38 @@ impl Drop for PinGuard<'_> {
     }
 }
 
-enum AbortCause {
+/// Panic-unwind insurance for a claimed transaction: if the worker
+/// unwinds between claim and commit (injected RHS panic, evaluator
+/// bug), the drop releases the transaction's locks and unclaims the
+/// instantiation so surviving workers neither deadlock on leaked locks
+/// nor wait forever on a wedged in-flight count. Ordinary commit/abort
+/// paths disarm it and do their own (fuller) bookkeeping.
+struct ClaimGuard<'a> {
+    engine: &'a ParallelEngine,
+    txn: TxnId,
+    key: InstKey,
+    armed: bool,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let _ = self.engine.lm.abort(self.txn);
+        // Defensive on the unwind path: a poisoned ledger means another
+        // worker already died holding it — nothing left to salvage.
+        if let Ok(mut ledger) = self.engine.ledger.lock() {
+            ledger.engine_doomed.remove(&self.txn);
+            ledger.claims_by_txn.remove(&self.txn);
+            ledger.claimed.remove(&self.key);
+            ledger.inflight -= 1;
+        }
+        self.engine.cv.notify_all();
+    }
+}
+
+pub(crate) enum AbortCause {
     Doomed,
     Deadlock,
     Stale,
@@ -1542,7 +1739,7 @@ enum AbortCause {
 
 impl AbortCause {
     /// The matching cause in the observability taxonomy.
-    fn to_obs(&self) -> dps_obs::AbortCause {
+    pub(crate) fn to_obs(&self) -> dps_obs::AbortCause {
         match self {
             AbortCause::Doomed => dps_obs::AbortCause::Doomed,
             AbortCause::Deadlock => dps_obs::AbortCause::Deadlock,
@@ -1576,7 +1773,7 @@ impl AbortCause {
     }
 }
 
-fn classify(e: dps_lock::LockError) -> AbortCause {
+pub(crate) fn classify(e: dps_lock::LockError) -> AbortCause {
     match e {
         dps_lock::LockError::DoomedByWriter { .. } => AbortCause::Doomed,
         dps_lock::LockError::Deadlock(_) => AbortCause::Deadlock,

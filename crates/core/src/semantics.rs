@@ -200,6 +200,22 @@ pub fn validate_trace(
     let mut wm = initial.clone();
     let mut rete = Rete::new(rules, &wm);
     for (i, firing) in trace.firings.iter().enumerate() {
+        if firing.external {
+            // External session commits carry no instantiation — the
+            // single-thread equivalent is "a client changed working
+            // memory here". Replay the delta and keep the matcher in
+            // sync; selectability does not apply.
+            match wm.apply(&firing.delta) {
+                Ok(changes) => rete.apply(&changes),
+                Err(e) => {
+                    return Err(Violation {
+                        at: i,
+                        message: format!("external delta no longer applies: {e}"),
+                    })
+                }
+            }
+            continue;
+        }
         let present = rete.conflict_set().contains(&firing.key);
         if !present {
             return Err(Violation {

@@ -1,0 +1,584 @@
+//! External session transactions: the engine half of the multi-session
+//! front door.
+//!
+//! The paper's production-system setting assumes many concurrent
+//! clients feeding working-memory changes into one shared engine; until
+//! now the only writers were the engine's own rule firings. This module
+//! lets an *external* client (a `dps-server` session) run a
+//! transaction against the live engine — buffer inserts/removes, read
+//! condition state, and commit through **the same commit critical
+//! section** rule firings use, so external commits serialise with rule
+//! commits, land in the same WAL, publish through the same delta log,
+//! and appear in the same [`Trace`] (marked [`Firing::external`]; the
+//! §3 oracle replays them by applying the delta verbatim — there is no
+//! instantiation whose conflict-set membership could be checked).
+//!
+//! ## Locking
+//!
+//! External writes take the same action locks a rule RHS would: `Wa`
+//! (or `X` under governor escalation) on written tuples and on the
+//! relation of every created/written class — so a negated-condition
+//! reader is serialised against a session insert exactly as against a
+//! `make`. External *reads* ([`ParallelEngine::external_query`]) take a
+//! relation `Rc` lock in lock-based modes and run lock-free
+//! read-committed under MVCC. An external transaction therefore
+//! participates in deadlock detection, doom, timeout and fault
+//! injection like any rule transaction; every abort path releases its
+//! locks and (under MVCC) its snapshot pin.
+//!
+//! ## Disconnect safety
+//!
+//! A session that dies mid-transaction leaves an [`ExternalTxn`] whose
+//! owner will never speak again. [`ParallelEngine::external_abort`] is
+//! the single cleanup path — idempotent at the lock manager (a
+//! transaction already auto-aborted by doom/deadlock surfaces as the
+//! benign `NotActive`), and unconditionally releasing the MVCC pin.
+//! The server wraps every open transaction in a guard that routes all
+//! exits (clean `Abort` frame, EOF, read timeout, handler panic)
+//! through it; the engine's end-of-run `debug_assert`s and the
+//! disconnect-chaos gate verify nothing leaks.
+
+use std::sync::atomic::Ordering::Relaxed;
+
+use dps_lock::{res_key, ConflictPolicy, LockMode, ResourceId, TxnId, WalKillSite};
+use dps_match::{InstKey, Matcher};
+use dps_obs::EventKind as ObsEvent;
+use dps_rules::RuleId;
+use dps_wm::wal::KillMode;
+use dps_wm::{Atom, DeltaSet, WalError, WmeData, WmeId};
+
+use crate::parallel::{classify, AbortCause, ParallelEngine, PinGuard};
+use crate::Firing;
+
+/// Sentinel rule id for external commits ([`Firing::rule`] must name
+/// *something*; no real rule ever gets `u32::MAX`).
+pub const EXTERNAL_RULE: RuleId = RuleId(u32::MAX);
+
+/// Pseudo rule name external commits carry in traces, per-rule tables
+/// and `Fire` events.
+pub const EXTERNAL_RULE_NAME: &str = "@session";
+
+/// One open external transaction: a lock-manager transaction, an
+/// optional pinned MVCC snapshot, and the buffered delta. Plain data —
+/// the engine is only touched through the `external_*` methods, and the
+/// owner (a server session) must resolve it with
+/// [`ParallelEngine::external_commit`] or
+/// [`ParallelEngine::external_abort`] before forgetting it.
+#[derive(Debug)]
+pub struct ExternalTxn {
+    txn: TxnId,
+    /// Pinned snapshot sequence under MVCC (`None` in lock-based modes
+    /// or after the pin was released).
+    snapshot: Option<u64>,
+    delta: DeltaSet,
+}
+
+impl ExternalTxn {
+    /// The underlying lock-manager transaction id.
+    pub fn txn(&self) -> TxnId {
+        self.txn
+    }
+
+    /// Number of buffered delta operations.
+    pub fn pending_ops(&self) -> usize {
+        self.delta.ops().len()
+    }
+}
+
+impl ParallelEngine {
+    /// Opens an external transaction. Under MVCC a snapshot is pinned
+    /// (flooring version GC) until the transaction resolves.
+    pub fn external_begin(&self) -> ExternalTxn {
+        let txn = self.lm.begin();
+        let mvcc = matches!(self.config.policy, ConflictPolicy::MvccSnapshot);
+        let snapshot = mvcc.then(|| {
+            let base = self.pipeline.base.lock().unwrap();
+            let w = base.next_seq - 1;
+            self.pipeline.pin_snapshot(w);
+            if let Some(obs) = &self.obs {
+                obs.record(txn.0, ObsEvent::SnapshotPin { seq: w });
+            }
+            w
+        });
+        ExternalTxn { txn, snapshot, delta: DeltaSet::new() }
+    }
+
+    /// Buffers an insert. Takes the action-write lock on the class's
+    /// relation (serialising against negated readers) before buffering;
+    /// on any lock failure the transaction is fully aborted.
+    pub fn external_insert(
+        &self,
+        xt: &mut ExternalTxn,
+        data: WmeData,
+    ) -> Result<(), dps_obs::AbortCause> {
+        let res = self.relation_resource(&data.class);
+        self.external_lock(xt, res, self.config.protocol.action_write(), LockMode::X)?;
+        xt.delta.create(data);
+        Ok(())
+    }
+
+    /// Buffers a remove of `id`. Takes the tuple write lock plus the
+    /// relation write lock of the tuple's class (a removal can *enable*
+    /// a negated reader). Fails — aborting the transaction — when the
+    /// tuple does not exist.
+    pub fn external_remove(
+        &self,
+        xt: &mut ExternalTxn,
+        id: WmeId,
+    ) -> Result<(), dps_obs::AbortCause> {
+        let class: Atom = match self.pipeline.base.lock().unwrap().wm.get(id) {
+            Some(w) => w.data.class.clone(),
+            None => return Err(self.external_resolve_err(xt, AbortCause::Stale)),
+        };
+        let proto = self.config.protocol;
+        self.external_lock(xt, ResourceId::Tuple(id.0), proto.action_write(), LockMode::X)?;
+        let rel = self.relation_resource(&class);
+        self.external_lock(xt, rel, proto.action_write(), LockMode::X)?;
+        xt.delta.remove(id);
+        Ok(())
+    }
+
+    /// Condition query: every live WME of `class`, as `(id, data)`
+    /// pairs. Lock-based modes take the relation's condition-read lock
+    /// (held to transaction end, so the read set is stable); MVCC reads
+    /// lock-free read-committed state under the base mutex.
+    pub fn external_query(
+        &self,
+        xt: &mut ExternalTxn,
+        class: &str,
+    ) -> Result<Vec<(u64, WmeData)>, dps_obs::AbortCause> {
+        let mvcc = matches!(self.config.policy, ConflictPolicy::MvccSnapshot);
+        if !mvcc {
+            let atom = Atom::from(class);
+            let rel = self.relation_resource(&atom);
+            self.external_lock(xt, rel, self.config.protocol.condition_read(), LockMode::S)?;
+        }
+        let base = self.pipeline.base.lock().unwrap();
+        Ok(base
+            .wm
+            .class_iter(class)
+            .map(|w| (w.id.0, w.data.clone()))
+            .collect())
+    }
+
+    /// Commits the buffered delta through the engine's commit critical
+    /// section: lock-manager commit, WM apply, WAL staging, delta-log
+    /// publish, trace append (as an external [`Firing`]) and reader
+    /// revalidation — exactly the rule-firing commit path minus the
+    /// instantiation-specific steps (refraction, own-shard catch-up).
+    /// Returns the commit sequence number. On failure the transaction
+    /// is fully aborted (locks + pin released).
+    pub fn external_commit(&self, xt: &mut ExternalTxn) -> Result<u64, dps_obs::AbortCause> {
+        let obs = self.obs.as_deref();
+        let mvcc = matches!(self.config.policy, ConflictPolicy::MvccSnapshot);
+        let delta = std::mem::take(&mut xt.delta);
+        let mut base = self.pipeline.base.lock().unwrap();
+        // Write-set validation: every modified/removed tuple must still
+        // be live. Tuple write locks were taken when the ops were
+        // buffered, but under MVCC (no read locks anywhere) a doomed
+        // race is possible, and a client can name a bogus id outright.
+        for id in delta.written_ids() {
+            if base.wm.get(id).is_none() {
+                drop(base);
+                return Err(self.external_resolve_err(xt, AbortCause::Stale));
+            }
+        }
+        let outcome = match self.lm.commit(xt.txn) {
+            Ok(o) => o,
+            Err(e) => {
+                drop(base);
+                return Err(self.external_resolve_err(xt, classify(e)));
+            }
+        };
+        // Past this point the commit is irrevocable — mirror of the
+        // rule path in `try_execute`.
+        let changes = base
+            .wm
+            .apply(&delta)
+            .expect("validated external delta applies");
+        let seq = base.next_seq;
+        base.next_seq += 1;
+        let mut checkpoint_snap: Option<Vec<u8>> = None;
+        if let Some(durable) = &self.durable {
+            let writer = durable.writer();
+            let kill_site = self.injector.as_ref().and_then(|inj| inj.wal_kill(seq));
+            let staged = match kill_site {
+                None => writer.append(seq, &changes),
+                Some(WalKillSite::AfterPublish) => {
+                    writer.append_then_kill(seq, &changes, KillMode::Clean)
+                }
+                Some(WalKillSite::TornTail) => {
+                    writer.append_then_kill(seq, &changes, KillMode::Torn)
+                }
+                Some(WalKillSite::AfterSync) => writer
+                    .append(seq, &changes)
+                    .and_then(|()| writer.flush().map(drop))
+                    .and_then(|()| writer.kill(KillMode::Clean)),
+            };
+            match staged {
+                Ok(()) => {
+                    if kill_site.is_some() {
+                        if let Some(inj) = &self.injector {
+                            inj.count_wal_kill(xt.txn, obs);
+                        }
+                    }
+                }
+                Err(WalError::Dead) => {}
+                Err(e) => panic!("wal append at seq {seq}: {e}"),
+            }
+            let interval = self
+                .config
+                .durability
+                .as_ref()
+                .map_or(0, |d| d.checkpoint_interval);
+            if interval > 0 && seq.is_multiple_of(interval) && !writer.is_dead() {
+                let snap = base
+                    .wm
+                    .encode_snapshot()
+                    .expect("checkpoint snapshot encodes");
+                if durable.rotate(seq).is_ok() {
+                    checkpoint_snap = Some(snap);
+                }
+            }
+        }
+        let written: Vec<u64> = if mvcc && obs.is_some() {
+            let mut ids: Vec<u64> = changes
+                .iter()
+                .map(|c| res_key(ResourceId::Tuple(c.wme().id.0)))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        } else {
+            Vec::new()
+        };
+        let affected = self.pipeline.publish(seq, changes, obs);
+        {
+            let mut trace = self.trace.lock().unwrap();
+            trace.firings.push(Firing {
+                rule: EXTERNAL_RULE,
+                rule_name: Atom::from(EXTERNAL_RULE_NAME),
+                key: InstKey { rule: EXTERNAL_RULE, wmes: Vec::new() },
+                delta,
+                halt: false,
+                external: true,
+            });
+            if let Some(obs) = obs {
+                let fire_seq = (trace.len() - 1) as u64;
+                let fire_seq = self
+                    .injector
+                    .as_ref()
+                    .map_or(fire_seq, |inj| inj.corrupt_seq(fire_seq));
+                obs.record(
+                    xt.txn.0,
+                    ObsEvent::Fire { rule: obs.intern_rule(EXTERNAL_RULE_NAME), seq: fire_seq },
+                );
+                for res in &written {
+                    obs.record(xt.txn.0, ObsEvent::VersionWrite { resource: *res, seq });
+                }
+            }
+        }
+        // Reader revalidation (policy `Revalidate`): an external write
+        // invalidates claimed instantiations exactly like a rule's.
+        if !outcome.needs_revalidation.is_empty() {
+            self.revalidate_readers(&outcome.needs_revalidation, seq, obs);
+        }
+        self.external_commits.fetch_add(1, Relaxed);
+        drop(base);
+        if let Some(obs) = obs {
+            obs.rule_fired(EXTERNAL_RULE_NAME);
+        }
+        // Wake parked workers: the published batch may have created new
+        // instantiations (service mode parks at quiescence). `kick`
+        // orders the notify against the claim gate's check-then-wait.
+        self.kick();
+        self.pipeline.fan_out(&affected, seq, obs);
+        if let Some(durable) = &self.durable {
+            if let Some(snap) = &checkpoint_snap {
+                if durable.install_checkpoint(seq, snap).is_ok() {
+                    if let Some(obs) = obs {
+                        obs.record(xt.txn.0, ObsEvent::Checkpoint { seq });
+                    }
+                }
+            }
+            if let Ok(Some(horizon)) = durable.writer().request_sync(seq) {
+                if let Some(obs) = obs {
+                    obs.record(xt.txn.0, ObsEvent::WalSync { seq: horizon });
+                }
+            }
+        }
+        self.release_pin(xt);
+        Ok(seq)
+    }
+
+    /// Aborts an external transaction: lock-manager abort (idempotent —
+    /// `NotActive` means a doom/deadlock/timeout already auto-aborted
+    /// it), snapshot unpin, abort event + counters. The disconnect
+    /// cleanup path: the server routes every dying session's open
+    /// transaction through here.
+    pub fn external_abort(&self, xt: &mut ExternalTxn, cause: dps_obs::AbortCause) {
+        let internal = match cause {
+            dps_obs::AbortCause::Doomed => AbortCause::Doomed,
+            dps_obs::AbortCause::Deadlock => AbortCause::Deadlock,
+            dps_obs::AbortCause::Revalidation => AbortCause::Revalidation,
+            dps_obs::AbortCause::EvalError => AbortCause::EvalError,
+            dps_obs::AbortCause::Timeout => AbortCause::Timeout,
+            dps_obs::AbortCause::Injected => AbortCause::Injected,
+            dps_obs::AbortCause::SnapshotStale => AbortCause::SnapshotStale,
+            _ => AbortCause::Stale,
+        };
+        let _ = self.external_resolve_err(xt, internal);
+    }
+
+    /// Shared failure path: abort at the lock manager, release the pin,
+    /// emit the abort event, count the cause. Returns the public cause
+    /// so callers can `return Err(self.external_resolve_err(..))`.
+    fn external_resolve_err(&self, xt: &mut ExternalTxn, cause: AbortCause) -> dps_obs::AbortCause {
+        match self.lm.abort(xt.txn) {
+            Ok(()) | Err(dps_lock::LockError::NotActive(_)) => {}
+            Err(e) => {
+                debug_assert!(false, "external abort of {:?} failed: {e:?}", xt.txn);
+                if let Some(obs) = &self.obs {
+                    obs.record(xt.txn.0, ObsEvent::Anomaly { what: "abort-failed" });
+                }
+            }
+        }
+        self.release_pin(xt);
+        xt.delta = DeltaSet::new();
+        let public = cause.to_obs();
+        if let Some(obs) = &self.obs {
+            obs.record(xt.txn.0, ObsEvent::Abort { cause: public });
+            obs.rule_aborted(EXTERNAL_RULE_NAME);
+        }
+        self.metrics.count_abort(&cause);
+        public
+    }
+
+    /// Single or compound lock acquisition for external ops; any error
+    /// resolves the whole transaction.
+    fn external_lock(
+        &self,
+        xt: &mut ExternalTxn,
+        res: ResourceId,
+        optimistic: LockMode,
+        pessimistic: LockMode,
+    ) -> Result<(), dps_obs::AbortCause> {
+        let mode = self.governed_mode(res, optimistic, pessimistic);
+        self.lm
+            .lock(xt.txn, res, mode)
+            .map_err(|e| self.external_resolve_err(xt, classify(e)))
+    }
+
+    /// Drops the MVCC snapshot pin, if one is still registered. Routed
+    /// through [`PinGuard`] so the pin-release logic has exactly one
+    /// home.
+    fn release_pin(&self, xt: &mut ExternalTxn) {
+        if let Some(snap) = xt.snapshot.take() {
+            drop(PinGuard { pipeline: &self.pipeline, snap });
+        }
+    }
+
+    /// Blocks until the rule engine is quiescent *at the current
+    /// watermark*: no unrefracted instantiation on any shard, nothing
+    /// claimed or in flight, and no commit moved the watermark during
+    /// the scan. Also returns when the run is done, halted or capped
+    /// (the drain barrier must not outlive the engine). The server's
+    /// `Invoke` barrier and graceful drain both sit on this.
+    pub fn await_quiescence(&self) {
+        loop {
+            let w = self.pipeline.watermark();
+            let shards = self.pipeline.shards();
+            let mut busy = false;
+            'scan: for s in 0..shards {
+                let mut state = self.pipeline.shard_state(s);
+                self.pipeline
+                    .catch_up(s, w, &mut state, true, self.obs.as_deref());
+                for inst in state.rete.conflict_set().iter() {
+                    if !state.refracted.contains(&inst.key()) {
+                        busy = true;
+                        break 'scan;
+                    }
+                }
+            }
+            let ledger = self.ledger.lock().unwrap();
+            if ledger.done {
+                return;
+            }
+            if !busy && ledger.inflight == 0 && self.pipeline.watermark() == w {
+                return;
+            }
+            // Parked on the same condvar commits notify; the timeout is
+            // a safety net against wakeups this scan cannot observe.
+            let _ = self
+                .cv
+                .wait_timeout(ledger, std::time::Duration::from_millis(2))
+                .unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::validate_trace;
+    use crate::{ParallelConfig, ParallelEngine};
+    use dps_rules::RuleSet;
+    use dps_wm::{Value, WorkingMemory};
+
+    fn accumulator_rules() -> RuleSet {
+        RuleSet::parse(
+            "(p apply (delta ^key <k> ^v <v>) (acc ^key <k> ^total <t>)
+               --> (remove 1) (modify 2 ^total (+ <t> <v>)))",
+        )
+        .unwrap()
+    }
+
+    fn acc_wm(keys: i64) -> WorkingMemory {
+        let mut wm = WorkingMemory::new();
+        for k in 0..keys {
+            wm.insert(WmeData::new("acc").with("key", k).with("total", 0i64));
+        }
+        wm
+    }
+
+    fn total_of(wm: &WorkingMemory) -> i64 {
+        wm.class_iter("acc")
+            .map(|w| match w.data.get("total") {
+                Some(Value::Int(n)) => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// External commits feed the rule engine in service mode: inserts
+    /// from outside `run_shared` fire rules data-driven, the trace
+    /// (rule firings interleaved with external commits) replays through
+    /// the §3 oracle, and the drain leaves no locks or pins.
+    #[test]
+    fn external_commits_drive_rules_in_service_mode() {
+        for policy in [ConflictPolicy::AbortReaders, ConflictPolicy::MvccSnapshot] {
+            let rules = accumulator_rules();
+            let initial = acc_wm(4);
+            let engine = ParallelEngine::new(
+                &rules,
+                initial.clone(),
+                ParallelConfig {
+                    service: true,
+                    workers: 2,
+                    policy,
+                    ..ParallelConfig::default()
+                },
+            );
+            let report = std::thread::scope(|scope| {
+                let run = scope.spawn(|| engine.run_shared());
+                for i in 0..20i64 {
+                    let mut xt = engine.external_begin();
+                    engine
+                        .external_insert(
+                            &mut xt,
+                            WmeData::new("delta").with("key", i % 4).with("v", 1i64),
+                        )
+                        .expect("insert admitted");
+                    engine.external_commit(&mut xt).expect("commit");
+                }
+                engine.await_quiescence();
+                engine.request_stop();
+                run.join().expect("engine run")
+            });
+            assert_eq!(report.commits, 20, "every delta fired the rule");
+            assert_eq!(engine.external_commit_count(), 20);
+            assert_eq!(report.trace.len(), 40, "20 external + 20 rule commits");
+            validate_trace(&rules, &initial, &report.trace).expect("oracle accepts");
+            assert_eq!(total_of(&engine.final_wm()), 20);
+            assert_eq!(engine.held_locks(), 0);
+            assert_eq!(engine.snapshot_pins(), 0);
+        }
+    }
+
+    /// A session dying mid-transaction (abort with buffered writes and
+    /// locks held) releases everything; queries and removes work.
+    #[test]
+    fn external_abort_releases_locks_and_pins() {
+        let rules = accumulator_rules();
+        let engine = ParallelEngine::new(
+            &rules,
+            acc_wm(2),
+            ParallelConfig {
+                service: true,
+                policy: ConflictPolicy::MvccSnapshot,
+                ..ParallelConfig::default()
+            },
+        );
+        // No engine run needed: external ops work against the idle
+        // engine too (workers only matter for rule firings).
+        let mut xt = engine.external_begin();
+        assert_eq!(engine.snapshot_pins(), 1, "MVCC begin pins a snapshot");
+        engine
+            .external_insert(&mut xt, WmeData::new("delta").with("key", 0i64).with("v", 3i64))
+            .unwrap();
+        assert!(engine.held_locks() > 0, "insert holds its relation lock");
+        assert!(xt.pending_ops() == 1);
+        engine.external_abort(&mut xt, dps_obs::AbortCause::Timeout);
+        assert_eq!(engine.held_locks(), 0);
+        assert_eq!(engine.snapshot_pins(), 0);
+        // Double abort is idempotent (disconnect cleanup may race a
+        // protocol-level abort).
+        engine.external_abort(&mut xt, dps_obs::AbortCause::Timeout);
+        assert_eq!(engine.held_locks(), 0);
+
+        // Query + remove round-trip.
+        let mut xt = engine.external_begin();
+        let rows = engine.external_query(&mut xt, "acc").unwrap();
+        assert_eq!(rows.len(), 2);
+        let (id, _) = rows[0].clone();
+        engine.external_remove(&mut xt, WmeId(id)).unwrap();
+        engine.external_commit(&mut xt).unwrap();
+        let mut xt = engine.external_begin();
+        assert_eq!(engine.external_query(&mut xt, "acc").unwrap().len(), 1);
+        engine.external_abort(&mut xt, dps_obs::AbortCause::Stale);
+        assert_eq!(engine.held_locks(), 0);
+        assert_eq!(engine.snapshot_pins(), 0);
+
+        // Removing a bogus id aborts the transaction cleanly.
+        let mut xt = engine.external_begin();
+        let err = engine.external_remove(&mut xt, WmeId(9999)).unwrap_err();
+        assert_eq!(err, dps_obs::AbortCause::Stale);
+        assert_eq!(engine.held_locks(), 0);
+        assert_eq!(engine.snapshot_pins(), 0);
+    }
+
+    /// Leak regression (satellite 2): an RHS that *panics* mid-action
+    /// must release every lock and snapshot pin through the drop-guard
+    /// chain (PinGuard + ClaimGuard) as the unwind passes through the
+    /// worker and out of `thread::scope`.
+    #[test]
+    fn panicking_rhs_leaks_nothing() {
+        for policy in [ConflictPolicy::AbortReaders, ConflictPolicy::MvccSnapshot] {
+            let rules = accumulator_rules();
+            let mut wm = acc_wm(2);
+            for i in 0..4i64 {
+                wm.insert(WmeData::new("delta").with("key", i % 2).with("v", 1i64));
+            }
+            let engine = ParallelEngine::new(
+                &rules,
+                wm,
+                ParallelConfig {
+                    workers: 1,
+                    policy,
+                    fault: Some(dps_lock::FaultPlan {
+                        seed: 7,
+                        rhs_panic_pm: 1000,
+                        ..Default::default()
+                    }),
+                    ..ParallelConfig::default()
+                },
+            );
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.run_shared()
+            }));
+            assert!(outcome.is_err(), "rhs_panic_pm=1000 must panic the run");
+            assert_eq!(engine.held_locks(), 0, "locks leaked through the unwind");
+            assert_eq!(engine.snapshot_pins(), 0, "pins leaked through the unwind");
+        }
+    }
+}

@@ -170,6 +170,7 @@ impl<M: Matcher> SingleThreadEngine<M> {
                 key: inst.key(),
                 delta,
                 halt,
+                external: false,
             },
         );
         if let (Some(obs), Some(t)) = (&self.obs, t2) {

@@ -219,6 +219,7 @@ impl StaticParallelEngine {
                     key: inst.key(),
                     delta: delta.clone(),
                     halt: *halt,
+                    external: false,
                 },
             );
             // Batch members are degenerate transactions; emit the same

@@ -86,6 +86,7 @@ mod tests {
                 key: key.clone(),
                 delta,
                 halt,
+                external: false,
             },
         );
         assert!(refracted.contains(&key));

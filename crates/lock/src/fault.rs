@@ -59,6 +59,10 @@ mod site {
     pub const FORCED_ABORT: u64 = 0x03;
     pub const RHS_STALL: u64 = 0x04;
     pub const TIMEOUT_STORM: u64 = 0x05;
+    pub const DROP_MID_CLAIM: u64 = 0x06;
+    pub const DROP_MID_RHS: u64 = 0x07;
+    pub const SLOWLORIS: u64 = 0x08;
+    pub const RHS_PANIC: u64 = 0x09;
 }
 
 /// A reproducible chaos schedule: per-mille odds and magnitudes for
@@ -104,6 +108,28 @@ pub struct FaultPlan {
     /// **must** be rejected by the §3 checker, proving the chaos gate
     /// can actually fail.
     pub corrupt_fire_seq: bool,
+    /// Per-mille odds that a server session is torn down right after
+    /// its transaction claims (locks held, nothing executed) — the
+    /// `drop_mid_claim` disconnect site. The server observes the
+    /// decision and severs the connection; the disconnect-safety path
+    /// must then release every lock and pin.
+    pub drop_mid_claim_pm: u32,
+    /// Per-mille odds that a server session is torn down mid-RHS
+    /// (locks + snapshot pin held, delta half-built) — the
+    /// `drop_mid_rhs` disconnect site.
+    pub drop_mid_rhs_pm: u32,
+    /// Per-mille odds that a session goes half-open (stops reading and
+    /// writing but keeps the connection up) for
+    /// [`FaultPlan::slowloris_us`] — the `slowloris` site. The server's
+    /// per-session read timeout must reap it.
+    pub slowloris_pm: u32,
+    /// Slowloris stall magnitude, microseconds.
+    pub slowloris_us: u64,
+    /// Per-mille odds that the engine's RHS evaluation *panics*
+    /// mid-action — the leak-regression knob: every lock and snapshot
+    /// pin must still be released by drop-guards as the unwind passes
+    /// through the worker.
+    pub rhs_panic_pm: u32,
     /// Kill the WAL writer at exactly this commit sequence number
     /// (0 = off). Deterministic rather than probabilistic: a crash
     /// point is a *place*, and the recovery gate sweeps places.
@@ -209,6 +235,21 @@ impl FaultPlan {
         }
     }
 
+    /// Named plan: session carnage — mid-claim and mid-RHS disconnects
+    /// plus half-open stalls, the server's disconnect-safety diet. Not
+    /// part of [`FaultPlan::NAMED`] (the engine-level chaos sweep);
+    /// `loadgen` and the server tests drive it directly.
+    pub fn disconnects(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_mid_claim_pm: 120,
+            drop_mid_rhs_pm: 120,
+            slowloris_pm: 60,
+            slowloris_us: 2_000,
+            ..Default::default()
+        }
+    }
+
     /// The named CI sweep: `(label, constructor)` for every plan the
     /// chaos gate runs.
     #[allow(clippy::type_complexity)]
@@ -240,6 +281,10 @@ struct FaultCounters {
     timeout_storms: AtomicU64,
     timeout_race_stalls: AtomicU64,
     wal_kills: AtomicU64,
+    drop_mid_claims: AtomicU64,
+    drop_mid_rhs: AtomicU64,
+    slowloris: AtomicU64,
+    rhs_panics: AtomicU64,
 }
 
 /// Point-in-time snapshot of every injection counter.
@@ -260,6 +305,14 @@ pub struct FaultStats {
     /// WAL kill points that fired (at most 1 per run — the process is
     /// dead afterwards).
     pub wal_kills: u64,
+    /// Sessions disconnected right after claiming.
+    pub drop_mid_claims: u64,
+    /// Sessions disconnected mid-RHS.
+    pub drop_mid_rhs: u64,
+    /// Half-open (slowloris) stalls injected.
+    pub slowloris: u64,
+    /// RHS evaluations made to panic.
+    pub rhs_panics: u64,
 }
 
 impl FaultStats {
@@ -272,6 +325,10 @@ impl FaultStats {
             + self.timeout_storms
             + self.timeout_race_stalls
             + self.wal_kills
+            + self.drop_mid_claims
+            + self.drop_mid_rhs
+            + self.slowloris
+            + self.rhs_panics
     }
 }
 
@@ -305,6 +362,10 @@ impl FaultInjector {
             timeout_storms: self.counters.timeout_storms.load(Relaxed),
             timeout_race_stalls: self.counters.timeout_race_stalls.load(Relaxed),
             wal_kills: self.counters.wal_kills.load(Relaxed),
+            drop_mid_claims: self.counters.drop_mid_claims.load(Relaxed),
+            drop_mid_rhs: self.counters.drop_mid_rhs.load(Relaxed),
+            slowloris: self.counters.slowloris.load(Relaxed),
+            rhs_panics: self.counters.rhs_panics.load(Relaxed),
         }
     }
 
@@ -437,6 +498,57 @@ impl FaultInjector {
         Self::emit(obs, txn, "wal_kill");
     }
 
+    /// Server seam: tear this session's connection down right after
+    /// its transaction claimed (locks held)? `salt` is the session's
+    /// request ordinal so one session draws fresh odds per request.
+    /// Public because the server (not the manager) owns the session
+    /// loop.
+    pub fn drop_mid_claim(&self, txn: TxnId, salt: u64, obs: Option<&Recorder>) -> bool {
+        let hit = self.hit(site::DROP_MID_CLAIM, txn, salt, self.plan.drop_mid_claim_pm);
+        if hit {
+            self.counters.drop_mid_claims.fetch_add(1, Relaxed);
+            Self::emit(obs, txn, "drop_mid_claim");
+        }
+        hit
+    }
+
+    /// Server seam: tear this session's connection down mid-RHS (locks
+    /// and snapshot pin held, delta half-built)?
+    pub fn drop_mid_rhs(&self, txn: TxnId, salt: u64, obs: Option<&Recorder>) -> bool {
+        let hit = self.hit(site::DROP_MID_RHS, txn, salt, self.plan.drop_mid_rhs_pm);
+        if hit {
+            self.counters.drop_mid_rhs.fetch_add(1, Relaxed);
+            Self::emit(obs, txn, "drop_mid_rhs");
+        }
+        hit
+    }
+
+    /// Server seam: should this session go half-open (stop talking but
+    /// keep the connection up)? Returns the stall to inject; the
+    /// server's read timeout must reap the session.
+    pub fn slowloris(&self, txn: TxnId, salt: u64, obs: Option<&Recorder>) -> Option<Duration> {
+        if self.hit(site::SLOWLORIS, txn, salt, self.plan.slowloris_pm) {
+            self.counters.slowloris.fetch_add(1, Relaxed);
+            Self::emit(obs, txn, "slowloris");
+            Some(Duration::from_micros(self.plan.slowloris_us))
+        } else {
+            None
+        }
+    }
+
+    /// Engine seam: should this RHS evaluation panic mid-action? The
+    /// leak-regression knob — drop-guards must release every lock and
+    /// pin as the unwind passes through. Public because the engine
+    /// owns the RHS loop.
+    pub fn rhs_panic(&self, txn: TxnId, step: u64, obs: Option<&Recorder>) -> bool {
+        let hit = self.hit(site::RHS_PANIC, txn, step, self.plan.rhs_panic_pm);
+        if hit {
+            self.counters.rhs_panics.fetch_add(1, Relaxed);
+            Self::emit(obs, txn, "rhs_panic");
+        }
+        hit
+    }
+
     /// Falsifiability seam: corrupt a commit-sequence number. The §3
     /// checker must reject the resulting trace — `chaos` and
     /// `tests/chaos.rs` prove the oracle can actually fail.
@@ -557,6 +669,54 @@ mod tests {
         for site in WalKillSite::ALL {
             assert!(!site.name().is_empty());
         }
+    }
+
+    #[test]
+    fn disconnect_sites_draw_and_count() {
+        let quiet = FaultInjector::new(FaultPlan::quiet(3));
+        for i in 0..500 {
+            assert!(!quiet.drop_mid_claim(TxnId(i), i, None));
+            assert!(!quiet.drop_mid_rhs(TxnId(i), i, None));
+            assert!(quiet.slowloris(TxnId(i), i, None).is_none());
+            assert!(!quiet.rhs_panic(TxnId(i), i, None));
+        }
+        assert_eq!(quiet.stats().total(), 0);
+
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 5,
+            drop_mid_claim_pm: 500,
+            drop_mid_rhs_pm: 500,
+            slowloris_pm: 500,
+            slowloris_us: 1,
+            rhs_panic_pm: 500,
+            ..Default::default()
+        });
+        let mut claims = 0;
+        let mut rhs = 0;
+        let mut slow = 0;
+        let mut panics = 0;
+        for i in 0..400 {
+            claims += u64::from(inj.drop_mid_claim(TxnId(i), i, None));
+            rhs += u64::from(inj.drop_mid_rhs(TxnId(i), i, None));
+            slow += u64::from(inj.slowloris(TxnId(i), i, None).is_some());
+            panics += u64::from(inj.rhs_panic(TxnId(i), i, None));
+        }
+        let s = inj.stats();
+        assert_eq!(s.drop_mid_claims, claims);
+        assert_eq!(s.drop_mid_rhs, rhs);
+        assert_eq!(s.slowloris, slow);
+        assert_eq!(s.rhs_panics, panics);
+        for n in [claims, rhs, slow, panics] {
+            assert!((100..300).contains(&n), "hit rate {n}/400 off 500‰");
+        }
+        // The sites are salted independently: identical (txn, salt)
+        // pairs must not force identical decisions across sites.
+        let agree = (0..400)
+            .filter(|&i| inj.drop_mid_claim(TxnId(i), i, None) == inj.drop_mid_rhs(TxnId(i), i, None))
+            .count();
+        assert!(agree < 400, "sites share a decision stream");
+        assert_eq!(FaultPlan::disconnects(9).seed, 9);
+        assert!(FaultPlan::disconnects(9).drop_mid_claim_pm > 0);
     }
 
     #[test]

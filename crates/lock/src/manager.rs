@@ -352,6 +352,26 @@ impl LockManager {
         }
     }
 
+    /// Number of locks currently held across every shard (one per
+    /// `(resource, holder)` pair). Quiescence invariant: after a run
+    /// drains — every transaction committed or aborted — this must be
+    /// zero; the leak-audit `debug_assert`s and the disconnect-chaos
+    /// gate check it. Takes each shard mutex in turn, so call it only
+    /// when the table is quiet (or accept a fuzzy snapshot).
+    pub fn held_locks(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.table
+                    .lock()
+                    .unwrap()
+                    .values()
+                    .map(|e| e.holders.len() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
     fn log(&self, e: LockEvent) {
         if self.record.load(Relaxed) {
             self.events.lock().unwrap().push(e);

@@ -219,7 +219,7 @@ pub enum EventKind {
 /// Closed vocabulary of [`EventKind::Fault`] kinds — the JSON
 /// round-trip interns against this table, so fault names survive the
 /// `&'static str` representation.
-pub const FAULT_KINDS: [&str; 7] = [
+pub const FAULT_KINDS: [&str; 11] = [
     "grant_delay",
     "spurious_wakeup",
     "forced_abort",
@@ -227,6 +227,10 @@ pub const FAULT_KINDS: [&str; 7] = [
     "timeout_storm",
     "timeout_race_stall",
     "wal_kill",
+    "drop_mid_claim",
+    "drop_mid_rhs",
+    "slowloris",
+    "rhs_panic",
 ];
 
 /// Closed vocabulary of [`EventKind::Escalate`] actions (the governor's

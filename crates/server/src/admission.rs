@@ -1,0 +1,327 @@
+//! Admission control and overload shedding.
+//!
+//! §5's analysis says wasted work — transactions that execute and then
+//! abort — is what kills a parallel production system under
+//! contention. The same argument applies one layer up: admitting a
+//! transaction the engine cannot absorb *guarantees* wasted work
+//! (queueing, timeouts, doomed claims). The front door therefore sheds
+//! early, with a typed [`crate::wire::Response::Overloaded`] and a
+//! retry hint, rather than queueing without bound. Three independent
+//! gates, checked in order of cost:
+//!
+//! 1. **Inflight cap** — at most [`AdmissionConfig::max_inflight`]
+//!    open external transactions engine-wide. The bound keeps the
+//!    lock-manager and snapshot-pin footprint proportional to what the
+//!    workers can drain.
+//! 2. **Token bucket** — a sustained-rate limit
+//!    ([`AdmissionConfig::tokens_per_sec`], burst
+//!    [`AdmissionConfig::bucket_cap`]) decoupling the admitted rate
+//!    from the offered rate; the retry hint is the time until the next
+//!    token, so well-behaved clients reconverge on the sustainable
+//!    rate instead of thundering back.
+//! 3. **Doom storm** — the retry [`Governor`] (PR 4) watches the
+//!    *outcome* stream of admitted transactions. When its storm window
+//!    trips into serial fallback, the front door stops admitting for
+//!    [`AdmissionConfig::storm_hold_ms`]: shedding at the door is
+//!    strictly cheaper than aborting inside.
+//!
+//! All three gates are disabled together by
+//! [`AdmissionConfig::enabled`]` = false` — the shed-off baseline the
+//! XS.8 experiment measures against.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use dps_core::{Governor, GovernorConfig};
+
+/// Admission policy knobs (see module docs).
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Master switch: `false` admits everything (the shed-off
+    /// baseline).
+    pub enabled: bool,
+    /// Sustained admitted-transaction rate (token refill rate).
+    pub tokens_per_sec: f64,
+    /// Burst capacity of the token bucket.
+    pub bucket_cap: f64,
+    /// Maximum concurrently open external transactions.
+    pub max_inflight: usize,
+    /// How long a doom storm holds the door shut, milliseconds.
+    pub storm_hold_ms: u64,
+    /// The governor watching the admitted-transaction outcome stream.
+    pub governor: GovernorConfig,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enabled: true,
+            tokens_per_sec: 2_000.0,
+            bucket_cap: 200.0,
+            max_inflight: 256,
+            storm_hold_ms: 50,
+            governor: GovernorConfig::default(),
+        }
+    }
+}
+
+/// One admission decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted; the caller must pair with
+    /// [`AdmissionController::txn_end`].
+    Granted,
+    /// Shed. `retry_after_ms` is the client hint.
+    Shed {
+        /// Client retry hint, milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+/// Cumulative admission counters (all monotone; suitable as telemetry
+/// probes and for the report's cause-sum reconciliation).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdmissionStats {
+    /// Transactions admitted.
+    pub admitted: u64,
+    /// Shed by the token bucket.
+    pub shed_rate: u64,
+    /// Shed by the inflight cap.
+    pub shed_inflight: u64,
+    /// Shed by doom-storm hold.
+    pub shed_storm: u64,
+}
+
+impl AdmissionStats {
+    /// Total shed, all causes.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_rate + self.shed_inflight + self.shed_storm
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// The front door's admission gate (see module docs). Shared across
+/// session handler threads behind an `Arc`.
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    bucket: Mutex<Bucket>,
+    inflight: AtomicUsize,
+    governor: Governor,
+    storm_until: Mutex<Option<Instant>>,
+    admitted: AtomicU64,
+    shed_rate: AtomicU64,
+    shed_inflight: AtomicU64,
+    shed_storm: AtomicU64,
+}
+
+impl AdmissionController {
+    /// A controller with a full bucket.
+    pub fn new(config: AdmissionConfig) -> Self {
+        let governor = Governor::new(config.governor.clone());
+        AdmissionController {
+            bucket: Mutex::new(Bucket { tokens: config.bucket_cap, last: Instant::now() }),
+            inflight: AtomicUsize::new(0),
+            governor,
+            storm_until: Mutex::new(None),
+            admitted: AtomicU64::new(0),
+            shed_rate: AtomicU64::new(0),
+            shed_inflight: AtomicU64::new(0),
+            shed_storm: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Decides admission for one transaction. On [`Admission::Granted`]
+    /// the inflight slot is held until [`AdmissionController::txn_end`].
+    pub fn admit(&self) -> Admission {
+        if !self.config.enabled {
+            self.admitted.fetch_add(1, Relaxed);
+            self.inflight.fetch_add(1, Relaxed);
+            return Admission::Granted;
+        }
+        // Gate 3 first — it is the cheapest read and the strongest
+        // signal (the engine is already wasting work).
+        if let Some(until) = *self.storm_until.lock().unwrap() {
+            if Instant::now() < until {
+                self.shed_storm.fetch_add(1, Relaxed);
+                return Admission::Shed { retry_after_ms: self.config.storm_hold_ms.max(1) };
+            }
+        }
+        // Gate 1: inflight cap (reserve optimistically, roll back on
+        // overshoot so concurrent admits cannot leak past the cap).
+        let prev = self.inflight.fetch_add(1, Relaxed);
+        if prev >= self.config.max_inflight {
+            self.inflight.fetch_sub(1, Relaxed);
+            self.shed_inflight.fetch_add(1, Relaxed);
+            // Hint: one full transaction's worth of drain time at the
+            // sustained rate.
+            let ms = (1_000.0 / self.config.tokens_per_sec.max(1.0)).ceil() as u64;
+            return Admission::Shed { retry_after_ms: ms.max(1) };
+        }
+        // Gate 2: token bucket.
+        let mut b = self.bucket.lock().unwrap();
+        let now = Instant::now();
+        let dt = now.duration_since(b.last).as_secs_f64();
+        b.last = now;
+        b.tokens = (b.tokens + dt * self.config.tokens_per_sec).min(self.config.bucket_cap);
+        if b.tokens < 1.0 {
+            let need = 1.0 - b.tokens;
+            let ms = (need / self.config.tokens_per_sec.max(f64::MIN_POSITIVE) * 1_000.0).ceil();
+            drop(b);
+            self.inflight.fetch_sub(1, Relaxed);
+            self.shed_rate.fetch_add(1, Relaxed);
+            return Admission::Shed { retry_after_ms: (ms as u64).max(1) };
+        }
+        b.tokens -= 1.0;
+        drop(b);
+        self.admitted.fetch_add(1, Relaxed);
+        Admission::Granted
+    }
+
+    /// Releases the inflight slot of an admitted transaction and feeds
+    /// its outcome to the storm detector. `aborted_on_contention` means
+    /// doomed / deadlock / timeout / injected — *not* a client abort or
+    /// a stale id.
+    pub fn txn_end(&self, aborted_on_contention: bool, touched: &[u64]) {
+        self.inflight.fetch_sub(1, Relaxed);
+        if !self.config.enabled {
+            return;
+        }
+        if aborted_on_contention {
+            self.governor.on_contention_abort("@session", touched, 0, None);
+            if self.governor.serialized_now() > 0 || self.governor.escalated_now() > 0 {
+                let hold = std::time::Duration::from_millis(self.config.storm_hold_ms);
+                *self.storm_until.lock().unwrap() = Some(Instant::now() + hold);
+            }
+        } else {
+            self.governor.on_commit("@session", 0, None);
+        }
+    }
+
+    /// Currently open external transactions (telemetry gauge).
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Relaxed) as u64
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Relaxed),
+            shed_rate: self.shed_rate.load(Relaxed),
+            shed_inflight: self.shed_inflight.load(Relaxed),
+            shed_storm: self.shed_storm.load(Relaxed),
+        }
+    }
+
+    /// The governor watching the admitted stream (for reports).
+    pub fn governor(&self) -> &Governor {
+        &self.governor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(cfg: AdmissionConfig) -> AdmissionController {
+        AdmissionController::new(cfg)
+    }
+
+    #[test]
+    fn disabled_admits_everything() {
+        let c = quick(AdmissionConfig { enabled: false, ..AdmissionConfig::default() });
+        for _ in 0..10_000 {
+            assert_eq!(c.admit(), Admission::Granted);
+            c.txn_end(false, &[]);
+        }
+        assert_eq!(c.stats().shed_total(), 0);
+        assert_eq!(c.inflight(), 0);
+    }
+
+    #[test]
+    fn token_bucket_sheds_past_burst() {
+        let c = quick(AdmissionConfig {
+            tokens_per_sec: 1.0, // ~no refill within the test
+            bucket_cap: 10.0,
+            max_inflight: 1_000,
+            ..AdmissionConfig::default()
+        });
+        let mut granted = 0;
+        let mut shed = 0;
+        for _ in 0..50 {
+            match c.admit() {
+                Admission::Granted => {
+                    granted += 1;
+                    c.txn_end(false, &[]);
+                }
+                Admission::Shed { retry_after_ms } => {
+                    assert!(retry_after_ms >= 1);
+                    shed += 1;
+                }
+            }
+        }
+        assert_eq!(granted, 10, "exactly the burst capacity is admitted");
+        assert_eq!(shed, 40);
+        assert_eq!(c.stats().shed_rate, 40);
+    }
+
+    #[test]
+    fn inflight_cap_sheds_and_releases() {
+        let c = quick(AdmissionConfig {
+            tokens_per_sec: 1e9,
+            bucket_cap: 1e9,
+            max_inflight: 3,
+            ..AdmissionConfig::default()
+        });
+        assert_eq!(c.admit(), Admission::Granted);
+        assert_eq!(c.admit(), Admission::Granted);
+        assert_eq!(c.admit(), Admission::Granted);
+        assert!(matches!(c.admit(), Admission::Shed { .. }), "cap reached");
+        c.txn_end(false, &[]);
+        assert_eq!(c.admit(), Admission::Granted, "slot freed");
+        assert_eq!(c.stats().shed_inflight, 1);
+    }
+
+    #[test]
+    fn doom_storm_holds_the_door() {
+        let gov = GovernorConfig {
+            storm_window: 8,
+            storm_threshold_pm: 500,
+            starvation_bound: 3,
+            backoff_base_us: 0,
+            ..GovernorConfig::default()
+        };
+        let c = quick(AdmissionConfig {
+            tokens_per_sec: 1e9,
+            bucket_cap: 1e9,
+            max_inflight: 1_000,
+            storm_hold_ms: 10_000,
+            governor: gov,
+            ..AdmissionConfig::default()
+        });
+        // Feed a pure-abort stream; once the starvation bound trips,
+        // the door shuts for the full hold.
+        let mut storm_shed = None;
+        for _ in 0..16 {
+            match c.admit() {
+                Admission::Granted => c.txn_end(true, &[7]),
+                Admission::Shed { retry_after_ms } => {
+                    storm_shed = Some(retry_after_ms);
+                    break;
+                }
+            }
+        }
+        assert_eq!(storm_shed, Some(10_000), "storm never shut the door");
+        assert!(c.stats().shed_storm >= 1);
+    }
+}

@@ -1,0 +1,777 @@
+//! The server proper: N sessions multiplexed onto one shared engine.
+//!
+//! [`Server::run`] owns two kinds of threads under one
+//! `std::thread::scope`:
+//!
+//! * **the engine thread** — [`dps_core::ParallelEngine::run_shared`]
+//!   in service mode: workers park at quiescence and wake when a
+//!   session commit publishes new WM changes, so rules fire
+//!   *data-driven* against the union of every session's writes;
+//! * **one handler thread per connection** — the wire loop: decode a
+//!   frame, check it against the [`SessionState`] machine, execute it
+//!   through the engine's external-transaction API, reply.
+//!
+//! Disconnect safety is the handler's invariant: *every* exit path —
+//! clean `Bye`, EOF mid-transaction, a read timeout, a transaction
+//! overrunning its budget, an injected client death — routes the open
+//! transaction through [`dps_core::ParallelEngine::external_abort`]
+//! before the thread returns, so a dying session releases its locks,
+//! drops its snapshot pin and discards its buffered delta. The
+//! engine's drain then `debug_assert`s both leak probes
+//! ([`dps_core::ParallelEngine::held_locks`],
+//! [`dps_core::ParallelEngine::snapshot_pins`]) are zero.
+//!
+//! Graceful drain: [`Server::request_drain`] (or the shared
+//! [`ServerConfig::stop`] flag, typically flipped by
+//! [`crate::shutdown`]) moves sessions to `Draining` — open
+//! transactions finish, new ones are refused with a typed
+//! `Err(Draining)` — and once every handler has returned, the engine
+//! is quiesced, stopped and joined through its final WAL flush.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dps_core::{ExternalTxn, ParallelConfig, ParallelEngine, ParallelReport};
+use dps_obs::AbortCause;
+use dps_rules::RuleSet;
+use dps_wm::{Value, WmeData, WorkingMemory};
+
+use crate::admission::{Admission, AdmissionConfig, AdmissionController, AdmissionStats};
+use crate::session::{SessionState, SessionTimeouts};
+use crate::transport::Conn;
+use crate::wire::{read_frame, write_frame, ErrCode, Request, Response};
+
+/// Front-door configuration.
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    /// Admission / shedding policy.
+    pub admission: AdmissionConfig,
+    /// Per-session timeouts.
+    pub timeouts: SessionTimeouts,
+    /// Stamp every inserted tuple with a `^session <id>` attribute
+    /// (unless the client set one) — the per-session namespace: rules
+    /// and queries can discriminate by originating session, and the
+    /// reconciliation checks can attribute every tuple.
+    pub stamp_session: bool,
+    /// Shared stop flag (signal handler → drain). The server polls it;
+    /// once set, every session drains as if
+    /// [`Server::request_drain`] had been called.
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+/// Per-session counters, returned by each handler and embedded in
+/// [`ServerStats`] — the reconciliation substrate: summed over
+/// sessions they must equal the global counters, and
+/// `admitted == commits + aborts` (every admitted transaction resolves
+/// exactly once).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionCounters {
+    /// Server-assigned session id.
+    pub session: u64,
+    /// Frames decoded (excluding the `Hello`).
+    pub requests: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions rolled back, any cause (voluntary, contention,
+    /// timeout, disconnect).
+    pub aborts: u64,
+    /// `Begin`s refused with `Overloaded`.
+    pub shed: u64,
+    /// Transactions rolled back by the per-session timeout.
+    pub timeouts: u64,
+    /// `1` if the session ended by disconnect (EOF / injected death)
+    /// with a transaction open.
+    pub disconnects: u64,
+}
+
+/// End-of-run server statistics.
+#[derive(Clone, Debug)]
+pub struct ServerStats {
+    /// Sessions served (granted a `Hello`).
+    pub sessions: u64,
+    /// Committed external transactions.
+    pub commits: u64,
+    /// Rolled-back external transactions (all causes).
+    pub aborts: u64,
+    /// Transactions rolled back by per-session timeouts.
+    pub timeouts: u64,
+    /// Sessions that died with a transaction open.
+    pub disconnects: u64,
+    /// Admission-gate counters.
+    pub admission: AdmissionStats,
+    /// Per-session breakdown.
+    pub per_session: Vec<SessionCounters>,
+}
+
+#[derive(Default)]
+struct Counters {
+    sessions: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    timeouts: AtomicU64,
+    disconnects: AtomicU64,
+}
+
+/// The multi-session front door (see module docs).
+pub struct Server {
+    engine: ParallelEngine,
+    admission: Arc<AdmissionController>,
+    config: ServerConfig,
+    counters: Arc<Counters>,
+    draining: AtomicBool,
+}
+
+impl Server {
+    /// Builds the server: one shared engine (forced into service
+    /// mode), the admission gate, and — when the engine carries a
+    /// telemetry registry — the `server.*` probe series.
+    pub fn new(
+        rules: &RuleSet,
+        wm: WorkingMemory,
+        mut engine_config: ParallelConfig,
+        config: ServerConfig,
+    ) -> Server {
+        engine_config.service = true;
+        let engine = ParallelEngine::new(rules, wm, engine_config);
+        let admission = Arc::new(AdmissionController::new(config.admission.clone()));
+        let counters = Arc::new(Counters::default());
+        if let Some(tel) = engine.telemetry() {
+            let a = Arc::clone(&admission);
+            tel.counter("server.admitted", move || a.stats().admitted);
+            let a = Arc::clone(&admission);
+            tel.counter("server.shed", move || a.stats().shed_total());
+            let a = Arc::clone(&admission);
+            tel.gauge("server.inflight", move || a.inflight());
+            let c = Arc::clone(&counters);
+            tel.counter("server.commits", move || c.commits.load(Relaxed));
+            let c = Arc::clone(&counters);
+            tel.counter("server.aborts", move || c.aborts.load(Relaxed));
+            let c = Arc::clone(&counters);
+            tel.counter("server.disconnects", move || c.disconnects.load(Relaxed));
+        }
+        Server { engine, admission, config, counters, draining: AtomicBool::new(false) }
+    }
+
+    /// The shared engine (final WM, trace, leak probes, telemetry).
+    pub fn engine(&self) -> &ParallelEngine {
+        &self.engine
+    }
+
+    /// The admission gate.
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Starts a graceful drain: sessions refuse new transactions,
+    /// finish open ones, and the run ends once every connection has
+    /// closed.
+    pub fn request_drain(&self) {
+        self.draining.store(true, Relaxed);
+    }
+
+    /// `true` once a drain was requested (locally or via the shared
+    /// [`ServerConfig::stop`] flag).
+    pub fn draining(&self) -> bool {
+        self.draining.load(Relaxed)
+            || self.config.stop.as_ref().is_some_and(|s| s.load(Relaxed))
+    }
+
+    /// Serves every connection to completion, then drains the engine.
+    /// Returns the engine's run report and the server statistics.
+    pub fn run<C: Conn>(&self, conns: Vec<C>) -> (ParallelReport, ServerStats) {
+        let (report, per_session) = std::thread::scope(|s| {
+            let engine_thread = s.spawn(|| self.engine.run_shared());
+            let handlers: Vec<_> = conns
+                .into_iter()
+                .enumerate()
+                .map(|(i, conn)| {
+                    let sid = i as u64 + 1;
+                    s.spawn(move || self.serve_conn(sid, conn))
+                })
+                .collect();
+            let per_session: Vec<SessionCounters> =
+                handlers.into_iter().map(|h| h.join().expect("handler panicked")).collect();
+            // Every session is resolved; let the rules quiesce on the
+            // union of their commits, then stop the engine through its
+            // normal drain (final WAL flush, telemetry stop, leak
+            // asserts).
+            self.engine.await_quiescence();
+            self.engine.request_stop();
+            let report = engine_thread.join().expect("engine panicked");
+            (report, per_session)
+        });
+        let stats = ServerStats {
+            sessions: self.counters.sessions.load(Relaxed),
+            commits: self.counters.commits.load(Relaxed),
+            aborts: self.counters.aborts.load(Relaxed),
+            timeouts: self.counters.timeouts.load(Relaxed),
+            disconnects: self.counters.disconnects.load(Relaxed),
+            admission: self.admission.stats(),
+            per_session,
+        };
+        (report, stats)
+    }
+
+    fn reply(conn: &mut impl Conn, resp: &Response) -> io::Result<()> {
+        write_frame(conn, &resp.encode())
+    }
+
+    /// `true` when this abort cause is engine contention (feeds the
+    /// admission governor's storm detector) as opposed to a voluntary
+    /// or client-side rollback.
+    fn is_contention(cause: AbortCause) -> bool {
+        matches!(
+            cause,
+            AbortCause::Doomed
+                | AbortCause::Deadlock
+                | AbortCause::Timeout
+                | AbortCause::Revalidation
+                | AbortCause::SnapshotStale
+        )
+    }
+
+    /// Rolls back `xt` (if open) on a session death path and updates
+    /// the books. `cause` distinguishes timeout from disconnect.
+    fn rollback_dead(&self, xt: &mut Option<ExternalTxn>, cause: AbortCause, c: &mut SessionCounters) {
+        if let Some(mut x) = xt.take() {
+            self.engine.external_abort(&mut x, cause);
+            self.admission.txn_end(false, &[]);
+            c.aborts += 1;
+            self.counters.aborts.fetch_add(1, Relaxed);
+            match cause {
+                AbortCause::Timeout => {
+                    c.timeouts += 1;
+                    self.counters.timeouts.fetch_add(1, Relaxed);
+                }
+                _ => {
+                    c.disconnects += 1;
+                    self.counters.disconnects.fetch_add(1, Relaxed);
+                }
+            }
+        }
+    }
+
+    /// One connection, served to completion (see module docs for the
+    /// exit-path invariant).
+    fn serve_conn<C: Conn>(&self, sid: u64, mut conn: C) -> SessionCounters {
+        let mut c = SessionCounters { session: sid, ..SessionCounters::default() };
+        conn.set_read_timeout(self.config.timeouts.idle_read);
+        // Handshake: the first frame must be a Hello.
+        match read_frame(&mut conn) {
+            Ok(Some(body)) if matches!(Request::decode(&body), Ok(Request::Hello)) => {}
+            _ => return c,
+        }
+        if Self::reply(&mut conn, &Response::Granted { session: sid }).is_err() {
+            return c;
+        }
+        self.counters.sessions.fetch_add(1, Relaxed);
+
+        let obs = self.engine.observer().map(|r| r.as_ref());
+        let mut state = SessionState::Idle;
+        let mut xt: Option<ExternalTxn> = None;
+        let mut deadline: Option<Instant> = None;
+        loop {
+            // While a transaction is open, the read timeout is bounded
+            // by its remaining budget so an overrun is noticed even if
+            // the client goes fully silent (slowloris).
+            let timeout = match deadline {
+                Some(d) => Some(
+                    d.saturating_duration_since(Instant::now()).max(Duration::from_millis(1)),
+                ),
+                None => self.config.timeouts.idle_read,
+            };
+            conn.set_read_timeout(timeout);
+            let body = match read_frame(&mut conn) {
+                Ok(Some(body)) => body,
+                Ok(None) => {
+                    // EOF: disconnect. Roll back anything open.
+                    self.rollback_dead(&mut xt, AbortCause::Stale, &mut c);
+                    break;
+                }
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) =>
+                {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        // Transaction overran its budget: roll back and
+                        // disconnect (holding locks for a silent client
+                        // is the one thing the front door must never do).
+                        self.rollback_dead(&mut xt, AbortCause::Timeout, &mut c);
+                        break;
+                    }
+                    if self.draining() && xt.is_none() {
+                        break;
+                    }
+                    continue;
+                }
+                Err(_) => {
+                    self.rollback_dead(&mut xt, AbortCause::Stale, &mut c);
+                    break;
+                }
+            };
+            let req = match Request::decode(&body) {
+                Ok(req) => req,
+                Err(e) => {
+                    let resp = Response::Err { code: ErrCode::Protocol, msg: e.to_string() };
+                    if Self::reply(&mut conn, &resp).is_err() {
+                        self.rollback_dead(&mut xt, AbortCause::Stale, &mut c);
+                        break;
+                    }
+                    continue;
+                }
+            };
+            c.requests += 1;
+            let draining = self.draining();
+            let next = match state.next(&req, draining) {
+                Ok(next) => next,
+                Err(code) => {
+                    let resp = Response::Err { code, msg: format!("{req:?} in {state:?}") };
+                    if Self::reply(&mut conn, &resp).is_err() {
+                        self.rollback_dead(&mut xt, AbortCause::Stale, &mut c);
+                        break;
+                    }
+                    continue;
+                }
+            };
+            // Chaos: the injected-client-death sites. `slowloris`
+            // stalls the session while it holds its transaction;
+            // `drop_mid_claim` kills it right after `Begin` claimed
+            // engine resources; `drop_mid_rhs` kills it between its
+            // writes and the commit.
+            if let (Some(inj), Some(x)) = (self.engine.injector(), xt.as_ref()) {
+                if let Some(d) = inj.slowloris(x.txn(), sid, obs) {
+                    std::thread::sleep(d);
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        self.rollback_dead(&mut xt, AbortCause::Timeout, &mut c);
+                        break;
+                    }
+                }
+                if matches!(req, Request::Commit) && inj.drop_mid_rhs(x.txn(), sid, obs) {
+                    self.rollback_dead(&mut xt, AbortCause::Injected, &mut c);
+                    break;
+                }
+            }
+            let resp = match req {
+                Request::Hello | Request::Bye => {
+                    // Hello is illegal here (the state machine rejected
+                    // it above); Bye closes, aborting anything open as
+                    // a voluntary rollback.
+                    if let Some(mut x) = xt.take() {
+                        self.engine.external_abort(&mut x, AbortCause::Stale);
+                        self.admission.txn_end(false, &[]);
+                        c.aborts += 1;
+                        self.counters.aborts.fetch_add(1, Relaxed);
+                    }
+                    let _ = Self::reply(&mut conn, &Response::Bye);
+                    break;
+                }
+                Request::Begin => match self.admission.admit() {
+                    Admission::Shed { retry_after_ms } => {
+                        c.shed += 1;
+                        // State unchanged: the transaction never opened.
+                        if Self::reply(&mut conn, &Response::Overloaded { retry_after_ms })
+                            .is_err()
+                        {
+                            break;
+                        }
+                        continue;
+                    }
+                    Admission::Granted => {
+                        let x = self.engine.external_begin();
+                        if let Some(inj) = self.engine.injector() {
+                            if inj.drop_mid_claim(x.txn(), sid, obs) {
+                                xt = Some(x);
+                                self.rollback_dead(&mut xt, AbortCause::Injected, &mut c);
+                                break;
+                            }
+                        }
+                        xt = Some(x);
+                        deadline = Some(Instant::now() + self.config.timeouts.txn);
+                        Response::Ok { seq: 0 }
+                    }
+                },
+                Request::Insert { class, attrs } => {
+                    let mut data = WmeData::new(class);
+                    for (k, v) in attrs {
+                        data.attrs.insert(k.into(), v);
+                    }
+                    if self.config.stamp_session {
+                        data.attrs
+                            .entry("session".into())
+                            .or_insert(Value::Int(sid as i64));
+                    }
+                    let x = xt.as_mut().expect("InTxn implies open txn");
+                    match self.engine.external_insert(x, data) {
+                        Ok(()) => Response::Ok { seq: 0 },
+                        Err(cause) => {
+                            self.resolve_failed(&mut xt, &mut deadline, cause, &mut c);
+                            state = if draining { SessionState::Draining } else { SessionState::Idle };
+                            let resp = Response::Err {
+                                code: ErrCode::Aborted,
+                                msg: format!("{cause:?}"),
+                            };
+                            if Self::reply(&mut conn, &resp).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                }
+                Request::Remove { id } => {
+                    let x = xt.as_mut().expect("InTxn implies open txn");
+                    match self.engine.external_remove(x, dps_wm::WmeId(id)) {
+                        Ok(()) => Response::Ok { seq: 0 },
+                        Err(cause) => {
+                            self.resolve_failed(&mut xt, &mut deadline, cause, &mut c);
+                            state = if draining { SessionState::Draining } else { SessionState::Idle };
+                            let resp = Response::Err {
+                                code: ErrCode::Aborted,
+                                msg: format!("{cause:?}"),
+                            };
+                            if Self::reply(&mut conn, &resp).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                }
+                Request::Query { class } => {
+                    let x = xt.as_mut().expect("InTxn implies open txn");
+                    match self.engine.external_query(x, &class) {
+                        Ok(rows) => Response::Rows { rows },
+                        Err(cause) => {
+                            self.resolve_failed(&mut xt, &mut deadline, cause, &mut c);
+                            state = if draining { SessionState::Draining } else { SessionState::Idle };
+                            let resp = Response::Err {
+                                code: ErrCode::Aborted,
+                                msg: format!("{cause:?}"),
+                            };
+                            if Self::reply(&mut conn, &resp).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                }
+                Request::Invoke => {
+                    self.engine.await_quiescence();
+                    Response::Done { commits: self.engine.rule_commit_count() }
+                }
+                Request::Commit => {
+                    let mut x = xt.take().expect("InTxn implies open txn");
+                    deadline = None;
+                    match self.engine.external_commit(&mut x) {
+                        Ok(seq) => {
+                            self.admission.txn_end(false, &[]);
+                            c.commits += 1;
+                            self.counters.commits.fetch_add(1, Relaxed);
+                            Response::Ok { seq }
+                        }
+                        Err(cause) => {
+                            self.admission.txn_end(Self::is_contention(cause), &[]);
+                            c.aborts += 1;
+                            self.counters.aborts.fetch_add(1, Relaxed);
+                            Response::Err { code: ErrCode::Aborted, msg: format!("{cause:?}") }
+                        }
+                    }
+                }
+                Request::Abort => {
+                    let mut x = xt.take().expect("InTxn implies open txn");
+                    deadline = None;
+                    self.engine.external_abort(&mut x, AbortCause::Stale);
+                    self.admission.txn_end(false, &[]);
+                    c.aborts += 1;
+                    self.counters.aborts.fetch_add(1, Relaxed);
+                    Response::Ok { seq: 0 }
+                }
+            };
+            state = next;
+            if Self::reply(&mut conn, &resp).is_err() {
+                self.rollback_dead(&mut xt, AbortCause::Stale, &mut c);
+                break;
+            }
+            if state == SessionState::Closed {
+                break;
+            }
+        }
+        // Belt and braces: no exit path may leak an open transaction.
+        self.rollback_dead(&mut xt, AbortCause::Stale, &mut c);
+        c
+    }
+
+    /// Books a transaction the engine already aborted (lock error /
+    /// failed commit validation inside an op).
+    fn resolve_failed(
+        &self,
+        xt: &mut Option<ExternalTxn>,
+        deadline: &mut Option<Instant>,
+        cause: AbortCause,
+        c: &mut SessionCounters,
+    ) {
+        *xt = None;
+        *deadline = None;
+        self.admission.txn_end(Self::is_contention(cause), &[]);
+        c.aborts += 1;
+        self.counters.aborts.fetch_add(1, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{loopback_pair, LoopbackConn};
+    use dps_core::ParallelConfig;
+
+    fn accumulator_rules() -> RuleSet {
+        RuleSet::parse(
+            "(p apply (delta ^key <k> ^v <v>) (acc ^key <k> ^total <t>)
+               --> (remove 1) (modify 2 ^total (+ <t> <v>)))",
+        )
+        .unwrap()
+    }
+
+    fn acc_wm(keys: i64) -> WorkingMemory {
+        let mut wm = WorkingMemory::new();
+        for k in 0..keys {
+            wm.insert(WmeData::new("acc").with("key", k).with("total", 0i64));
+        }
+        wm
+    }
+
+    fn rpc(conn: &mut LoopbackConn, req: &Request) -> Response {
+        write_frame(conn, &req.encode()).unwrap();
+        let body = read_frame(conn).unwrap().expect("response");
+        Response::decode(&body).unwrap()
+    }
+
+    fn hello(conn: &mut LoopbackConn) -> u64 {
+        match rpc(conn, &Request::Hello) {
+            Response::Granted { session } => session,
+            r => panic!("expected Granted, got {r:?}"),
+        }
+    }
+
+    fn fast_timeouts() -> SessionTimeouts {
+        SessionTimeouts {
+            idle_read: Some(Duration::from_millis(20)),
+            txn: Duration::from_millis(250),
+        }
+    }
+
+    #[test]
+    fn sessions_commit_and_rules_fire() {
+        let rules = accumulator_rules();
+        let server = Server::new(
+            &rules,
+            acc_wm(4),
+            ParallelConfig { workers: 2, ..ParallelConfig::default() },
+            ServerConfig {
+                timeouts: fast_timeouts(),
+                stamp_session: true,
+                ..ServerConfig::default()
+            },
+        );
+        let (s1, mut c1) = loopback_pair();
+        let (s2, mut c2) = loopback_pair();
+        std::thread::scope(|s| {
+            let srv = s.spawn(|| server.run(vec![s1, s2]));
+            for (conn, key) in [(&mut c1, 0i64), (&mut c2, 1i64)] {
+                let sid = hello(conn);
+                assert!(sid > 0);
+                assert_eq!(rpc(conn, &Request::Begin), Response::Ok { seq: 0 });
+                let resp = rpc(
+                    conn,
+                    &Request::Insert {
+                        class: "delta".into(),
+                        attrs: vec![("key".into(), Value::Int(key)), ("v".into(), Value::Int(5))],
+                    },
+                );
+                assert_eq!(resp, Response::Ok { seq: 0 });
+                match rpc(conn, &Request::Commit) {
+                    Response::Ok { seq } => assert!(seq > 0),
+                    r => panic!("commit failed: {r:?}"),
+                }
+                match rpc(conn, &Request::Invoke) {
+                    Response::Done { .. } => {}
+                    r => panic!("invoke failed: {r:?}"),
+                }
+                assert_eq!(rpc(conn, &Request::Bye), Response::Bye);
+            }
+            let (report, stats) = srv.join().unwrap();
+            assert_eq!(stats.sessions, 2);
+            assert_eq!(stats.commits, 2);
+            assert_eq!(stats.aborts, 0);
+            assert_eq!(stats.admission.admitted, stats.commits + stats.aborts);
+            assert_eq!(report.commits, 2, "one rule firing per delta");
+        });
+        // Both deltas consumed; totals updated; leak probes clean.
+        let wm = server.engine().final_wm();
+        assert_eq!(wm.class_iter("delta").count(), 0);
+        let totals: i64 = wm
+            .class_iter("acc")
+            .filter_map(|w| match w.data.get("total") {
+                Some(Value::Int(v)) => Some(*v),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(totals, 10);
+        assert_eq!(server.engine().held_locks(), 0);
+        assert_eq!(server.engine().snapshot_pins(), 0);
+    }
+
+    #[test]
+    fn disconnect_mid_txn_releases_everything() {
+        let rules = accumulator_rules();
+        let server = Server::new(
+            &rules,
+            acc_wm(2),
+            ParallelConfig { workers: 1, ..ParallelConfig::default() },
+            ServerConfig { timeouts: fast_timeouts(), ..ServerConfig::default() },
+        );
+        let (s1, mut c1) = loopback_pair();
+        std::thread::scope(|s| {
+            let srv = s.spawn(|| server.run(vec![s1]));
+            hello(&mut c1);
+            assert_eq!(rpc(&mut c1, &Request::Begin), Response::Ok { seq: 0 });
+            let resp = rpc(
+                &mut c1,
+                &Request::Insert {
+                    class: "delta".into(),
+                    attrs: vec![("key".into(), Value::Int(0)), ("v".into(), Value::Int(1))],
+                },
+            );
+            assert_eq!(resp, Response::Ok { seq: 0 });
+            c1.kill(); // client dies mid-transaction
+            let (_, stats) = srv.join().unwrap();
+            assert_eq!(stats.disconnects, 1);
+            assert_eq!(stats.aborts, 1);
+            assert_eq!(stats.commits, 0);
+            assert_eq!(stats.admission.admitted, stats.commits + stats.aborts);
+        });
+        assert_eq!(server.engine().held_locks(), 0, "disconnect leaked locks");
+        assert_eq!(server.engine().snapshot_pins(), 0, "disconnect leaked pins");
+        // The uncommitted delta never reached working memory.
+        assert_eq!(server.engine().final_wm().class_iter("delta").count(), 0);
+    }
+
+    #[test]
+    fn silent_txn_holder_is_timed_out() {
+        let rules = accumulator_rules();
+        let server = Server::new(
+            &rules,
+            acc_wm(1),
+            ParallelConfig { workers: 1, ..ParallelConfig::default() },
+            ServerConfig {
+                timeouts: SessionTimeouts {
+                    idle_read: Some(Duration::from_millis(20)),
+                    txn: Duration::from_millis(40),
+                },
+                ..ServerConfig::default()
+            },
+        );
+        let (s1, mut c1) = loopback_pair();
+        std::thread::scope(|s| {
+            let srv = s.spawn(|| server.run(vec![s1]));
+            hello(&mut c1);
+            assert_eq!(rpc(&mut c1, &Request::Begin), Response::Ok { seq: 0 });
+            // Go silent holding the transaction; the server must roll
+            // it back and hang up.
+            let mut buf = [0u8; 1];
+            use std::io::Read;
+            c1.set_read_timeout(None);
+            assert_eq!(c1.read(&mut buf).unwrap(), 0, "server hung up");
+            let (_, stats) = srv.join().unwrap();
+            assert_eq!(stats.timeouts, 1);
+            assert_eq!(stats.aborts, 1);
+        });
+        assert_eq!(server.engine().held_locks(), 0);
+        assert_eq!(server.engine().snapshot_pins(), 0);
+    }
+
+    #[test]
+    fn overload_is_shed_with_typed_response() {
+        let rules = accumulator_rules();
+        let server = Server::new(
+            &rules,
+            acc_wm(1),
+            ParallelConfig { workers: 1, ..ParallelConfig::default() },
+            ServerConfig {
+                admission: AdmissionConfig {
+                    tokens_per_sec: 0.001, // ~no refill during the test
+                    bucket_cap: 1.0,
+                    ..AdmissionConfig::default()
+                },
+                timeouts: fast_timeouts(),
+                ..ServerConfig::default()
+            },
+        );
+        let (s1, mut c1) = loopback_pair();
+        std::thread::scope(|s| {
+            let srv = s.spawn(|| server.run(vec![s1]));
+            hello(&mut c1);
+            assert_eq!(rpc(&mut c1, &Request::Begin), Response::Ok { seq: 0 });
+            assert_eq!(rpc(&mut c1, &Request::Abort), Response::Ok { seq: 0 });
+            match rpc(&mut c1, &Request::Begin) {
+                Response::Overloaded { retry_after_ms } => assert!(retry_after_ms >= 1),
+                r => panic!("expected Overloaded, got {r:?}"),
+            }
+            // The shed left the session Idle, not broken: Bye still works.
+            assert_eq!(rpc(&mut c1, &Request::Bye), Response::Bye);
+            let (_, stats) = srv.join().unwrap();
+            assert_eq!(stats.admission.shed_rate, 1);
+            assert_eq!(stats.per_session[0].shed, 1);
+        });
+    }
+
+    #[test]
+    fn drain_refuses_new_transactions() {
+        let rules = accumulator_rules();
+        let server = Server::new(
+            &rules,
+            acc_wm(1),
+            ParallelConfig { workers: 1, ..ParallelConfig::default() },
+            ServerConfig { timeouts: fast_timeouts(), ..ServerConfig::default() },
+        );
+        let (s1, mut c1) = loopback_pair();
+        std::thread::scope(|s| {
+            let srv = s.spawn(|| server.run(vec![s1]));
+            hello(&mut c1);
+            server.request_drain();
+            match rpc(&mut c1, &Request::Begin) {
+                Response::Err { code, .. } => assert_eq!(code, ErrCode::Draining),
+                r => panic!("expected Err(Draining), got {r:?}"),
+            }
+            assert_eq!(rpc(&mut c1, &Request::Bye), Response::Bye);
+            let (_, stats) = srv.join().unwrap();
+            assert_eq!(stats.commits, 0);
+        });
+    }
+
+    #[test]
+    fn state_machine_violations_are_rejected_not_fatal() {
+        let rules = accumulator_rules();
+        let server = Server::new(
+            &rules,
+            acc_wm(1),
+            ParallelConfig { workers: 1, ..ParallelConfig::default() },
+            ServerConfig { timeouts: fast_timeouts(), ..ServerConfig::default() },
+        );
+        let (s1, mut c1) = loopback_pair();
+        std::thread::scope(|s| {
+            let srv = s.spawn(|| server.run(vec![s1]));
+            hello(&mut c1);
+            // Commit without Begin.
+            match rpc(&mut c1, &Request::Commit) {
+                Response::Err { code, .. } => assert_eq!(code, ErrCode::BadState),
+                r => panic!("expected Err(BadState), got {r:?}"),
+            }
+            // Session still usable afterwards.
+            assert_eq!(rpc(&mut c1, &Request::Begin), Response::Ok { seq: 0 });
+            assert_eq!(rpc(&mut c1, &Request::Abort), Response::Ok { seq: 0 });
+            assert_eq!(rpc(&mut c1, &Request::Bye), Response::Bye);
+            let (_, stats) = srv.join().unwrap();
+            assert_eq!(stats.sessions, 1);
+        });
+    }
+}

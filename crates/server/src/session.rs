@@ -1,0 +1,144 @@
+//! The per-connection session state machine.
+//!
+//! A session moves through four states:
+//!
+//! ```text
+//!          Hello/Granted         Begin
+//!   (wire) ────────────▶ Idle ─────────▶ InTxn
+//!                         ▲  ◀───────────  │
+//!                         │  Commit/Abort  │
+//!              drain &&   │                │ drain && Commit/Abort
+//!              (any req)  ▼                ▼
+//!                      Draining ◀──────────┘
+//!                         │  Bye (any state)
+//!                         ▼
+//!                       Closed
+//! ```
+//!
+//! plus the *disconnect transitions* the wire never shows: EOF, a read
+//! timeout with a transaction open, or an injected drop all take the
+//! session straight to `Closed` — after the server rolls back the open
+//! transaction (locks released, snapshot pin dropped, buffered delta
+//! discarded). The transition function is pure and total: every
+//! `(state, request, draining)` triple either yields the next state or
+//! a typed [`ErrCode`] — an illegal request never panics and never
+//! changes state.
+
+use std::time::Duration;
+
+use crate::wire::{ErrCode, Request};
+
+/// Session lifecycle states (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionState {
+    /// Greeted, no open transaction.
+    Idle,
+    /// An external transaction is open.
+    InTxn,
+    /// The server is draining; only `Bye` is accepted.
+    Draining,
+    /// Session over (graceful `Bye` or disconnect).
+    Closed,
+}
+
+impl SessionState {
+    /// Pure transition: the state after `req`, or the error the server
+    /// must answer (leaving the state unchanged). `draining` is the
+    /// server-wide shutdown flag: it refuses *new* work (`Begin`,
+    /// `Invoke`) with [`ErrCode::Draining`] but lets an open
+    /// transaction finish — aborting mid-flight work on shutdown would
+    /// manufacture exactly the wasted work §5 warns about.
+    pub fn next(self, req: &Request, draining: bool) -> Result<SessionState, ErrCode> {
+        use SessionState::*;
+        match (self, req) {
+            (Closed, _) => Err(ErrCode::BadState),
+            (_, Request::Bye) => Ok(Closed),
+            (Draining, _) => Err(ErrCode::Draining),
+            (Idle, Request::Begin) if draining => Err(ErrCode::Draining),
+            (Idle, Request::Begin) => Ok(InTxn),
+            (Idle, Request::Invoke) if draining => Err(ErrCode::Draining),
+            (Idle, Request::Invoke) => Ok(Idle),
+            (Idle, _) => Err(ErrCode::BadState),
+            (InTxn, Request::Insert { .. } | Request::Remove { .. } | Request::Query { .. }) => {
+                Ok(InTxn)
+            }
+            (InTxn, Request::Commit | Request::Abort) => {
+                Ok(if draining { Draining } else { Idle })
+            }
+            (InTxn, _) => Err(ErrCode::BadState),
+        }
+    }
+}
+
+/// Per-session timeout policy.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionTimeouts {
+    /// Read timeout while **idle** (no open transaction). `None`
+    /// blocks forever — acceptable only when something else bounds the
+    /// session (tests); servers should always set it so drains are not
+    /// held hostage by silent clients.
+    pub idle_read: Option<Duration>,
+    /// Wall-clock budget of one open transaction, measured from
+    /// `Begin`. A session that overruns it (the slowloris pattern:
+    /// open a transaction, hold locks, trickle or stop sending) is
+    /// rolled back and disconnected.
+    pub txn: Duration,
+}
+
+impl Default for SessionTimeouts {
+    fn default() -> Self {
+        SessionTimeouts {
+            idle_read: Some(Duration::from_secs(5)),
+            txn: Duration::from_millis(500),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SessionState::*;
+    use super::*;
+
+    #[test]
+    fn happy_path_transitions() {
+        let s = Idle;
+        let s = s.next(&Request::Begin, false).unwrap();
+        assert_eq!(s, InTxn);
+        let s = s
+            .next(&Request::Insert { class: "t".into(), attrs: vec![] }, false)
+            .unwrap();
+        let s = s.next(&Request::Query { class: "t".into() }, false).unwrap();
+        let s = s.next(&Request::Commit, false).unwrap();
+        assert_eq!(s, Idle);
+        let s = s.next(&Request::Invoke, false).unwrap();
+        assert_eq!(s, Idle);
+        assert_eq!(s.next(&Request::Bye, false).unwrap(), Closed);
+    }
+
+    #[test]
+    fn illegal_requests_are_typed_errors() {
+        assert_eq!(Idle.next(&Request::Commit, false), Err(ErrCode::BadState));
+        assert_eq!(Idle.next(&Request::Remove { id: 1 }, false), Err(ErrCode::BadState));
+        assert_eq!(InTxn.next(&Request::Begin, false), Err(ErrCode::BadState));
+        assert_eq!(InTxn.next(&Request::Invoke, false), Err(ErrCode::BadState));
+        assert_eq!(Closed.next(&Request::Begin, false), Err(ErrCode::BadState));
+        assert_eq!(Closed.next(&Request::Bye, false), Err(ErrCode::BadState));
+    }
+
+    #[test]
+    fn draining_refuses_new_work_but_finishes_open_txns() {
+        assert_eq!(Idle.next(&Request::Begin, true), Err(ErrCode::Draining));
+        assert_eq!(Idle.next(&Request::Invoke, true), Err(ErrCode::Draining));
+        // An open transaction may finish, then lands in Draining.
+        let s = InTxn
+            .next(&Request::Insert { class: "t".into(), attrs: vec![] }, true)
+            .unwrap();
+        assert_eq!(s, InTxn);
+        assert_eq!(s.next(&Request::Commit, true).unwrap(), Draining);
+        assert_eq!(InTxn.next(&Request::Abort, true).unwrap(), Draining);
+        // Draining accepts only Bye.
+        assert_eq!(Draining.next(&Request::Begin, true), Err(ErrCode::Draining));
+        assert_eq!(Draining.next(&Request::Query { class: "t".into() }, true), Err(ErrCode::Draining));
+        assert_eq!(Draining.next(&Request::Bye, true).unwrap(), Closed);
+    }
+}

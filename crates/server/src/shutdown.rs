@@ -1,0 +1,103 @@
+//! Process signals → cooperative stop flag.
+//!
+//! Every gate binary drives a long engine run; Ctrl-C (SIGINT) or a
+//! supervisor's SIGTERM must exit through the *graceful drain* —
+//! workers stop claiming, in-flight commits finish, the WAL gets its
+//! final sync, telemetry stops — never through `abort()`-style
+//! teardown that leaves a torn WAL tail or a half-written report.
+//!
+//! The mechanism is the smallest one that works without any
+//! dependency: a process-global `AtomicBool` flipped by a
+//! signal-handler trampoline installed with `libc`'s `signal(2)` via a
+//! minimal FFI declaration (the workspace links `libc` anyway —
+//! everything `std` does goes through it). Flipping a relaxed atomic
+//! is async-signal-safe; everything else (kicking condvars, draining)
+//! happens on normal threads that *poll* the flag:
+//!
+//! ```no_run
+//! let stop = dps_server::shutdown::install();
+//! // engine_config.stop = Some(stop.clone());  // engine drains on Ctrl-C
+//! ```
+//!
+//! A second signal while draining falls back to the default
+//! disposition (the handler restores it after the first hit), so a
+//! wedged drain can still be killed interactively.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock};
+
+/// `SIGINT` — Ctrl-C.
+const SIGINT: i32 = 2;
+/// `SIGTERM` — the polite supervisor kill.
+const SIGTERM: i32 = 15;
+/// `signal(2)`'s `SIG_DFL` disposition.
+const SIG_DFL: usize = 0;
+
+#[allow(unsafe_code)]
+mod ffi {
+    extern "C" {
+        /// `signal(2)`. `handler` is either `SIG_DFL` (0) or a
+        /// function pointer cast to `usize`.
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+}
+
+static STOP: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+/// The signal trampoline: flip the flag, restore the default
+/// disposition so a second signal kills outright. Only
+/// async-signal-safe operations (two relaxed stores via `signal` and
+/// the atomic).
+extern "C" fn on_signal(signum: i32) {
+    if let Some(stop) = STOP.get() {
+        stop.store(true, Relaxed);
+    }
+    #[allow(unsafe_code)]
+    unsafe {
+        ffi::signal(signum, SIG_DFL);
+    }
+}
+
+/// Installs SIGINT/SIGTERM handlers (idempotent) and returns the
+/// shared stop flag. Thread the clone into
+/// [`dps_core::ParallelConfig::stop`] and/or
+/// [`crate::ServerConfig::stop`]; poll it from load loops.
+pub fn install() -> Arc<AtomicBool> {
+    let stop = STOP.get_or_init(|| Arc::new(AtomicBool::new(false)));
+    #[allow(unsafe_code)]
+    unsafe {
+        ffi::signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        ffi::signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+    Arc::clone(stop)
+}
+
+/// `true` once a shutdown signal has arrived (handlers installed or
+/// not — without [`install`] this is always `false`).
+pub fn requested() -> bool {
+    STOP.get().is_some_and(|s| s.load(Relaxed))
+}
+
+/// The ambient stop flag, when [`install`] has run; `None` otherwise.
+/// Lets library code thread the flag into
+/// [`dps_core::ParallelConfig::stop`] without owning installation —
+/// binaries install, engine-building helpers pick it up.
+pub fn installed() -> Option<Arc<AtomicBool>> {
+    STOP.get().cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent_and_flag_is_shared() {
+        let a = install();
+        let b = install();
+        assert!(!requested());
+        a.store(true, Relaxed);
+        assert!(b.load(Relaxed));
+        assert!(requested());
+        a.store(false, Relaxed); // leave the global clean for other tests
+    }
+}

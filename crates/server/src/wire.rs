@@ -1,0 +1,552 @@
+//! Length-prefixed binary wire protocol.
+//!
+//! Every message is one *frame*: `[u32 len (LE)][u8 tag][payload]`,
+//! where `len` counts the tag plus payload bytes. Strings are
+//! `[u16 len][UTF-8]`; integers are little-endian fixed width; WM
+//! values carry a one-byte type tag (see [`Request`] / [`Response`]).
+//! The format is self-contained (no external serialisation crate) and
+//! versioned by construction: unknown tags decode to a typed error,
+//! never a panic, and a frame is bounded by [`MAX_FRAME`] so a
+//! corrupt or hostile peer cannot make the server allocate without
+//! limit.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+use dps_wm::{Value, WmeData};
+
+/// Upper bound on a frame's `len` field (1 MiB). A peer announcing
+/// more is a protocol error, not an allocation.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Typed error codes carried by [`Response::Err`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrCode {
+    /// Request not legal in the session's current state.
+    BadState = 1,
+    /// The transaction aborted (contention, stale id, validation).
+    Aborted = 2,
+    /// Malformed frame or unknown tag.
+    Protocol = 3,
+    /// The per-session transaction timeout fired.
+    Timeout = 4,
+    /// The server is draining; no new transactions.
+    Draining = 5,
+}
+
+impl ErrCode {
+    fn from_u8(b: u8) -> Option<ErrCode> {
+        match b {
+            1 => Some(ErrCode::BadState),
+            2 => Some(ErrCode::Aborted),
+            3 => Some(ErrCode::Protocol),
+            4 => Some(ErrCode::Timeout),
+            5 => Some(ErrCode::Draining),
+            _ => None,
+        }
+    }
+}
+
+/// Client → server messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Open a session. Must be the first frame on a connection; the
+    /// server answers [`Response::Granted`] or
+    /// [`Response::Overloaded`].
+    Hello,
+    /// Open an external transaction ([`Response::Ok`] with `seq = 0`).
+    Begin,
+    /// Buffer an insert of a tuple into the open transaction.
+    Insert {
+        /// Relation (class) name.
+        class: String,
+        /// Attribute/value pairs.
+        attrs: Vec<(String, Value)>,
+    },
+    /// Buffer a removal of the tuple with this WME id.
+    Remove {
+        /// The tuple's WME id.
+        id: u64,
+    },
+    /// Condition query: every live tuple of `class`, answered with
+    /// [`Response::Rows`]. Legal inside a transaction only (the read
+    /// is part of the transaction's footprint).
+    Query {
+        /// Relation (class) name.
+        class: String,
+    },
+    /// Invoke the rule program: wait until the engine has quiesced on
+    /// everything committed so far, answered with [`Response::Done`].
+    Invoke,
+    /// Commit the open transaction ([`Response::Ok`] carries the
+    /// commit sequence number).
+    Commit,
+    /// Abort the open transaction.
+    Abort,
+    /// Close the session gracefully (answered with [`Response::Bye`]).
+    Bye,
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Session admitted.
+    Granted {
+        /// Server-assigned session id.
+        session: u64,
+    },
+    /// Acknowledgement; for `Commit` the commit sequence number,
+    /// otherwise 0.
+    Ok {
+        /// Commit sequence (0 when not a commit ack).
+        seq: u64,
+    },
+    /// Query result rows.
+    Rows {
+        /// `(wme id, tuple)` pairs.
+        rows: Vec<(u64, WmeData)>,
+    },
+    /// Rule program quiesced.
+    Done {
+        /// Total rule commits so far (cumulative, engine-wide).
+        commits: u64,
+    },
+    /// Load shed: the request was not admitted. Retry after the hint.
+    Overloaded {
+        /// Client retry hint, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Typed failure.
+    Err {
+        /// What failed.
+        code: ErrCode,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// Session closed.
+    Bye,
+}
+
+// Frame tags. Requests are 0x01..=0x09, responses 0x81..=0x87.
+const T_HELLO: u8 = 0x01;
+const T_BEGIN: u8 = 0x02;
+const T_INSERT: u8 = 0x03;
+const T_REMOVE: u8 = 0x04;
+const T_QUERY: u8 = 0x05;
+const T_INVOKE: u8 = 0x06;
+const T_COMMIT: u8 = 0x07;
+const T_ABORT: u8 = 0x08;
+const T_BYE: u8 = 0x09;
+const T_GRANTED: u8 = 0x81;
+const T_OK: u8 = 0x82;
+const T_ROWS: u8 = 0x83;
+const T_DONE: u8 = 0x84;
+const T_OVERLOADED: u8 = 0x85;
+const T_ERR: u8 = 0x86;
+const T_RBYE: u8 = 0x87;
+
+// Value type tags.
+const V_NIL: u8 = 0;
+const V_BOOL: u8 = 1;
+const V_INT: u8 = 2;
+const V_FLOAT: u8 = 3;
+const V_SYM: u8 = 4;
+const V_STR: u8 = 5;
+
+fn perr(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("wire: {msg}"))
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    let b = s.as_bytes();
+    debug_assert!(b.len() <= u16::MAX as usize, "wire string too long");
+    buf.extend_from_slice(&(b.len() as u16).to_le_bytes());
+    buf.extend_from_slice(b);
+}
+
+fn get_str(buf: &[u8], at: &mut usize) -> io::Result<String> {
+    let n = u16::from_le_bytes(
+        buf.get(*at..*at + 2)
+            .ok_or_else(|| perr("truncated string length"))?
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    *at += 2;
+    let bytes = buf
+        .get(*at..*at + n)
+        .ok_or_else(|| perr("truncated string body"))?;
+    *at += n;
+    String::from_utf8(bytes.to_vec()).map_err(|_| perr("invalid UTF-8"))
+}
+
+fn get_u64(buf: &[u8], at: &mut usize) -> io::Result<u64> {
+    let v = u64::from_le_bytes(
+        buf.get(*at..*at + 8)
+            .ok_or_else(|| perr("truncated u64"))?
+            .try_into()
+            .unwrap(),
+    );
+    *at += 8;
+    Ok(v)
+}
+
+fn get_u8(buf: &[u8], at: &mut usize) -> io::Result<u8> {
+    let v = *buf.get(*at).ok_or_else(|| perr("truncated byte"))?;
+    *at += 1;
+    Ok(v)
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Nil => buf.push(V_NIL),
+        Value::Bool(b) => {
+            buf.push(V_BOOL);
+            buf.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.push(V_INT);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(V_FLOAT);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Sym(a) => {
+            buf.push(V_SYM);
+            put_str(buf, a.as_ref());
+        }
+        Value::Str(a) => {
+            buf.push(V_STR);
+            put_str(buf, a.as_ref());
+        }
+    }
+}
+
+fn get_value(buf: &[u8], at: &mut usize) -> io::Result<Value> {
+    Ok(match get_u8(buf, at)? {
+        V_NIL => Value::Nil,
+        V_BOOL => Value::Bool(get_u8(buf, at)? != 0),
+        V_INT => Value::Int(get_u64(buf, at)? as i64),
+        V_FLOAT => Value::Float(f64::from_bits(get_u64(buf, at)?)),
+        V_SYM => Value::Sym(get_str(buf, at)?.into()),
+        V_STR => Value::Str(get_str(buf, at)?.into()),
+        t => return Err(perr(&format!("unknown value tag {t:#04x}"))),
+    })
+}
+
+fn put_wme(buf: &mut Vec<u8>, data: &WmeData) {
+    put_str(buf, data.class.as_ref());
+    buf.extend_from_slice(&(data.attrs.len() as u16).to_le_bytes());
+    for (k, v) in &data.attrs {
+        put_str(buf, k.as_ref());
+        put_value(buf, v);
+    }
+}
+
+fn get_wme(buf: &[u8], at: &mut usize) -> io::Result<WmeData> {
+    let class = get_str(buf, at)?;
+    let n = u16::from_le_bytes(
+        buf.get(*at..*at + 2)
+            .ok_or_else(|| perr("truncated attr count"))?
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    *at += 2;
+    let mut attrs = BTreeMap::new();
+    for _ in 0..n {
+        let k = get_str(buf, at)?;
+        let v = get_value(buf, at)?;
+        attrs.insert(k.into(), v);
+    }
+    Ok(WmeData { class: class.into(), attrs })
+}
+
+impl Request {
+    /// Encodes into a tag-plus-payload body (without the length
+    /// prefix; [`write_frame`] adds it).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Hello => buf.push(T_HELLO),
+            Request::Begin => buf.push(T_BEGIN),
+            Request::Insert { class, attrs } => {
+                buf.push(T_INSERT);
+                put_str(&mut buf, class);
+                buf.extend_from_slice(&(attrs.len() as u16).to_le_bytes());
+                for (k, v) in attrs {
+                    put_str(&mut buf, k);
+                    put_value(&mut buf, v);
+                }
+            }
+            Request::Remove { id } => {
+                buf.push(T_REMOVE);
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+            Request::Query { class } => {
+                buf.push(T_QUERY);
+                put_str(&mut buf, class);
+            }
+            Request::Invoke => buf.push(T_INVOKE),
+            Request::Commit => buf.push(T_COMMIT),
+            Request::Abort => buf.push(T_ABORT),
+            Request::Bye => buf.push(T_BYE),
+        }
+        buf
+    }
+
+    /// Decodes a tag-plus-payload body produced by [`Request::encode`].
+    pub fn decode(buf: &[u8]) -> io::Result<Request> {
+        let mut at = 0usize;
+        let req = match get_u8(buf, &mut at)? {
+            T_HELLO => Request::Hello,
+            T_BEGIN => Request::Begin,
+            T_INSERT => {
+                let class = get_str(buf, &mut at)?;
+                let n = u16::from_le_bytes(
+                    buf.get(at..at + 2)
+                        .ok_or_else(|| perr("truncated attr count"))?
+                        .try_into()
+                        .unwrap(),
+                ) as usize;
+                at += 2;
+                let mut attrs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = get_str(buf, &mut at)?;
+                    let v = get_value(buf, &mut at)?;
+                    attrs.push((k, v));
+                }
+                Request::Insert { class, attrs }
+            }
+            T_REMOVE => Request::Remove { id: get_u64(buf, &mut at)? },
+            T_QUERY => Request::Query { class: get_str(buf, &mut at)? },
+            T_INVOKE => Request::Invoke,
+            T_COMMIT => Request::Commit,
+            T_ABORT => Request::Abort,
+            T_BYE => Request::Bye,
+            t => return Err(perr(&format!("unknown request tag {t:#04x}"))),
+        };
+        if at != buf.len() {
+            return Err(perr("trailing bytes after request"));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes into a tag-plus-payload body.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Granted { session } => {
+                buf.push(T_GRANTED);
+                buf.extend_from_slice(&session.to_le_bytes());
+            }
+            Response::Ok { seq } => {
+                buf.push(T_OK);
+                buf.extend_from_slice(&seq.to_le_bytes());
+            }
+            Response::Rows { rows } => {
+                buf.push(T_ROWS);
+                buf.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for (id, data) in rows {
+                    buf.extend_from_slice(&id.to_le_bytes());
+                    put_wme(&mut buf, data);
+                }
+            }
+            Response::Done { commits } => {
+                buf.push(T_DONE);
+                buf.extend_from_slice(&commits.to_le_bytes());
+            }
+            Response::Overloaded { retry_after_ms } => {
+                buf.push(T_OVERLOADED);
+                buf.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
+            Response::Err { code, msg } => {
+                buf.push(T_ERR);
+                buf.push(*code as u8);
+                put_str(&mut buf, msg);
+            }
+            Response::Bye => buf.push(T_RBYE),
+        }
+        buf
+    }
+
+    /// Decodes a tag-plus-payload body produced by
+    /// [`Response::encode`].
+    pub fn decode(buf: &[u8]) -> io::Result<Response> {
+        let mut at = 0usize;
+        let resp = match get_u8(buf, &mut at)? {
+            T_GRANTED => Response::Granted { session: get_u64(buf, &mut at)? },
+            T_OK => Response::Ok { seq: get_u64(buf, &mut at)? },
+            T_ROWS => {
+                let n = u32::from_le_bytes(
+                    buf.get(at..at + 4)
+                        .ok_or_else(|| perr("truncated row count"))?
+                        .try_into()
+                        .unwrap(),
+                ) as usize;
+                at += 4;
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let id = get_u64(buf, &mut at)?;
+                    let data = get_wme(buf, &mut at)?;
+                    rows.push((id, data));
+                }
+                Response::Rows { rows }
+            }
+            T_DONE => Response::Done { commits: get_u64(buf, &mut at)? },
+            T_OVERLOADED => Response::Overloaded { retry_after_ms: get_u64(buf, &mut at)? },
+            T_ERR => {
+                let code = ErrCode::from_u8(get_u8(buf, &mut at)?)
+                    .ok_or_else(|| perr("unknown error code"))?;
+                Response::Err { code, msg: get_str(buf, &mut at)? }
+            }
+            T_RBYE => Response::Bye,
+            t => return Err(perr(&format!("unknown response tag {t:#04x}"))),
+        };
+        if at != buf.len() {
+            return Err(perr("trailing bytes after response"));
+        }
+        Ok(resp)
+    }
+}
+
+/// Writes one frame: length prefix plus body.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    debug_assert!(body.len() as u32 <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame body. `Ok(None)` means clean EOF at a frame
+/// boundary; EOF mid-frame, an oversized length or a read timeout
+/// surface as errors (timeouts keep their
+/// [`io::ErrorKind::TimedOut`] / [`io::ErrorKind::WouldBlock`] kind so
+/// callers can distinguish a slow peer from a dead one).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(perr("EOF inside frame header")),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let n = u32::from_le_bytes(len);
+    if n > MAX_FRAME {
+        return Err(perr(&format!("frame length {n} exceeds MAX_FRAME")));
+    }
+    let mut body = vec![0u8; n as usize];
+    let mut got = 0usize;
+    while got < body.len() {
+        match r.read(&mut body[got..]) {
+            Ok(0) => return Err(perr("EOF inside frame body")),
+            Ok(k) => got += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let body = req.encode();
+        assert_eq!(Request::decode(&body).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let body = resp.encode();
+        assert_eq!(Response::decode(&body).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Hello);
+        roundtrip_req(Request::Begin);
+        roundtrip_req(Request::Insert {
+            class: "delta".into(),
+            attrs: vec![
+                ("key".into(), Value::Int(42)),
+                ("tag".into(), Value::Sym("pending".into())),
+                ("note".into(), Value::Str("héllo".into())),
+                ("frac".into(), Value::Float(0.25)),
+                ("on".into(), Value::Bool(true)),
+                ("nil".into(), Value::Nil),
+            ],
+        });
+        roundtrip_req(Request::Remove { id: u64::MAX });
+        roundtrip_req(Request::Query { class: "acc".into() });
+        roundtrip_req(Request::Invoke);
+        roundtrip_req(Request::Commit);
+        roundtrip_req(Request::Abort);
+        roundtrip_req(Request::Bye);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Granted { session: 7 });
+        roundtrip_resp(Response::Ok { seq: 99 });
+        roundtrip_resp(Response::Rows {
+            rows: vec![
+                (1, WmeData::new("acc").with("key", 3i64).with("total", 10i64)),
+                (2, WmeData::new("acc").with("key", 4i64)),
+            ],
+        });
+        roundtrip_resp(Response::Done { commits: 123 });
+        roundtrip_resp(Response::Overloaded { retry_after_ms: 250 });
+        roundtrip_resp(Response::Err { code: ErrCode::Aborted, msg: "doomed".into() });
+        roundtrip_resp(Response::Bye);
+    }
+
+    #[test]
+    fn frames_roundtrip_through_a_byte_stream() {
+        let mut buf: Vec<u8> = Vec::new();
+        let reqs = [
+            Request::Hello,
+            Request::Begin,
+            Request::Insert { class: "t".into(), attrs: vec![("k".into(), Value::Int(1))] },
+            Request::Commit,
+            Request::Bye,
+        ];
+        for r in &reqs {
+            write_frame(&mut buf, &r.encode()).unwrap();
+        }
+        let mut cur = io::Cursor::new(buf);
+        for r in &reqs {
+            let body = read_frame(&mut cur).unwrap().expect("frame");
+            assert_eq!(&Request::decode(&body).unwrap(), r);
+        }
+        assert!(read_frame(&mut cur).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn malformed_frames_error_cleanly() {
+        // Unknown tag.
+        assert!(Request::decode(&[0x7f]).is_err());
+        assert!(Response::decode(&[0x7f]).is_err());
+        // Truncated payload.
+        assert!(Request::decode(&[T_REMOVE, 1, 2]).is_err());
+        // Trailing garbage.
+        let mut body = Request::Begin.encode();
+        body.push(0);
+        assert!(Request::decode(&body).is_err());
+        // Oversized frame length.
+        let mut stream: Vec<u8> = Vec::new();
+        stream.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(read_frame(&mut io::Cursor::new(stream)).is_err());
+        // EOF mid-frame.
+        let mut stream: Vec<u8> = Vec::new();
+        stream.extend_from_slice(&8u32.to_le_bytes());
+        stream.push(1);
+        assert!(read_frame(&mut io::Cursor::new(stream)).is_err());
+    }
+}

@@ -17,6 +17,8 @@
 //! * [`sim`] — the discrete-event simulator reproducing section 5.
 //! * [`obs`] — observability: transaction-lifecycle event history,
 //!   phase latency histograms, per-rule tables, JSON reports.
+//! * [`server`] — the multi-session front door: wire protocol,
+//!   admission control / overload shedding, disconnect-safe sessions.
 
 #![forbid(unsafe_code)]
 
@@ -25,5 +27,6 @@ pub use dps_lock as lock;
 pub use dps_obs as obs;
 pub use dps_match as rete;
 pub use dps_rules as rules;
+pub use dps_server as server;
 pub use dps_sim as sim;
 pub use dps_wm as wm;
