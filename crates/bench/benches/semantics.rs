@@ -39,6 +39,51 @@ fn graph(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cost of the static-analysis primitives the elision planner leans on:
+/// the linear merge walk in [`AccessSet::overlaps`] (both the disjoint
+/// miss and the late hit) and the full pairwise [`commutes`] judgment
+/// over a generated rule population.
+fn access_overlap(c: &mut Criterion) {
+    use dps_rules::analysis::{commutes, rule_access, AccessSet, Granularity};
+
+    let mut g = c.benchmark_group("access_overlap");
+    for &n in &[8usize, 64] {
+        let mut a = AccessSet::new();
+        let mut b = AccessSet::new();
+        let mut hit = AccessSet::new();
+        for i in 0..n {
+            a.add(format!("class{i}").into(), "n".into());
+            b.add(format!("other{i}").into(), "n".into());
+            hit.add(format!("class{i}").into(), "m".into());
+        }
+        hit.add(format!("class{}", n - 1).into(), "n".into());
+        g.bench_with_input(BenchmarkId::new("disjoint", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).overlaps(black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("late_hit", n), &n, |bch, _| {
+            bch.iter(|| black_box(&a).overlaps(black_box(&hit)))
+        });
+    }
+    // Pairwise commutativity over a realistic rule population: this is
+    // the whole planner-side cost of electing components for elision.
+    let (rules, _) = workloads::commute_stream(8, 4, 8, 4);
+    let accesses: Vec<_> = rules.rules().iter().map(rule_access).collect();
+    g.bench_function("commutes_pairwise", |bch| {
+        bch.iter(|| {
+            let mut ok = 0usize;
+            for x in &accesses {
+                for y in &accesses {
+                    if commutes(black_box(x), black_box(y), Granularity::ClassAttribute) {
+                        ok += 1;
+                    }
+                }
+            }
+            ok
+        })
+    });
+    g.finish();
+}
+
 fn trace_validation(c: &mut Criterion) {
     let mut g = c.benchmark_group("semantics_validate");
     for &(jobs, stages) in &[(8usize, 4usize), (16, 8)] {
@@ -55,5 +100,5 @@ fn trace_validation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, graph, trace_validation);
+criterion_group!(benches, graph, access_overlap, trace_validation);
 criterion_main!(benches);

@@ -3,9 +3,11 @@
 //! (as emitted by `analyze --json`), a `dps-chaos-report-v1` document
 //! (as emitted by `chaos --json`), a `dps-match-report-v1` document
 //! (as emitted by `matchbench --json`), a `dps-mvcc-report-v1`
-//! document (as emitted by `mvcc --json`), a `dps-recovery-report-v1`
-//! document (as emitted by `recovery --json`), **or** a
-//! `dps-server-report-v1` document (as emitted by `loadgen --json`),
+//! document (as emitted by `mvcc --json`), a `dps-commute-report-v1`
+//! document (as emitted by `commute --json`), a
+//! `dps-recovery-report-v1` document (as emitted by `recovery
+//! --json`), **or** a `dps-server-report-v1` document (as emitted by
+//! `loadgen --json`),
 //! so CI can validate the observability pipeline end-to-end without
 //! `serde` or external tooling. Dispatch is on the top-level `schema`
 //! tag.
@@ -690,6 +692,160 @@ fn check_mvcc(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `dps-commute-report-v1` document (from `commute
+/// --json`) — the coordination-avoidance gate.
+fn check_commute(doc: &Json) -> Result<(), String> {
+    doc.get("seed").and_then(Json::as_u64).ok_or("commute: missing seed")?;
+    doc.at(&["workload", "name"])
+        .and_then(Json::as_str)
+        .ok_or("commute: missing workload.name")?;
+    for key in [
+        "counters",
+        "counter_steps",
+        "makers",
+        "maker_steps",
+        "work_us",
+        "workers",
+        "match_shards",
+    ] {
+        doc.at(&["workload", key])
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("commute.workload: missing {key}"))?;
+    }
+
+    // ---- the two legs ----
+    for leg in ["locked", "elided"] {
+        let at = format!("commute.{leg}");
+        let run = doc.get(leg).ok_or_else(|| format!("{at}: missing leg"))?;
+        let mode = run
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{at}: missing mode"))?;
+        if mode != leg {
+            return Err(format!("{at}: mode is {mode:?}, not {leg:?}"));
+        }
+        let commits = run
+            .get("commits")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{at}: missing commits"))?;
+        let expected = run
+            .get("expected_commits")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{at}: missing expected_commits"))?;
+        if commits != expected {
+            return Err(format!("{at}: drained {commits}/{expected}"));
+        }
+        // Per-cause abort accounting — including the elision-stale
+        // channel — must sum to the reported total.
+        let cause = |key: &str| -> Result<u64, String> {
+            run.at(&["aborts", key])
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{at}.aborts: missing {key}"))
+        };
+        let sum = cause("doomed")?
+            + cause("deadlock")?
+            + cause("stale")?
+            + cause("revalidation")?
+            + cause("eval_error")?
+            + cause("timeout")?
+            + cause("injected")?
+            + cause("snapshot_stale")?
+            + cause("elision_stale")?;
+        let total = cause("total")?;
+        if sum != total {
+            return Err(format!("{at}.aborts: causes sum to {sum} but total is {total}"));
+        }
+        let field = |key: &str| -> Result<u64, String> {
+            run.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{at}: missing {key}"))
+        };
+        let (grants, blocks) = (field("lock_grants")?, field("lock_blocks")?);
+        let (elided, receipts) = (field("lock_elided")?, field("elided_commits")?);
+        let blocked_ns = field("blocked_ns")?;
+        run.get("contention")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{at}: missing contention table"))?;
+        if leg == "elided" {
+            // The tentpole gate: zero lock-manager traffic, every
+            // skipped acquisition booked, every commit receipted, and
+            // nothing ever waited on an elided resource.
+            if grants != 0 || blocks != 0 {
+                return Err(format!(
+                    "{at}: {grants} grants / {blocks} blocks — the fast path locked"
+                ));
+            }
+            if elided == 0 {
+                return Err(format!("{at}: no elided acquisitions booked"));
+            }
+            if receipts != commits {
+                return Err(format!("{at}: {receipts} ElidedCommit receipts for {commits} commits"));
+            }
+            if blocked_ns != 0 {
+                return Err(format!("{at}: {blocked_ns}ns blocked on elided resources"));
+            }
+        } else {
+            if elided != 0 {
+                return Err(format!("{at}: locking leg booked {elided} elided acquisitions"));
+            }
+            if grants == 0 {
+                return Err(format!("{at}: locking leg acquired no locks"));
+            }
+        }
+        if run
+            .at(&["checker", "structural_errors"])
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{at}.checker: missing structural_errors"))?
+            != 0
+        {
+            return Err(format!("{at}.checker: structural errors"));
+        }
+        for (key, want) in [("replay", "consistent"), ("verdict", "consistent")] {
+            let got = run
+                .at(&["checker", key])
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{at}.checker: missing {key}"))?;
+            if got != want {
+                return Err(format!("{at}.checker: {key} is {got:?}"));
+            }
+        }
+    }
+
+    // ---- probes and gates ----
+    for key in ["misclassification_rejected", "swap_probes_hold"] {
+        if doc.at(&["probes", key]) != Some(&Json::Bool(true)) {
+            return Err(format!("commute.probes: {key} is not true — the oracle is a rubber stamp"));
+        }
+    }
+    doc.at(&["gates", "speedup"])
+        .and_then(Json::as_f64)
+        .filter(|v| *v > 0.0)
+        .ok_or("commute.gates: speedup missing or non-positive")?;
+    for key in [
+        "speedup_ok",
+        "zero_lock_traffic",
+        "blocked_ns_zero",
+        "oracle",
+        "misclassification_rejected",
+        "swap_probes",
+    ] {
+        if doc.at(&["gates", key]) != Some(&Json::Bool(true)) {
+            return Err(format!("commute.gates: {key} is not true"));
+        }
+    }
+    let verdict = doc
+        .get("verdict")
+        .and_then(Json::as_str)
+        .ok_or("commute: missing verdict")?;
+    if verdict != "consistent" {
+        return Err(format!("commute: verdict is {verdict:?}"));
+    }
+
+    // ---- embedded timeline (elided leg) ----
+    check_timeline(doc, "commute")?;
+    Ok(())
+}
+
 /// Validates a `dps-recovery-report-v1` document (from `recovery
 /// --json`) — the crash-recovery gate.
 fn check_recovery(doc: &Json) -> Result<(), String> {
@@ -1082,6 +1238,10 @@ fn check(doc: &Json) -> Result<(), String> {
     if schema == "dps-mvcc-report-v1" {
         // Abort-free `R_c` gate document (from `mvcc --json`).
         return check_mvcc(doc);
+    }
+    if schema == "dps-commute-report-v1" {
+        // Coordination-avoidance gate document (from `commute --json`).
+        return check_commute(doc);
     }
     if schema == "dps-recovery-report-v1" {
         // Crash-recovery gate document (from `recovery --json`).

@@ -1,0 +1,509 @@
+//! Coordination-avoidance A/B gate: the full §4 locking protocol
+//! versus the lock-elision fast path for provably-commutative firings.
+//!
+//! The gate's claim is the tentpole property of the commute matrix
+//! ([`dps_rules::analysis::commutes`] folded per class-component by the
+//! shard planner): on a workload where **every** rule is provably
+//! commutative — [`workloads::commute_stream`], counter bumps plus
+//! disjoint makes, which the locking protocol serialises on two hot
+//! relation `Wa` locks — the `elide_locks` engine
+//!
+//! * acquires **zero** locks (grants *and* blocks are zero; every skip
+//!   is booked in `LockStats::elided` and receipted per commit as an
+//!   `ElidedCommit` event),
+//! * shows **~zero blocked-ns** in the per-resource contention table
+//!   (the convoy is gone, not moved), and
+//! * commits **≥ 1.5×** the locking leg's throughput at 8 workers,
+//!   while
+//! * both legs still drain to the exact expected commit count and
+//!   replay through the §3 single-thread oracle, with well-formed
+//!   histories.
+//!
+//! Two **falsifiability probes** keep the oracle honest. First, a
+//! deliberately *misclassified* non-commutative pair
+//! ([`workloads::misclassified_pair`]) is forced through the fast path
+//! with commit validation bypassed
+//! ([`ParallelConfig::elide_misclassify`]) — the manufactured lost
+//! update must be *rejected* by serial replay, proving the gate can
+//! fail and that commit-time validation (not luck) is what makes
+//! elision safe. Second, at the trace level: swapping two adjacent
+//! firings of the non-commutative pair must be rejected, while swapping
+//! two adjacent firings of commutative rules on disjoint tuples must be
+//! accepted — the oracle distinguishes real reordering freedom from
+//! fake. The `commute` binary drives this module and emits the
+//! `dps-commute-report-v1` document `obs_check` shape-checks in CI.
+
+use std::time::Instant;
+
+use dps_core::semantics::validate_trace;
+use dps_core::{AbortStats, ParallelConfig, ParallelEngine, WorkModel};
+use dps_lock::Protocol;
+use dps_obs::analysis::{analyze, ResourceContention, Verdict};
+use dps_obs::json::Json;
+use dps_obs::{validate_history, TelemetryConfig, TimelineDoc};
+
+use crate::workloads;
+
+/// Shape of the A/B measurement (both legs share it).
+#[derive(Clone, Debug)]
+pub struct CommuteSpec {
+    /// Report provenance (the workload itself is deterministic; the
+    /// seed shapes the matrix variants in `tests/commute.rs`).
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Match shards.
+    pub match_shards: usize,
+    /// Counters in [`workloads::commute_stream`].
+    pub counters: usize,
+    /// Decrements per counter.
+    pub c_steps: i64,
+    /// Make-producers in the workload.
+    pub makers: usize,
+    /// Makes per producer.
+    pub m_steps: i64,
+    /// Simulated RHS cost, microseconds ([`WorkModel::BusyMicros`] —
+    /// the paper's CPU-bound RHS. On an oversubscribed machine spinning
+    /// workers get preempted *inside* the lock manager's critical
+    /// sections and wait queues, which is what turns the relation-`Wa`
+    /// commit convoy into real wall-clock; the elided leg has no
+    /// critical sections to be preempted in.)
+    pub work_us: u64,
+}
+
+impl CommuteSpec {
+    /// Expected commits: every counter and every producer drains.
+    pub fn expected_commits(&self) -> usize {
+        self.counters * self.c_steps as usize + self.makers * self.m_steps as usize
+    }
+}
+
+/// One leg of the A/B: everything the gate and the report need.
+#[derive(Clone, Debug)]
+pub struct CommuteLeg {
+    /// Whether this leg ran with lock elision.
+    pub elide: bool,
+    /// Committed transactions.
+    pub commits: usize,
+    /// Expected commits (drain target).
+    pub expected: usize,
+    /// Full abort breakdown.
+    pub aborts: AbortStats,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Lock grants (must be 0 on the elided leg).
+    pub lock_grants: u64,
+    /// Lock blocks (must be 0 on the elided leg).
+    pub lock_blocks: u64,
+    /// Acquisitions skipped by the fast path (0 on the locking leg).
+    pub lock_elided: u64,
+    /// `ElidedCommit` receipts in the history.
+    pub elided_commits: u64,
+    /// Per-resource contention table, blocked-ns descending.
+    pub contention: Vec<ResourceContention>,
+    /// Structural errors from history validation + analysis.
+    pub structural_errors: Vec<String>,
+    /// §3 replay result label: "consistent" / "violation" / "not-run".
+    pub replay: &'static str,
+    /// Folded verdict: structural + replay.
+    pub verdict: Verdict,
+    /// Live-telemetry timeline (`lock.elided` vs `lock.grants` series
+    /// are the A/B's visual evidence).
+    pub timeline: Option<TimelineDoc>,
+}
+
+impl CommuteLeg {
+    /// `true` iff the leg drained and every checker accepted it.
+    pub fn passes(&self) -> bool {
+        self.commits == self.expected && self.verdict == Verdict::Consistent
+    }
+
+    /// Commits per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        self.commits as f64 / self.secs.max(1e-9)
+    }
+
+    /// Total nanoseconds spent queued on locks, summed over resources.
+    pub fn blocked_ns(&self) -> u64 {
+        self.contention.iter().map(|r| r.blocked_ns).sum()
+    }
+
+    /// JSON block for the report.
+    pub fn to_json(&self) -> Json {
+        let contention = Json::Arr(
+            self.contention
+                .iter()
+                .take(8)
+                .map(|r| {
+                    Json::Obj(vec![
+                        ("resource".into(), Json::u64(r.resource)),
+                        ("blocks".into(), Json::u64(r.blocks)),
+                        ("blocked_ns".into(), Json::u64(r.blocked_ns)),
+                        ("dooms_caused".into(), Json::u64(r.dooms_caused)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            (
+                "mode".into(),
+                Json::str(if self.elide { "elided" } else { "locked" }),
+            ),
+            ("commits".into(), Json::u64(self.commits as u64)),
+            ("expected_commits".into(), Json::u64(self.expected as u64)),
+            ("throughput".into(), Json::num(self.throughput())),
+            ("secs".into(), Json::num(self.secs)),
+            (
+                "aborts".into(),
+                Json::Obj(vec![
+                    ("doomed".into(), Json::u64(self.aborts.doomed)),
+                    ("deadlock".into(), Json::u64(self.aborts.deadlock)),
+                    ("stale".into(), Json::u64(self.aborts.stale)),
+                    ("revalidation".into(), Json::u64(self.aborts.revalidation)),
+                    ("eval_error".into(), Json::u64(self.aborts.eval_error)),
+                    ("timeout".into(), Json::u64(self.aborts.timeout)),
+                    ("injected".into(), Json::u64(self.aborts.injected)),
+                    (
+                        "snapshot_stale".into(),
+                        Json::u64(self.aborts.snapshot_stale),
+                    ),
+                    ("elision_stale".into(), Json::u64(self.aborts.elision_stale)),
+                    ("total".into(), Json::u64(self.aborts.total())),
+                ]),
+            ),
+            ("lock_grants".into(), Json::u64(self.lock_grants)),
+            ("lock_blocks".into(), Json::u64(self.lock_blocks)),
+            ("lock_elided".into(), Json::u64(self.lock_elided)),
+            ("elided_commits".into(), Json::u64(self.elided_commits)),
+            ("blocked_ns".into(), Json::u64(self.blocked_ns())),
+            ("contention".into(), contention),
+            (
+                "checker".into(),
+                Json::Obj(vec![
+                    (
+                        "structural_errors".into(),
+                        Json::u64(self.structural_errors.len() as u64),
+                    ),
+                    ("replay".into(), Json::str(self.replay)),
+                    ("verdict".into(), Json::str(self.verdict.name())),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Runs one leg end-to-end: engine → history validation → §3 replay →
+/// contention attribution. Mirrors [`crate::mvcc::mvcc_leg`] but the
+/// measured axis is lock traffic, not read-path aborts.
+pub fn commute_leg(spec: &CommuteSpec, elide: bool) -> CommuteLeg {
+    let (rules, wm) =
+        workloads::commute_stream(spec.counters, spec.c_steps, spec.makers, spec.m_steps);
+    let initial = wm.clone();
+    let mut engine = ParallelEngine::new(
+        &rules,
+        wm,
+        ParallelConfig {
+            protocol: Protocol::RcRaWa,
+            workers: spec.workers,
+            match_shards: spec.match_shards,
+            work: WorkModel::BusyMicros(spec.work_us),
+            observe: true,
+            elide_locks: elide,
+            telemetry: Some(TelemetryConfig::default()),
+            stop: dps_server::shutdown::installed(),
+            ..Default::default()
+        },
+    );
+    let t0 = Instant::now();
+    let report = engine.run();
+    let secs = t0.elapsed().as_secs_f64();
+
+    let rec = engine.observer().expect("observe: true attaches a recorder");
+    let history = rec.history();
+    let mut structural_errors: Vec<String> = Vec::new();
+    if let Err(e) = validate_history(&history) {
+        structural_errors.push(format!("history: {e}"));
+    }
+    let mut analysis = analyze(&history);
+    analysis.set_replay_result(
+        validate_trace(&rules, &initial, &report.trace).map_err(|v| v.to_string()),
+    );
+    structural_errors.extend(analysis.checker.structural_errors.iter().cloned());
+    let replay = match &analysis.checker.replay_result {
+        None => "not-run",
+        Some(Ok(())) => "consistent",
+        Some(Err(_)) => "violation",
+    };
+    let verdict = if structural_errors.is_empty() && analysis.verdict() == Verdict::Consistent {
+        Verdict::Consistent
+    } else {
+        Verdict::Inconsistent
+    };
+
+    CommuteLeg {
+        elide,
+        commits: report.commits,
+        expected: spec.expected_commits(),
+        aborts: report.aborts,
+        secs,
+        lock_grants: report.lock_stats.grants,
+        lock_blocks: report.lock_stats.blocks,
+        lock_elided: report.lock_stats.elided,
+        elided_commits: rec.report().elided_commits,
+        contention: analysis.contention.clone(),
+        structural_errors,
+        replay,
+        verdict,
+        timeline: engine.telemetry().map(|t| t.doc()),
+    }
+}
+
+/// Falsifiability probe 1: the **misclassified pair**. The
+/// non-commutative [`workloads::misclassified_pair`] rules are forced
+/// through the fast path with commit validation bypassed; with real
+/// concurrency the `tag` rule commits deltas materialised from tuples
+/// `dec` already replaced — lost updates. Returns `true` iff the §3
+/// serial-replay oracle *rejected* the run (the probe's pass
+/// condition). The commit cap bounds the run: lost updates can
+/// resurrect counter values, so the drain target itself is unreliable
+/// here — which is exactly the corruption the oracle exists to catch.
+pub fn probe_misclassification(workers: usize, work_us: u64) -> bool {
+    let (rules, wm) = workloads::misclassified_pair(1, 64);
+    let initial = wm.clone();
+    let mut engine = ParallelEngine::new(
+        &rules,
+        wm,
+        ParallelConfig {
+            protocol: Protocol::RcRaWa,
+            workers,
+            work: WorkModel::BusyMicros(work_us),
+            max_commits: 512,
+            elide_locks: true,
+            elide_misclassify: true,
+            stop: dps_server::shutdown::installed(),
+            ..Default::default()
+        },
+    );
+    let report = engine.run();
+    validate_trace(&rules, &initial, &report.trace).is_err()
+}
+
+/// Falsifiability probe 2, trace level: swapped delta order. Returns
+/// `(noncommutative_rejected, commutative_accepted)`:
+///
+/// * a serial run of the non-commutative pair on **one** cell, with its
+///   first two firings swapped, must be *rejected* — the second firing
+///   was matched on a tuple the first one produced;
+/// * a serial run of commutative bumps on **two disjoint** cells, with
+///   its two firings swapped, must be *accepted* — both instantiations
+///   exist in the initial conflict set, so either order replays.
+pub fn probe_swapped_order() -> (bool, bool) {
+    let noncommutative_rejected = {
+        let (rules, wm) = workloads::misclassified_pair(1, 2);
+        let initial = wm.clone();
+        let mut engine = ParallelEngine::new(
+            &rules,
+            wm,
+            ParallelConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let mut report = engine.run();
+        assert!(report.trace.firings.len() >= 2, "serial run fires at least twice");
+        validate_trace(&rules, &initial, &report.trace).expect("unswapped trace replays");
+        report.trace.firings.swap(0, 1);
+        validate_trace(&rules, &initial, &report.trace).is_err()
+    };
+    let commutative_accepted = {
+        let (rules, wm) = workloads::counters(2, 1);
+        let initial = wm.clone();
+        let mut engine = ParallelEngine::new(
+            &rules,
+            wm,
+            ParallelConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        );
+        let mut report = engine.run();
+        assert_eq!(report.trace.firings.len(), 2);
+        report.trace.firings.swap(0, 1);
+        validate_trace(&rules, &initial, &report.trace).is_ok()
+    };
+    (noncommutative_rejected, commutative_accepted)
+}
+
+/// Gate booleans, computed once and shared by the document and the
+/// binary's exit code.
+#[derive(Clone, Copy, Debug)]
+pub struct CommuteGates {
+    /// Elided-leg throughput / locked-leg throughput.
+    pub speedup: f64,
+    /// `speedup >= 1.5` (the ISSUE's A/B bar at 8 workers).
+    pub speedup_ok: bool,
+    /// Elided leg acquired zero locks: no grants, no blocks, every
+    /// skip booked, every commit receipted.
+    pub zero_lock_traffic: bool,
+    /// Elided leg's contention table carries ~zero blocked-ns.
+    pub blocked_ns_zero: bool,
+    /// Both legs drained and replayed through the §3 oracle.
+    pub oracle: bool,
+    /// The forced-misclassification run was rejected by the oracle.
+    pub misclassification_rejected: bool,
+    /// Swapped non-commutative order rejected, commutative accepted.
+    pub swap_probes: bool,
+}
+
+impl CommuteGates {
+    /// Evaluates the gates over the two legs and the probes.
+    pub fn evaluate(
+        locked: &CommuteLeg,
+        elided: &CommuteLeg,
+        misclassification_rejected: bool,
+        swap: (bool, bool),
+    ) -> Self {
+        let speedup = elided.throughput() / locked.throughput().max(1e-9);
+        CommuteGates {
+            speedup,
+            speedup_ok: speedup >= 1.5,
+            zero_lock_traffic: elided.lock_grants == 0
+                && elided.lock_blocks == 0
+                && elided.lock_elided > 0
+                && elided.elided_commits == elided.commits as u64,
+            blocked_ns_zero: elided.blocked_ns() == 0,
+            oracle: locked.passes() && elided.passes(),
+            misclassification_rejected,
+            swap_probes: swap.0 && swap.1,
+        }
+    }
+
+    /// All gates green.
+    pub fn all(&self) -> bool {
+        self.speedup_ok
+            && self.zero_lock_traffic
+            && self.blocked_ns_zero
+            && self.oracle
+            && self.misclassification_rejected
+            && self.swap_probes
+    }
+}
+
+/// Assembles the `dps-commute-report-v1` document.
+pub fn commute_document(
+    spec: &CommuteSpec,
+    locked: &CommuteLeg,
+    elided: &CommuteLeg,
+    gates: &CommuteGates,
+) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::str("dps-commute-report-v1")),
+        ("seed".into(), Json::u64(spec.seed)),
+        (
+            "workload".into(),
+            Json::Obj(vec![
+                ("name".into(), Json::str("commute_stream")),
+                ("counters".into(), Json::u64(spec.counters as u64)),
+                ("counter_steps".into(), Json::u64(spec.c_steps as u64)),
+                ("makers".into(), Json::u64(spec.makers as u64)),
+                ("maker_steps".into(), Json::u64(spec.m_steps as u64)),
+                ("work_us".into(), Json::u64(spec.work_us)),
+                ("workers".into(), Json::u64(spec.workers as u64)),
+                ("match_shards".into(), Json::u64(spec.match_shards as u64)),
+            ]),
+        ),
+        ("locked".into(), locked.to_json()),
+        ("elided".into(), elided.to_json()),
+        // The elided leg's sampled series: `lock.elided` climbing while
+        // `lock.grants` stays flat is the timeline's A/B evidence.
+        (
+            "timeline".into(),
+            elided
+                .timeline
+                .as_ref()
+                .map_or(Json::Null, TimelineDoc::to_json),
+        ),
+        (
+            "probes".into(),
+            Json::Obj(vec![
+                (
+                    "misclassification_rejected".into(),
+                    Json::Bool(gates.misclassification_rejected),
+                ),
+                ("swap_probes_hold".into(), Json::Bool(gates.swap_probes)),
+            ]),
+        ),
+        (
+            "gates".into(),
+            Json::Obj(vec![
+                ("speedup".into(), Json::num(gates.speedup)),
+                ("speedup_ok".into(), Json::Bool(gates.speedup_ok)),
+                (
+                    "zero_lock_traffic".into(),
+                    Json::Bool(gates.zero_lock_traffic),
+                ),
+                ("blocked_ns_zero".into(), Json::Bool(gates.blocked_ns_zero)),
+                ("oracle".into(), Json::Bool(gates.oracle)),
+                (
+                    "misclassification_rejected".into(),
+                    Json::Bool(gates.misclassification_rejected),
+                ),
+                ("swap_probes".into(), Json::Bool(gates.swap_probes)),
+            ]),
+        ),
+        (
+            "verdict".into(),
+            Json::str(if gates.all() { "consistent" } else { "inconsistent" }),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_probes_hold() {
+        let (noncomm, comm) = probe_swapped_order();
+        assert!(noncomm, "swapped non-commutative order must be rejected");
+        assert!(comm, "swapped disjoint commutative order must be accepted");
+    }
+
+    #[test]
+    fn misclassification_probe_is_rejected() {
+        assert!(
+            probe_misclassification(8, 200),
+            "forced misclassification must surface as an oracle violation"
+        );
+    }
+
+    #[test]
+    fn quick_ab_clears_the_structural_gates() {
+        // A scaled-down version of what the `commute` binary runs in
+        // CI. The throughput bar is asserted only in the full-size CI
+        // run — at this size the convoy is too short to measure — but
+        // every structural gate must hold at any size.
+        let spec = CommuteSpec {
+            seed: 0xC0,
+            workers: 4,
+            match_shards: 2,
+            counters: 4,
+            c_steps: 4,
+            makers: 2,
+            m_steps: 4,
+            work_us: 100,
+        };
+        let locked = commute_leg(&spec, false);
+        let elided = commute_leg(&spec, true);
+        let gates = CommuteGates::evaluate(&locked, &elided, true, (true, true));
+        assert!(gates.oracle, "both legs drain + replay");
+        assert!(
+            gates.zero_lock_traffic,
+            "grants {} blocks {} elided {} receipts {}",
+            elided.lock_grants, elided.lock_blocks, elided.lock_elided, elided.elided_commits
+        );
+        assert!(gates.blocked_ns_zero, "blocked {}ns", elided.blocked_ns());
+        assert!(locked.lock_grants > 0, "locking leg actually locks");
+        assert_eq!(locked.lock_elided, 0, "locking leg never skips");
+    }
+}

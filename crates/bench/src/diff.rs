@@ -217,6 +217,23 @@ fn mvcc_legs(doc: &Json) -> Result<Vec<Leg>, String> {
     Ok(legs)
 }
 
+fn commute_legs(doc: &Json) -> Result<Vec<Leg>, String> {
+    let workers = need_u64(doc, &["workload", "workers"])?;
+    let shards = need_u64(doc, &["workload", "match_shards"])?;
+    let mut legs = Vec::new();
+    for leg in ["locked", "elided"] {
+        legs.push(Leg {
+            workload: "commute_stream".into(),
+            policy: need_str(doc, &[leg, "mode"])?,
+            shards,
+            workers,
+            throughput: need_f64(doc, &[leg, "throughput"])?,
+            p99_ns: None,
+        });
+    }
+    Ok(legs)
+}
+
 fn recovery_legs(doc: &Json) -> Result<Vec<Leg>, String> {
     let workers = need_u64(doc, &["workers"])?;
     let mut legs = Vec::new();
@@ -282,6 +299,7 @@ pub fn extract_legs(doc: &Json) -> Result<Vec<Leg>, String> {
         "dps-match-report-v1" => match_legs(doc),
         "dps-chaos-report-v1" => chaos_legs(doc),
         "dps-mvcc-report-v1" => mvcc_legs(doc),
+        "dps-commute-report-v1" => commute_legs(doc),
         "dps-recovery-report-v1" => recovery_legs(doc),
         "dps-server-report-v1" => server_legs(doc),
         other => Err(format!("benchdiff: unknown schema {other:?}")),
@@ -554,6 +572,24 @@ mod tests {
         assert_eq!(legs[0].key(), "match_heavy.durability_off/abort_readers/shards=0/workers=8");
         assert_eq!(legs[0].throughput, 2000.0);
         assert_eq!(legs[1].throughput, 1800.0);
+    }
+
+    #[test]
+    fn commute_reports_extract_both_modes() {
+        let doc = json::parse(
+            r#"{
+              "schema": "dps-commute-report-v1",
+              "workload": { "workers": 8, "match_shards": 8 },
+              "locked": { "mode": "locked", "throughput": 1500.0 },
+              "elided": { "mode": "elided", "throughput": 3000.0 }
+            }"#,
+        )
+        .unwrap();
+        let legs = extract_legs(&doc).unwrap();
+        assert_eq!(legs.len(), 2);
+        assert_eq!(legs[0].key(), "commute_stream/locked/shards=8/workers=8");
+        assert_eq!(legs[1].key(), "commute_stream/elided/shards=8/workers=8");
+        assert_eq!(legs[1].throughput, 3000.0);
     }
 
     #[test]

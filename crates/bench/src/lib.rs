@@ -13,6 +13,7 @@
 
 pub mod analysis;
 pub mod chaos;
+pub mod commute;
 pub mod diff;
 pub mod harness;
 pub mod mvcc;

@@ -162,6 +162,70 @@ pub fn false_conflict_stream(
     (rules, wm)
 }
 
+/// The coordination-avoidance workload: every rule is **provably
+/// commutative**, yet under the §4 locking protocol the run is a
+/// relation-lock convoy. `bump` delta-decrements `counters` `ctr`
+/// tuples (`c_steps` each); `emit` delta-decrements `makers` `feed`
+/// tuples and makes one `evt` per step into a class nobody reads.
+///
+/// * **Commute matrix**: `bump` RMW-writes the attribute it reads, so
+///   it self-commutes; `emit`'s delta (`feed.n`) and insert (`evt`)
+///   never meet its plain reads; the two rules share no class. Both
+///   class-components elide.
+/// * **Lock convoy (elision off)**: every `modify` escalates to its
+///   class's relation `Wa` (serialising negated readers), so *all*
+///   bumps queue on the `ctr` relation and *all* emits on `feed` +
+///   `evt` — firings on disjoint tuples, serialised by two hot locks.
+///   Elision removes exactly that convoy; nothing else changes.
+///
+/// Total commits = `counters * c_steps + makers * m_steps`,
+/// deterministically, and the final WM is schedule-independent.
+pub fn commute_stream(
+    counters: usize,
+    c_steps: i64,
+    makers: usize,
+    m_steps: i64,
+) -> (RuleSet, WorkingMemory) {
+    let rules = RuleSet::parse(
+        "(p bump (ctr ^id <c> ^n { > 0 <n> }) --> (modify 1 ^n (- <n> 1)))
+         (p emit (feed ^id <f> ^n { > 0 <n> })
+           --> (modify 1 ^n (- <n> 1)) (make evt ^src <f> ^step <n>))",
+    )
+    .expect("static workload parses");
+    let mut wm = WorkingMemory::new();
+    for c in 0..counters {
+        wm.insert(WmeData::new("ctr").with("id", c as i64).with("n", c_steps));
+    }
+    for f in 0..makers {
+        wm.insert(WmeData::new("feed").with("id", f as i64).with("n", m_steps));
+    }
+    (rules, wm)
+}
+
+/// The **non-commutative pair** for the elision falsifiability probe:
+/// `dec` delta-decrements `cell.n`; `tag` delta-increments `cell.hits`
+/// but *plain-reads* `cell.n` through its guard, so the commute
+/// judgment (correctly) refuses the pair — `dec` changes what `tag`'s
+/// instantiation matched on. Forcing the pair through the lock-elision
+/// fast path **with commit validation bypassed**
+/// ([`dps_core::ParallelConfig::elide_misclassify`]) lets `tag` commit
+/// a delta materialised from a tuple `dec` has already replaced — a
+/// lost update the §3 serial-replay oracle must reject. `tag`'s own
+/// budget (`hits < steps`) bounds the run either way.
+pub fn misclassified_pair(cells: usize, steps: i64) -> (RuleSet, WorkingMemory) {
+    let src = format!(
+        "(p dec (cell ^n {{ > 0 <n> }}) --> (modify 1 ^n (- <n> 1)))
+         (p tag (cell ^n {{ > 0 <n> }} ^hits {{ < {steps} <h> }})
+           --> (modify 1 ^hits (+ <h> 1)))"
+    );
+    let rules = RuleSet::parse(&src).expect("static workload parses");
+    let mut wm = WorkingMemory::new();
+    for _ in 0..cells {
+        wm.insert(WmeData::new("cell").with("n", steps).with("hits", 0i64));
+    }
+    (rules, wm)
+}
+
 /// A match-dominated workload: `groups` independent rule families, each
 /// a wide fan-out join of one `cfg-g` tuple against `pairs` `item-g`
 /// tuples, firing a cheap `make`-only RHS. Nothing is ever removed or
@@ -377,6 +441,31 @@ mod tests {
         // match no guard's negated CE.
         assert_eq!(r.commits, 5);
         assert_eq!(e.wm().class_iter("alarm").count(), 3);
+    }
+
+    #[test]
+    fn commute_stream_counts() {
+        let (rules, wm) = commute_stream(3, 4, 2, 5);
+        let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+        let r = e.run();
+        assert_eq!(r.commits, 3 * 4 + 2 * 5);
+        assert_eq!(e.wm().class_iter("evt").count(), 10);
+        for w in e.wm().class_iter("ctr").chain(e.wm().class_iter("feed")) {
+            assert_eq!(w.get("n"), Some(&dps_wm::Value::Int(0)));
+        }
+    }
+
+    #[test]
+    fn misclassified_pair_is_bounded_and_serially_valid() {
+        let (rules, wm) = misclassified_pair(2, 3);
+        let mut e = SingleThreadEngine::new(&rules, wm, EngineConfig::default());
+        let r = e.run();
+        // dec fully drains both cells; tag's budget caps it at `steps`
+        // per cell but n may hit 0 first, ending tag early.
+        assert!(r.commits >= 2 * 3 && r.commits <= 2 * 3 * 2);
+        for w in e.wm().class_iter("cell") {
+            assert_eq!(w.get("n"), Some(&dps_wm::Value::Int(0)));
+        }
     }
 
     #[test]

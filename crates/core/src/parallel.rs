@@ -251,6 +251,29 @@ pub struct ParallelConfig {
     /// then only ends via [`ParallelEngine::request_stop`] (or the
     /// [`ParallelConfig::stop`] flag, or halt / the commit cap).
     pub service: bool,
+    /// Coordination avoidance (Bailis et al.): when `true`, a claimed
+    /// firing of a rule the shard planner proved commutative with every
+    /// rule that can run concurrently (`ShardPlan::elidable` — the
+    /// static commute matrix over its class-connected component) skips
+    /// `LockManager` acquisition for **all** of its resources and
+    /// commits through the `ElidedCommit` protocol instead: snapshot
+    /// pinned at claim, per-matched-WME version check at claim, and
+    /// commit-time self-validation under the base mutex (the PR 6
+    /// backward-OCC skeleton), aborting with
+    /// [`AbortStats::elision_stale`] on the rare conflict. Rules the
+    /// matrix could not prove — and every rule sharing their component
+    /// — keep the full §4 protocol, so lock-holding and lock-skipping
+    /// firings never meet on a resource.
+    pub elide_locks: bool,
+    /// Falsifiability knob (gates and tests only — never production):
+    /// treats *every* rule as provably-commutative and **bypasses** the
+    /// elided commit-time validation. With a genuinely non-commutative
+    /// pair this manufactures a lost update, which the §3 serial-replay
+    /// oracle must reject — proving the gate can fail. Meaningful only
+    /// with [`ParallelConfig::elide_locks`]; commit-time validation
+    /// alone would keep even a misclassified run correct, which is why
+    /// the probe must switch it off to expose the misclassification.
+    pub elide_misclassify: bool,
 }
 
 /// Configuration of the durability layer ([`ParallelConfig::durability`]).
@@ -290,6 +313,8 @@ impl Default for ParallelConfig {
             telemetry: None,
             stop: None,
             service: false,
+            elide_locks: false,
+            elide_misclassify: false,
         }
     }
 }
@@ -327,6 +352,15 @@ pub struct AbortStats {
     /// [`AbortStats::stale`] (pre-execution claim invalidation) so
     /// legacy reader aborts can never be silently folded into it.
     pub snapshot_stale: u64,
+    /// Elided commit-time validation failed
+    /// ([`ParallelConfig::elide_locks`] only): a lock-skipping firing
+    /// of a provably-commutative rule found a matched tuple changed
+    /// between claim and commit (e.g. two rules bumping the same cell —
+    /// deltas are materialised to absolute values at RHS evaluation, so
+    /// a stale apply would be a lost update). Structurally the same
+    /// check as [`AbortStats::snapshot_stale`], counted separately so
+    /// elision A/B comparisons cannot fold the two together.
+    pub elision_stale: u64,
 }
 
 impl AbortStats {
@@ -340,6 +374,7 @@ impl AbortStats {
             + self.timeout
             + self.injected
             + self.snapshot_stale
+            + self.elision_stale
     }
 
     /// Aborts of *condition readers* — productions killed because of
@@ -411,6 +446,7 @@ pub(crate) struct Metrics {
     timeout: AtomicU64,
     injected: AtomicU64,
     snapshot_stale: AtomicU64,
+    elision_stale: AtomicU64,
     wasted_nanos: AtomicU64,
 }
 
@@ -425,6 +461,7 @@ impl Metrics {
             timeout: self.timeout.load(Relaxed),
             injected: self.injected.load(Relaxed),
             snapshot_stale: self.snapshot_stale.load(Relaxed),
+            elision_stale: self.elision_stale.load(Relaxed),
         }
     }
 
@@ -438,6 +475,7 @@ impl Metrics {
             AbortCause::Timeout => self.timeout.fetch_add(1, Relaxed),
             AbortCause::Injected => self.injected.fetch_add(1, Relaxed),
             AbortCause::SnapshotStale => self.snapshot_stale.fetch_add(1, Relaxed),
+            AbortCause::ElisionStale => self.elision_stale.fetch_add(1, Relaxed),
         };
     }
 }
@@ -618,7 +656,7 @@ impl ParallelEngine {
         // differences are the rates) and wasted work.
         let m = Arc::clone(metrics);
         tel.counter("engine.commits", move || m.commits.load(Relaxed) as u64);
-        let causes: [(&str, fn(&Metrics) -> u64); 9] = [
+        let causes: [(&str, fn(&Metrics) -> u64); 10] = [
             ("engine.aborts.doomed", |m| m.doomed.load(Relaxed)),
             ("engine.aborts.deadlock", |m| m.deadlock.load(Relaxed)),
             ("engine.aborts.stale", |m| m.stale.load(Relaxed)),
@@ -629,6 +667,9 @@ impl ParallelEngine {
             ("engine.aborts.snapshot_stale", |m| {
                 m.snapshot_stale.load(Relaxed)
             }),
+            ("engine.aborts.elision_stale", |m| {
+                m.elision_stale.load(Relaxed)
+            }),
             ("engine.wasted_ns", |m| m.wasted_nanos.load(Relaxed)),
         ];
         for (name, read) in causes {
@@ -637,11 +678,12 @@ impl ParallelEngine {
         }
         // Lock manager: counter snapshot is pure atomic loads; the wait
         // histogram drains into lock.wait.{count,p50_ns,p99_ns,max_ns}.
-        let stats: [(&str, fn(dps_lock::LockStats) -> u64); 4] = [
+        let stats: [(&str, fn(dps_lock::LockStats) -> u64); 5] = [
             ("lock.grants", |s| s.grants),
             ("lock.blocks", |s| s.blocks),
             ("lock.dooms", |s| s.dooms),
             ("lock.deadlocks", |s| s.deadlocks),
+            ("lock.elided", |s| s.elided),
         ];
         for (name, read) in stats {
             let l = Arc::clone(lm);
@@ -1174,6 +1216,19 @@ impl ParallelEngine {
         let key = inst.key();
         let proto = self.config.protocol;
         let mvcc = matches!(self.config.policy, ConflictPolicy::MvccSnapshot);
+        // Coordination avoidance: a rule the shard planner's static
+        // commute matrix proved safe skips the lock manager entirely
+        // and self-validates at commit (`ElidedCommit`). The decision
+        // is per *component*, never per rule — either every rule that
+        // can race on a class elides, or none does — so the §4
+        // lock-order argument is undisturbed for the locking rules:
+        // they never meet an elided firing on any resource.
+        let elide = self.config.elide_locks
+            && (self.config.elide_misclassify || self.pipeline.plan().elidable(key.rule));
+        // OCC-style validation applies to both MVCC and elided firings;
+        // they differ only in the abort cause they surface.
+        let occ = mvcc || elide;
+        let mut elided_skips: u32 = 0;
         // Phase clocks (None when observability is off). Samples are
         // recorded only when a phase completes; the lock-wait histogram
         // (recorded inside the lock manager) covers the blocked tails of
@@ -1211,7 +1266,17 @@ impl ParallelEngine {
         // `Wa` kills) — and under MVCC the blame set of snapshot-stale
         // aborts — so these are the keys a storm escalates.
         touched.extend(cond_resources.iter().map(|r| res_key(*r)));
-        if !mvcc {
+        if elide {
+            // Lock-elision fast path: no `Rc` acquisition at all. The
+            // skip is still *booked* per resource (stats attribution
+            // and the chaos seam a lock request would have passed
+            // through), so fault-injected A/B runs compare protocols
+            // rather than injection surface areas.
+            for res in &cond_resources {
+                self.lm.elide(txn, *res).map_err(classify)?;
+            }
+            elided_skips += cond_resources.len() as u32;
+        } else if !mvcc {
             for res in &cond_resources {
                 let mode = self.governed_mode(*res, proto.condition_read(), LockMode::S);
                 self.lm.lock(txn, *res, mode).map_err(classify)?;
@@ -1247,7 +1312,11 @@ impl ParallelEngine {
         // matched WME's version-at-snapshot is recorded for the SI
         // checker.
         let (_pin, snapshot) = {
-            let w = if mvcc {
+            // Elided firings run the same snapshot-pin protocol as MVCC
+            // (the PR 6 backward-OCC skeleton): with no locks held,
+            // claim freshness is guaranteed by validation, not mutual
+            // exclusion.
+            let w = if occ {
                 let base = self.pipeline.base.lock().unwrap();
                 let w = base.next_seq - 1;
                 self.pipeline.pin_snapshot(w);
@@ -1255,11 +1324,11 @@ impl ParallelEngine {
             } else {
                 self.pipeline.base.lock().unwrap().next_seq - 1
             };
-            let pin = mvcc.then(|| PinGuard {
+            let pin = occ.then(|| PinGuard {
                 pipeline: &self.pipeline,
                 snap: w,
             });
-            if mvcc {
+            if occ {
                 if let Some(obs) = &self.obs {
                     obs.record(txn.0, ObsEvent::SnapshotPin { seq: w });
                 }
@@ -1272,7 +1341,7 @@ impl ParallelEngine {
                 return Err(AbortCause::Stale);
             }
             drop(state);
-            if mvcc {
+            if occ {
                 // Snapshot reads: every matched WME must be live at `w`
                 // with exactly the matched timestamp (instantiation
                 // identity includes timestamps, so a version mismatch
@@ -1297,7 +1366,8 @@ impl ParallelEngine {
                                 );
                             }
                         }
-                        _ => return Err(AbortCause::SnapshotStale),
+                        _ if mvcc => return Err(AbortCause::SnapshotStale),
+                        _ => return Err(AbortCause::ElisionStale),
                     }
                 }
             }
@@ -1401,16 +1471,36 @@ impl ParallelEngine {
         }
         writes.sort_unstable();
         writes.dedup();
-        for res in &reads {
-            if writes.contains(res) {
-                continue; // will take the write lock instead
+        if elide {
+            // The R_a/W_a fast path the commute matrix paid for: in the
+            // locking protocol every make takes its class's relation
+            // `Wa` and every modify escalates to one, so independent
+            // firings of the same component convoy on the relation
+            // lock. A provably-commutative component skips all of it;
+            // each skip is still booked (stats + chaos parity).
+            for res in &reads {
+                if writes.contains(res) {
+                    continue;
+                }
+                self.lm.elide(txn, *res).map_err(classify)?;
+                elided_skips += 1;
             }
-            let mode = self.governed_mode(*res, proto.action_read(), LockMode::S);
-            self.lm.lock(txn, *res, mode).map_err(classify)?;
-        }
-        for res in &writes {
-            let mode = self.governed_mode(*res, proto.action_write(), LockMode::X);
-            self.lm.lock(txn, *res, mode).map_err(classify)?;
+            for res in &writes {
+                self.lm.elide(txn, *res).map_err(classify)?;
+                elided_skips += 1;
+            }
+        } else {
+            for res in &reads {
+                if writes.contains(res) {
+                    continue; // will take the write lock instead
+                }
+                let mode = self.governed_mode(*res, proto.action_read(), LockMode::S);
+                self.lm.lock(txn, *res, mode).map_err(classify)?;
+            }
+            for res in &writes {
+                let mode = self.governed_mode(*res, proto.action_write(), LockMode::X);
+                self.lm.lock(txn, *res, mode).map_err(classify)?;
+            }
         }
         let t_commit = match (&self.obs, t_rhs) {
             (Some(obs), Some(t)) => {
@@ -1452,7 +1542,17 @@ impl ParallelEngine {
         // conflict set; membership implies validity *at this commit
         // point*, which is precisely what the §3 serial-replay oracle
         // requires of the trace slot this commit is about to take.
-        if mvcc {
+        // Elided firings validate the same way (their locks were never
+        // taken, so nothing else protects the read set) and abort with
+        // `ElisionStale` instead. Deltas are materialised to absolute
+        // values at RHS evaluation, so even two semantically-commuting
+        // bumps of the same cell must not both apply from one snapshot
+        // — the validation, not the commute judgment, is what makes the
+        // fast path safe; the judgment only decides when it is safe to
+        // *skip the locks*. The `elide_misclassify` probe switches this
+        // check off precisely to let the manufactured lost update
+        // through to the §3 oracle.
+        if occ && !(elide && self.config.elide_misclassify) {
             let fast_ok = {
                 let versions = self.pipeline.versions();
                 inst.wmes.iter().all(|w| {
@@ -1469,7 +1569,11 @@ impl ParallelEngine {
                 let mut state = self.pipeline.shard_state(s);
                 self.pipeline.catch_up(s, cur, &mut state, false, obs);
                 if !state.rete.conflict_set().contains(&key) {
-                    return Err(AbortCause::SnapshotStale);
+                    return Err(if mvcc {
+                        AbortCause::SnapshotStale
+                    } else {
+                        AbortCause::ElisionStale
+                    });
                 }
             }
         }
@@ -1575,7 +1679,13 @@ impl ParallelEngine {
             // we hold both the base mutex and the shard lock.
             if self.pipeline.applied(own) < seq {
                 self.pipeline.catch_up(own, seq - 1, &mut state, false, obs);
-                debug_assert!(state.rete.conflict_set().contains(&key));
+                // The `elide_misclassify` probe commits stale claims on
+                // purpose (validation bypassed) — the only path on
+                // which this invariant may not hold.
+                debug_assert!(
+                    state.rete.conflict_set().contains(&key)
+                        || (elide && self.config.elide_misclassify)
+                );
                 self.pipeline.catch_up(own, seq, &mut state, false, obs);
             }
             state.refracted.insert(key.clone());
@@ -1620,6 +1730,13 @@ impl ParallelEngine {
                 // the Fire slot (`seq == fire_seq + 1`).
                 for res in &written {
                     obs.record(txn.0, ObsEvent::VersionWrite { resource: *res, seq });
+                }
+                // Coordination-avoidance receipt: this commit went
+                // through without a single lock acquisition — the
+                // count is every `Rc`/`Ra`/`Wa` request the locking
+                // protocol would have made. Trails Commit like Fire.
+                if elide {
+                    obs.record(txn.0, ObsEvent::ElidedCommit { resources: elided_skips });
                 }
             }
         }
@@ -1735,6 +1852,12 @@ pub(crate) enum AbortCause {
     /// MVCC commit-time self-validation failed (read set overwritten
     /// since the pinned snapshot).
     SnapshotStale,
+    /// Lock-elided commit-time self-validation failed: a matched tuple
+    /// of a provably-commutative firing changed between claim and
+    /// commit (e.g. two bump rules racing on one cell — their deltas
+    /// were materialised from the same snapshot, so the second apply
+    /// would lose the first's update).
+    ElisionStale,
 }
 
 impl AbortCause {
@@ -1749,6 +1872,7 @@ impl AbortCause {
             AbortCause::Timeout => dps_obs::AbortCause::Timeout,
             AbortCause::Injected => dps_obs::AbortCause::Injected,
             AbortCause::SnapshotStale => dps_obs::AbortCause::SnapshotStale,
+            AbortCause::ElisionStale => dps_obs::AbortCause::ElisionStale,
         }
     }
 
@@ -1769,6 +1893,7 @@ impl AbortCause {
                 | AbortCause::Timeout
                 | AbortCause::Injected
                 | AbortCause::SnapshotStale
+                | AbortCause::ElisionStale
         )
     }
 }
@@ -1903,6 +2028,97 @@ mod tests {
         assert_eq!(report.commits, 10);
         let acc = final_wm.class_iter("acc").next().unwrap();
         assert_eq!(acc.get("total"), Some(&Value::Int(expected)));
+    }
+
+    #[test]
+    fn elided_run_drains_with_zero_lock_acquisitions() {
+        // The bump rule delta-writes the attribute it reads, so it
+        // self-commutes and its (singleton) component elides: the whole
+        // run must go through without one lock grant or block, every
+        // skip booked in `LockStats::elided`, and the trace must still
+        // replay serially (checked in run_with).
+        let (rules, wm) = counters(6, 3);
+        let cfg = ParallelConfig {
+            elide_locks: true,
+            observe: true,
+            ..Default::default()
+        };
+        let (report, final_wm) = run_with(&rules, wm, cfg);
+        assert_eq!(report.commits, 18);
+        for cell in final_wm.class_iter("cell") {
+            assert_eq!(cell.get("n"), Some(&Value::Int(0)));
+        }
+        assert_eq!(report.lock_stats.grants, 0, "no lock was ever acquired");
+        assert_eq!(report.lock_stats.blocks, 0);
+        assert!(report.lock_stats.elided > 0, "skips are booked");
+    }
+
+    #[test]
+    fn unproven_component_keeps_the_locks() {
+        // `store` writes an absolute value to the attribute `bump`
+        // delta-writes: the pair does not commute, so the *whole*
+        // cell-component locks — elision never mixes protocols within
+        // a component.
+        let rules = RuleSet::parse(
+            "(p bump (cell ^n { > 0 <n> }) --> (modify 1 ^n (- <n> 1)))
+             (p store (cell ^n { < 0 <n> }) --> (modify 1 ^n 0))",
+        )
+        .unwrap();
+        let mut wm = WorkingMemory::new();
+        for _ in 0..4 {
+            wm.insert(WmeData::new("cell").with("n", 2i64));
+        }
+        let cfg = ParallelConfig {
+            elide_locks: true,
+            ..Default::default()
+        };
+        let (report, final_wm) = run_with(&rules, wm, cfg);
+        assert_eq!(report.commits, 8);
+        for cell in final_wm.class_iter("cell") {
+            assert_eq!(cell.get("n"), Some(&Value::Int(0)));
+        }
+        assert_eq!(report.lock_stats.elided, 0, "nothing elides");
+        assert!(report.lock_stats.grants > 0, "full §4 protocol in force");
+    }
+
+    #[test]
+    fn elided_commits_appear_in_history() {
+        let (rules, wm) = counters(2, 2);
+        let initial = wm.clone();
+        let cfg = ParallelConfig {
+            elide_locks: true,
+            observe: true,
+            ..Default::default()
+        };
+        let mut e = ParallelEngine::new(&rules, wm, cfg);
+        let report = e.run();
+        validate_trace(&rules, &initial, &report.trace).expect("semantic consistency");
+        let obs = e.observer().unwrap();
+        let history = obs.history();
+        dps_obs::validate_history(&history).expect("well-formed history");
+        let elided = history
+            .iter()
+            .filter(|ev| matches!(ev.kind, dps_obs::EventKind::ElidedCommit { .. }))
+            .count();
+        assert_eq!(elided, report.commits, "one receipt per commit");
+        assert_eq!(obs.report().elided_commits, elided as u64);
+    }
+
+    #[test]
+    fn misclassify_probe_is_harmless_without_races() {
+        // The falsifiability knob force-elides everything and bypasses
+        // commit validation; with one worker there is no race to
+        // exploit, so the run must still be serially valid — the knob
+        // manufactures lost updates only out of genuine concurrency.
+        let (rules, wm) = counters(3, 2);
+        let cfg = ParallelConfig {
+            elide_locks: true,
+            elide_misclassify: true,
+            workers: 1,
+            ..Default::default()
+        };
+        let (report, _) = run_with(&rules, wm, cfg);
+        assert_eq!(report.commits, 6);
     }
 
     #[test]

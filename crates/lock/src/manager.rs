@@ -95,6 +95,12 @@ pub struct LockStats {
     pub dooms: u64,
     /// Deadlock victims.
     pub deadlocks: u64,
+    /// Lock acquisitions *skipped* by the coordination-avoidance fast
+    /// path ([`LockManager::elide`]) — each would have been a grant (or
+    /// worse, a block) under the full §4 protocol. Kept on the manager
+    /// so elided traffic stays attributable next to the traffic that
+    /// did go through the table.
+    pub elided: u64,
 }
 
 /// An entry in the manager's event log (recording is off by default).
@@ -124,6 +130,7 @@ struct StatCounters {
     blocks: AtomicU64,
     dooms: AtomicU64,
     deadlocks: AtomicU64,
+    elided: AtomicU64,
 }
 
 /// Encodes a [`ResourceId`] into the opaque `u64` resource key used by
@@ -349,6 +356,7 @@ impl LockManager {
             blocks: self.stats.blocks.load(Relaxed),
             dooms: self.stats.dooms.load(Relaxed),
             deadlocks: self.stats.deadlocks.load(Relaxed),
+            elided: self.stats.elided.load(Relaxed),
         }
     }
 
@@ -439,6 +447,28 @@ impl LockManager {
     /// the `R_c` locks must not also skip the chaos the locks would
     /// have been exposed to. A no-op without an attached injector.
     pub fn inject_read(&self, txn: TxnId, res: ResourceId) -> Result<(), LockError> {
+        let Some(inj) = &self.fault else {
+            return Ok(());
+        };
+        let Some(ts) = self.txn_state(txn) else {
+            return Err(LockError::NotActive(txn));
+        };
+        if inj.forced_abort(txn, res_key(res)) {
+            self.force_abort_injected(txn, &ts, inj)?;
+        }
+        Ok(())
+    }
+
+    /// Coordination-avoidance seam: books one *elided* acquisition —
+    /// the lock the §4 protocol would have taken on `res` but the
+    /// commutativity proof lets the engine skip — and draws exactly the
+    /// forced-abort decision that lock request would have drawn (same
+    /// site, same `(seed, txn, resource)` inputs as
+    /// [`LockManager::inject_read`]), so chaos A/B runs stay honest.
+    /// Touches no lock table shard: the whole point is that the
+    /// resource's queue is never entered.
+    pub fn elide(&self, txn: TxnId, res: ResourceId) -> Result<(), LockError> {
+        self.stats.elided.fetch_add(1, Relaxed);
         let Some(inj) = &self.fault else {
             return Ok(());
         };

@@ -20,6 +20,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use dps_rules::analysis::{commutes, rule_access, Granularity};
 use dps_rules::{Rule, RuleId, RuleSet};
 use dps_wm::{Atom, Change, WorkingMemory};
 
@@ -86,6 +87,32 @@ pub(crate) fn class_components(rules: &RuleSet) -> Vec<Vec<usize>> {
     out
 }
 
+/// Per-rule elidability from the static commute matrix: a rule may skip
+/// the lock manager iff *every* pair inside its class-connected
+/// component — the diagonal included — commutes
+/// ([`dps_rules::analysis::commutes`] at class+attribute granularity).
+/// All-pairs is the sound quantifier: concurrency is per component, so
+/// any two firings of component rules can interleave, and a single
+/// non-commuting pair means lock-holding and lock-skipping firings
+/// could meet on the same resource.
+fn elidable_components(rules: &RuleSet, components: &[Vec<usize>]) -> Vec<bool> {
+    let accesses: Vec<_> = rules.rules().iter().map(rule_access).collect();
+    let mut elidable = vec![false; rules.len()];
+    for members in components {
+        let all_commute = members.iter().enumerate().all(|(k, &i)| {
+            members[k..]
+                .iter()
+                .all(|&j| commutes(&accesses[i], &accesses[j], Granularity::ClassAttribute))
+        });
+        if all_commute {
+            for &m in members {
+                elidable[m] = true;
+            }
+        }
+    }
+    elidable
+}
+
 /// The static shard layout: which rules live on which shard, and which
 /// shards a working-memory class routes to.
 ///
@@ -103,6 +130,8 @@ pub struct ShardPlan {
     shard_of_rule: Vec<usize>,
     /// Number of class-connected components (≥ shard count).
     components: usize,
+    /// rule index → provably elidable (see [`ShardPlan::elidable`]).
+    elidable_rule: Vec<bool>,
 }
 
 impl ShardPlan {
@@ -133,11 +162,13 @@ impl ShardPlan {
         for shards in routes.values_mut() {
             shards.sort_unstable();
         }
+        let elidable_rule = elidable_components(rules, &components);
         ShardPlan {
             rules_per_shard,
             routes,
             shard_of_rule,
             components: n_components,
+            elidable_rule,
         }
     }
 
@@ -162,6 +193,25 @@ impl ShardPlan {
             .get(rule.0 as usize)
             .copied()
             .unwrap_or(0)
+    }
+
+    /// `true` when every firing of `rule` provably commutes with every
+    /// firing that can run concurrently — i.e. the static commute matrix
+    /// over the rule's class-connected component is all-true (including
+    /// the diagonal). Rules in *other* components share no classes, so
+    /// they commute trivially; a whole component therefore either elides
+    /// or locks — never a mix, which keeps the §4 doom protocol's
+    /// lock-order argument intact for the locking rules.
+    pub fn elidable(&self, rule: RuleId) -> bool {
+        self.elidable_rule
+            .get(rule.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Number of rules the commute matrix proved elidable.
+    pub fn elidable_count(&self) -> usize {
+        self.elidable_rule.iter().filter(|&&e| e).count()
     }
 
     /// Shards whose alpha classes intersect a change batch (ascending,
@@ -338,6 +388,49 @@ mod tests {
         let shard = sharded.shard(sharded.plan().shard_of(fam3));
         let inst = shard.conflict_set().iter().next().unwrap();
         assert_eq!(inst.rule, fam3, "shard Retes speak global ids");
+    }
+
+    #[test]
+    fn commute_matrix_marks_counter_and_make_components() {
+        let rules = RuleSet::parse(
+            r#"
+            (p bump (ctr ^n <n> ^more yes) --> (modify 1 ^n (+ <n> 1)))
+            (p emit (src ^k <x>) --> (make sink ^k <x>))
+            (p store (cell ^v <v>) --> (modify 1 ^v 0))
+            "#,
+        )
+        .unwrap();
+        let plan = ShardPlan::new(&rules, 8);
+        assert!(plan.elidable(rules.id_of("bump").unwrap()), "counter bump");
+        assert!(plan.elidable(rules.id_of("emit").unwrap()), "pure make");
+        assert!(
+            !plan.elidable(rules.id_of("store").unwrap()),
+            "absolute write never elides"
+        );
+        assert_eq!(plan.elidable_count(), 2);
+    }
+
+    #[test]
+    fn one_bad_pair_locks_the_whole_component() {
+        // bump alone would elide, but it shares `ctr` with an absolute
+        // writer: the component's matrix has a false entry, so both lock.
+        let rules = RuleSet::parse(
+            r#"
+            (p bump (ctr ^n <n>) --> (modify 1 ^n (+ <n> 1)))
+            (p reset (ctr ^n > 100) --> (modify 1 ^n 0))
+            "#,
+        )
+        .unwrap();
+        let plan = ShardPlan::new(&rules, 8);
+        assert_eq!(plan.elidable_count(), 0);
+    }
+
+    #[test]
+    fn legacy_corpus_is_never_elidable() {
+        // Removes and a negated CE throughout: the matrix proves nothing.
+        let rules = RuleSet::parse(CORPUS).unwrap();
+        let plan = ShardPlan::new(&rules, 3);
+        assert_eq!(plan.elidable_count(), 0);
     }
 
     #[test]

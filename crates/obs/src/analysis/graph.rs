@@ -128,6 +128,7 @@ pub fn build(history: &[Event]) -> BlockingGraph {
                 | EventKind::Escalate { .. }
                 | EventKind::WalSync { .. }
                 | EventKind::Checkpoint { .. }
+                | EventKind::ElidedCommit { .. }
         ) {
             span.end_ts = span.end_ts.max(ev.ts);
         }
@@ -203,7 +204,8 @@ pub fn build(history: &[Event]) -> BlockingGraph {
             | EventKind::VersionRead { .. }
             | EventKind::VersionWrite { .. }
             | EventKind::WalSync { .. }
-            | EventKind::Checkpoint { .. } => {}
+            | EventKind::Checkpoint { .. }
+            | EventKind::ElidedCommit { .. } => {}
         }
     }
     // Any wait still open at end-of-history (ring drop or hung run):

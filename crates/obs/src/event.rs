@@ -41,11 +41,18 @@ pub enum AbortCause {
     /// [`AbortCause::Revalidation`]) so stock-vs-MVCC comparisons
     /// cannot silently fold one into the other.
     SnapshotStale,
+    /// Elided-commit revalidation failed: a lock-skipping firing of a
+    /// provably-commutative rule found one of its matched tuples
+    /// changed between claim and commit. Structurally the same check
+    /// as [`AbortCause::SnapshotStale`], but kept distinct so the
+    /// coordination-avoidance fast path's (rare) retries cannot be
+    /// mistaken for MVCC validation failures in A/B comparisons.
+    ElisionStale,
 }
 
 impl AbortCause {
     /// Every cause, in display order.
-    pub const ALL: [AbortCause; 8] = [
+    pub const ALL: [AbortCause; 9] = [
         AbortCause::Doomed,
         AbortCause::Deadlock,
         AbortCause::Stale,
@@ -54,6 +61,7 @@ impl AbortCause {
         AbortCause::Timeout,
         AbortCause::Injected,
         AbortCause::SnapshotStale,
+        AbortCause::ElisionStale,
     ];
 
     /// Stable machine-readable name (used as the JSON key).
@@ -67,6 +75,7 @@ impl AbortCause {
             AbortCause::Timeout => "timeout",
             AbortCause::Injected => "injected",
             AbortCause::SnapshotStale => "snapshot_stale",
+            AbortCause::ElisionStale => "elision_stale",
         }
     }
 
@@ -80,6 +89,7 @@ impl AbortCause {
             AbortCause::Timeout => 5,
             AbortCause::Injected => 6,
             AbortCause::SnapshotStale => 7,
+            AbortCause::ElisionStale => 8,
         }
     }
 }
@@ -213,6 +223,16 @@ pub enum EventKind {
     Checkpoint {
         /// The checkpointed commit sequence number.
         seq: u64,
+    },
+    /// Coordination avoidance: this transaction committed through the
+    /// lock-elision fast path — zero `R_a`/`W_a` lock-manager traffic,
+    /// validated instead by the commit-time tuple-timestamp check.
+    /// `resources` counts the lock acquisitions that were skipped.
+    /// Emitted after the commit critical section, so like `Fire` it may
+    /// trail the `Commit` terminal.
+    ElidedCommit {
+        /// Number of lock acquisitions the fast path skipped.
+        resources: u32,
     },
 }
 

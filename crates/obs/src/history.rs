@@ -123,6 +123,10 @@ pub fn event_to_json(ev: &Event) -> Json {
             fields.push(("seq".into(), Json::u64(seq)));
             "checkpoint"
         }
+        EventKind::ElidedCommit { resources } => {
+            fields.push(("resources".into(), Json::u64(u64::from(resources))));
+            "elided"
+        }
     };
     fields.insert(2, ("kind".into(), Json::str(kind)));
     Json::Obj(fields)
@@ -227,6 +231,10 @@ pub fn event_from_json(j: &Json) -> Result<Event, String> {
         },
         "checkpoint" => EventKind::Checkpoint {
             seq: need_u64("seq")?,
+        },
+        "elided" => EventKind::ElidedCommit {
+            resources: u32::try_from(need_u64("resources")?)
+                .map_err(|_| "elided resources count exceeds u32".to_string())?,
         },
         other => return Err(format!("unknown event kind {other:?}")),
     };
@@ -358,6 +366,11 @@ mod tests {
                 ts: 14,
                 txn: 3,
                 kind: EventKind::Checkpoint { seq: 5 },
+            },
+            Event {
+                ts: 15,
+                txn: 3,
+                kind: EventKind::ElidedCommit { resources: 4 },
             },
         ]
     }

@@ -49,6 +49,7 @@ struct Counters {
     version_writes: AtomicU64,
     wal_syncs: AtomicU64,
     checkpoints: AtomicU64,
+    elided_commits: AtomicU64,
 }
 
 /// Sharded-match fan-out tallies (relaxed atomics). All zero unless the
@@ -78,7 +79,7 @@ pub struct Recorder {
     epoch: Instant,
     rings: Box<[Mutex<Ring>]>,
     hists: [Histogram; 5],
-    abort_causes: [AtomicU64; 8],
+    abort_causes: [AtomicU64; 9],
     counters: Counters,
     fanout: Fanout,
     dropped: AtomicU64,
@@ -167,6 +168,9 @@ impl Recorder {
             EventKind::VersionWrite { .. } => self.counters.version_writes.fetch_add(1, Relaxed),
             EventKind::WalSync { .. } => self.counters.wal_syncs.fetch_add(1, Relaxed),
             EventKind::Checkpoint { .. } => self.counters.checkpoints.fetch_add(1, Relaxed),
+            EventKind::ElidedCommit { .. } => {
+                self.counters.elided_commits.fetch_add(1, Relaxed)
+            }
         };
         let slot = thread_slot() % self.rings.len();
         let overwrote = self.rings[slot].lock().unwrap().push(Event { ts, txn, kind });
@@ -309,6 +313,7 @@ impl Recorder {
             version_writes: self.counters.version_writes.load(Relaxed),
             wal_syncs: self.counters.wal_syncs.load(Relaxed),
             checkpoints: self.counters.checkpoints.load(Relaxed),
+            elided_commits: self.counters.elided_commits.load(Relaxed),
             dropped_events: self.dropped.load(Relaxed),
             fanout: self.fanout_snapshot(),
             rules: rules
@@ -329,10 +334,10 @@ impl Recorder {
 ///   is its first event;
 /// * every begun transaction ends in **exactly one** terminal
 ///   (`Commit` or `Abort`), with no events after it (`Anomaly` markers
-///   excepted — they may trail an abort — and `Fire` records, which
-///   legitimately trail the `Commit` they describe because the engine
-///   only learns the sequence number after the commit critical
-///   section);
+///   excepted — they may trail an abort — and `Fire` /
+///   `ElidedCommit` records, which legitimately trail the `Commit`
+///   they describe because the engine only learns the sequence number
+///   after the commit critical section);
 /// * `Fire` never appears on a transaction that aborted;
 /// * per-transaction timestamps are monotonically non-decreasing;
 /// * durability sequencing: `Checkpoint` sequence numbers never go
@@ -394,7 +399,8 @@ pub fn validate_history(events: &[Event]) -> Result<(), String> {
             EventKind::Fire { .. }
             | EventKind::VersionWrite { .. }
             | EventKind::WalSync { .. }
-            | EventKind::Checkpoint { .. } => {
+            | EventKind::Checkpoint { .. }
+            | EventKind::ElidedCommit { .. } => {
                 // Fire (and the MVCC VersionWrite / durability WalSync
                 // / Checkpoint records that share its timing) trails
                 // the Commit it describes (the sequence number only

@@ -90,6 +90,9 @@ pub struct ObsReport {
     pub wal_syncs: u64,
     /// `Checkpoint` events (durability checkpoint installs).
     pub checkpoints: u64,
+    /// `ElidedCommit` events (lock-elision fast-path commits; 0 when
+    /// elision is off or no rule proved commutative).
+    pub elided_commits: u64,
     /// Events lost to ring overwrites (history incomplete if non-zero).
     pub dropped_events: u64,
     /// Sharded-match fan-out tallies (all zero when the sharded
@@ -156,6 +159,7 @@ impl ObsReport {
             ("version_writes".into(), Json::u64(self.version_writes)),
             ("wal_syncs".into(), Json::u64(self.wal_syncs)),
             ("checkpoints".into(), Json::u64(self.checkpoints)),
+            ("elided_commits".into(), Json::u64(self.elided_commits)),
             ("dropped".into(), Json::u64(self.dropped_events)),
         ]);
         let rules = Json::Arr(
@@ -231,6 +235,13 @@ impl fmt::Display for ObsReport {
                 f,
                 "  durability: {} wal sync(s), {} checkpoint(s)",
                 self.wal_syncs, self.checkpoints
+            )?;
+        }
+        if self.elided_commits > 0 {
+            writeln!(
+                f,
+                "  coordination avoidance: {} lock-elided commit(s)",
+                self.elided_commits
             )?;
         }
         writeln!(f, "  latency (per phase):")?;
